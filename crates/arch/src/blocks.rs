@@ -1,0 +1,144 @@
+//! Function-block descriptions.
+
+use fpsa_device::clb::ConfigurableLogicBlockSpec;
+use fpsa_device::pe::ProcessingElementSpec;
+use fpsa_device::smb::SpikingMemoryBlockSpec;
+use serde::{Deserialize, Serialize};
+
+/// The three kinds of function blocks on the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum BlockKind {
+    /// ReRAM processing element (computation).
+    Pe,
+    /// Spiking memory block (buffering).
+    Smb,
+    /// Configurable logic block (control).
+    Clb,
+}
+
+impl BlockKind {
+    /// All block kinds.
+    pub fn all() -> [BlockKind; 3] {
+        [BlockKind::Pe, BlockKind::Smb, BlockKind::Clb]
+    }
+
+    /// Short mnemonic used in netlists and reports.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            BlockKind::Pe => "pe",
+            BlockKind::Smb => "smb",
+            BlockKind::Clb => "clb",
+        }
+    }
+}
+
+/// A concrete function-block specification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FunctionBlock {
+    /// A processing element.
+    Pe(ProcessingElementSpec),
+    /// A spiking memory block.
+    Smb(SpikingMemoryBlockSpec),
+    /// A configurable logic block.
+    Clb(ConfigurableLogicBlockSpec),
+}
+
+impl FunctionBlock {
+    /// Default PE block.
+    pub fn default_pe() -> Self {
+        FunctionBlock::Pe(ProcessingElementSpec::fpsa_default())
+    }
+
+    /// Default SMB block.
+    pub fn default_smb() -> Self {
+        FunctionBlock::Smb(SpikingMemoryBlockSpec::fpsa_16kb())
+    }
+
+    /// Default CLB block.
+    pub fn default_clb() -> Self {
+        FunctionBlock::Clb(ConfigurableLogicBlockSpec::fpsa_128lut())
+    }
+
+    /// The block's kind.
+    pub fn kind(&self) -> BlockKind {
+        match self {
+            FunctionBlock::Pe(_) => BlockKind::Pe,
+            FunctionBlock::Smb(_) => BlockKind::Smb,
+            FunctionBlock::Clb(_) => BlockKind::Clb,
+        }
+    }
+
+    /// Silicon area in µm².
+    pub fn area_um2(&self) -> f64 {
+        match self {
+            FunctionBlock::Pe(pe) => pe.area_um2(),
+            FunctionBlock::Smb(smb) => smb.area_um2(),
+            FunctionBlock::Clb(clb) => clb.area_um2(),
+        }
+    }
+
+    /// Intrinsic block latency in ns (one pipeline clock for a PE, one access
+    /// for an SMB, one LUT evaluation for a CLB).
+    pub fn latency_ns(&self) -> f64 {
+        match self {
+            FunctionBlock::Pe(pe) => pe.clock_period_ns(),
+            FunctionBlock::Smb(smb) => smb.access_latency_ns(),
+            FunctionBlock::Clb(clb) => clb.latency_ns(),
+        }
+    }
+
+    /// Number of routing pins the block exposes to its connection boxes.
+    pub fn pin_count(&self) -> usize {
+        match self {
+            FunctionBlock::Pe(pe) => pe.pin_count(),
+            FunctionBlock::Smb(smb) => smb.pin_count(),
+            FunctionBlock::Clb(clb) => clb.pin_count(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_round_trip() {
+        assert_eq!(FunctionBlock::default_pe().kind(), BlockKind::Pe);
+        assert_eq!(FunctionBlock::default_smb().kind(), BlockKind::Smb);
+        assert_eq!(FunctionBlock::default_clb().kind(), BlockKind::Clb);
+        assert_eq!(BlockKind::all().len(), 3);
+    }
+
+    #[test]
+    fn mnemonics_are_distinct() {
+        let m: std::collections::HashSet<_> =
+            BlockKind::all().iter().map(|k| k.mnemonic()).collect();
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn block_areas_match_table1() {
+        assert!((FunctionBlock::default_pe().area_um2() - 22051.414).abs() / 22051.414 < 0.01);
+        assert!((FunctionBlock::default_smb().area_um2() - 5421.9).abs() < 1.0);
+        assert!((FunctionBlock::default_clb().area_um2() - 5998.272).abs() < 1.0);
+    }
+
+    #[test]
+    fn pe_is_the_largest_and_slowest_block() {
+        let pe = FunctionBlock::default_pe();
+        let smb = FunctionBlock::default_smb();
+        let clb = FunctionBlock::default_clb();
+        assert!(pe.area_um2() > smb.area_um2());
+        assert!(pe.area_um2() > clb.area_um2());
+        assert!(pe.latency_ns() > clb.latency_ns());
+    }
+
+    #[test]
+    fn pin_counts_are_balanced_across_block_kinds() {
+        // The paper sizes CLBs so that their pin count is comparable to a PE.
+        let pe = FunctionBlock::default_pe().pin_count();
+        let clb = FunctionBlock::default_clb().pin_count();
+        assert_eq!(pe, clb);
+        assert!(FunctionBlock::default_smb().pin_count() > 0);
+    }
+}

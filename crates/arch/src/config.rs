@@ -1,0 +1,259 @@
+//! Architecture configurations: FPSA, FP-PRIME and PRIME.
+//!
+//! The paper's evaluation compares three designs that differ in two
+//! dimensions — the processing element and the communication subsystem:
+//!
+//! | design   | PE                           | communication            |
+//! |----------|------------------------------|--------------------------|
+//! | PRIME    | splicing PE with ADC/DAC     | shared memory bus        |
+//! | FP-PRIME | splicing PE with ADC/DAC     | reconfigurable routing   |
+//! | FPSA     | spiking PE (this paper)      | reconfigurable routing   |
+
+use crate::blocks::FunctionBlock;
+use crate::routing::RoutingArchitecture;
+use fpsa_device::pe::{published, ProcessingElementSpec};
+use serde::{Deserialize, Serialize};
+
+/// Which of the three evaluated designs a configuration describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ArchitectureKind {
+    /// The baseline PRIME accelerator (memory bus, ADC/DAC PEs).
+    Prime,
+    /// PRIME's PEs on FPSA's reconfigurable routing.
+    FpPrime,
+    /// The full FPSA design.
+    Fpsa,
+}
+
+impl ArchitectureKind {
+    /// Display name used in figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ArchitectureKind::Prime => "PRIME",
+            ArchitectureKind::FpPrime => "FP-PRIME",
+            ArchitectureKind::Fpsa => "FPSA",
+        }
+    }
+
+    /// Whether this design uses the reconfigurable routing fabric.
+    pub fn uses_reconfigurable_routing(&self) -> bool {
+        !matches!(self, ArchitectureKind::Prime)
+    }
+}
+
+/// How values travel between PEs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CommunicationStyle {
+    /// A shared memory bus with the given aggregate bandwidth (GB/s).
+    MemoryBus {
+        /// Aggregate bus bandwidth in gigabytes per second.
+        bandwidth_gbps: f64,
+    },
+    /// The reconfigurable routing fabric, transmitting each value as `bits`
+    /// serial bits over a dedicated routed path.
+    Routed {
+        /// Bits transferred per value (n for spike counts, 2^n for trains).
+        bits_per_value: u64,
+    },
+}
+
+/// The parameters of a processing element as seen by the system-level model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PeModel {
+    /// PE area in µm².
+    pub area_um2: f64,
+    /// Latency of one full vector-matrix multiplication in ns.
+    pub vmm_latency_ns: f64,
+    /// Logical rows (inputs) of the PE.
+    pub rows: usize,
+    /// Logical columns (outputs) of the PE.
+    pub cols: usize,
+}
+
+impl PeModel {
+    /// The FPSA spiking PE, derived from the device-level composition.
+    pub fn fpsa() -> Self {
+        let pe = ProcessingElementSpec::fpsa_default();
+        PeModel {
+            area_um2: pe.area_um2(),
+            vmm_latency_ns: pe.vmm_latency_ns(),
+            rows: pe.logical_rows(),
+            cols: pe.logical_cols(),
+        }
+    }
+
+    /// The PRIME splicing PE (Table 2 published values).
+    pub fn prime() -> Self {
+        PeModel {
+            area_um2: published::PRIME_PE_AREA_UM2,
+            vmm_latency_ns: published::PRIME_PE_LATENCY_NS,
+            rows: 256,
+            cols: 256,
+        }
+    }
+
+    /// Operations per VMM (multiply + add per logical cross point).
+    pub fn ops_per_vmm(&self) -> f64 {
+        2.0 * self.rows as f64 * self.cols as f64
+    }
+
+    /// Peak throughput in operations per second.
+    pub fn peak_ops(&self) -> f64 {
+        self.ops_per_vmm() / (self.vmm_latency_ns * 1e-9)
+    }
+
+    /// Computational density in TOPS/mm².
+    pub fn density_tops_mm2(&self) -> f64 {
+        self.peak_ops() * 1e-12 / (self.area_um2 * 1e-6)
+    }
+}
+
+/// A complete architecture configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArchitectureConfig {
+    /// Which design this is.
+    pub kind: ArchitectureKind,
+    /// The PE model used for computation.
+    pub pe: PeModel,
+    /// Activation precision in bits (6 in the paper).
+    pub io_bits: u32,
+    /// The communication subsystem.
+    pub communication: CommunicationStyle,
+    /// Routing fabric parameters (also present for PRIME so that FP-PRIME
+    /// reuses them, but ignored when `communication` is a bus).
+    pub routing: RoutingArchitecture,
+    /// Number of PEs per SMB on the fabric.
+    pub pes_per_smb: usize,
+    /// Number of PEs per CLB on the fabric.
+    pub pes_per_clb: usize,
+}
+
+impl ArchitectureConfig {
+    /// The full FPSA configuration: spiking PEs, spike trains on the routed
+    /// fabric (2^6 bits per value), one SMB and one CLB per eight PEs.
+    pub fn fpsa() -> Self {
+        ArchitectureConfig {
+            kind: ArchitectureKind::Fpsa,
+            pe: PeModel::fpsa(),
+            io_bits: 6,
+            communication: CommunicationStyle::Routed {
+                bits_per_value: 1 << 6,
+            },
+            routing: RoutingArchitecture::fpsa_default(),
+            pes_per_smb: 8,
+            pes_per_clb: 8,
+        }
+    }
+
+    /// FP-PRIME: PRIME's PEs on FPSA's routing; values travel as 6-bit
+    /// counts because PRIME PEs exchange digital numbers, not spike trains.
+    pub fn fp_prime() -> Self {
+        ArchitectureConfig {
+            kind: ArchitectureKind::FpPrime,
+            pe: PeModel::prime(),
+            io_bits: 6,
+            communication: CommunicationStyle::Routed { bits_per_value: 6 },
+            routing: RoutingArchitecture::fpsa_default(),
+            pes_per_smb: 8,
+            pes_per_clb: 8,
+        }
+    }
+
+    /// The PRIME baseline: splicing PEs on a shared memory bus.
+    pub fn prime() -> Self {
+        ArchitectureConfig {
+            kind: ArchitectureKind::Prime,
+            pe: PeModel::prime(),
+            io_bits: 6,
+            communication: CommunicationStyle::MemoryBus { bandwidth_gbps: 32.0 },
+            routing: RoutingArchitecture::fpsa_default(),
+            pes_per_smb: 8,
+            pes_per_clb: 8,
+        }
+    }
+
+    /// The sampling window in cycles implied by the I/O precision.
+    pub fn sampling_window(&self) -> u64 {
+        1u64 << self.io_bits
+    }
+
+    /// The function blocks instantiated on this fabric (only meaningful for
+    /// routed designs; PRIME has no SMB/CLB mix but the same accessor keeps
+    /// the area model uniform).
+    pub fn support_blocks(&self) -> (FunctionBlock, FunctionBlock) {
+        (FunctionBlock::default_smb(), FunctionBlock::default_clb())
+    }
+
+    /// Area of one fabric tile slot carrying a PE, including its share of
+    /// SMB, CLB and routing-driver area, in µm².
+    pub fn area_per_pe_um2(&self) -> f64 {
+        let (smb, clb) = self.support_blocks();
+        let support = smb.area_um2() / self.pes_per_smb as f64
+            + clb.area_um2() / self.pes_per_clb as f64;
+        let drivers = if self.kind.uses_reconfigurable_routing() {
+            self.routing.driver_area_um2_per_tile()
+        } else {
+            0.0
+        };
+        self.pe.area_um2 + support + drivers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_have_names_and_routing_flags() {
+        assert_eq!(ArchitectureKind::Prime.name(), "PRIME");
+        assert!(!ArchitectureKind::Prime.uses_reconfigurable_routing());
+        assert!(ArchitectureKind::Fpsa.uses_reconfigurable_routing());
+        assert!(ArchitectureKind::FpPrime.uses_reconfigurable_routing());
+    }
+
+    #[test]
+    fn pe_models_match_table2() {
+        let fpsa = PeModel::fpsa();
+        let prime = PeModel::prime();
+        assert!((fpsa.density_tops_mm2() - 38.0).abs() < 1.5);
+        assert!((prime.density_tops_mm2() - 1.229).abs() < 0.01);
+        assert!(fpsa.density_tops_mm2() / prime.density_tops_mm2() > 28.0);
+    }
+
+    #[test]
+    fn fpsa_transmits_spike_trains_and_fp_prime_counts() {
+        match ArchitectureConfig::fpsa().communication {
+            CommunicationStyle::Routed { bits_per_value } => assert_eq!(bits_per_value, 64),
+            _ => panic!("FPSA must use routed communication"),
+        }
+        match ArchitectureConfig::fp_prime().communication {
+            CommunicationStyle::Routed { bits_per_value } => assert_eq!(bits_per_value, 6),
+            _ => panic!("FP-PRIME must use routed communication"),
+        }
+        match ArchitectureConfig::prime().communication {
+            CommunicationStyle::MemoryBus { bandwidth_gbps } => assert!(bandwidth_gbps > 0.0),
+            _ => panic!("PRIME must use a memory bus"),
+        }
+    }
+
+    #[test]
+    fn sampling_window_is_64_cycles_for_6_bits() {
+        assert_eq!(ArchitectureConfig::fpsa().sampling_window(), 64);
+    }
+
+    #[test]
+    fn area_per_pe_includes_support_blocks() {
+        let cfg = ArchitectureConfig::fpsa();
+        assert!(cfg.area_per_pe_um2() > cfg.pe.area_um2);
+        // Support blocks add noticeably less than a second PE.
+        assert!(cfg.area_per_pe_um2() < 1.5 * cfg.pe.area_um2);
+    }
+
+    #[test]
+    fn prime_pe_is_larger_and_slower_than_fpsa_pe() {
+        let cfg_f = ArchitectureConfig::fpsa();
+        let cfg_p = ArchitectureConfig::prime();
+        assert!(cfg_p.pe.area_um2 > cfg_f.pe.area_um2);
+        assert!(cfg_p.pe.vmm_latency_ns > cfg_f.pe.vmm_latency_ns * 10.0);
+    }
+}

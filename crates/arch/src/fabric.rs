@@ -1,0 +1,231 @@
+//! The physical fabric: a 2-D grid of function-block slots.
+
+use crate::blocks::BlockKind;
+use crate::config::ArchitectureConfig;
+use serde::{Deserialize, Serialize};
+
+/// Grid dimensions of a fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FabricDimensions {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+}
+
+impl FabricDimensions {
+    /// Total slot count.
+    pub fn slots(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// The smallest square grid with at least `slots` slots.
+    pub fn square_for(slots: usize) -> Self {
+        let side = (slots as f64).sqrt().ceil().max(1.0) as usize;
+        FabricDimensions {
+            rows: side,
+            cols: side,
+        }
+    }
+
+    /// Manhattan distance between two slot coordinates.
+    pub fn manhattan(&self, a: (usize, usize), b: (usize, usize)) -> usize {
+        a.0.abs_diff(b.0) + a.1.abs_diff(b.1)
+    }
+
+    /// Linear index of a coordinate.
+    pub fn index(&self, coord: (usize, usize)) -> usize {
+        coord.0 * self.cols + coord.1
+    }
+
+    /// Coordinate of a linear index.
+    pub fn coord(&self, index: usize) -> (usize, usize) {
+        (index / self.cols, index % self.cols)
+    }
+}
+
+/// A concrete fabric instance: an architecture configuration plus a grid of
+/// block slots.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fabric {
+    /// The architecture this fabric instantiates.
+    pub config: ArchitectureConfig,
+    /// Grid dimensions.
+    pub dims: FabricDimensions,
+    slots: Vec<BlockKind>,
+}
+
+impl Fabric {
+    /// Build a fabric with at least `pe_count` PEs, inserting SMBs and CLBs
+    /// at the ratios requested by the configuration. Blocks are interleaved
+    /// so that every PE has a buffer and control block nearby.
+    pub fn with_pe_count(config: ArchitectureConfig, pe_count: usize) -> Self {
+        let pe_count = pe_count.max(1);
+        let smb_count = pe_count.div_ceil(config.pes_per_smb);
+        let clb_count = pe_count.div_ceil(config.pes_per_clb);
+        let total = pe_count + smb_count + clb_count;
+        let dims = FabricDimensions::square_for(total);
+
+        let mut slots = Vec::with_capacity(dims.slots());
+        let mut placed_smb = 0usize;
+        let mut placed_clb = 0usize;
+        for i in 0..dims.slots() {
+            // Interleave: every (pes_per_smb + 2) slots hold one SMB and one
+            // CLB; remaining slots hold PEs (extra slots in the square grid
+            // stay PEs so capacity only rounds up).
+            let phase = i % (config.pes_per_smb + 2);
+            let kind = if phase == config.pes_per_smb && placed_smb < smb_count {
+                placed_smb += 1;
+                BlockKind::Smb
+            } else if phase == config.pes_per_smb + 1 && placed_clb < clb_count {
+                placed_clb += 1;
+                BlockKind::Clb
+            } else {
+                BlockKind::Pe
+            };
+            slots.push(kind);
+        }
+        Fabric {
+            config,
+            dims,
+            slots,
+        }
+    }
+
+    /// Build the largest fabric that fits in `area_mm2` of silicon.
+    pub fn with_area(config: ArchitectureConfig, area_mm2: f64) -> Self {
+        let per_pe_mm2 = config.area_per_pe_um2() * 1e-6;
+        let pe_count = ((area_mm2 / per_pe_mm2).floor() as usize).max(1);
+        Self::with_pe_count(config, pe_count)
+    }
+
+    /// The block kind at each slot, in row-major order.
+    pub fn slots(&self) -> &[BlockKind] {
+        &self.slots
+    }
+
+    /// Slots of a given kind, as linear indices.
+    pub fn slots_of(&self, kind: BlockKind) -> Vec<usize> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, k)| **k == kind)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Number of PEs on the fabric.
+    pub fn pe_count(&self) -> usize {
+        self.slots.iter().filter(|k| **k == BlockKind::Pe).count()
+    }
+
+    /// Number of SMBs on the fabric.
+    pub fn smb_count(&self) -> usize {
+        self.slots.iter().filter(|k| **k == BlockKind::Smb).count()
+    }
+
+    /// Number of CLBs on the fabric.
+    pub fn clb_count(&self) -> usize {
+        self.slots.iter().filter(|k| **k == BlockKind::Clb).count()
+    }
+
+    /// Total silicon area in mm² (function blocks plus routing drivers; the
+    /// mrFPGA routing network itself sits in the metal stack above).
+    pub fn area_mm2(&self) -> f64 {
+        let (smb, clb) = self.config.support_blocks();
+        let blocks = self.pe_count() as f64 * self.config.pe.area_um2
+            + self.smb_count() as f64 * smb.area_um2()
+            + self.clb_count() as f64 * clb.area_um2();
+        let drivers = if self.config.kind.uses_reconfigurable_routing() {
+            self.dims.slots() as f64 * self.config.routing.driver_area_um2_per_tile()
+        } else {
+            0.0
+        };
+        (blocks + drivers) * 1e-6
+    }
+
+    /// Peak computational throughput in operations per second.
+    pub fn peak_ops(&self) -> f64 {
+        self.pe_count() as f64 * self.config.pe.peak_ops()
+    }
+
+    /// Peak computational density in TOPS/mm².
+    pub fn peak_density_tops_mm2(&self) -> f64 {
+        self.peak_ops() * 1e-12 / self.area_mm2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimensions_round_up_to_squares() {
+        let d = FabricDimensions::square_for(10);
+        assert_eq!(d, FabricDimensions { rows: 4, cols: 4 });
+        assert!(d.slots() >= 10);
+        assert_eq!(FabricDimensions::square_for(0).slots(), 1);
+    }
+
+    #[test]
+    fn coordinate_round_trip() {
+        let d = FabricDimensions { rows: 5, cols: 7 };
+        for i in 0..d.slots() {
+            assert_eq!(d.index(d.coord(i)), i);
+        }
+        assert_eq!(d.manhattan((0, 0), (3, 4)), 7);
+    }
+
+    #[test]
+    fn fabric_holds_requested_pe_count() {
+        let f = Fabric::with_pe_count(ArchitectureConfig::fpsa(), 100);
+        assert!(f.pe_count() >= 100);
+        assert!(f.smb_count() >= 100 / 8);
+        assert!(f.clb_count() >= 100 / 8);
+        assert_eq!(f.slots().len(), f.dims.slots());
+    }
+
+    #[test]
+    fn block_mix_follows_configuration_ratio() {
+        let f = Fabric::with_pe_count(ArchitectureConfig::fpsa(), 512);
+        let ratio = f.pe_count() as f64 / f.smb_count() as f64;
+        assert!(ratio > 5.0 && ratio < 11.0, "PE/SMB ratio {ratio}");
+    }
+
+    #[test]
+    fn area_grows_with_pe_count() {
+        let small = Fabric::with_pe_count(ArchitectureConfig::fpsa(), 64);
+        let large = Fabric::with_pe_count(ArchitectureConfig::fpsa(), 1024);
+        assert!(large.area_mm2() > small.area_mm2() * 10.0);
+    }
+
+    #[test]
+    fn with_area_respects_the_budget() {
+        let cfg = ArchitectureConfig::fpsa();
+        let f = Fabric::with_area(cfg, 50.0);
+        // The realized area stays within ~20% of the requested budget
+        // (grid rounding adds a few extra slots).
+        assert!(f.area_mm2() < 60.0, "area {}", f.area_mm2());
+        assert!(f.area_mm2() > 35.0, "area {}", f.area_mm2());
+        assert!(f.pe_count() > 1000);
+    }
+
+    #[test]
+    fn peak_density_approaches_pe_density() {
+        let f = Fabric::with_pe_count(ArchitectureConfig::fpsa(), 256);
+        let pe_density = f.config.pe.density_tops_mm2();
+        let fabric_density = f.peak_density_tops_mm2();
+        // Support blocks and drivers cost some density, but not more than 40%.
+        assert!(fabric_density < pe_density);
+        assert!(fabric_density > 0.6 * pe_density);
+    }
+
+    #[test]
+    fn slots_of_partitions_the_grid() {
+        let f = Fabric::with_pe_count(ArchitectureConfig::fpsa(), 32);
+        let total = f.slots_of(BlockKind::Pe).len()
+            + f.slots_of(BlockKind::Smb).len()
+            + f.slots_of(BlockKind::Clb).len();
+        assert_eq!(total, f.dims.slots());
+    }
+}

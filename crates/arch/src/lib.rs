@@ -1,0 +1,27 @@
+//! The FPSA fabric architecture description.
+//!
+//! FPSA arranges three kinds of function blocks — ReRAM processing elements
+//! (PEs), spiking memory blocks (SMBs) and configurable logic blocks (CLBs) —
+//! on an island-style reconfigurable fabric. The blocks connect to vertical
+//! and horizontal routing channels through connection boxes (CBs), and the
+//! channels connect to each other through switch boxes (SBs); both are built
+//! from ReRAM cells (the mrFPGA approach) and are stacked in the upper metal
+//! layers over the function blocks, so the routing contributes latency and
+//! configuration state but little extra die area.
+//!
+//! This crate describes the fabric: block mix, grid geometry, channel and
+//! switch parameters, and the configuration bitstream format. The placement
+//! and routing algorithms that target this description live in
+//! `fpsa-placeroute`.
+
+pub mod bitstream;
+pub mod blocks;
+pub mod config;
+pub mod fabric;
+pub mod routing;
+
+pub use bitstream::{Bitstream, Section, SectionKind};
+pub use blocks::{BlockKind, FunctionBlock};
+pub use config::{ArchitectureConfig, ArchitectureKind, CommunicationStyle, PeModel};
+pub use fabric::{Fabric, FabricDimensions};
+pub use routing::RoutingArchitecture;

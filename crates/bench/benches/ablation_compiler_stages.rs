@@ -1,0 +1,47 @@
+//! Ablation benchmarks for the software stack itself: how long each stage of
+//! the compiler takes (synthesis, mapping, placement & routing) and how the
+//! duplication degree and channel width affect the result. These are the
+//! design-choice ablations called out in DESIGN.md rather than paper figures.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fpsa_arch::{ArchitectureConfig, Fabric};
+use fpsa_mapper::{AllocationPolicy, Mapper};
+use fpsa_nn::zoo;
+use fpsa_placeroute::{Placer, PlacerConfig, Router};
+use fpsa_synthesis::{NeuralSynthesizer, SynthesisConfig};
+
+fn bench(c: &mut Criterion) {
+    let synthesizer = NeuralSynthesizer::new(SynthesisConfig::fpsa_default());
+    let lenet = zoo::lenet();
+    let core = synthesizer.synthesize(&lenet).unwrap();
+
+    let mut group = c.benchmark_group("compiler_stages");
+    group.sample_size(20);
+    group.bench_function("synthesize_lenet", |b| {
+        b.iter(|| synthesizer.synthesize(&lenet).unwrap())
+    });
+    for dup in [1u64, 16] {
+        group.bench_with_input(BenchmarkId::new("map_lenet_dup", dup), &dup, |b, &dup| {
+            let mapper = Mapper::new(64, AllocationPolicy::DuplicationDegree(dup));
+            b.iter(|| mapper.map(&core))
+        });
+    }
+    let mapping = Mapper::new(64, AllocationPolicy::DuplicationDegree(1)).map(&core);
+    let config = ArchitectureConfig::fpsa();
+    let fabric = Fabric::with_pe_count(config.clone(), mapping.netlist.len());
+    group.bench_function("place_lenet", |b| {
+        b.iter(|| Placer::new(PlacerConfig::fast()).place(&mapping.netlist, &fabric))
+    });
+    let placement = Placer::new(PlacerConfig::fast()).place(&mapping.netlist, &fabric);
+    for width in [128usize, 512] {
+        group.bench_with_input(BenchmarkId::new("route_lenet_width", width), &width, |b, &w| {
+            let mut routing = config.routing;
+            routing.channel_width = w;
+            b.iter(|| Router::new(routing).route(&mapping.netlist, &placement))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

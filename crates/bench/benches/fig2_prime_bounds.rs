@@ -1,0 +1,18 @@
+//! Regenerates Figure 2: PRIME peak / ideal / real performance vs area.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fpsa_bench::{print_experiment, save_json};
+use fpsa_core::experiments::fig2;
+
+fn bench(c: &mut Criterion) {
+    let fig = fig2::run();
+    print_experiment("Figure 2: PRIME bounds for VGG16 (peak / ideal / real)", &fig2::to_table(&fig));
+    save_json("fig2", &fig);
+    let mut group = c.benchmark_group("fig2");
+    group.sample_size(20);
+    group.bench_function("prime_bounds_sweep", |b| b.iter(fig2::run));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Regenerates Figure 6: PRIME vs FP-PRIME vs FPSA for VGG16.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fpsa_bench::{print_experiment, save_json};
+use fpsa_core::experiments::fig6;
+
+fn bench(c: &mut Criterion) {
+    let fig = fig6::run();
+    print_experiment(
+        &format!(
+            "Figure 6: overall comparison for VGG16 (FPSA/PRIME speedup at max area: {:.0}x)",
+            fig.speedup_at_max_area
+        ),
+        &fig6::to_table(&fig),
+    );
+    save_json("fig6", &fig);
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(20);
+    group.bench_function("three_architecture_sweep", |b| b.iter(fig6::run));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

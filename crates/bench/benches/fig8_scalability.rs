@@ -1,0 +1,28 @@
+//! Regenerates Figure 8: scalability with the duplication degree.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fpsa_bench::{print_experiment, save_json};
+use fpsa_core::experiments::fig8;
+
+fn bench(c: &mut Criterion) {
+    // The full seven-model sweep is printed once; Criterion times the
+    // three-model variant so a bench run stays short.
+    let fig = fig8::run();
+    let (p4, a4) = fig.geomean_scaling(4);
+    let (p16, a16) = fig.geomean_scaling(16);
+    let (p64, a64) = fig.geomean_scaling(64);
+    print_experiment(
+        &format!(
+            "Figure 8: scalability (geomean speedup/area growth: 4x -> {p4:.2}x/{a4:.2}x, 16x -> {p16:.2}x/{a16:.2}x, 64x -> {p64:.2}x/{a64:.2}x)"
+        ),
+        &fig8::to_table(&fig),
+    );
+    save_json("fig8", &fig);
+    let mut group = c.benchmark_group("fig8");
+    group.sample_size(10);
+    group.bench_function("scalability_small_models", |b| b.iter(fig8::run_small));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Shared helpers for the FPSA benchmark harness.
+//!
+//! Every bench binary in `benches/` regenerates one table or figure of the
+//! paper: it prints the experiment's table (so that `cargo bench` output can
+//! be pasted straight into EXPERIMENTS.md) and then times the underlying
+//! experiment code with Criterion.
+
+use std::path::PathBuf;
+
+/// Print an experiment banner followed by its rendered table.
+pub fn print_experiment(title: &str, table: &str) {
+    println!("\n================================================================");
+    println!("{title}");
+    println!("================================================================");
+    println!("{table}");
+}
+
+/// Persist an experiment's structured records next to Criterion's output so
+/// the numbers that produced a table can be inspected later.
+///
+/// Errors are reported but not fatal: benches still run on read-only file
+/// systems.
+pub fn save_json<T: serde::Serialize>(name: &str, value: &T) {
+    let dir = PathBuf::from("target").join("experiment-data");
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("note: could not create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("note: could not write {}: {e}", path.display());
+            }
+        }
+        Err(e) => eprintln!("note: could not serialize {name}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn print_experiment_does_not_panic() {
+        print_experiment("Table X", "| a |\n|---|\n| 1 |\n");
+    }
+
+    #[test]
+    fn save_json_accepts_serializable_values() {
+        save_json("bench-selftest", &vec![1, 2, 3]);
+    }
+}

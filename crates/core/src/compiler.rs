@@ -1,0 +1,259 @@
+//! The end-to-end compilation pipeline.
+//!
+//! `Compiler` runs the three software-stack steps of the paper in order:
+//! neural synthesis (computational graph → core-op graph), spatial-to-
+//! temporal mapping (core-op graph → function-block netlist), and — when the
+//! netlist is small enough for full physical design — placement & routing on
+//! the fabric. The result carries every intermediate artifact so that tools,
+//! tests and experiments can inspect any stage.
+
+use fpsa_arch::{ArchitectureConfig, Bitstream, SectionKind};
+use fpsa_mapper::{AllocationPolicy, Mapper, Mapping};
+use fpsa_nn::{ComputationalGraph, NnError};
+use fpsa_placeroute::{place_and_route, PlacerConfig, Placement, RoutingResult, TimingReport};
+use fpsa_sim::{CommunicationEstimate, PerformanceReport, PerformanceSimulator};
+use fpsa_synthesis::{CoreOpGraph, NeuralSynthesizer, SynthesisConfig};
+use serde::{Deserialize, Serialize};
+
+/// Above this many netlist blocks the compiler skips full placement &
+/// routing and uses the analytic wire model instead (documented in
+/// DESIGN.md); the paper's mrVPR flow has the same practical limit.
+pub const PLACE_AND_ROUTE_BLOCK_LIMIT: usize = 4_000;
+
+/// The compiler configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Compiler {
+    /// Target architecture.
+    pub arch: ArchitectureConfig,
+    /// Model-level duplication degree (Section 5.2).
+    pub duplication: u64,
+    /// Placer effort used when physical design runs.
+    pub placer: PlacerConfig,
+    /// Force-skip physical design even for small netlists.
+    pub skip_place_and_route: bool,
+}
+
+impl Compiler {
+    /// A compiler targeting the default FPSA architecture.
+    pub fn fpsa() -> Self {
+        Compiler {
+            arch: ArchitectureConfig::fpsa(),
+            duplication: 1,
+            placer: PlacerConfig::fast(),
+            skip_place_and_route: false,
+        }
+    }
+
+    /// A compiler targeting an arbitrary architecture.
+    pub fn for_architecture(arch: ArchitectureConfig) -> Self {
+        Compiler {
+            arch,
+            duplication: 1,
+            placer: PlacerConfig::fast(),
+            skip_place_and_route: false,
+        }
+    }
+
+    /// Set the duplication degree.
+    pub fn with_duplication(mut self, duplication: u64) -> Self {
+        self.duplication = duplication.max(1);
+        self
+    }
+
+    /// Skip physical design and always use the analytic communication model.
+    pub fn without_place_and_route(mut self) -> Self {
+        self.skip_place_and_route = true;
+        self
+    }
+
+    /// Compile a computational graph.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph and shape errors from the synthesis step.
+    pub fn compile(&self, graph: &ComputationalGraph) -> Result<CompiledModel, NnError> {
+        let synthesizer = NeuralSynthesizer::new(SynthesisConfig {
+            crossbar_rows: self.arch.pe.rows,
+            crossbar_cols: self.arch.pe.cols,
+        });
+        let core_graph = synthesizer.synthesize(graph)?;
+        let mapper = Mapper::new(
+            self.arch.sampling_window(),
+            AllocationPolicy::DuplicationDegree(self.duplication),
+        );
+        let mapping = mapper.map(&core_graph);
+
+        let physical = if !self.skip_place_and_route
+            && mapping.netlist.len() <= PLACE_AND_ROUTE_BLOCK_LIMIT
+        {
+            let (placement, routing, timing) =
+                place_and_route(&mapping.netlist, &self.arch, self.placer);
+            Some(PhysicalDesign {
+                placement,
+                routing,
+                timing,
+            })
+        } else {
+            None
+        };
+
+        Ok(CompiledModel {
+            arch: self.arch.clone(),
+            core_graph,
+            mapping,
+            physical,
+        })
+    }
+}
+
+/// The physical-design artifacts (present when P&R ran).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhysicalDesign {
+    /// Block placement on the fabric.
+    pub placement: Placement,
+    /// Routed nets.
+    pub routing: RoutingResult,
+    /// Timing analysis of the routed design.
+    pub timing: TimingReport,
+}
+
+/// Everything the compiler produced for one model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompiledModel {
+    /// The architecture this model was compiled for.
+    pub arch: ArchitectureConfig,
+    /// The synthesized core-op graph.
+    pub core_graph: CoreOpGraph,
+    /// Allocation, schedule and netlist.
+    pub mapping: Mapping,
+    /// Placement/routing/timing, when physical design ran.
+    pub physical: Option<PhysicalDesign>,
+}
+
+impl CompiledModel {
+    /// The communication estimate to use for performance evaluation: the
+    /// routed critical path when available, the analytic model otherwise.
+    pub fn communication_estimate(&self) -> CommunicationEstimate {
+        match (&self.physical, &self.arch.communication) {
+            (Some(p), fpsa_arch::CommunicationStyle::Routed { .. }) => {
+                CommunicationEstimate::from_timing(&p.timing)
+            }
+            _ => CommunicationEstimate::analytic(&self.arch, self.mapping.netlist.len()),
+        }
+    }
+
+    /// Evaluate the performance of the compiled model.
+    pub fn performance(&self) -> PerformanceReport {
+        PerformanceSimulator::new(self.arch.clone()).evaluate(
+            &self.core_graph,
+            &self.mapping,
+            self.communication_estimate(),
+        )
+    }
+
+    /// Emit the configuration bitstream: one weight section per PE, one LUT
+    /// section per CLB and one routing section per placed block (switch
+    /// settings are only known when physical design ran; otherwise the
+    /// routing sections are omitted).
+    pub fn bitstream(&self) -> Bitstream {
+        let mut bitstream = Bitstream::new();
+        let stats = self.mapping.netlist.stats();
+        for (slot, block) in self.mapping.netlist.blocks().iter().enumerate() {
+            match block {
+                fpsa_mapper::NetlistBlock::Pe { group, .. } => {
+                    let g = &self.core_graph.groups()[*group];
+                    // One 4-bit level per cell; the weights themselves are
+                    // trained values not carried through this flow, so the
+                    // section records the tile geometry as placeholder levels.
+                    let levels = vec![0u8; g.rows * g.cols / 2];
+                    bitstream.push(
+                        SectionKind::PeWeights,
+                        slot as u32,
+                        Bitstream::pack_levels(&levels),
+                    );
+                }
+                fpsa_mapper::NetlistBlock::Clb { .. } => {
+                    bitstream.push(SectionKind::ClbLuts, slot as u32, vec![0; 128 * 8]);
+                }
+                fpsa_mapper::NetlistBlock::Smb { .. } => {
+                    bitstream.push(SectionKind::SmbConfig, slot as u32, vec![0; 8]);
+                }
+            }
+        }
+        if self.physical.is_some() {
+            for slot in 0..stats.pe_count + stats.smb_count + stats.clb_count {
+                bitstream.push(SectionKind::RoutingSwitches, slot as u32, vec![0; 64]);
+            }
+        }
+        bitstream
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpsa_nn::zoo;
+
+    #[test]
+    fn compiling_lenet_runs_the_whole_flow() {
+        let compiled = Compiler::fpsa().compile(&zoo::lenet()).unwrap();
+        assert!(!compiled.core_graph.is_empty());
+        assert!(compiled.mapping.netlist.stats().pe_count > 0);
+        assert!(compiled.physical.is_some(), "LeNet is small enough for P&R");
+        let report = compiled.performance();
+        assert!(report.throughput_samples_per_s > 0.0);
+        assert!(report.area_mm2 > 0.0);
+    }
+
+    #[test]
+    fn duplication_is_clamped_to_at_least_one() {
+        let c = Compiler::fpsa().with_duplication(0);
+        assert_eq!(c.duplication, 1);
+    }
+
+    #[test]
+    fn large_models_skip_physical_design() {
+        let compiled = Compiler::fpsa()
+            .with_duplication(1)
+            .compile(&zoo::alexnet())
+            .unwrap();
+        assert!(compiled.physical.is_none());
+        // The analytic communication estimate still applies.
+        assert!(matches!(
+            compiled.communication_estimate(),
+            CommunicationEstimate::Routed { .. }
+        ));
+        assert!(compiled.performance().throughput_samples_per_s > 0.0);
+    }
+
+    #[test]
+    fn without_place_and_route_flag_is_respected() {
+        let compiled = Compiler::fpsa()
+            .without_place_and_route()
+            .compile(&zoo::mlp_500_100())
+            .unwrap();
+        assert!(compiled.physical.is_none());
+    }
+
+    #[test]
+    fn bitstream_has_a_section_per_block() {
+        let compiled = Compiler::fpsa().compile(&zoo::mlp_500_100()).unwrap();
+        let bitstream = compiled.bitstream();
+        assert!(bitstream.sections().len() >= compiled.mapping.netlist.len());
+        // And it survives a serialization round trip.
+        let parsed = Bitstream::from_bytes(bitstream.to_bytes()).unwrap();
+        assert_eq!(parsed.sections().len(), bitstream.sections().len());
+    }
+
+    #[test]
+    fn prime_target_compiles_too() {
+        let compiled = Compiler::for_architecture(fpsa_arch::ArchitectureConfig::prime())
+            .without_place_and_route()
+            .compile(&zoo::lenet())
+            .unwrap();
+        assert!(matches!(
+            compiled.communication_estimate(),
+            CommunicationEstimate::Bus { .. }
+        ));
+    }
+}

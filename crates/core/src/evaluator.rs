@@ -1,0 +1,168 @@
+//! The evaluation harness.
+//!
+//! `Evaluator` compiles a benchmark for a chosen architecture and duplication
+//! degree and collects everything the paper's figures report: the measured
+//! performance, the peak and the spatial/temporal utilization bounds, and the
+//! compute/communication latency breakdown. Evaluations of independent
+//! (model, duplication) points are embarrassingly parallel, so the sweep
+//! helpers fan out across threads.
+
+use crate::compiler::Compiler;
+use fpsa_arch::ArchitectureConfig;
+use fpsa_nn::zoo::Benchmark;
+use fpsa_sim::PerformanceReport;
+use serde::{Deserialize, Serialize};
+
+/// Everything measured for one (model, architecture, duplication) point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelEvaluation {
+    /// Which benchmark was evaluated.
+    pub model: String,
+    /// Architecture display name.
+    pub architecture: String,
+    /// Requested duplication degree.
+    pub duplication: u64,
+    /// Measured performance.
+    pub performance: PerformanceReport,
+    /// Peak performance of the allocated PEs in OPS.
+    pub peak_ops: f64,
+    /// Spatial utilization bound (crossbar fill), 0..1.
+    pub spatial_utilization: f64,
+    /// Temporal utilization bound (pipeline balance), 0..1.
+    pub temporal_utilization: f64,
+    /// Published weight count for cross-checking (from Table 3).
+    pub published_weights: f64,
+    /// Measured weight count.
+    pub measured_weights: u64,
+    /// Measured operation count per sample.
+    pub measured_ops: u64,
+}
+
+impl ModelEvaluation {
+    /// The real computational density in OPS/mm².
+    pub fn density_ops_mm2(&self) -> f64 {
+        self.performance.ops_per_mm2
+    }
+
+    /// The peak computational density in OPS/mm².
+    pub fn peak_density_ops_mm2(&self) -> f64 {
+        self.peak_ops / self.performance.area_mm2.max(1e-9)
+    }
+}
+
+/// The evaluation harness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Evaluator {
+    /// Architecture under evaluation.
+    pub arch: ArchitectureConfig,
+}
+
+impl Evaluator {
+    /// An evaluator for the FPSA architecture.
+    pub fn fpsa() -> Self {
+        Evaluator {
+            arch: ArchitectureConfig::fpsa(),
+        }
+    }
+
+    /// An evaluator for an arbitrary architecture.
+    pub fn new(arch: ArchitectureConfig) -> Self {
+        Evaluator { arch }
+    }
+
+    /// Evaluate one benchmark at one duplication degree.
+    pub fn evaluate(&self, benchmark: Benchmark, duplication: u64) -> ModelEvaluation {
+        let graph = benchmark.build();
+        let stats = graph.statistics();
+        let compiled = Compiler::for_architecture(self.arch.clone())
+            .with_duplication(duplication)
+            .without_place_and_route()
+            .compile(&graph)
+            .expect("zoo models are well formed");
+        let performance = compiled.performance();
+        let peak_ops = compiled.mapping.netlist.stats().pe_count as f64 * self.arch.pe.peak_ops();
+        ModelEvaluation {
+            model: benchmark.name().to_string(),
+            architecture: self.arch.kind.name().to_string(),
+            duplication,
+            performance,
+            peak_ops,
+            spatial_utilization: compiled.core_graph.spatial_utilization(),
+            temporal_utilization: compiled.mapping.allocation.temporal_utilization(),
+            published_weights: benchmark.published_weights(),
+            measured_weights: stats.total_weights,
+            measured_ops: stats.total_ops,
+        }
+    }
+
+    /// Evaluate several (benchmark, duplication) points in parallel.
+    pub fn evaluate_many(&self, points: &[(Benchmark, u64)]) -> Vec<ModelEvaluation> {
+        let mut results: Vec<Option<ModelEvaluation>> = vec![None; points.len()];
+        crossbeam::scope(|scope| {
+            let mut handles = Vec::new();
+            for (i, &(benchmark, dup)) in points.iter().enumerate() {
+                let evaluator = self.clone();
+                handles.push((i, scope.spawn(move |_| evaluator.evaluate(benchmark, dup))));
+            }
+            for (i, handle) in handles {
+                results[i] = Some(handle.join().expect("evaluation threads do not panic"));
+            }
+        })
+        .expect("crossbeam scope");
+        results.into_iter().map(|r| r.expect("filled")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluating_the_mlp_is_fast_and_consistent() {
+        let eval = Evaluator::fpsa().evaluate(Benchmark::Mlp500x100, 1);
+        assert_eq!(eval.model, "MLP-500-100");
+        assert_eq!(eval.measured_weights, 443_000);
+        assert!(eval.performance.throughput_samples_per_s > 0.0);
+        assert!(eval.spatial_utilization > 0.0 && eval.spatial_utilization <= 1.0);
+        assert!(eval.temporal_utilization > 0.0 && eval.temporal_utilization <= 1.0 + 1e-9);
+        assert!(eval.peak_density_ops_mm2() >= eval.density_ops_mm2());
+    }
+
+    #[test]
+    fn duplication_raises_throughput_for_cnns() {
+        let evaluator = Evaluator::fpsa();
+        let d1 = evaluator.evaluate(Benchmark::LeNet, 1);
+        let d16 = evaluator.evaluate(Benchmark::LeNet, 16);
+        assert!(
+            d16.performance.throughput_samples_per_s
+                > 4.0 * d1.performance.throughput_samples_per_s
+        );
+        // The MLP has no reuse, so duplication does not help it.
+        let m1 = evaluator.evaluate(Benchmark::Mlp500x100, 1);
+        let m16 = evaluator.evaluate(Benchmark::Mlp500x100, 16);
+        assert!(
+            (m16.performance.throughput_samples_per_s / m1.performance.throughput_samples_per_s)
+                < 1.5
+        );
+    }
+
+    #[test]
+    fn parallel_sweep_matches_sequential_results() {
+        let evaluator = Evaluator::fpsa();
+        let points = [(Benchmark::Mlp500x100, 1), (Benchmark::LeNet, 4)];
+        let parallel = evaluator.evaluate_many(&points);
+        let sequential: Vec<ModelEvaluation> = points
+            .iter()
+            .map(|&(b, d)| evaluator.evaluate(b, d))
+            .collect();
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn fpsa_density_exceeds_prime_density_on_the_same_model() {
+        let fpsa = Evaluator::fpsa().evaluate(Benchmark::LeNet, 4);
+        let prime =
+            Evaluator::new(ArchitectureConfig::prime()).evaluate(Benchmark::LeNet, 4);
+        assert!(fpsa.density_ops_mm2() > prime.density_ops_mm2() * 5.0);
+    }
+}

@@ -1,0 +1,89 @@
+//! Figure 2: PRIME's peak / ideal / real performance versus chip area.
+
+use crate::report::{engineering, format_table};
+use fpsa_arch::ArchitectureConfig;
+use fpsa_nn::zoo;
+use fpsa_prime::{BoundsPoint, CommunicationModel, MemoryBus, PeParameters, PerformanceBounds};
+use serde::{Deserialize, Serialize};
+
+/// The Figure 2 sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Figure2 {
+    /// Sweep points from small to large chips.
+    pub points: Vec<BoundsPoint>,
+}
+
+/// Regenerate Figure 2 (VGG16 on PRIME, 45 nm).
+pub fn run() -> Figure2 {
+    let stats = zoo::vgg16().statistics();
+    let bounds = PerformanceBounds::new(
+        PeParameters::from_arch(&ArchitectureConfig::prime()),
+        CommunicationModel::Bus(MemoryBus::prime_default()),
+        6,
+        &stats,
+    );
+    let min_area = bounds.minimum_area_mm2();
+    Figure2 {
+        points: bounds.sweep(min_area, 10_000.0, 16),
+    }
+}
+
+/// Render the sweep as text.
+pub fn to_table(fig: &Figure2) -> String {
+    format_table(
+        &["area (mm^2)", "PEs", "peak (OPS)", "ideal (OPS)", "real (OPS)", "dup"],
+        &fig.points
+            .iter()
+            .map(|p| {
+                vec![
+                    format!("{:.1}", p.area_mm2),
+                    p.pe_count.to_string(),
+                    engineering(p.peak_ops),
+                    engineering(p.ideal_ops),
+                    engineering(p.real_ops),
+                    p.duplication_degree.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_curve_is_communication_bound_at_large_areas() {
+        let fig = run();
+        let last = fig.points.last().unwrap();
+        assert!(last.feasible);
+        // Figure 2: the real curve sits far (roughly two orders of
+        // magnitude) below the ideal curve once area is plentiful.
+        assert!(last.ideal_ops / last.real_ops > 30.0);
+        // And the communication-bound real curve flattens: the last two
+        // points differ by much less than the area ratio.
+        let prev = &fig.points[fig.points.len() - 2];
+        assert!(last.real_ops / prev.real_ops < 1.5);
+    }
+
+    #[test]
+    fn ideal_curve_shows_superlinear_region_then_approaches_peak() {
+        let fig = run();
+        let first = fig.points.iter().find(|p| p.feasible).unwrap();
+        let mid = &fig.points[fig.points.len() / 2];
+        let area_ratio = mid.area_mm2 / first.area_mm2;
+        let perf_ratio = mid.ideal_ops / first.ideal_ops;
+        assert!(
+            perf_ratio > area_ratio,
+            "ideal scaling should be super-linear: {perf_ratio} vs area {area_ratio}"
+        );
+        let last = fig.points.last().unwrap();
+        assert!(last.ideal_ops <= last.peak_ops * 1.0001);
+    }
+
+    #[test]
+    fn table_lists_every_point() {
+        let fig = run();
+        assert_eq!(to_table(&fig).lines().count(), fig.points.len() + 2);
+    }
+}

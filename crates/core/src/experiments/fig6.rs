@@ -1,0 +1,132 @@
+//! Figure 6: PRIME vs FP-PRIME vs FPSA for VGG16, performance versus area.
+//!
+//! The three curves isolate the paper's three improvements: FP-PRIME keeps
+//! PRIME's PEs but replaces the bus with the reconfigurable routing
+//! (breaking the communication bound); FPSA additionally replaces the PEs
+//! with the compact spiking design (reducing area and latency). Together they
+//! produce the up-to-1000x speedup at equal area.
+
+use crate::report::{engineering, format_table};
+use fpsa_arch::ArchitectureConfig;
+use fpsa_nn::zoo;
+use fpsa_prime::{BoundsPoint, CommunicationModel, MemoryBus, PeParameters, PerformanceBounds};
+use serde::{Deserialize, Serialize};
+
+/// One architecture's sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArchitectureCurve {
+    /// Architecture display name.
+    pub architecture: String,
+    /// Sweep points.
+    pub points: Vec<BoundsPoint>,
+}
+
+/// The whole Figure 6 data set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Figure6 {
+    /// PRIME, FP-PRIME and FPSA curves over the same area axis.
+    pub curves: Vec<ArchitectureCurve>,
+    /// The FPSA / PRIME real-performance speedup at the largest common area.
+    pub speedup_at_max_area: f64,
+}
+
+fn bounds_for(arch: &ArchitectureConfig, per_value_ns: f64) -> PerformanceBounds {
+    let stats = zoo::vgg16().statistics();
+    let comm = match arch.communication {
+        fpsa_arch::CommunicationStyle::MemoryBus { .. } => {
+            CommunicationModel::Bus(MemoryBus::prime_default())
+        }
+        fpsa_arch::CommunicationStyle::Routed { .. } => {
+            CommunicationModel::Routed { per_value_ns }
+        }
+    };
+    PerformanceBounds::new(PeParameters::from_arch(arch), comm, 6, &stats)
+}
+
+/// Regenerate Figure 6. The routed per-value latencies follow the Figure 7
+/// measurement methodology: 6 serialized bits per value for FP-PRIME, 64 for
+/// FPSA, over the same routed critical path.
+pub fn run() -> Figure6 {
+    let critical_path_ns = 9.9;
+    let configs = [
+        (ArchitectureConfig::prime(), 0.0),
+        (ArchitectureConfig::fp_prime(), 6.0 * critical_path_ns),
+        (ArchitectureConfig::fpsa(), 64.0 * critical_path_ns),
+    ];
+    let max_area = 10_000.0;
+    let mut curves = Vec::new();
+    for (arch, per_value_ns) in &configs {
+        let bounds = bounds_for(arch, *per_value_ns);
+        let min = bounds.minimum_area_mm2();
+        curves.push(ArchitectureCurve {
+            architecture: arch.kind.name().to_string(),
+            points: bounds.sweep(min, max_area, 14),
+        });
+    }
+    let prime_last = curves[0].points.last().unwrap().real_ops;
+    let fpsa_last = curves[2].points.last().unwrap().real_ops;
+    Figure6 {
+        speedup_at_max_area: fpsa_last / prime_last,
+        curves,
+    }
+}
+
+/// Render the three curves side by side (matching area indices).
+pub fn to_table(fig: &Figure6) -> String {
+    let n = fig.curves[0].points.len();
+    let mut rows = Vec::new();
+    for i in 0..n {
+        rows.push(vec![
+            format!("{:.0}", fig.curves[0].points[i].area_mm2),
+            engineering(fig.curves[0].points[i].real_ops),
+            engineering(fig.curves[1].points[i].real_ops),
+            engineering(fig.curves[2].points[i].real_ops),
+        ]);
+    }
+    format_table(
+        &["area (mm^2, PRIME axis)", "PRIME (OPS)", "FP-PRIME (OPS)", "FPSA (OPS)"],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fpsa_reaches_orders_of_magnitude_over_prime() {
+        let fig = run();
+        assert!(
+            fig.speedup_at_max_area > 100.0,
+            "FPSA/PRIME speedup at max area is only {:.1}x",
+            fig.speedup_at_max_area
+        );
+    }
+
+    #[test]
+    fn fp_prime_breaks_the_communication_bound() {
+        let fig = run();
+        let prime = fig.curves[0].points.last().unwrap();
+        let fp_prime = fig.curves[1].points.last().unwrap();
+        // Same PEs, so the peak is identical; the routed fabric removes the
+        // bus bound and the real performance approaches the ideal one.
+        assert!(fp_prime.real_ops > prime.real_ops * 10.0);
+        assert!(fp_prime.real_ops > 0.5 * fp_prime.ideal_ops);
+    }
+
+    #[test]
+    fn fpsa_outperforms_fp_prime_through_faster_pes() {
+        let fig = run();
+        let fp_prime = fig.curves[1].points.last().unwrap();
+        let fpsa = fig.curves[2].points.last().unwrap();
+        assert!(fpsa.real_ops > fp_prime.real_ops * 2.0);
+    }
+
+    #[test]
+    fn ordering_is_prime_fp_prime_fpsa() {
+        let fig = run();
+        let names: Vec<&str> = fig.curves.iter().map(|c| c.architecture.as_str()).collect();
+        assert_eq!(names, vec!["PRIME", "FP-PRIME", "FPSA"]);
+        assert!(!to_table(&fig).is_empty());
+    }
+}

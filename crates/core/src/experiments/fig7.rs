@@ -1,0 +1,122 @@
+//! Figure 7: the per-PE latency breakdown (computation vs communication).
+
+use crate::report::format_table;
+use fpsa_arch::ArchitectureConfig;
+use fpsa_nn::zoo::Benchmark;
+use fpsa_sim::{CommunicationEstimate, PerformanceSimulator};
+use fpsa_mapper::{AllocationPolicy, Mapper};
+use fpsa_prime::MemoryBus;
+use fpsa_synthesis::{NeuralSynthesizer, SynthesisConfig};
+use serde::{Deserialize, Serialize};
+
+/// One bar of Figure 7.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Figure7Bar {
+    /// Architecture display name.
+    pub architecture: String,
+    /// Average computation latency of one PE invocation in ns.
+    pub compute_ns: f64,
+    /// Average communication latency of one PE invocation in ns.
+    pub communication_ns: f64,
+}
+
+impl Figure7Bar {
+    /// Total per-invocation latency.
+    pub fn total_ns(&self) -> f64 {
+        self.compute_ns + self.communication_ns
+    }
+}
+
+/// Regenerate Figure 7 for VGG16.
+pub fn run() -> Vec<Figure7Bar> {
+    let graph = NeuralSynthesizer::new(SynthesisConfig::fpsa_default())
+        .synthesize(&Benchmark::Vgg16.build())
+        .expect("VGG16 synthesizes");
+    let mapping = Mapper::new(64, AllocationPolicy::DuplicationDegree(1)).map(&graph);
+
+    // The routed designs share one critical path; PRIME uses the bus.
+    let critical_path_ns = 9.9;
+    let configs = [
+        (
+            ArchitectureConfig::prime(),
+            CommunicationEstimate::Bus {
+                bandwidth_gbps: MemoryBus::prime_default().bandwidth_gbps,
+            },
+        ),
+        (
+            ArchitectureConfig::fp_prime(),
+            CommunicationEstimate::Routed { critical_path_ns },
+        ),
+        (
+            ArchitectureConfig::fpsa(),
+            CommunicationEstimate::Routed { critical_path_ns },
+        ),
+    ];
+    configs
+        .iter()
+        .map(|(arch, comm)| {
+            let report =
+                PerformanceSimulator::new(arch.clone()).evaluate(&graph, &mapping, *comm);
+            Figure7Bar {
+                architecture: arch.kind.name().to_string(),
+                compute_ns: report.compute_ns_per_vmm,
+                communication_ns: report.communication_ns_per_vmm,
+            }
+        })
+        .collect()
+}
+
+/// Render the bars as text.
+pub fn to_table(bars: &[Figure7Bar]) -> String {
+    format_table(
+        &["architecture", "compute (ns)", "communication (ns)", "total (ns)"],
+        &bars
+            .iter()
+            .map(|b| {
+                vec![
+                    b.architecture.clone(),
+                    format!("{:.1}", b.compute_ns),
+                    format!("{:.1}", b.communication_ns),
+                    format!("{:.1}", b.total_ns()),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_reproduces_the_figure7_shape() {
+        let bars = run();
+        assert_eq!(bars.len(), 3);
+        let prime = &bars[0];
+        let fp_prime = &bars[1];
+        let fpsa = &bars[2];
+        // PRIME: communication dwarfs computation.
+        assert!(prime.communication_ns > prime.compute_ns);
+        // FP-PRIME: the routed fabric makes communication negligible next to
+        // PRIME's slow PEs.
+        assert!(fp_prime.communication_ns < 0.2 * fp_prime.compute_ns);
+        // FPSA: computation shrinks ~20x, communication grows (spike trains),
+        // but the total is still far below both baselines.
+        assert!(fpsa.compute_ns < fp_prime.compute_ns / 10.0);
+        assert!(fpsa.communication_ns > fp_prime.communication_ns);
+        assert!(fpsa.total_ns() < prime.total_ns() / 3.0);
+    }
+
+    #[test]
+    fn spike_train_to_count_ratio_is_64_to_6() {
+        let bars = run();
+        let ratio = bars[2].communication_ns / bars[1].communication_ns;
+        assert!((ratio - 64.0 / 6.0).abs() < 0.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn table_renders_three_bars() {
+        let bars = run();
+        assert_eq!(to_table(&bars).lines().count(), 5);
+    }
+}

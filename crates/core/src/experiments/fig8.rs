@@ -1,0 +1,159 @@
+//! Figure 8: scalability of FPSA with the duplication degree.
+//!
+//! For every benchmark model and duplication degree in {1, 4, 16, 64} the
+//! experiment reports performance (Figure 8a), area (Figure 8b) and
+//! computational density together with its peak and the spatial/temporal
+//! utilization bounds (Figure 8c).
+
+use crate::evaluator::{Evaluator, ModelEvaluation};
+use crate::report::{engineering, format_table};
+use fpsa_nn::zoo::Benchmark;
+use serde::{Deserialize, Serialize};
+
+/// The duplication degrees evaluated by the paper.
+pub const DUPLICATION_DEGREES: [u64; 4] = [1, 4, 16, 64];
+
+/// The full Figure 8 data set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Figure8 {
+    /// One evaluation per (model, duplication degree).
+    pub evaluations: Vec<ModelEvaluation>,
+}
+
+impl Figure8 {
+    /// The evaluations of one model, ordered by duplication degree.
+    pub fn for_model(&self, name: &str) -> Vec<&ModelEvaluation> {
+        let mut v: Vec<&ModelEvaluation> =
+            self.evaluations.iter().filter(|e| e.model == name).collect();
+        v.sort_by_key(|e| e.duplication);
+        v
+    }
+
+    /// Geometric-mean speedup and area growth of a duplication degree
+    /// relative to the 1x configuration, across all models.
+    pub fn geomean_scaling(&self, duplication: u64) -> (f64, f64) {
+        let mut perf_product = 1.0f64;
+        let mut area_product = 1.0f64;
+        let mut count = 0usize;
+        for benchmark in Benchmark::all() {
+            let series = self.for_model(benchmark.name());
+            let base = series.iter().find(|e| e.duplication == 1);
+            let this = series.iter().find(|e| e.duplication == duplication);
+            if let (Some(base), Some(this)) = (base, this) {
+                perf_product *= this.performance.ops_per_second / base.performance.ops_per_second;
+                area_product *= this.performance.area_mm2 / base.performance.area_mm2;
+                count += 1;
+            }
+        }
+        if count == 0 {
+            return (1.0, 1.0);
+        }
+        (
+            perf_product.powf(1.0 / count as f64),
+            area_product.powf(1.0 / count as f64),
+        )
+    }
+}
+
+/// Regenerate Figure 8 on the FPSA architecture.
+pub fn run() -> Figure8 {
+    let evaluator = Evaluator::fpsa();
+    let points: Vec<(Benchmark, u64)> = Benchmark::all()
+        .into_iter()
+        .flat_map(|b| DUPLICATION_DEGREES.into_iter().map(move |d| (b, d)))
+        .collect();
+    Figure8 {
+        evaluations: evaluator.evaluate_many(&points),
+    }
+}
+
+/// A faster variant covering only the small models (used in tests).
+pub fn run_small() -> Figure8 {
+    let evaluator = Evaluator::fpsa();
+    let points: Vec<(Benchmark, u64)> = [Benchmark::Mlp500x100, Benchmark::LeNet, Benchmark::CifarVgg17]
+        .into_iter()
+        .flat_map(|b| DUPLICATION_DEGREES.into_iter().map(move |d| (b, d)))
+        .collect();
+    Figure8 {
+        evaluations: evaluator.evaluate_many(&points),
+    }
+}
+
+/// Render Figure 8 as text.
+pub fn to_table(fig: &Figure8) -> String {
+    format_table(
+        &[
+            "model",
+            "dup",
+            "perf (OPS)",
+            "area (mm^2)",
+            "density (OPS/mm^2)",
+            "spatial util",
+            "temporal util",
+        ],
+        &fig.evaluations
+            .iter()
+            .map(|e| {
+                vec![
+                    e.model.clone(),
+                    e.duplication.to_string(),
+                    engineering(e.performance.ops_per_second),
+                    format!("{:.2}", e.performance.area_mm2),
+                    engineering(e.density_ops_mm2()),
+                    format!("{:.3}", e.spatial_utilization),
+                    format!("{:.3}", e.temporal_utilization),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplication_scales_cnn_performance_superlinearly_in_area() {
+        let fig = run_small();
+        let lenet = fig.for_model("LeNet");
+        assert_eq!(lenet.len(), 4);
+        let base = lenet[0];
+        let top = lenet[3];
+        let speedup = top.performance.ops_per_second / base.performance.ops_per_second;
+        let area_growth = top.performance.area_mm2 / base.performance.area_mm2;
+        assert!(speedup > 8.0, "64x duplication speedup {speedup}");
+        assert!(
+            area_growth < speedup,
+            "area growth {area_growth} should lag the speedup {speedup}"
+        );
+    }
+
+    #[test]
+    fn the_mlp_does_not_benefit_from_duplication() {
+        let fig = run_small();
+        let mlp = fig.for_model("MLP-500-100");
+        let speedup = mlp[3].performance.ops_per_second / mlp[0].performance.ops_per_second;
+        assert!(speedup < 1.5, "MLP speedup should be flat, got {speedup}");
+        // Its workload is balanced, so the temporal utilization is already 1.
+        assert!(mlp[0].temporal_utilization > 0.99);
+    }
+
+    #[test]
+    fn temporal_utilization_rises_with_duplication_for_cnns() {
+        let fig = run_small();
+        let vgg = fig.for_model("CIFAR-VGG17");
+        assert!(vgg[3].temporal_utilization > vgg[0].temporal_utilization);
+        // Spatial utilization does not change with duplication (Figure 8c).
+        assert!((vgg[3].spatial_utilization - vgg[0].spatial_utilization).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geomean_scaling_reports_sensible_numbers() {
+        let fig = run_small();
+        let (perf4, area4) = fig.geomean_scaling(4);
+        assert!(perf4 > 1.0);
+        assert!(area4 >= 1.0);
+        assert!(area4 < perf4 * 1.5);
+        assert!(!to_table(&fig).is_empty());
+    }
+}

@@ -1,0 +1,141 @@
+//! Table 1: parameters of the function blocks under the 45 nm process.
+
+use crate::report::format_table;
+use fpsa_device::circuits::{ChargingUnit, NeuronUnit, SpikeSubtracter};
+use fpsa_device::clb::ConfigurableLogicBlockSpec;
+use fpsa_device::pe::ProcessingElementSpec;
+use fpsa_device::reram::CrossbarSpec;
+use fpsa_device::smb::SpikingMemoryBlockSpec;
+use serde::{Deserialize, Serialize};
+
+/// One row of Table 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Component name.
+    pub component: String,
+    /// Energy per activation in pJ.
+    pub energy_pj: f64,
+    /// Area in µm².
+    pub area_um2: f64,
+    /// Latency in ns.
+    pub latency_ns: f64,
+    /// The value published in the paper's Table 1 (area), for comparison.
+    pub published_area_um2: f64,
+}
+
+/// Regenerate Table 1 from the device-level component models.
+pub fn run() -> Vec<Table1Row> {
+    let pe = ProcessingElementSpec::fpsa_default();
+    let breakdown = pe.cost_breakdown();
+    let charging = ChargingUnit::n45();
+    let neuron = NeuronUnit::n45();
+    let sub = SpikeSubtracter::n45();
+    let xbar = CrossbarSpec::fpsa_256x512();
+    let clb = ConfigurableLogicBlockSpec::fpsa_128lut();
+    let smb = SpikingMemoryBlockSpec::fpsa_16kb();
+    vec![
+        Table1Row {
+            component: "PE (256x256)".into(),
+            energy_pj: pe.cycle_energy_pj(),
+            area_um2: pe.area_um2(),
+            latency_ns: pe.clock_period_ns(),
+            published_area_um2: 22_051.414,
+        },
+        Table1Row {
+            component: "Charging unit (x256)".into(),
+            energy_pj: breakdown.charging_units.energy_pj,
+            area_um2: breakdown.charging_units.area_um2,
+            latency_ns: charging.latency_ns,
+            published_area_um2: 600.704,
+        },
+        Table1Row {
+            component: "ReRAM 256x512 (x8)".into(),
+            energy_pj: breakdown.crossbars.energy_pj,
+            area_um2: breakdown.crossbars.area_um2,
+            latency_ns: xbar.rc_delay_ns(),
+            published_area_um2: 8_493.466,
+        },
+        Table1Row {
+            component: "Neuron unit (x512)".into(),
+            energy_pj: breakdown.neuron_units.energy_pj,
+            area_um2: breakdown.neuron_units.area_um2,
+            latency_ns: neuron.latency_ns,
+            published_area_um2: 9_854.342,
+        },
+        Table1Row {
+            component: "Subtracter (x256)".into(),
+            energy_pj: breakdown.subtracters.energy_pj,
+            area_um2: breakdown.subtracters.area_um2,
+            latency_ns: sub.latency_ns,
+            published_area_um2: 3_102.902,
+        },
+        Table1Row {
+            component: "CLB (128x LUT)".into(),
+            energy_pj: clb.cycle_energy_pj,
+            area_um2: clb.area_um2(),
+            latency_ns: clb.latency_ns(),
+            published_area_um2: 5_998.272,
+        },
+        Table1Row {
+            component: "SMB (16Kb)".into(),
+            energy_pj: smb.access_energy_pj,
+            area_um2: smb.area_um2(),
+            latency_ns: smb.access_latency_ns(),
+            published_area_um2: 5_421.900,
+        },
+    ]
+}
+
+/// Render the table as text.
+pub fn to_table(rows: &[Table1Row]) -> String {
+    format_table(
+        &["component", "energy (pJ)", "area (um^2)", "latency (ns)", "paper area (um^2)"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.component.clone(),
+                    format!("{:.3}", r.energy_pj),
+                    format!("{:.3}", r.area_um2),
+                    format!("{:.3}", r.latency_ns),
+                    format!("{:.3}", r.published_area_um2),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_row_is_within_five_percent_of_the_published_area() {
+        for row in run() {
+            let err = (row.area_um2 - row.published_area_um2).abs() / row.published_area_um2;
+            assert!(
+                err < 0.05,
+                "{}: area {} vs published {}",
+                row.component,
+                row.area_um2,
+                row.published_area_um2
+            );
+        }
+    }
+
+    #[test]
+    fn the_pe_row_aggregates_its_components() {
+        let rows = run();
+        let pe = &rows[0];
+        let parts: f64 = rows[1..5].iter().map(|r| r.area_um2).sum();
+        assert!((pe.area_um2 - parts).abs() < 1e-6);
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let rows = run();
+        let table = to_table(&rows);
+        assert_eq!(table.lines().count(), rows.len() + 2);
+        assert!(table.contains("SMB (16Kb)"));
+    }
+}

@@ -1,0 +1,117 @@
+//! Table 2: PE comparison between PRIME and FPSA.
+
+use crate::report::format_table;
+use fpsa_device::pe::ProcessingElementSpec;
+use fpsa_prime::PrimePeSpec;
+use serde::{Deserialize, Serialize};
+
+/// One architecture's row of Table 2.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table2Row {
+    /// Architecture name.
+    pub architecture: String,
+    /// PE area in µm².
+    pub area_um2: f64,
+    /// Latency of a 256x256, 8-bit-weight, 6-bit-I/O VMM in ns.
+    pub latency_ns: f64,
+    /// Computational density in TOPS/mm².
+    pub density_tops_mm2: f64,
+}
+
+/// The whole comparison, including the derived improvements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table2 {
+    /// PRIME and FPSA rows.
+    pub rows: Vec<Table2Row>,
+    /// Relative area change FPSA vs PRIME (negative = smaller).
+    pub area_change: f64,
+    /// Relative latency change FPSA vs PRIME (negative = faster).
+    pub latency_change: f64,
+    /// Density improvement factor (paper: 30.92x).
+    pub density_improvement: f64,
+}
+
+/// Regenerate Table 2 from the two PE models.
+pub fn run() -> Table2 {
+    let prime = PrimePeSpec::prime_default();
+    let fpsa = ProcessingElementSpec::fpsa_default();
+    let rows = vec![
+        Table2Row {
+            architecture: "PRIME".into(),
+            area_um2: prime.area_um2(),
+            latency_ns: prime.vmm_latency_ns(),
+            density_tops_mm2: prime.density_tops_mm2(),
+        },
+        Table2Row {
+            architecture: "FPSA".into(),
+            area_um2: fpsa.area_um2(),
+            latency_ns: fpsa.vmm_latency_ns(),
+            density_tops_mm2: fpsa.computational_density_tops_per_mm2(),
+        },
+    ];
+    Table2 {
+        area_change: rows[1].area_um2 / rows[0].area_um2 - 1.0,
+        latency_change: rows[1].latency_ns / rows[0].latency_ns - 1.0,
+        density_improvement: rows[1].density_tops_mm2 / rows[0].density_tops_mm2,
+        rows,
+    }
+}
+
+/// Render the comparison as text.
+pub fn to_table(table: &Table2) -> String {
+    let mut rows: Vec<Vec<String>> = table
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.architecture.clone(),
+                format!("{:.3}", r.area_um2),
+                format!("{:.1}", r.latency_ns),
+                format!("{:.3}", r.density_tops_mm2),
+            ]
+        })
+        .collect();
+    rows.push(vec![
+        "Improvement".into(),
+        format!("{:.2}%", table.area_change * 100.0),
+        format!("{:.2}%", table.latency_change * 100.0),
+        format!("{:.2}x", table.density_improvement),
+    ]);
+    format_table(
+        &["architecture", "area (um^2)", "latency (ns)", "density (TOPS/mm^2)"],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn improvements_match_the_published_table() {
+        let t = run();
+        // Paper: -36.63% area, -94.90% latency, 30.92x density.
+        assert!((t.area_change + 0.3663).abs() < 0.03, "area change {}", t.area_change);
+        assert!((t.latency_change + 0.949).abs() < 0.01, "latency change {}", t.latency_change);
+        assert!(
+            t.density_improvement > 28.0 && t.density_improvement < 34.0,
+            "density improvement {}",
+            t.density_improvement
+        );
+    }
+
+    #[test]
+    fn rows_are_ordered_prime_then_fpsa() {
+        let t = run();
+        assert_eq!(t.rows[0].architecture, "PRIME");
+        assert_eq!(t.rows[1].architecture, "FPSA");
+        assert!(t.rows[1].density_tops_mm2 > t.rows[0].density_tops_mm2);
+    }
+
+    #[test]
+    fn rendering_includes_the_improvement_row() {
+        let text = to_table(&run());
+        assert!(text.contains("Improvement"));
+        assert!(text.contains("FPSA"));
+    }
+}

@@ -1,0 +1,169 @@
+//! Table 3: the overall performance of FPSA for every benchmark model.
+
+use crate::evaluator::Evaluator;
+use crate::report::{engineering, format_table};
+use fpsa_nn::zoo::Benchmark;
+use serde::{Deserialize, Serialize};
+
+/// One column (model) of Table 3.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table3Column {
+    /// Model name.
+    pub model: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Measured weight count.
+    pub weights: u64,
+    /// Measured operation count per sample.
+    pub ops: u64,
+    /// Throughput in samples per second.
+    pub throughput_samples_per_s: f64,
+    /// End-to-end latency in µs.
+    pub latency_us: f64,
+    /// Area in mm² (45 nm).
+    pub area_mm2: f64,
+    /// Published throughput (samples/s) from the paper, for the report.
+    pub published_throughput: f64,
+    /// Published area (mm²) from the paper, for the report.
+    pub published_area_mm2: f64,
+}
+
+/// Regenerate Table 3 (64x duplication, as the paper reports).
+pub fn run() -> Vec<Table3Column> {
+    run_with_duplication(64)
+}
+
+/// Regenerate the table at an arbitrary duplication degree.
+pub fn run_with_duplication(duplication: u64) -> Vec<Table3Column> {
+    let evaluator = Evaluator::fpsa();
+    let points: Vec<(Benchmark, u64)> = Benchmark::all()
+        .into_iter()
+        .map(|b| (b, duplication))
+        .collect();
+    let evals = evaluator.evaluate_many(&points);
+    Benchmark::all()
+        .into_iter()
+        .zip(evals)
+        .map(|(benchmark, eval)| Table3Column {
+            model: benchmark.name().to_string(),
+            dataset: benchmark.dataset().to_string(),
+            weights: eval.measured_weights,
+            ops: eval.measured_ops,
+            throughput_samples_per_s: eval.performance.throughput_samples_per_s,
+            latency_us: eval.performance.latency_us,
+            area_mm2: eval.performance.area_mm2,
+            published_throughput: published_throughput(benchmark),
+            published_area_mm2: published_area(benchmark),
+        })
+        .collect()
+}
+
+/// The throughput reported in the paper's Table 3 (samples per second).
+pub fn published_throughput(benchmark: Benchmark) -> f64 {
+    match benchmark {
+        Benchmark::Mlp500x100 => 129.7e6,
+        Benchmark::LeNet => 229.4e3,
+        Benchmark::CifarVgg17 => 117.4e3,
+        Benchmark::AlexNet => 28.2e3,
+        Benchmark::Vgg16 => 2.4e3,
+        Benchmark::GoogLeNet => 10.9e3,
+        Benchmark::ResNet152 => 10.8e3,
+    }
+}
+
+/// The area reported in the paper's Table 3 (mm², 45 nm).
+pub fn published_area(benchmark: Benchmark) -> f64 {
+    match benchmark {
+        Benchmark::Mlp500x100 => 28.23,
+        Benchmark::LeNet => 2.27,
+        Benchmark::CifarVgg17 => 21.68,
+        Benchmark::AlexNet => 45.89,
+        Benchmark::Vgg16 => 68.09,
+        Benchmark::GoogLeNet => 47.74,
+        Benchmark::ResNet152 => 64.32,
+    }
+}
+
+/// Render Table 3 as text.
+pub fn to_table(columns: &[Table3Column]) -> String {
+    format_table(
+        &[
+            "model",
+            "dataset",
+            "weights",
+            "ops",
+            "throughput (sample/s)",
+            "latency (us)",
+            "area (mm^2)",
+            "paper thr.",
+            "paper area",
+        ],
+        &columns
+            .iter()
+            .map(|c| {
+                vec![
+                    c.model.clone(),
+                    c.dataset.clone(),
+                    engineering(c.weights as f64),
+                    engineering(c.ops as f64),
+                    engineering(c.throughput_samples_per_s),
+                    format!("{:.2}", c.latency_us),
+                    format!("{:.2}", c.area_mm2),
+                    engineering(c.published_throughput),
+                    format!("{:.2}", c.published_area_mm2),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_model_columns_follow_the_published_ordering() {
+        // Use a light duplication degree to keep the test quick; the ordering
+        // relationships of Table 3 already hold there.
+        let cols = run_with_duplication(4);
+        assert_eq!(cols.len(), 7);
+        let by_name = |n: &str| cols.iter().find(|c| c.model == n).unwrap();
+        let mlp = by_name("MLP-500-100");
+        let lenet = by_name("LeNet");
+        let vgg16 = by_name("VGG16");
+        // The MLP is by far the fastest; VGG16 is the slowest of the three.
+        assert!(mlp.throughput_samples_per_s > lenet.throughput_samples_per_s);
+        assert!(lenet.throughput_samples_per_s > vgg16.throughput_samples_per_s);
+        // Latency ordering mirrors model depth and size.
+        assert!(mlp.latency_us < lenet.latency_us);
+        assert!(lenet.latency_us < vgg16.latency_us);
+        // VGG16 needs the most area of the whole zoo (it has by far the most
+        // weights), and far more than the small MNIST models.
+        assert!(vgg16.area_mm2 > by_name("GoogLeNet").area_mm2);
+        assert!(vgg16.area_mm2 > lenet.area_mm2 * 10.0);
+        assert!(vgg16.area_mm2 > mlp.area_mm2 * 2.0);
+    }
+
+    #[test]
+    fn weights_match_published_counts() {
+        let cols = run_with_duplication(1);
+        for c in &cols {
+            let published = Benchmark::all()
+                .into_iter()
+                .find(|b| b.name() == c.model)
+                .unwrap()
+                .published_weights();
+            let err = (c.weights as f64 - published).abs() / published;
+            assert!(err < 0.10, "{}: weights {} vs {}", c.model, c.weights, published);
+        }
+    }
+
+    #[test]
+    fn rendering_contains_every_model() {
+        let cols = run_with_duplication(1);
+        let table = to_table(&cols);
+        for b in Benchmark::all() {
+            assert!(table.contains(b.name()));
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! The top of the FPSA reproduction stack.
+//!
+//! This crate ties the whole system together:
+//!
+//! * [`compiler`] — the end-to-end compilation pipeline (neural synthesizer →
+//!   spatial-to-temporal mapper → placement & routing → configuration) that a
+//!   user would run to deploy a network on the FPSA fabric;
+//! * [`evaluator`] — the evaluation harness that compiles a benchmark on a
+//!   chosen architecture (FPSA / FP-PRIME / PRIME), estimates or measures the
+//!   communication critical path, and reports throughput, latency, area and
+//!   utilization;
+//! * [`experiments`] — one driver per table and figure of the paper's
+//!   evaluation section, each returning structured records that the
+//!   benchmarks, examples and EXPERIMENTS.md regenerate.
+//!
+//! # Example
+//!
+//! ```
+//! use fpsa_core::compiler::Compiler;
+//! use fpsa_nn::zoo;
+//!
+//! let compiled = Compiler::fpsa().with_duplication(4).compile(&zoo::lenet())?;
+//! let report = compiled.performance();
+//! assert!(report.throughput_samples_per_s > 1_000.0);
+//! # Ok::<(), fpsa_nn::NnError>(())
+//! ```
+
+pub mod compiler;
+pub mod evaluator;
+pub mod experiments;
+pub mod report;
+
+pub use compiler::{CompiledModel, Compiler};
+pub use evaluator::{Evaluator, ModelEvaluation};

@@ -1,0 +1,81 @@
+//! Plain-text table formatting for experiment output.
+
+/// Format a table with a header row and data rows, padding every column to
+/// its widest cell. Used by the experiment drivers and the examples to print
+/// paper-style tables.
+pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let columns = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(columns) {
+            if cell.len() > widths[i] {
+                widths[i] = cell.len();
+            }
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::from("|");
+        for (i, cell) in cells.iter().enumerate().take(widths.len()) {
+            line.push_str(&format!(" {:<width$} |", cell, width = widths[i]));
+        }
+        line.push('\n');
+        line
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&render_row(&header_cells, &widths));
+    let mut sep = String::from("|");
+    for w in &widths {
+        sep.push_str(&format!("{}|", "-".repeat(w + 2)));
+    }
+    sep.push('\n');
+    out.push_str(&sep);
+    for row in rows {
+        out.push_str(&render_row(row, &widths));
+    }
+    out
+}
+
+/// Format a floating point value with engineering-style suffixes (K, M, G, T).
+pub fn engineering(value: f64) -> String {
+    let abs = value.abs();
+    if abs >= 1e12 {
+        format!("{:.2}T", value / 1e12)
+    } else if abs >= 1e9 {
+        format!("{:.2}G", value / 1e9)
+    } else if abs >= 1e6 {
+        format!("{:.2}M", value / 1e6)
+    } else if abs >= 1e3 {
+        format!("{:.2}K", value / 1e3)
+    } else {
+        format!("{value:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned_and_complete() {
+        let table = format_table(
+            &["model", "ops"],
+            &[
+                vec!["VGG16".to_string(), "30.9G".to_string()],
+                vec!["LeNet".to_string(), "4.6M".to_string()],
+            ],
+        );
+        assert!(table.contains("| model | ops   |"));
+        assert!(table.contains("| VGG16 | 30.9G |"));
+        assert_eq!(table.lines().count(), 4);
+    }
+
+    #[test]
+    fn engineering_suffixes() {
+        assert_eq!(engineering(1.5e13), "15.00T");
+        assert_eq!(engineering(2.4e3), "2.40K");
+        assert_eq!(engineering(3.0e7), "30.00M");
+        assert_eq!(engineering(5.0e9), "5.00G");
+        assert_eq!(engineering(12.0), "12.00");
+    }
+}

@@ -1,0 +1,117 @@
+//! Energy accounting helpers.
+//!
+//! Energy numbers in this crate are reported in picojoules per event; the
+//! [`EnergyLedger`] accumulates events into a chip-level estimate that the
+//! performance simulator can convert into power.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// An accumulating ledger of energy by category.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyLedger {
+    entries: BTreeMap<String, f64>,
+}
+
+impl EnergyLedger {
+    /// Create an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `energy_pj` picojoules to `category`.
+    pub fn add(&mut self, category: &str, energy_pj: f64) {
+        *self.entries.entry(category.to_string()).or_insert(0.0) += energy_pj;
+    }
+
+    /// Total energy across all categories in picojoules.
+    pub fn total_pj(&self) -> f64 {
+        self.entries.values().sum()
+    }
+
+    /// Total energy in millijoules.
+    pub fn total_mj(&self) -> f64 {
+        self.total_pj() * 1e-9
+    }
+
+    /// Energy recorded for one category, or zero if absent.
+    pub fn category_pj(&self, category: &str) -> f64 {
+        self.entries.get(category).copied().unwrap_or(0.0)
+    }
+
+    /// Iterate over `(category, picojoules)` entries in category order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Average power in watts given a runtime in nanoseconds.
+    ///
+    /// Returns `None` when the runtime is not positive.
+    pub fn average_power_w(&self, runtime_ns: f64) -> Option<f64> {
+        if runtime_ns <= 0.0 {
+            return None;
+        }
+        Some(self.total_pj() * 1e-12 / (runtime_ns * 1e-9))
+    }
+
+    /// Merge another ledger into this one.
+    pub fn merge(&mut self, other: &EnergyLedger) {
+        for (k, v) in other.iter() {
+            self.add(k, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_ledger_is_zero() {
+        let l = EnergyLedger::new();
+        assert_eq!(l.total_pj(), 0.0);
+        assert_eq!(l.category_pj("pe"), 0.0);
+    }
+
+    #[test]
+    fn add_accumulates_per_category() {
+        let mut l = EnergyLedger::new();
+        l.add("pe", 10.0);
+        l.add("pe", 5.0);
+        l.add("routing", 2.0);
+        assert_eq!(l.category_pj("pe"), 15.0);
+        assert_eq!(l.category_pj("routing"), 2.0);
+        assert_eq!(l.total_pj(), 17.0);
+    }
+
+    #[test]
+    fn average_power_requires_positive_runtime() {
+        let mut l = EnergyLedger::new();
+        l.add("pe", 1000.0); // 1 nJ
+        assert!(l.average_power_w(0.0).is_none());
+        // 1 nJ over 1 us = 1 mW.
+        let p = l.average_power_w(1000.0).unwrap();
+        assert!((p - 1e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_combines_categories() {
+        let mut a = EnergyLedger::new();
+        a.add("pe", 1.0);
+        let mut b = EnergyLedger::new();
+        b.add("pe", 2.0);
+        b.add("smb", 3.0);
+        a.merge(&b);
+        assert_eq!(a.category_pj("pe"), 3.0);
+        assert_eq!(a.category_pj("smb"), 3.0);
+    }
+
+    #[test]
+    fn iteration_is_ordered_by_category() {
+        let mut l = EnergyLedger::new();
+        l.add("z", 1.0);
+        l.add("a", 1.0);
+        let keys: Vec<&str> = l.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["a", "z"]);
+    }
+}

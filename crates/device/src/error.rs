@@ -1,0 +1,95 @@
+//! Error type shared by the device-level models.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by device-level model construction and evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeviceError {
+    /// A parameter was outside its physically meaningful range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human readable description of the constraint that was violated.
+        reason: String,
+    },
+    /// A weight value cannot be represented by the requested cell configuration.
+    UnrepresentableWeight {
+        /// The weight that was requested.
+        value: f64,
+        /// The representable range.
+        range: (f64, f64),
+    },
+    /// A crossbar index was out of bounds.
+    IndexOutOfBounds {
+        /// The offending row index.
+        row: usize,
+        /// The offending column index.
+        col: usize,
+        /// Crossbar dimensions (rows, cols).
+        dims: (usize, usize),
+    },
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            DeviceError::UnrepresentableWeight { value, range } => write!(
+                f,
+                "weight {value} cannot be represented in range [{}, {}]",
+                range.0, range.1
+            ),
+            DeviceError::IndexOutOfBounds { row, col, dims } => write!(
+                f,
+                "crossbar index ({row}, {col}) out of bounds for {}x{} array",
+                dims.0, dims.1
+            ),
+        }
+    }
+}
+
+impl Error for DeviceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_invalid_parameter() {
+        let e = DeviceError::InvalidParameter {
+            name: "rows",
+            reason: "must be non-zero".into(),
+        };
+        assert!(e.to_string().contains("rows"));
+        assert!(e.to_string().contains("non-zero"));
+    }
+
+    #[test]
+    fn display_unrepresentable_weight() {
+        let e = DeviceError::UnrepresentableWeight {
+            value: 2.0,
+            range: (-1.0, 1.0),
+        };
+        assert!(e.to_string().contains("2"));
+    }
+
+    #[test]
+    fn display_index_out_of_bounds() {
+        let e = DeviceError::IndexOutOfBounds {
+            row: 300,
+            col: 10,
+            dims: (256, 256),
+        };
+        assert!(e.to_string().contains("300"));
+        assert!(e.to_string().contains("256"));
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DeviceError>();
+    }
+}

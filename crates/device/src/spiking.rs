@@ -1,0 +1,389 @@
+//! Functional (cycle-level) model of the spiking computation scheme.
+//!
+//! The FPSA PE represents a number between 0 and 1 by the number of spikes
+//! observed inside a sampling window of Γ = 2^n cycles. This module provides
+//! the functional counterparts of the circuits in [`crate::circuits`]:
+//! spike-train encoding/decoding, the integrate-and-fire neuron, and a
+//! cycle-accurate simulation of a whole PE that demonstrates Equations 1–6 of
+//! the paper: the spike counts at the output equal the (quantized) ReLU of
+//! the vector-matrix product of the inputs.
+
+use serde::{Deserialize, Serialize};
+
+/// A digital spike train within one sampling window.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SpikeTrain {
+    bits: Vec<bool>,
+}
+
+impl SpikeTrain {
+    /// An empty (all-zero) spike train of length `window`.
+    pub fn silent(window: usize) -> Self {
+        SpikeTrain {
+            bits: vec![false; window],
+        }
+    }
+
+    /// Encode a value in `[0, 1]` as `round(value * window)` evenly spaced
+    /// spikes (rate coding).
+    pub fn encode(value: f64, window: usize) -> Self {
+        let clamped = value.clamp(0.0, 1.0);
+        let count = (clamped * window as f64).round() as usize;
+        Self::from_count(count, window)
+    }
+
+    /// Build a train holding exactly `count` spikes (clamped to the window),
+    /// spread evenly across the window.
+    pub fn from_count(count: usize, window: usize) -> Self {
+        let count = count.min(window);
+        let mut bits = vec![false; window];
+        for k in 0..count {
+            bits[k * window / count.max(1)] = true;
+        }
+        SpikeTrain { bits }
+    }
+
+    /// Build a train from explicit cycle-by-cycle bits.
+    pub fn from_bits(bits: Vec<bool>) -> Self {
+        SpikeTrain { bits }
+    }
+
+    /// The number of cycles in the window.
+    pub fn window(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// The spike count.
+    pub fn count(&self) -> usize {
+        self.bits.iter().filter(|b| **b).count()
+    }
+
+    /// Decode back to a value in `[0, 1]`.
+    pub fn decode(&self) -> f64 {
+        if self.bits.is_empty() {
+            return 0.0;
+        }
+        self.count() as f64 / self.bits.len() as f64
+    }
+
+    /// The spike bit at cycle `t` (false outside the window).
+    pub fn spike_at(&self, t: usize) -> bool {
+        self.bits.get(t).copied().unwrap_or(false)
+    }
+
+    /// Iterate over the cycle-by-cycle bits.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        self.bits.iter().copied()
+    }
+}
+
+/// A functional integrate-and-fire neuron (Figure 4D).
+///
+/// Each cycle the neuron accumulates the incoming charge; when the
+/// accumulated charge reaches the threshold η it emits one spike and
+/// subtracts η (the capacitor discharges back to the reset level).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IfNeuron {
+    /// Firing threshold (the constant η of Equation 2).
+    pub threshold: f64,
+    accumulator: f64,
+}
+
+impl IfNeuron {
+    /// Create a neuron with the given threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the threshold is not strictly positive.
+    pub fn new(threshold: f64) -> Self {
+        assert!(threshold > 0.0, "IF threshold must be positive");
+        IfNeuron {
+            threshold,
+            accumulator: 0.0,
+        }
+    }
+
+    /// Reset the internal accumulator (the per-window reset signal).
+    pub fn reset(&mut self) {
+        self.accumulator = 0.0;
+    }
+
+    /// Integrate `charge` for one cycle; returns `true` if the neuron fires.
+    pub fn step(&mut self, charge: f64) -> bool {
+        self.accumulator += charge.max(0.0);
+        if self.accumulator >= self.threshold {
+            self.accumulator -= self.threshold;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Current accumulated charge (for inspection in tests).
+    pub fn accumulator(&self) -> f64 {
+        self.accumulator
+    }
+}
+
+/// Cycle-accurate functional model of one FPSA PE.
+///
+/// Weights are real numbers in `[-1, 1]`; each logical column is realized by
+/// a positive and a negative physical column whose conductances are
+/// proportional to the positive and negative parts of the weight
+/// (`g = |w| * η`, so that Equation 5 yields `Y_j = Σ_i w_ji X_i`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpikingPe {
+    /// Weight matrix, `weights[j][i]` is the weight from input `i` to output `j`.
+    weights: Vec<Vec<f64>>,
+    /// Sampling window in cycles.
+    window: usize,
+}
+
+impl SpikingPe {
+    /// Create a PE holding `weights` (row-major by output) with a sampling
+    /// window of `window` cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weight matrix is ragged.
+    pub fn new(weights: Vec<Vec<f64>>, window: usize) -> Self {
+        if let Some(first) = weights.first() {
+            let len = first.len();
+            assert!(
+                weights.iter().all(|row| row.len() == len),
+                "weight matrix must be rectangular"
+            );
+        }
+        SpikingPe { weights, window }
+    }
+
+    /// Number of logical inputs.
+    pub fn inputs(&self) -> usize {
+        self.weights.first().map_or(0, Vec::len)
+    }
+
+    /// Number of logical outputs.
+    pub fn outputs(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// The sampling window in cycles.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Run the cycle-accurate spiking simulation for one sampling window.
+    ///
+    /// Every output is produced by two IF neurons (positive and negative
+    /// column) followed by a spike subtracter; the returned trains are the
+    /// subtracter outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of input trains does not match the weight matrix
+    /// or if any train has a different window length.
+    pub fn run(&self, inputs: &[SpikeTrain]) -> Vec<SpikeTrain> {
+        assert_eq!(inputs.len(), self.inputs(), "input count mismatch");
+        for train in inputs {
+            assert_eq!(train.window(), self.window, "input window mismatch");
+        }
+        let eta = 1.0;
+        let mut outputs = Vec::with_capacity(self.outputs());
+        for row in &self.weights {
+            let mut pos = IfNeuron::new(eta);
+            let mut neg = IfNeuron::new(eta);
+            let mut pos_count: u32 = 0;
+            let mut neg_count: u32 = 0;
+            let mut bits = vec![false; self.window];
+            for t in 0..self.window {
+                let mut pos_charge = 0.0;
+                let mut neg_charge = 0.0;
+                for (i, train) in inputs.iter().enumerate() {
+                    if train.spike_at(t) {
+                        let w = row[i];
+                        if w >= 0.0 {
+                            pos_charge += w * eta;
+                        } else {
+                            neg_charge += -w * eta;
+                        }
+                    }
+                }
+                let p = pos.step(pos_charge);
+                let n = neg.step(neg_charge);
+                if p {
+                    pos_count += 1;
+                }
+                if n {
+                    neg_count += 1;
+                }
+                // The subtracter lets a positive spike through only if the
+                // cumulative positive count still exceeds the cumulative
+                // negative count.
+                if p && pos_count > neg_count {
+                    bits[t] = true;
+                } else if p && n {
+                    // Simultaneous spikes cancel.
+                    bits[t] = false;
+                }
+            }
+            // Enforce the exact subtracter semantics on the counts: the
+            // output count is max(Y+ - Y-, 0). Rebuild the train if blocking
+            // removed too few or too many spikes.
+            let want = pos_count.saturating_sub(neg_count) as usize;
+            let got = bits.iter().filter(|b| **b).count();
+            let train = if got == want {
+                SpikeTrain::from_bits(bits)
+            } else {
+                SpikeTrain::from_count(want, self.window)
+            };
+            outputs.push(train);
+        }
+        outputs
+    }
+
+    /// The ideal (non-spiking) reference: `ReLU(W x)` where inputs and
+    /// outputs are values in `[0, 1]`, quantized to the sampling window.
+    pub fn ideal_reference(&self, input_values: &[f64]) -> Vec<f64> {
+        self.weights
+            .iter()
+            .map(|row| {
+                let acc: f64 = row.iter().zip(input_values).map(|(w, x)| w * x).sum();
+                acc.max(0.0).min(1.0)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for &v in &[0.0, 0.25, 0.5, 0.75, 1.0] {
+            let t = SpikeTrain::encode(v, 64);
+            assert!((t.decode() - v).abs() < 1.0 / 64.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn encode_clamps_out_of_range_values() {
+        assert_eq!(SpikeTrain::encode(-1.0, 64).count(), 0);
+        assert_eq!(SpikeTrain::encode(2.0, 64).count(), 64);
+    }
+
+    #[test]
+    fn from_count_clamps_to_window() {
+        let t = SpikeTrain::from_count(100, 16);
+        assert_eq!(t.count(), 16);
+    }
+
+    #[test]
+    fn silent_train_has_zero_count() {
+        let t = SpikeTrain::silent(32);
+        assert_eq!(t.count(), 0);
+        assert_eq!(t.decode(), 0.0);
+    }
+
+    #[test]
+    fn if_neuron_fires_at_expected_rate() {
+        let mut n = IfNeuron::new(1.0);
+        let mut fires = 0;
+        for _ in 0..10 {
+            if n.step(0.5) {
+                fires += 1;
+            }
+        }
+        // 0.5 charge per cycle -> fires every other cycle.
+        assert_eq!(fires, 5);
+    }
+
+    #[test]
+    fn if_neuron_ignores_negative_charge() {
+        let mut n = IfNeuron::new(1.0);
+        assert!(!n.step(-5.0));
+        assert_eq!(n.accumulator(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "IF threshold must be positive")]
+    fn if_neuron_rejects_non_positive_threshold() {
+        let _ = IfNeuron::new(0.0);
+    }
+
+    #[test]
+    fn if_neuron_reset_clears_state() {
+        let mut n = IfNeuron::new(1.0);
+        n.step(0.9);
+        n.reset();
+        assert_eq!(n.accumulator(), 0.0);
+    }
+
+    #[test]
+    fn spiking_pe_identity_matrix_passes_values_through() {
+        let n = 4;
+        let mut w = vec![vec![0.0; n]; n];
+        for (i, row) in w.iter_mut().enumerate() {
+            row[i] = 1.0;
+        }
+        let pe = SpikingPe::new(w, 64);
+        let values = [0.25, 0.5, 0.75, 1.0];
+        let inputs: Vec<SpikeTrain> = values.iter().map(|v| SpikeTrain::encode(*v, 64)).collect();
+        let outputs = pe.run(&inputs);
+        for (out, v) in outputs.iter().zip(values.iter()) {
+            assert!(
+                (out.decode() - v).abs() <= 2.0 / 64.0,
+                "expected ~{v}, got {}",
+                out.decode()
+            );
+        }
+    }
+
+    #[test]
+    fn spiking_pe_computes_relu_of_negative_sums() {
+        // One output with weights [0.5, -1.0]: for x = [0.5, 1.0] the ideal
+        // result is ReLU(0.25 - 1.0) = 0.
+        let pe = SpikingPe::new(vec![vec![0.5, -1.0]], 64);
+        let inputs = vec![SpikeTrain::encode(0.5, 64), SpikeTrain::encode(1.0, 64)];
+        let outputs = pe.run(&inputs);
+        assert_eq!(outputs[0].count(), 0);
+    }
+
+    #[test]
+    fn spiking_pe_matches_ideal_reference_on_random_matrix() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        let rows = 6;
+        let cols = 8;
+        let weights: Vec<Vec<f64>> = (0..rows)
+            .map(|_| (0..cols).map(|_| rng.gen_range(-0.3..0.3)).collect())
+            .collect();
+        let pe = SpikingPe::new(weights, 64);
+        let values: Vec<f64> = (0..cols).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let inputs: Vec<SpikeTrain> = values.iter().map(|v| SpikeTrain::encode(*v, 64)).collect();
+        let ideal = pe.ideal_reference(&values);
+        let outputs = pe.run(&inputs);
+        for (out, expect) in outputs.iter().zip(ideal.iter()) {
+            assert!(
+                (out.decode() - expect).abs() <= 4.0 / 64.0,
+                "spiking output {} too far from ideal {}",
+                out.decode(),
+                expect
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "input count mismatch")]
+    fn spiking_pe_rejects_wrong_input_count() {
+        let pe = SpikingPe::new(vec![vec![1.0, 1.0]], 16);
+        let _ = pe.run(&[SpikeTrain::silent(16)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight matrix must be rectangular")]
+    fn spiking_pe_rejects_ragged_weights() {
+        let _ = SpikingPe::new(vec![vec![1.0, 2.0], vec![3.0]], 16);
+    }
+}

@@ -1,0 +1,123 @@
+//! SRAM macro model used by the spiking memory block and the CLB LUTs.
+//!
+//! The paper keeps SRAM (rather than ReRAM) for buffers and LUTs: ReRAM's
+//! endurance is too low for frequently written buffers, and for small
+//! capacities the sense amplifiers dominate, making ReRAM area efficiency
+//! poor (a 64-bit SRAM macro is 35.129 µm² versus 172.229 µm² for ReRAM under
+//! 45 nm, per NVSim).
+
+use crate::error::DeviceError;
+use crate::tech::TechnologyNode;
+use serde::{Deserialize, Serialize};
+
+/// An SRAM macro of a given capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SramMacro {
+    /// Capacity in bits.
+    pub bits: usize,
+    /// Technology node.
+    pub tech: TechnologyNode,
+}
+
+impl SramMacro {
+    /// Create a macro of `bits` capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InvalidParameter`] if `bits` is zero.
+    pub fn new(bits: usize, tech: TechnologyNode) -> Result<Self, DeviceError> {
+        if bits == 0 {
+            return Err(DeviceError::InvalidParameter {
+                name: "bits",
+                reason: "SRAM macro capacity must be non-zero".into(),
+            });
+        }
+        Ok(SramMacro { bits, tech })
+    }
+
+    /// The 64-bit macro that backs one 6-input LUT.
+    pub fn lut64() -> Self {
+        SramMacro {
+            bits: 64,
+            tech: TechnologyNode::n45(),
+        }
+    }
+
+    /// The 16 Kb macro that backs one spiking memory block.
+    pub fn kb16() -> Self {
+        SramMacro {
+            bits: 16 * 1024,
+            tech: TechnologyNode::n45(),
+        }
+    }
+
+    /// Storage array area in µm² (bit cells only).
+    pub fn cell_area_um2(&self) -> f64 {
+        self.bits as f64 * self.tech.sram_bit_area_um2
+    }
+
+    /// Peripheral (decoder, sense amplifier, write driver) area in µm².
+    ///
+    /// Modelled as proportional to the array's row/column count (√bits) and
+    /// calibrated so that a 64-bit macro lands exactly on the 35.129 µm²
+    /// NVSim figure quoted in the paper; a 16 Kb macro plus its spike
+    /// counters then reproduces the 5421.9 µm² SMB entry of Table 1.
+    pub fn peripheral_area_um2(&self) -> f64 {
+        let cell64 = 64.0 * self.tech.sram_bit_area_um2;
+        let coeff = (35.129 - cell64) / 8.0;
+        coeff * (self.bits as f64).sqrt()
+    }
+
+    /// Total macro area in µm².
+    pub fn area_um2(&self) -> f64 {
+        self.cell_area_um2() + self.peripheral_area_um2()
+    }
+
+    /// Random access latency in ns. Calibrated so the 16 Kb SMB access stays
+    /// within the 0.578 ns figure of Table 1.
+    pub fn access_latency_ns(&self) -> f64 {
+        0.15 + 0.003 * (self.bits as f64).sqrt()
+    }
+
+    /// Per-access dynamic energy in pJ.
+    pub fn access_energy_pj(&self) -> f64 {
+        0.05 + 0.0002 * self.bits as f64 / 16.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_zero_capacity() {
+        assert!(SramMacro::new(0, TechnologyNode::n45()).is_err());
+    }
+
+    #[test]
+    fn lut64_macro_area_matches_nvsim_quote() {
+        let m = SramMacro::lut64();
+        assert!((m.area_um2() - 35.129).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bigger_macros_are_bigger_and_slower() {
+        let small = SramMacro::lut64();
+        let big = SramMacro::kb16();
+        assert!(big.area_um2() > small.area_um2());
+        assert!(big.access_latency_ns() > small.access_latency_ns());
+        assert!(big.access_energy_pj() > small.access_energy_pj());
+    }
+
+    #[test]
+    fn kb16_access_latency_below_table1_smb_latency() {
+        let m = SramMacro::kb16();
+        assert!(m.access_latency_ns() <= 0.578 + 1e-9);
+    }
+
+    #[test]
+    fn area_is_cells_plus_peripherals() {
+        let m = SramMacro::kb16();
+        assert!((m.area_um2() - (m.cell_area_um2() + m.peripheral_area_um2())).abs() < 1e-12);
+    }
+}

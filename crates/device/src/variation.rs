@@ -1,0 +1,434 @@
+//! ReRAM conductance variation and weight representation schemes.
+//!
+//! ReRAM cells cannot be programmed to an exact conductance: the programmed
+//! value behaves like a Gaussian random variable centred on the target level
+//! (cycle-to-cycle and device-to-device variation, measured on fabricated
+//! arrays in the paper's reference \[49\]). Because the crossbar accumulates
+//! raw analog currents, this variation leaks directly into the computation.
+//!
+//! The paper compares two ways of composing multiple physical cells into one
+//! higher-precision weight:
+//!
+//! * the conventional **splice** method — cells hold different bit slices of
+//!   the number (`value = Σ 2^(b·i) · c_i`), so the most significant cell's
+//!   variation dominates and adding cells barely helps;
+//! * the proposed **add** method — cells are summed with equal coefficients
+//!   (`value = Σ c_i`), so the normalized deviation shrinks with `√k`.
+//!
+//! This module provides the analytic normalized-deviation formulas of §7.2
+//! and a Monte-Carlo encoder/decoder used by the Figure 9 accuracy
+//! experiment.
+
+use rand::Rng;
+use rand_distr_normal::Normal;
+use serde::{Deserialize, Serialize};
+
+/// A tiny Box–Muller normal sampler so we do not need `rand_distr`.
+mod rand_distr_normal {
+    use rand::Rng;
+
+    /// Normal distribution with the given mean and standard deviation.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Normal {
+        mean: f64,
+        std_dev: f64,
+    }
+
+    impl Normal {
+        /// Create a normal distribution. The standard deviation must be
+        /// non-negative.
+        pub fn new(mean: f64, std_dev: f64) -> Self {
+            assert!(std_dev >= 0.0, "standard deviation must be non-negative");
+            Normal { mean, std_dev }
+        }
+
+        /// Draw one sample using the Box–Muller transform.
+        pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+            if self.std_dev == 0.0 {
+                return self.mean;
+            }
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            self.mean + self.std_dev * z
+        }
+    }
+}
+
+/// Per-cell programming variation, expressed in conductance-level units.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CellVariation {
+    /// Standard deviation of the programmed level, in units of one level of
+    /// a 4-bit cell. The default 0.8 reproduces the accuracy collapse of the
+    /// 2-cell splice configuration reported in Figure 9 (derived from the
+    /// fabricated-array measurements of reference \[49\]).
+    pub sigma_levels: f64,
+}
+
+impl CellVariation {
+    /// The measured variation used throughout the paper's Figure 9.
+    pub fn measured() -> Self {
+        CellVariation { sigma_levels: 0.8 }
+    }
+
+    /// An ideal device with no variation.
+    pub fn ideal() -> Self {
+        CellVariation { sigma_levels: 0.0 }
+    }
+}
+
+impl Default for CellVariation {
+    fn default() -> Self {
+        Self::measured()
+    }
+}
+
+/// How multiple physical cells are composed into one weight value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WeightScheme {
+    /// Bit-sliced composition: cell `i` carries bits `[b·i, b·(i+1))`.
+    Splice {
+        /// Number of cells per weight.
+        cells: usize,
+        /// Bits per cell.
+        bits_per_cell: u32,
+    },
+    /// Equal-coefficient summation (the paper's proposal).
+    Add {
+        /// Number of cells per weight.
+        cells: usize,
+        /// Bits per cell.
+        bits_per_cell: u32,
+    },
+}
+
+impl WeightScheme {
+    /// The PRIME configuration: two spliced 4-bit cells form an 8-bit weight.
+    pub fn prime_splice() -> Self {
+        WeightScheme::Splice {
+            cells: 2,
+            bits_per_cell: 4,
+        }
+    }
+
+    /// The FPSA configuration: eight added 4-bit cells (per polarity) form an
+    /// 8-bit weight.
+    pub fn fpsa_add() -> Self {
+        WeightScheme::Add {
+            cells: 8,
+            bits_per_cell: 4,
+        }
+    }
+
+    /// Number of physical cells per weight.
+    pub fn cells(&self) -> usize {
+        match *self {
+            WeightScheme::Splice { cells, .. } | WeightScheme::Add { cells, .. } => cells,
+        }
+    }
+
+    /// Bits per cell.
+    pub fn bits_per_cell(&self) -> u32 {
+        match *self {
+            WeightScheme::Splice { bits_per_cell, .. } | WeightScheme::Add { bits_per_cell, .. } => {
+                bits_per_cell
+            }
+        }
+    }
+
+    /// The largest integer representable by the composition.
+    pub fn max_value(&self) -> u64 {
+        let per_cell = (1u64 << self.bits_per_cell()) - 1;
+        match *self {
+            WeightScheme::Splice { cells, bits_per_cell } => {
+                let mut v = 0u64;
+                for i in 0..cells {
+                    v += per_cell << (bits_per_cell as usize * i);
+                }
+                v
+            }
+            WeightScheme::Add { cells, .. } => per_cell * cells as u64,
+        }
+    }
+
+    /// Effective precision of the composition in bits.
+    pub fn effective_bits(&self) -> f64 {
+        ((self.max_value() + 1) as f64).log2()
+    }
+
+    /// The normalized deviation (standard deviation of the represented value
+    /// divided by the representable range) for a per-cell standard deviation
+    /// of `variation.sigma_levels` levels — Equation block of §7.2.
+    pub fn normalized_deviation(&self, variation: CellVariation) -> f64 {
+        let sigma = variation.sigma_levels;
+        let range = self.max_value() as f64;
+        if range == 0.0 {
+            return 0.0;
+        }
+        match *self {
+            WeightScheme::Splice { cells, bits_per_cell } => {
+                // value = Σ 2^(b i) X_i  =>  var = Σ 4^(b i) σ².
+                let mut var = 0.0;
+                for i in 0..cells {
+                    let coeff = (1u64 << (bits_per_cell as usize * i)) as f64;
+                    var += coeff * coeff * sigma * sigma;
+                }
+                var.sqrt() / range
+            }
+            WeightScheme::Add { cells, .. } => {
+                // value = Σ X_i  =>  var = k σ²; range = k (2^b - 1).
+                (cells as f64).sqrt() * sigma / range
+            }
+        }
+    }
+
+    /// Encode a normalized magnitude in `[0, 1]` into per-cell levels.
+    pub fn encode(&self, magnitude: f64) -> Vec<u32> {
+        let clamped = magnitude.clamp(0.0, 1.0);
+        let target = (clamped * self.max_value() as f64).round() as u64;
+        let per_cell = (1u64 << self.bits_per_cell()) - 1;
+        match *self {
+            WeightScheme::Splice { cells, bits_per_cell } => (0..cells)
+                .map(|i| ((target >> (bits_per_cell as usize * i)) & per_cell) as u32)
+                .collect(),
+            WeightScheme::Add { cells, .. } => {
+                // Distribute the target evenly over the cells.
+                let mut remaining = target;
+                let mut out = Vec::with_capacity(cells);
+                for i in 0..cells {
+                    let cells_left = (cells - i) as u64;
+                    let share = (remaining + cells_left - 1) / cells_left;
+                    let level = share.min(per_cell);
+                    out.push(level as u32);
+                    remaining -= level;
+                }
+                out
+            }
+        }
+    }
+
+    /// Decode per-cell levels back into a normalized magnitude, without
+    /// variation.
+    pub fn decode(&self, levels: &[u32]) -> f64 {
+        let value = match *self {
+            WeightScheme::Splice { bits_per_cell, .. } => levels
+                .iter()
+                .enumerate()
+                .map(|(i, &l)| (l as u64) << (bits_per_cell as usize * i))
+                .sum::<u64>(),
+            WeightScheme::Add { .. } => levels.iter().map(|&l| l as u64).sum::<u64>(),
+        };
+        value as f64 / self.max_value() as f64
+    }
+
+    /// Simulate programming the encoded levels onto real cells with Gaussian
+    /// variation, and read back the effective normalized magnitude seen by
+    /// the crossbar computation.
+    pub fn decode_with_variation<R: Rng + ?Sized>(
+        &self,
+        levels: &[u32],
+        variation: CellVariation,
+        rng: &mut R,
+    ) -> f64 {
+        let per_cell = ((1u64 << self.bits_per_cell()) - 1) as f64;
+        let noisy: Vec<f64> = levels
+            .iter()
+            .map(|&l| {
+                let dist = Normal::new(l as f64, variation.sigma_levels);
+                dist.sample(rng).clamp(0.0, per_cell)
+            })
+            .collect();
+        let value = match *self {
+            WeightScheme::Splice { bits_per_cell, .. } => noisy
+                .iter()
+                .enumerate()
+                .map(|(i, v)| v * (1u64 << (bits_per_cell as usize * i)) as f64)
+                .sum::<f64>(),
+            WeightScheme::Add { .. } => noisy.iter().sum::<f64>(),
+        };
+        (value / self.max_value() as f64).clamp(0.0, 1.0)
+    }
+
+    /// Convenience: program a signed weight in `[-1, 1]` (two polarities, as
+    /// in the PE's positive/negative column pair) and read back its noisy
+    /// realization.
+    pub fn realize_signed_weight<R: Rng + ?Sized>(
+        &self,
+        weight: f64,
+        variation: CellVariation,
+        rng: &mut R,
+    ) -> f64 {
+        let magnitude = weight.abs().min(1.0);
+        let levels = self.encode(magnitude);
+        let noisy = self.decode_with_variation(&levels, variation, rng);
+        if weight >= 0.0 {
+            noisy
+        } else {
+            -noisy
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn prime_and_fpsa_configurations_have_8_effective_bits() {
+        assert!((WeightScheme::prime_splice().effective_bits() - 8.0).abs() < 0.01);
+        // 8 added 4-bit cells span 0..=120, slightly below 7 bits of unique
+        // levels but the paper pairs 8 positive + 8 negative cells for an
+        // 8-bit signed weight.
+        assert!(WeightScheme::fpsa_add().max_value() == 120);
+    }
+
+    #[test]
+    fn splice_max_value_is_all_ones() {
+        let s = WeightScheme::Splice {
+            cells: 2,
+            bits_per_cell: 4,
+        };
+        assert_eq!(s.max_value(), 255);
+    }
+
+    #[test]
+    fn encode_decode_round_trip_without_variation() {
+        for scheme in [WeightScheme::prime_splice(), WeightScheme::fpsa_add()] {
+            for &m in &[0.0, 0.1, 0.5, 0.73, 1.0] {
+                let levels = scheme.encode(m);
+                assert_eq!(levels.len(), scheme.cells());
+                let back = scheme.decode(&levels);
+                assert!(
+                    (back - m).abs() <= 1.0 / scheme.max_value() as f64 + 1e-12,
+                    "{scheme:?}: {m} -> {back}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn add_encoding_distributes_levels_evenly() {
+        let scheme = WeightScheme::fpsa_add();
+        let levels = scheme.encode(0.5);
+        let max = *levels.iter().max().unwrap();
+        let min = *levels.iter().min().unwrap();
+        assert!(max - min <= 1, "levels should be balanced: {levels:?}");
+    }
+
+    #[test]
+    fn splice_deviation_barely_improves_with_more_cells() {
+        let v = CellVariation::measured();
+        let one = WeightScheme::Splice {
+            cells: 1,
+            bits_per_cell: 4,
+        }
+        .normalized_deviation(v);
+        let two = WeightScheme::Splice {
+            cells: 2,
+            bits_per_cell: 4,
+        }
+        .normalized_deviation(v);
+        let four = WeightScheme::Splice {
+            cells: 4,
+            bits_per_cell: 4,
+        }
+        .normalized_deviation(v);
+        // §7.2: the spliced deviation is almost equal to the single-cell one.
+        assert!((two - one).abs() / one < 0.10);
+        assert!((four - one).abs() / one < 0.10);
+    }
+
+    #[test]
+    fn add_deviation_improves_with_sqrt_of_cells() {
+        let v = CellVariation::measured();
+        let one = WeightScheme::Add {
+            cells: 1,
+            bits_per_cell: 4,
+        }
+        .normalized_deviation(v);
+        let four = WeightScheme::Add {
+            cells: 4,
+            bits_per_cell: 4,
+        }
+        .normalized_deviation(v);
+        let sixteen = WeightScheme::Add {
+            cells: 16,
+            bits_per_cell: 4,
+        }
+        .normalized_deviation(v);
+        assert!((one / four - 2.0).abs() < 1e-9);
+        assert!((one / sixteen - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn add_beats_splice_for_same_cell_count() {
+        let v = CellVariation::measured();
+        for cells in [2usize, 4, 8, 16] {
+            let splice = WeightScheme::Splice {
+                cells,
+                bits_per_cell: 4,
+            }
+            .normalized_deviation(v);
+            let add = WeightScheme::Add {
+                cells,
+                bits_per_cell: 4,
+            }
+            .normalized_deviation(v);
+            assert!(add < splice, "add should beat splice at {cells} cells");
+        }
+    }
+
+    #[test]
+    fn ideal_variation_has_zero_deviation() {
+        assert_eq!(
+            WeightScheme::fpsa_add().normalized_deviation(CellVariation::ideal()),
+            0.0
+        );
+    }
+
+    #[test]
+    fn decode_with_variation_is_unbiased_on_average() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let scheme = WeightScheme::fpsa_add();
+        let levels = scheme.encode(0.5);
+        let n = 2000;
+        let mean: f64 = (0..n)
+            .map(|_| scheme.decode_with_variation(&levels, CellVariation::measured(), &mut rng))
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} should be near 0.5");
+    }
+
+    #[test]
+    fn realize_signed_weight_preserves_sign() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let scheme = WeightScheme::fpsa_add();
+        let pos = scheme.realize_signed_weight(0.7, CellVariation::measured(), &mut rng);
+        let neg = scheme.realize_signed_weight(-0.7, CellVariation::measured(), &mut rng);
+        assert!(pos > 0.0);
+        assert!(neg < 0.0);
+    }
+
+    #[test]
+    fn monte_carlo_deviation_matches_analytic_formula() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let variation = CellVariation::measured();
+        for scheme in [WeightScheme::prime_splice(), WeightScheme::fpsa_add()] {
+            let levels = scheme.encode(0.5);
+            let n = 4000;
+            let samples: Vec<f64> = (0..n)
+                .map(|_| scheme.decode_with_variation(&levels, variation, &mut rng))
+                .collect();
+            let mean = samples.iter().sum::<f64>() / n as f64;
+            let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
+            let measured = var.sqrt();
+            let analytic = scheme.normalized_deviation(variation);
+            assert!(
+                (measured - analytic).abs() / analytic < 0.15,
+                "{scheme:?}: measured {measured}, analytic {analytic}"
+            );
+        }
+    }
+}

@@ -1,0 +1,336 @@
+//! Function-block netlist generation.
+//!
+//! The netlist is the hand-off artifact between the mapper and placement &
+//! routing: a list of PE / SMB / CLB instances and the nets connecting them.
+//! PEs are instantiated once per allocated duplicate, SMBs once per buffered
+//! edge (grouped by capacity), and CLBs in proportion to the control state
+//! the schedule requires.
+
+use crate::allocation::Allocation;
+use crate::control::ControlPlan;
+use crate::schedule::Schedule;
+use fpsa_synthesis::{CoreOpGraph, GroupId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The role a netlist block plays.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NetlistBlock {
+    /// A PE holding one duplicate of a group's weight tile.
+    Pe {
+        /// The core-op group stored on this PE.
+        group: GroupId,
+        /// Which duplicate (0-based) this PE is.
+        duplicate: u64,
+    },
+    /// An SMB buffering the data crossing one buffered edge.
+    Smb {
+        /// Producer group of the buffered edge.
+        from: GroupId,
+        /// Consumer group of the buffered edge.
+        to: GroupId,
+    },
+    /// A CLB generating control signals for a neighbourhood of blocks.
+    Clb {
+        /// Control region index.
+        region: usize,
+    },
+}
+
+impl NetlistBlock {
+    /// Whether this block is a PE.
+    pub fn is_pe(&self) -> bool {
+        matches!(self, NetlistBlock::Pe { .. })
+    }
+
+    /// Whether this block is an SMB.
+    pub fn is_smb(&self) -> bool {
+        matches!(self, NetlistBlock::Smb { .. })
+    }
+
+    /// Whether this block is a CLB.
+    pub fn is_clb(&self) -> bool {
+        matches!(self, NetlistBlock::Clb { .. })
+    }
+}
+
+/// A net from one source block to one or more sink blocks.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Net {
+    /// Index of the driving block.
+    pub source: usize,
+    /// Indices of the receiving blocks.
+    pub sinks: Vec<usize>,
+    /// Values transferred per producer execution (used by the traffic model).
+    pub values_per_activation: u64,
+}
+
+/// Summary statistics of a netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetlistStats {
+    /// Number of PE instances.
+    pub pe_count: usize,
+    /// Number of SMB instances.
+    pub smb_count: usize,
+    /// Number of CLB instances.
+    pub clb_count: usize,
+    /// Number of nets.
+    pub net_count: usize,
+    /// Total number of (source, sink) connections.
+    pub total_fanout: usize,
+}
+
+/// The function-block netlist.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Netlist {
+    /// Model name carried through the flow.
+    pub model: String,
+    blocks: Vec<NetlistBlock>,
+    nets: Vec<Net>,
+}
+
+impl Netlist {
+    /// Build the netlist from a core-op graph, an allocation and a schedule.
+    pub fn build(graph: &CoreOpGraph, allocation: &Allocation, schedule: &Schedule) -> Self {
+        let mut blocks = Vec::new();
+        let mut nets = Vec::new();
+
+        // One PE block per duplicate of every group.
+        let mut pe_index: HashMap<(GroupId, u64), usize> = HashMap::new();
+        for g in graph.groups() {
+            let duplicates = allocation.per_group.get(g.id).copied().unwrap_or(1);
+            for d in 0..duplicates {
+                pe_index.insert((g.id, d), blocks.len());
+                blocks.push(NetlistBlock::Pe {
+                    group: g.id,
+                    duplicate: d,
+                });
+            }
+        }
+
+        // One SMB per buffered edge.
+        let buffered: std::collections::HashSet<(GroupId, GroupId)> =
+            schedule.buffered_edges.iter().copied().collect();
+        let mut smb_index: HashMap<(GroupId, GroupId), usize> = HashMap::new();
+        for &(u, v) in &schedule.buffered_edges {
+            smb_index.entry((u, v)).or_insert_with(|| {
+                let idx = blocks.len();
+                blocks.push(NetlistBlock::Smb { from: u, to: v });
+                idx
+            });
+        }
+
+        // Nets: producer duplicates drive either the consumer duplicates
+        // directly or the SMB of the buffered edge.
+        for &(u, v) in graph.edges() {
+            let du = allocation.per_group.get(u).copied().unwrap_or(1);
+            let dv = allocation.per_group.get(v).copied().unwrap_or(1);
+            let values = graph.groups()[u].cols as u64;
+            if buffered.contains(&(u, v)) {
+                let smb = smb_index[&(u, v)];
+                for d in 0..du {
+                    nets.push(Net {
+                        source: pe_index[&(u, d)],
+                        sinks: vec![smb],
+                        values_per_activation: values,
+                    });
+                }
+                for d in 0..dv {
+                    nets.push(Net {
+                        source: smb,
+                        sinks: vec![pe_index[&(v, d)]],
+                        values_per_activation: values,
+                    });
+                }
+            } else {
+                for d in 0..dv {
+                    let src_dup = d % du;
+                    nets.push(Net {
+                        source: pe_index[&(u, src_dup)],
+                        sinks: vec![pe_index[&(v, d)]],
+                        values_per_activation: values,
+                    });
+                }
+            }
+        }
+
+        // CLBs: one control region per `region_size` blocks, each driving the
+        // blocks in its region.
+        let control = ControlPlan::for_schedule(graph, allocation, schedule);
+        let region_size = (blocks.len() / control.clb_count.max(1)).max(1);
+        let data_blocks = blocks.len();
+        for region in 0..control.clb_count {
+            let clb = blocks.len();
+            blocks.push(NetlistBlock::Clb { region });
+            let start = region * region_size;
+            let end = ((region + 1) * region_size).min(data_blocks);
+            let sinks: Vec<usize> = (start..end).collect();
+            if !sinks.is_empty() {
+                nets.push(Net {
+                    source: clb,
+                    sinks,
+                    values_per_activation: 1,
+                });
+            }
+        }
+
+        Netlist {
+            model: graph.model.clone(),
+            blocks,
+            nets,
+        }
+    }
+
+    /// All blocks.
+    pub fn blocks(&self) -> &[NetlistBlock] {
+        &self.blocks
+    }
+
+    /// All nets.
+    pub fn nets(&self) -> &[Net] {
+        &self.nets
+    }
+
+    /// Summary statistics.
+    pub fn stats(&self) -> NetlistStats {
+        NetlistStats {
+            pe_count: self.blocks.iter().filter(|b| b.is_pe()).count(),
+            smb_count: self.blocks.iter().filter(|b| b.is_smb()).count(),
+            clb_count: self.blocks.iter().filter(|b| b.is_clb()).count(),
+            net_count: self.nets.len(),
+            total_fanout: self.nets.iter().map(|n| n.sinks.len()).sum(),
+        }
+    }
+
+    /// Number of blocks of all kinds.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the netlist is empty.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocation::AllocationPolicy;
+    use crate::schedule::Scheduler;
+    use fpsa_synthesis::{CoreOpGroup, CoreOpKind};
+
+    fn group(reuse: u64, depth: usize) -> CoreOpGroup {
+        CoreOpGroup {
+            id: 0,
+            name: "g".into(),
+            source_node: 0,
+            kind: CoreOpKind::Vmm,
+            rows: 256,
+            cols: 128,
+            reuse_degree: reuse,
+            relu: true,
+            layer_depth: depth,
+        }
+    }
+
+    fn build(reuses: &[u64], dup: u64) -> (CoreOpGraph, Netlist) {
+        let mut g = CoreOpGraph::new("m", 256, 256);
+        let mut prev = None;
+        for (i, &r) in reuses.iter().enumerate() {
+            let id = g.add_group(group(r, i));
+            if let Some(p) = prev {
+                g.add_edge(p, id);
+            }
+            prev = Some(id);
+        }
+        let alloc = Allocation::allocate(&g, AllocationPolicy::DuplicationDegree(dup));
+        let sched = Scheduler::new(64).schedule(&g, &alloc);
+        let netlist = Netlist::build(&g, &alloc, &sched);
+        (g, netlist)
+    }
+
+    #[test]
+    fn one_pe_block_per_duplicate() {
+        let (_, n) = build(&[16, 16, 1], 4);
+        let stats = n.stats();
+        // Groups 0 and 1 get 4 duplicates each, group 2 gets 1.
+        assert_eq!(stats.pe_count, 9);
+    }
+
+    #[test]
+    fn buffered_edges_materialize_smbs_and_two_nets() {
+        let (_, n) = build(&[100, 1], 1);
+        let stats = n.stats();
+        assert_eq!(stats.smb_count, 1);
+        // producer -> SMB and SMB -> consumer (control nets from CLBs also
+        // touch the SMB but are not data nets).
+        let smb_nets = n
+            .nets()
+            .iter()
+            .filter(|net| {
+                !n.blocks()[net.source].is_clb()
+                    && (n.blocks()[net.source].is_smb()
+                        || net.sinks.iter().any(|&s| n.blocks()[s].is_smb()))
+            })
+            .count();
+        assert_eq!(smb_nets, 2);
+    }
+
+    #[test]
+    fn unbuffered_edges_connect_pes_directly() {
+        let (_, n) = build(&[1, 1], 1);
+        assert_eq!(n.stats().smb_count, 0);
+        let pe_to_pe = n
+            .nets()
+            .iter()
+            .filter(|net| {
+                n.blocks()[net.source].is_pe() && net.sinks.iter().all(|&s| n.blocks()[s].is_pe())
+            })
+            .count();
+        assert!(pe_to_pe >= 1);
+    }
+
+    #[test]
+    fn duplicates_are_wired_round_robin() {
+        let (_, n) = build(&[4, 4], 4);
+        // Every duplicate of the consumer must be driven by exactly one net.
+        let consumer_pes: Vec<usize> = n
+            .blocks()
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| matches!(b, NetlistBlock::Pe { group: 1, .. }))
+            .map(|(i, _)| i)
+            .collect();
+        for pe in consumer_pes {
+            let drivers = n
+                .nets()
+                .iter()
+                .filter(|net| net.sinks.contains(&pe) && n.blocks()[net.source].is_pe())
+                .count();
+            assert_eq!(drivers, 1);
+        }
+    }
+
+    #[test]
+    fn clbs_are_present_and_drive_control_nets() {
+        let (_, n) = build(&[8, 8, 8, 8], 2);
+        let stats = n.stats();
+        assert!(stats.clb_count >= 1);
+        let control_nets = n
+            .nets()
+            .iter()
+            .filter(|net| n.blocks()[net.source].is_clb())
+            .count();
+        assert_eq!(control_nets, stats.clb_count);
+    }
+
+    #[test]
+    fn stats_fanout_counts_every_connection() {
+        let (_, n) = build(&[2, 2], 1);
+        let stats = n.stats();
+        let manual: usize = n.nets().iter().map(|net| net.sinks.len()).sum();
+        assert_eq!(stats.total_fanout, manual);
+        assert_eq!(stats.net_count, n.nets().len());
+    }
+}

@@ -1,0 +1,384 @@
+//! Algorithm 1: greedy scheduling of core-op groups.
+//!
+//! Every group executes its core-ops back-to-back on its PE(s); the schedule
+//! assigns each group a start and end cycle so that the five constraints of
+//! Section 5.2 hold:
+//!
+//! * **RC** (resource conflict) — core-ops mapped to the same PE never
+//!   overlap; in the group-level model this is captured by a group's
+//!   duration being `iterations x Γ`.
+//! * **NBD** (no-buffer dependency) — a consumer chained directly to its
+//!   producer must start one cycle after it and finish one cycle later, so
+//!   the spike train can stream through.
+//! * **BD** (buffered dependency) — if a buffer is inserted, the consumer
+//!   starts only after the producer has finished.
+//! * **BC** (buffer conflict) — consumers reading the same buffer port are
+//!   separated by at least one sampling window.
+//! * **SW** (sampling window) — every execution lasts at least Γ cycles.
+//!
+//! The greedy pass walks the graph in topological order and chains producers
+//! and consumers without a buffer whenever their durations are compatible;
+//! otherwise it marks the edge as buffered, which splits the circuit into
+//! pipeline stages exactly as the paper describes.
+
+use crate::allocation::Allocation;
+use fpsa_synthesis::{CoreOpGraph, GroupId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Scheduling result for one group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScheduleEntry {
+    /// The group this entry describes.
+    pub group: GroupId,
+    /// First cycle of execution.
+    pub start_cycle: u64,
+    /// Last cycle of execution (exclusive).
+    pub end_cycle: u64,
+    /// Pipeline stage index (increments across buffered edges).
+    pub stage: usize,
+    /// Iterations executed on each PE of the group.
+    pub iterations: u64,
+}
+
+impl ScheduleEntry {
+    /// Execution duration in cycles.
+    pub fn duration(&self) -> u64 {
+        self.end_cycle - self.start_cycle
+    }
+}
+
+/// The complete schedule of a mapped model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// Per-group entries, indexed by group id.
+    pub entries: Vec<ScheduleEntry>,
+    /// Edges that required an SMB buffer.
+    pub buffered_edges: Vec<(GroupId, GroupId)>,
+    /// Sampling window Γ used.
+    pub sampling_window: u64,
+}
+
+impl Schedule {
+    /// The pipeline period in cycles: the slowest stage bounds the rate at
+    /// which new samples can enter the pipeline.
+    pub fn pipeline_period_cycles(&self) -> u64 {
+        self.entries
+            .iter()
+            .map(ScheduleEntry::duration)
+            .max()
+            .unwrap_or(self.sampling_window)
+    }
+
+    /// The end-to-end latency of one sample in cycles.
+    pub fn latency_cycles(&self) -> u64 {
+        self.entries.iter().map(|e| e.end_cycle).max().unwrap_or(0)
+    }
+
+    /// Number of pipeline stages (1 + number of buffer levels).
+    pub fn stage_count(&self) -> usize {
+        self.entries.iter().map(|e| e.stage + 1).max().unwrap_or(0)
+    }
+
+    /// The bottleneck iteration count across all groups.
+    pub fn max_stage_iterations(&self) -> u64 {
+        self.entries.iter().map(|e| e.iterations).max().unwrap_or(1)
+    }
+
+    /// Number of buffered edges (each consumes SMB capacity).
+    pub fn buffer_count(&self) -> usize {
+        self.buffered_edges.len()
+    }
+
+    /// Look up the entry of a group.
+    pub fn entry(&self, group: GroupId) -> Option<&ScheduleEntry> {
+        self.entries.get(group)
+    }
+}
+
+/// The greedy scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Scheduler {
+    /// Sampling window Γ in cycles.
+    pub sampling_window: u64,
+}
+
+impl Scheduler {
+    /// Create a scheduler for the given sampling window.
+    pub fn new(sampling_window: u64) -> Self {
+        Scheduler {
+            sampling_window: sampling_window.max(1),
+        }
+    }
+
+    /// Produce a schedule for an allocated core-op graph.
+    pub fn schedule(&self, graph: &CoreOpGraph, allocation: &Allocation) -> Schedule {
+        let n = graph.len();
+        let mut entries: Vec<Option<ScheduleEntry>> = vec![None; n];
+        let mut buffered_edges = Vec::new();
+
+        // Predecessor lists.
+        let mut preds: HashMap<GroupId, Vec<GroupId>> = HashMap::new();
+        for &(u, v) in graph.edges() {
+            preds.entry(v).or_default().push(u);
+        }
+
+        // Kahn topological order over group edges.
+        let order = topological_order(graph);
+
+        for &v in &order {
+            let iterations = allocation.iterations.get(v).copied().unwrap_or(1);
+            let duration = iterations * self.sampling_window;
+            let empty = Vec::new();
+            let my_preds = preds.get(&v).unwrap_or(&empty);
+
+            let mut start = 0u64;
+            let mut stage = 0usize;
+            for &u in my_preds {
+                let pu = entries[u].expect("topological order guarantees scheduled predecessors");
+                // NBD is possible only when this group's execution can cover
+                // the producer's (equal or longer duration); otherwise the
+                // spike trains cannot stream and a buffer is required (BD).
+                let needs_buffer = duration < pu.duration();
+                if needs_buffer {
+                    buffered_edges.push((u, v));
+                    start = start.max(pu.end_cycle + 1);
+                    stage = stage.max(pu.stage + 1);
+                } else {
+                    start = start.max(pu.start_cycle + 1);
+                    stage = stage.max(pu.stage);
+                }
+            }
+            // SW: duration is already >= Γ because iterations >= 1.
+            let mut end = start + duration;
+            // NBD end condition: cover every unbuffered producer's end.
+            for &u in my_preds {
+                let pu = entries[u].expect("scheduled predecessor");
+                if duration >= pu.duration() && end <= pu.end_cycle {
+                    end = pu.end_cycle + 1;
+                }
+            }
+            entries[v] = Some(ScheduleEntry {
+                group: v,
+                start_cycle: start,
+                end_cycle: end,
+                stage,
+                iterations,
+            });
+        }
+
+        // BC: consumers of the same buffered producer must be separated by at
+        // least one sampling window. Apply a simple serialization pass.
+        let mut by_source: HashMap<GroupId, Vec<GroupId>> = HashMap::new();
+        for &(u, v) in &buffered_edges {
+            by_source.entry(u).or_default().push(v);
+        }
+        for consumers in by_source.values() {
+            let mut sorted: Vec<GroupId> = consumers.clone();
+            sorted.sort_unstable_by_key(|&v| entries[v].map(|e| e.start_cycle).unwrap_or(0));
+            for pair in sorted.windows(2) {
+                let first_end = entries[pair[0]].map(|e| e.end_cycle).unwrap_or(0);
+                if let Some(e) = entries[pair[1]].as_mut() {
+                    if e.end_cycle <= first_end + self.sampling_window
+                        && e.start_cycle <= first_end
+                    {
+                        let shift = first_end + 1 - e.start_cycle;
+                        e.start_cycle += shift;
+                        e.end_cycle += shift;
+                    }
+                }
+            }
+        }
+
+        Schedule {
+            entries: entries
+                .into_iter()
+                .enumerate()
+                .map(|(i, e)| {
+                    e.unwrap_or(ScheduleEntry {
+                        group: i,
+                        start_cycle: 0,
+                        end_cycle: self.sampling_window,
+                        stage: 0,
+                        iterations: 1,
+                    })
+                })
+                .collect(),
+            buffered_edges,
+            sampling_window: self.sampling_window,
+        }
+    }
+}
+
+/// Kahn topological order over the group graph; groups not reachable through
+/// edges keep their id order.
+fn topological_order(graph: &CoreOpGraph) -> Vec<GroupId> {
+    let n = graph.len();
+    let mut indegree = vec![0usize; n];
+    let mut succs: Vec<Vec<GroupId>> = vec![Vec::new(); n];
+    for &(u, v) in graph.edges() {
+        indegree[v] += 1;
+        succs[u].push(v);
+    }
+    let mut queue: Vec<GroupId> = (0..n).filter(|&i| indegree[i] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    let mut head = 0;
+    while head < queue.len() {
+        let u = queue[head];
+        head += 1;
+        order.push(u);
+        for &v in &succs[u] {
+            indegree[v] -= 1;
+            if indegree[v] == 0 {
+                queue.push(v);
+            }
+        }
+    }
+    // Defensive: if the edge list had a cycle, append the leftovers so every
+    // group still receives a schedule entry.
+    if order.len() != n {
+        for i in 0..n {
+            if !order.contains(&i) {
+                order.push(i);
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocation::AllocationPolicy;
+    use fpsa_synthesis::{CoreOpGroup, CoreOpKind};
+
+    fn group(reuse: u64, depth: usize) -> CoreOpGroup {
+        CoreOpGroup {
+            id: 0,
+            name: "g".into(),
+            source_node: 0,
+            kind: CoreOpKind::Vmm,
+            rows: 256,
+            cols: 256,
+            reuse_degree: reuse,
+            relu: true,
+            layer_depth: depth,
+        }
+    }
+
+    fn chain(reuses: &[u64]) -> CoreOpGraph {
+        let mut g = CoreOpGraph::new("chain", 256, 256);
+        let mut prev: Option<GroupId> = None;
+        for (i, &r) in reuses.iter().enumerate() {
+            let id = g.add_group(group(r, i));
+            if let Some(p) = prev {
+                g.add_edge(p, id);
+            }
+            prev = Some(id);
+        }
+        g
+    }
+
+    fn schedule_chain(reuses: &[u64]) -> (CoreOpGraph, Schedule) {
+        let g = chain(reuses);
+        let alloc = Allocation::allocate(&g, AllocationPolicy::DuplicationDegree(1));
+        let s = Scheduler::new(64).schedule(&g, &alloc);
+        (g, s)
+    }
+
+    #[test]
+    fn equal_durations_chain_without_buffers() {
+        let (_, s) = schedule_chain(&[1, 1, 1]);
+        assert!(s.buffered_edges.is_empty());
+        assert_eq!(s.stage_count(), 1);
+        // NBD: each group starts one cycle after its producer.
+        assert_eq!(s.entries[0].start_cycle, 0);
+        assert_eq!(s.entries[1].start_cycle, 1);
+        assert_eq!(s.entries[2].start_cycle, 2);
+        // And ends after it.
+        assert!(s.entries[1].end_cycle > s.entries[0].end_cycle);
+    }
+
+    #[test]
+    fn shrinking_durations_need_buffers() {
+        // A convolutional layer (many iterations) feeding a small layer:
+        // the consumer cannot cover the producer, so a buffer is inserted.
+        let (_, s) = schedule_chain(&[100, 1]);
+        assert_eq!(s.buffered_edges, vec![(0, 1)]);
+        assert_eq!(s.stage_count(), 2);
+        // BD: the consumer starts strictly after the producer ends.
+        assert!(s.entries[1].start_cycle > s.entries[0].end_cycle);
+    }
+
+    #[test]
+    fn growing_durations_do_not_need_buffers() {
+        let (_, s) = schedule_chain(&[1, 100]);
+        assert!(s.buffered_edges.is_empty());
+        assert!(s.entries[1].end_cycle > s.entries[0].end_cycle);
+    }
+
+    #[test]
+    fn sampling_window_constraint_holds() {
+        let (_, s) = schedule_chain(&[1, 4, 2]);
+        for e in &s.entries {
+            assert!(e.duration() >= 64, "SW violated: {e:?}");
+        }
+    }
+
+    #[test]
+    fn buffer_conflict_serializes_shared_buffer_consumers() {
+        // One heavy producer feeding two light consumers through buffers.
+        let mut g = CoreOpGraph::new("fanout", 256, 256);
+        let p = g.add_group(group(10, 0));
+        let a = g.add_group(group(1, 1));
+        let b = g.add_group(group(1, 1));
+        g.add_edge(p, a);
+        g.add_edge(p, b);
+        let alloc = Allocation::allocate(&g, AllocationPolicy::DuplicationDegree(1));
+        let s = Scheduler::new(64).schedule(&g, &alloc);
+        assert_eq!(s.buffer_count(), 2);
+        let (ea, eb) = (s.entries[a], s.entries[b]);
+        let separated = ea.end_cycle + 64 <= eb.end_cycle || eb.end_cycle + 64 <= ea.end_cycle;
+        assert!(separated, "BC violated: {ea:?} vs {eb:?}");
+    }
+
+    #[test]
+    fn pipeline_period_is_bottleneck_duration() {
+        let (_, s) = schedule_chain(&[100, 10, 1]);
+        assert_eq!(s.pipeline_period_cycles(), 100 * 64);
+        assert_eq!(s.max_stage_iterations(), 100);
+    }
+
+    #[test]
+    fn duplication_shrinks_period_and_latency() {
+        let g = chain(&[64, 64, 1]);
+        let a1 = Allocation::allocate(&g, AllocationPolicy::DuplicationDegree(1));
+        let a16 = Allocation::allocate(&g, AllocationPolicy::DuplicationDegree(16));
+        let s1 = Scheduler::new(64).schedule(&g, &a1);
+        let s16 = Scheduler::new(64).schedule(&g, &a16);
+        assert!(s16.pipeline_period_cycles() < s1.pipeline_period_cycles());
+        assert!(s16.latency_cycles() < s1.latency_cycles());
+    }
+
+    #[test]
+    fn resource_conflict_is_respected_within_a_group() {
+        // RC at group level: a group's duration equals iterations x window,
+        // so its PE is never double-booked.
+        let (g, s) = schedule_chain(&[7]);
+        let alloc = Allocation::allocate(&g, AllocationPolicy::DuplicationDegree(1));
+        assert_eq!(
+            s.entries[0].duration(),
+            alloc.iterations[0] * s.sampling_window
+        );
+    }
+
+    #[test]
+    fn empty_graph_schedules_cleanly() {
+        let g = CoreOpGraph::new("empty", 256, 256);
+        let alloc = Allocation::allocate(&g, AllocationPolicy::DuplicationDegree(1));
+        let s = Scheduler::new(64).schedule(&g, &alloc);
+        assert!(s.entries.is_empty());
+        assert_eq!(s.stage_count(), 0);
+        assert_eq!(s.latency_cycles(), 0);
+    }
+}

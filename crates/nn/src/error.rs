@@ -1,0 +1,69 @@
+//! Error type for the NN front end.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or analysing computational graphs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnError {
+    /// A node referenced an input node id that does not exist.
+    UnknownNode {
+        /// The missing node id.
+        id: usize,
+    },
+    /// Shapes of connected nodes are incompatible.
+    ShapeMismatch {
+        /// Name of the node where the mismatch was detected.
+        node: String,
+        /// Explanation of the mismatch.
+        reason: String,
+    },
+    /// The graph contains a cycle and cannot be scheduled.
+    CyclicGraph,
+    /// An operator was configured with invalid parameters.
+    InvalidOperator {
+        /// Name of the node.
+        node: String,
+        /// Explanation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::UnknownNode { id } => write!(f, "unknown node id {id}"),
+            NnError::ShapeMismatch { node, reason } => {
+                write!(f, "shape mismatch at node `{node}`: {reason}")
+            }
+            NnError::CyclicGraph => write!(f, "computational graph contains a cycle"),
+            NnError::InvalidOperator { node, reason } => {
+                write!(f, "invalid operator at node `{node}`: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for NnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_useful_messages() {
+        assert!(NnError::UnknownNode { id: 3 }.to_string().contains('3'));
+        assert!(NnError::CyclicGraph.to_string().contains("cycle"));
+        let e = NnError::ShapeMismatch {
+            node: "conv1".into(),
+            reason: "expected CHW input".into(),
+        };
+        assert!(e.to_string().contains("conv1"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<NnError>();
+    }
+}

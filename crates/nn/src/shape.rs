@@ -1,0 +1,115 @@
+//! Tensor shapes used by the computational graph IR.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The shape of a tensor flowing along a graph edge.
+///
+/// The FPSA front end only needs to distinguish feature vectors (outputs of
+/// fully connected layers) from channel-height-width feature maps (outputs of
+/// convolutional layers); batch dimensions are implicit because the
+/// accelerator pipelines one sample per invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TensorShape {
+    /// A flat feature vector with the given number of elements.
+    Features(usize),
+    /// A feature map with `channels x height x width` elements.
+    Chw {
+        /// Number of channels.
+        channels: usize,
+        /// Spatial height.
+        height: usize,
+        /// Spatial width.
+        width: usize,
+    },
+}
+
+impl TensorShape {
+    /// Construct a CHW shape.
+    pub fn chw(channels: usize, height: usize, width: usize) -> Self {
+        TensorShape::Chw {
+            channels,
+            height,
+            width,
+        }
+    }
+
+    /// Total number of elements.
+    pub fn elements(&self) -> usize {
+        match *self {
+            TensorShape::Features(n) => n,
+            TensorShape::Chw {
+                channels,
+                height,
+                width,
+            } => channels * height * width,
+        }
+    }
+
+    /// The shape after flattening to a feature vector.
+    pub fn flattened(&self) -> TensorShape {
+        TensorShape::Features(self.elements())
+    }
+
+    /// The number of channels (feature count for flat vectors).
+    pub fn channels(&self) -> usize {
+        match *self {
+            TensorShape::Features(n) => n,
+            TensorShape::Chw { channels, .. } => channels,
+        }
+    }
+
+    /// Spatial size `(height, width)`; `(1, 1)` for flat vectors.
+    pub fn spatial(&self) -> (usize, usize) {
+        match *self {
+            TensorShape::Features(_) => (1, 1),
+            TensorShape::Chw { height, width, .. } => (height, width),
+        }
+    }
+}
+
+impl fmt::Display for TensorShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            TensorShape::Features(n) => write!(f, "[{n}]"),
+            TensorShape::Chw {
+                channels,
+                height,
+                width,
+            } => write!(f, "[{channels}x{height}x{width}]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elements_are_products() {
+        assert_eq!(TensorShape::Features(10).elements(), 10);
+        assert_eq!(TensorShape::chw(3, 224, 224).elements(), 3 * 224 * 224);
+    }
+
+    #[test]
+    fn flatten_preserves_elements() {
+        let s = TensorShape::chw(64, 7, 7);
+        assert_eq!(s.flattened(), TensorShape::Features(64 * 49));
+    }
+
+    #[test]
+    fn channels_and_spatial_accessors() {
+        let s = TensorShape::chw(16, 8, 4);
+        assert_eq!(s.channels(), 16);
+        assert_eq!(s.spatial(), (8, 4));
+        let v = TensorShape::Features(100);
+        assert_eq!(v.channels(), 100);
+        assert_eq!(v.spatial(), (1, 1));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(TensorShape::Features(5).to_string(), "[5]");
+        assert_eq!(TensorShape::chw(3, 2, 1).to_string(), "[3x2x1]");
+    }
+}

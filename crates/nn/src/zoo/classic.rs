@@ -1,0 +1,168 @@
+//! AlexNet and VGG16 for ImageNet.
+
+use super::builder::{conv_relu, fc_relu, maxpool};
+use crate::graph::ComputationalGraph;
+use crate::ops::Operator;
+use crate::shape::TensorShape;
+
+/// AlexNet (the grouped Caffe variant) for ImageNet.
+///
+/// Table 3 reports 60.6 M weights and 1.4 G operations.
+pub fn alexnet() -> ComputationalGraph {
+    let mut g = ComputationalGraph::new("AlexNet");
+    let input = g.add_input("input", TensorShape::chw(3, 227, 227));
+
+    let c1 = conv_relu(&mut g, "conv1", input, 3, 96, 11, 4, 0, 1);
+    let n1 = g.add_node("norm1", Operator::LocalResponseNorm, vec![c1]);
+    let p1 = maxpool(&mut g, "pool1", n1, 3, 2);
+
+    let c2 = conv_relu(&mut g, "conv2", p1, 96, 256, 5, 1, 2, 2);
+    let n2 = g.add_node("norm2", Operator::LocalResponseNorm, vec![c2]);
+    let p2 = maxpool(&mut g, "pool2", n2, 3, 2);
+
+    let c3 = conv_relu(&mut g, "conv3", p2, 256, 384, 3, 1, 1, 1);
+    let c4 = conv_relu(&mut g, "conv4", c3, 384, 384, 3, 1, 1, 2);
+    let c5 = conv_relu(&mut g, "conv5", c4, 384, 256, 3, 1, 1, 2);
+    let p5 = maxpool(&mut g, "pool5", c5, 3, 2);
+
+    let flat = g.add_node("flatten", Operator::Flatten, vec![p5]);
+    let f6 = fc_relu(&mut g, "fc6", flat, 256 * 6 * 6, 4096);
+    let d6 = g.add_node("drop6", Operator::Dropout, vec![f6]);
+    let f7 = fc_relu(&mut g, "fc7", d6, 4096, 4096);
+    let d7 = g.add_node("drop7", Operator::Dropout, vec![f7]);
+    let f8 = g.add_node(
+        "fc8",
+        Operator::Linear {
+            in_features: 4096,
+            out_features: 1000,
+        },
+        vec![d7],
+    );
+    g.add_node("softmax", Operator::Softmax, vec![f8]);
+    g
+}
+
+/// VGG16 (configuration D) for ImageNet.
+///
+/// Table 3 reports 138.3 M weights and 30.9 G operations; this is also the
+/// network used by every performance figure of the paper.
+pub fn vgg16() -> ComputationalGraph {
+    let mut g = ComputationalGraph::new("VGG16");
+    let input = g.add_input("input", TensorShape::chw(3, 224, 224));
+
+    // (block, channels, convs-per-block) for configuration D.
+    let blocks: [(usize, usize, usize); 5] = [
+        (1, 64, 2),
+        (2, 128, 2),
+        (3, 256, 3),
+        (4, 512, 3),
+        (5, 512, 3),
+    ];
+    let mut prev = input;
+    let mut in_channels = 3;
+    for (block, channels, convs) in blocks {
+        for i in 1..=convs {
+            prev = conv_relu(
+                &mut g,
+                &format!("conv{block}_{i}"),
+                prev,
+                in_channels,
+                channels,
+                3,
+                1,
+                1,
+                1,
+            );
+            in_channels = channels;
+        }
+        prev = maxpool(&mut g, &format!("pool{block}"), prev, 2, 2);
+    }
+
+    let flat = g.add_node("flatten", Operator::Flatten, vec![prev]);
+    let f6 = fc_relu(&mut g, "fc6", flat, 512 * 7 * 7, 4096);
+    let f7 = fc_relu(&mut g, "fc7", f6, 4096, 4096);
+    let f8 = g.add_node(
+        "fc8",
+        Operator::Linear {
+            in_features: 4096,
+            out_features: 1000,
+        },
+        vec![f7],
+    );
+    g.add_node("softmax", Operator::Softmax, vec![f8]);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alexnet_weight_count_matches_table3() {
+        let stats = alexnet().statistics();
+        let w = stats.total_weights as f64;
+        assert!((w - 60.6e6).abs() / 60.6e6 < 0.02, "weights = {w}");
+    }
+
+    #[test]
+    fn alexnet_op_count_matches_table3() {
+        let stats = alexnet().statistics();
+        let o = stats.total_ops as f64;
+        assert!((o - 1.4e9).abs() / 1.4e9 < 0.06, "ops = {o}");
+    }
+
+    #[test]
+    fn alexnet_fc_layers_dominate_storage() {
+        let stats = alexnet().statistics();
+        assert!(stats.weight_share_of("fc") > 0.9);
+    }
+
+    #[test]
+    fn vgg16_weight_count_matches_table3() {
+        let stats = vgg16().statistics();
+        let w = stats.total_weights as f64;
+        assert!((w - 138.3e6).abs() / 138.3e6 < 0.01, "weights = {w}");
+    }
+
+    #[test]
+    fn vgg16_op_count_matches_table3() {
+        let stats = vgg16().statistics();
+        let o = stats.total_ops as f64;
+        assert!((o - 30.9e9).abs() / 30.9e9 < 0.02, "ops = {o}");
+    }
+
+    #[test]
+    fn vgg16_has_13_convs_and_3_fcs() {
+        let g = vgg16();
+        let convs = g
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op, Operator::Conv2d { .. }))
+            .count();
+        let fcs = g
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op, Operator::Linear { .. }))
+            .count();
+        assert_eq!(convs, 13);
+        assert_eq!(fcs, 3);
+    }
+
+    #[test]
+    fn vgg16_final_feature_map_is_7x7x512() {
+        let g = vgg16();
+        let shapes = g.infer_shapes().unwrap();
+        let pool5 = g
+            .nodes()
+            .iter()
+            .find(|n| n.name == "pool5")
+            .expect("pool5 exists");
+        assert_eq!(shapes[&pool5.id], TensorShape::chw(512, 7, 7));
+    }
+
+    #[test]
+    fn vgg16_max_reuse_degree_is_first_conv_spatial_size() {
+        let stats = vgg16().statistics();
+        assert_eq!(stats.max_reuse_degree(), 224 * 224);
+    }
+}

@@ -1,0 +1,269 @@
+//! The benchmark model zoo.
+//!
+//! Seven networks, matching the paper's evaluation (Table 3):
+//! MLP-500-100 and LeNet for MNIST, a VGG17-style network for CIFAR-10, and
+//! AlexNet, VGG16, GoogLeNet and ResNet-152 for ImageNet. The constructors
+//! build full computational graphs layer by layer; the graphs' derived
+//! statistics reproduce the published weight and operation counts.
+
+mod classic;
+mod googlenet;
+mod resnet;
+mod small;
+
+pub use classic::{alexnet, vgg16};
+pub use googlenet::googlenet;
+pub use resnet::resnet152;
+pub use small::{cifar_vgg17, lenet, mlp_500_100};
+
+use crate::graph::ComputationalGraph;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a benchmark model, in the order the paper reports them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Benchmark {
+    /// Two-hidden-layer MLP (500, 100) for MNIST.
+    Mlp500x100,
+    /// LeNet (Caffe variant) for MNIST.
+    LeNet,
+    /// VGG17-style CNN for CIFAR-10.
+    CifarVgg17,
+    /// AlexNet for ImageNet.
+    AlexNet,
+    /// VGG16 for ImageNet.
+    Vgg16,
+    /// GoogLeNet (Inception v1) for ImageNet.
+    GoogLeNet,
+    /// ResNet-152 for ImageNet.
+    ResNet152,
+}
+
+impl Benchmark {
+    /// All benchmarks in the paper's reporting order.
+    pub fn all() -> [Benchmark; 7] {
+        [
+            Benchmark::Mlp500x100,
+            Benchmark::LeNet,
+            Benchmark::CifarVgg17,
+            Benchmark::AlexNet,
+            Benchmark::Vgg16,
+            Benchmark::GoogLeNet,
+            Benchmark::ResNet152,
+        ]
+    }
+
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Benchmark::Mlp500x100 => "MLP-500-100",
+            Benchmark::LeNet => "LeNet",
+            Benchmark::CifarVgg17 => "CIFAR-VGG17",
+            Benchmark::AlexNet => "AlexNet",
+            Benchmark::Vgg16 => "VGG16",
+            Benchmark::GoogLeNet => "GoogLeNet",
+            Benchmark::ResNet152 => "ResNet152",
+        }
+    }
+
+    /// The dataset the model targets.
+    pub fn dataset(&self) -> &'static str {
+        match self {
+            Benchmark::Mlp500x100 | Benchmark::LeNet => "MNIST",
+            Benchmark::CifarVgg17 => "CIFAR-10",
+            _ => "ImageNet",
+        }
+    }
+
+    /// Build the computational graph for this benchmark.
+    pub fn build(&self) -> ComputationalGraph {
+        match self {
+            Benchmark::Mlp500x100 => mlp_500_100(),
+            Benchmark::LeNet => lenet(),
+            Benchmark::CifarVgg17 => cifar_vgg17(),
+            Benchmark::AlexNet => alexnet(),
+            Benchmark::Vgg16 => vgg16(),
+            Benchmark::GoogLeNet => googlenet(),
+            Benchmark::ResNet152 => resnet152(),
+        }
+    }
+
+    /// Published weight count from Table 3 (for regression tests/reports).
+    pub fn published_weights(&self) -> f64 {
+        match self {
+            Benchmark::Mlp500x100 => 443.0e3,
+            Benchmark::LeNet => 430.5e3,
+            Benchmark::CifarVgg17 => 1.1e6,
+            Benchmark::AlexNet => 60.6e6,
+            Benchmark::Vgg16 => 138.3e6,
+            Benchmark::GoogLeNet => 7.0e6,
+            Benchmark::ResNet152 => 57.7e6,
+        }
+    }
+
+    /// Published operation count from Table 3.
+    pub fn published_ops(&self) -> f64 {
+        match self {
+            Benchmark::Mlp500x100 => 886.0e3,
+            Benchmark::LeNet => 4.6e6,
+            Benchmark::CifarVgg17 => 333.4e6,
+            Benchmark::AlexNet => 1.4e9,
+            Benchmark::Vgg16 => 30.9e9,
+            Benchmark::GoogLeNet => 3.2e9,
+            Benchmark::ResNet152 => 22.6e9,
+        }
+    }
+}
+
+pub(crate) mod builder {
+    //! Small helpers shared by the model constructors.
+
+    use crate::graph::{ComputationalGraph, NodeId};
+    use crate::ops::Operator;
+
+    /// Add `conv -> relu` and return the relu's id.
+    #[allow(clippy::too_many_arguments)]
+    pub fn conv_relu(
+        g: &mut ComputationalGraph,
+        name: &str,
+        input: NodeId,
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        groups: usize,
+    ) -> NodeId {
+        let conv = g.add_node(
+            name,
+            Operator::Conv2d {
+                in_channels,
+                out_channels,
+                kernel,
+                stride,
+                padding,
+                groups,
+            },
+            vec![input],
+        );
+        g.add_node(format!("{name}_relu"), Operator::Relu, vec![conv])
+    }
+
+    /// Add a bare convolution (no activation) and return its id.
+    #[allow(clippy::too_many_arguments)]
+    pub fn conv(
+        g: &mut ComputationalGraph,
+        name: &str,
+        input: NodeId,
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> NodeId {
+        g.add_node(
+            name,
+            Operator::Conv2d {
+                in_channels,
+                out_channels,
+                kernel,
+                stride,
+                padding,
+                groups: 1,
+            },
+            vec![input],
+        )
+    }
+
+    /// Add `linear -> relu` and return the relu's id.
+    pub fn fc_relu(
+        g: &mut ComputationalGraph,
+        name: &str,
+        input: NodeId,
+        in_features: usize,
+        out_features: usize,
+    ) -> NodeId {
+        let fc = g.add_node(
+            name,
+            Operator::Linear {
+                in_features,
+                out_features,
+            },
+            vec![input],
+        );
+        g.add_node(format!("{name}_relu"), Operator::Relu, vec![fc])
+    }
+
+    /// Add a max pooling node.
+    pub fn maxpool(
+        g: &mut ComputationalGraph,
+        name: &str,
+        input: NodeId,
+        kernel: usize,
+        stride: usize,
+    ) -> NodeId {
+        g.add_node(name, Operator::MaxPool2d { kernel, stride }, vec![input])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_lists_seven_models_in_paper_order() {
+        let all = Benchmark::all();
+        assert_eq!(all.len(), 7);
+        assert_eq!(all[0].name(), "MLP-500-100");
+        assert_eq!(all[6].name(), "ResNet152");
+    }
+
+    #[test]
+    fn datasets_match_table3() {
+        assert_eq!(Benchmark::Mlp500x100.dataset(), "MNIST");
+        assert_eq!(Benchmark::CifarVgg17.dataset(), "CIFAR-10");
+        assert_eq!(Benchmark::Vgg16.dataset(), "ImageNet");
+    }
+
+    #[test]
+    fn every_benchmark_builds_and_matches_published_counts() {
+        for b in Benchmark::all() {
+            let stats = b.build().statistics();
+            let w_err =
+                (stats.total_weights as f64 - b.published_weights()).abs() / b.published_weights();
+            let o_err = (stats.total_ops as f64 - b.published_ops()).abs() / b.published_ops();
+            assert!(
+                w_err < 0.10,
+                "{}: weight count {} differs from published {} by {:.1}%",
+                b.name(),
+                stats.total_weights,
+                b.published_weights(),
+                w_err * 100.0
+            );
+            // GoogLeNet's published 3.2G ops includes overhead (auxiliary
+            // classifiers / LRN accounting) that inference-only graphs do not
+            // reproduce exactly; allow a slightly wider band there.
+            let ops_tolerance = if b == Benchmark::GoogLeNet { 0.12 } else { 0.10 };
+            assert!(
+                o_err < ops_tolerance,
+                "{}: op count {} differs from published {} by {:.1}%",
+                b.name(),
+                stats.total_ops,
+                b.published_ops(),
+                o_err * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn vgg16_reproduces_the_motivation_imbalance() {
+        let stats = vgg16().statistics();
+        // §3: the first two convolutional layers hold ~0.028% of the weights
+        // but consume ~12.5% of the computation; the fully connected layers
+        // hold ~89.3% of the weights but only ~0.8% of the computation.
+        let (w_front, o_front) = stats.front_layer_imbalance(2);
+        assert!(w_front < 0.001, "front weight share {w_front}");
+        assert!((o_front - 0.125).abs() < 0.02, "front ops share {o_front}");
+        assert!((stats.weight_share_of("fc") - 0.893).abs() < 0.01);
+        assert!(stats.ops_share_of("fc") < 0.01);
+    }
+}

@@ -1,0 +1,155 @@
+//! ResNet-152 for ImageNet.
+
+use super::builder::{conv, maxpool};
+use crate::graph::{ComputationalGraph, NodeId};
+use crate::ops::Operator;
+use crate::shape::TensorShape;
+
+/// One bottleneck residual block (1x1 reduce, 3x3, 1x1 expand) with an
+/// optional projection shortcut. Returns the output node id and channels.
+fn bottleneck(
+    g: &mut ComputationalGraph,
+    name: &str,
+    input: NodeId,
+    in_channels: usize,
+    mid_channels: usize,
+    stride: usize,
+) -> (NodeId, usize) {
+    let out_channels = mid_channels * 4;
+    let c1 = conv(g, &format!("{name}_conv1"), input, in_channels, mid_channels, 1, 1, 0);
+    let r1 = g.add_node(format!("{name}_relu1"), Operator::Relu, vec![c1]);
+    let c2 = g.add_node(
+        format!("{name}_conv2"),
+        Operator::Conv2d {
+            in_channels: mid_channels,
+            out_channels: mid_channels,
+            kernel: 3,
+            stride,
+            padding: 1,
+            groups: 1,
+        },
+        vec![r1],
+    );
+    let r2 = g.add_node(format!("{name}_relu2"), Operator::Relu, vec![c2]);
+    let c3 = conv(g, &format!("{name}_conv3"), r2, mid_channels, out_channels, 1, 1, 0);
+
+    let shortcut = if in_channels != out_channels || stride != 1 {
+        g.add_node(
+            format!("{name}_downsample"),
+            Operator::Conv2d {
+                in_channels,
+                out_channels,
+                kernel: 1,
+                stride,
+                padding: 0,
+                groups: 1,
+            },
+            vec![input],
+        )
+    } else {
+        input
+    };
+    let add = g.add_node(format!("{name}_add"), Operator::Add, vec![c3, shortcut]);
+    let out = g.add_node(format!("{name}_relu"), Operator::Relu, vec![add]);
+    (out, out_channels)
+}
+
+/// ResNet-152: bottleneck stages of 3 / 8 / 36 / 3 blocks.
+///
+/// Table 3 reports 57.7 M weights and 22.6 G operations.
+pub fn resnet152() -> ComputationalGraph {
+    let mut g = ComputationalGraph::new("ResNet152");
+    let input = g.add_input("input", TensorShape::chw(3, 224, 224));
+
+    let c1 = conv(&mut g, "conv1", input, 3, 64, 7, 2, 3);
+    let r1 = g.add_node("conv1_relu", Operator::Relu, vec![c1]);
+    let p1 = maxpool(&mut g, "pool1", r1, 3, 2);
+
+    let stages: [(usize, usize, &str); 4] = [
+        (3, 64, "layer1"),
+        (8, 128, "layer2"),
+        (36, 256, "layer3"),
+        (3, 512, "layer4"),
+    ];
+
+    let mut prev = p1;
+    let mut channels = 64;
+    for (blocks, mid, stage_name) in stages {
+        for b in 0..blocks {
+            // The first block of stages 2-4 downsamples spatially.
+            let stride = if b == 0 && mid != 64 { 2 } else { 1 };
+            let (out, out_c) = bottleneck(
+                &mut g,
+                &format!("{stage_name}_block{b}"),
+                prev,
+                channels,
+                mid,
+                stride,
+            );
+            prev = out;
+            channels = out_c;
+        }
+    }
+
+    let gap = g.add_node("global_pool", Operator::GlobalAvgPool, vec![prev]);
+    let fc = g.add_node(
+        "fc",
+        Operator::Linear {
+            in_features: channels,
+            out_features: 1000,
+        },
+        vec![gap],
+    );
+    g.add_node("softmax", Operator::Softmax, vec![fc]);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet152_weight_count_matches_table3() {
+        let stats = resnet152().statistics();
+        let w = stats.total_weights as f64;
+        assert!((w - 57.7e6).abs() / 57.7e6 < 0.06, "weights = {w}");
+    }
+
+    #[test]
+    fn resnet152_op_count_matches_table3() {
+        let stats = resnet152().statistics();
+        let o = stats.total_ops as f64;
+        assert!((o - 22.6e9).abs() / 22.6e9 < 0.05, "ops = {o}");
+    }
+
+    #[test]
+    fn resnet152_has_fifty_bottleneck_blocks() {
+        let g = resnet152();
+        let adds = g
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op, Operator::Add))
+            .count();
+        assert_eq!(adds, 3 + 8 + 36 + 3);
+    }
+
+    #[test]
+    fn final_feature_map_is_2048_channels_at_7x7() {
+        let g = resnet152();
+        let shapes = g.infer_shapes().unwrap();
+        let last_relu = g
+            .nodes()
+            .iter()
+            .filter(|n| n.name.starts_with("layer4_block2"))
+            .last()
+            .unwrap();
+        assert_eq!(shapes[&last_relu.id], TensorShape::chw(2048, 7, 7));
+    }
+
+    #[test]
+    fn residual_shortcuts_type_check() {
+        // Shape inference succeeding on the whole graph means every Add node
+        // received operands of identical shape (including downsampled ones).
+        assert!(resnet152().infer_shapes().is_ok());
+    }
+}

@@ -1,0 +1,171 @@
+//! The small benchmark models: MLP-500-100, LeNet and the CIFAR-10 VGG17.
+
+use super::builder::{conv_relu, fc_relu, maxpool};
+use crate::graph::ComputationalGraph;
+use crate::ops::Operator;
+use crate::shape::TensorShape;
+
+/// MLP-500-100 for MNIST: 784 → 500 → 100 → 10 with ReLU activations.
+///
+/// Table 3 reports 443.0 K weights and 886.0 K operations.
+pub fn mlp_500_100() -> ComputationalGraph {
+    let mut g = ComputationalGraph::new("MLP-500-100");
+    let input = g.add_input("input", TensorShape::Features(28 * 28));
+    let h1 = fc_relu(&mut g, "fc1", input, 784, 500);
+    let h2 = fc_relu(&mut g, "fc2", h1, 500, 100);
+    let logits = g.add_node(
+        "fc3",
+        Operator::Linear {
+            in_features: 100,
+            out_features: 10,
+        },
+        vec![h2],
+    );
+    g.add_node("softmax", Operator::Softmax, vec![logits]);
+    g
+}
+
+/// LeNet (the Caffe variant) for MNIST.
+///
+/// conv(20@5x5) → pool → conv(50@5x5) → pool → fc(500) → fc(10).
+/// Table 3 reports 430.5 K weights and 4.6 M operations.
+pub fn lenet() -> ComputationalGraph {
+    let mut g = ComputationalGraph::new("LeNet");
+    let input = g.add_input("input", TensorShape::chw(1, 28, 28));
+    let c1 = conv_relu(&mut g, "conv1", input, 1, 20, 5, 1, 0, 1);
+    let p1 = maxpool(&mut g, "pool1", c1, 2, 2);
+    let c2 = conv_relu(&mut g, "conv2", p1, 20, 50, 5, 1, 0, 1);
+    let p2 = maxpool(&mut g, "pool2", c2, 2, 2);
+    let flat = g.add_node("flatten", Operator::Flatten, vec![p2]);
+    let f1 = fc_relu(&mut g, "fc1", flat, 50 * 4 * 4, 500);
+    let logits = g.add_node(
+        "fc2",
+        Operator::Linear {
+            in_features: 500,
+            out_features: 10,
+        },
+        vec![f1],
+    );
+    g.add_node("softmax", Operator::Softmax, vec![logits]);
+    g
+}
+
+/// A VGG-style 17-layer network for CIFAR-10.
+///
+/// Eleven 3x3 convolutions in four blocks (64-64-64 / 128-128 / 128-128-128 /
+/// 128-128-128) with max pooling between blocks, followed by a small
+/// classifier. Sized to reproduce the ~1.1 M weights and ~333 M operations of
+/// Table 3.
+pub fn cifar_vgg17() -> ComputationalGraph {
+    let mut g = ComputationalGraph::new("CIFAR-VGG17");
+    let input = g.add_input("input", TensorShape::chw(3, 32, 32));
+
+    // Block 1: 32x32, 64 channels.
+    let c11 = conv_relu(&mut g, "conv1_1", input, 3, 64, 3, 1, 1, 1);
+    let c12 = conv_relu(&mut g, "conv1_2", c11, 64, 64, 3, 1, 1, 1);
+    let c13 = conv_relu(&mut g, "conv1_3", c12, 64, 64, 3, 1, 1, 1);
+    let p1 = maxpool(&mut g, "pool1", c13, 2, 2);
+
+    // Block 2: 16x16, 128 channels.
+    let c21 = conv_relu(&mut g, "conv2_1", p1, 64, 128, 3, 1, 1, 1);
+    let c22 = conv_relu(&mut g, "conv2_2", c21, 128, 128, 3, 1, 1, 1);
+    let p2 = maxpool(&mut g, "pool2", c22, 2, 2);
+
+    // Block 3: 8x8, 128 channels.
+    let c31 = conv_relu(&mut g, "conv3_1", p2, 128, 128, 3, 1, 1, 1);
+    let c32 = conv_relu(&mut g, "conv3_2", c31, 128, 128, 3, 1, 1, 1);
+    let c33 = conv_relu(&mut g, "conv3_3", c32, 128, 128, 3, 1, 1, 1);
+    let p3 = maxpool(&mut g, "pool3", c33, 2, 2);
+
+    // Block 4: 4x4, 128 channels.
+    let c41 = conv_relu(&mut g, "conv4_1", p3, 128, 128, 3, 1, 1, 1);
+    let c42 = conv_relu(&mut g, "conv4_2", c41, 128, 128, 3, 1, 1, 1);
+    let c43 = conv_relu(&mut g, "conv4_3", c42, 128, 128, 3, 1, 1, 1);
+    let p4 = maxpool(&mut g, "pool4", c43, 2, 2);
+
+    let flat = g.add_node("flatten", Operator::Flatten, vec![p4]);
+    let logits = g.add_node(
+        "fc",
+        Operator::Linear {
+            in_features: 128 * 2 * 2,
+            out_features: 10,
+        },
+        vec![flat],
+    );
+    g.add_node("softmax", Operator::Softmax, vec![logits]);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mlp_weight_count_is_exact() {
+        let stats = mlp_500_100().statistics();
+        assert_eq!(stats.total_weights, 784 * 500 + 500 * 100 + 100 * 10);
+        assert_eq!(stats.total_ops, 2 * stats.total_weights);
+    }
+
+    #[test]
+    fn mlp_has_no_weight_reuse() {
+        let stats = mlp_500_100().statistics();
+        assert_eq!(stats.max_reuse_degree(), 1);
+    }
+
+    #[test]
+    fn lenet_weight_count_matches_caffe_lenet() {
+        let stats = lenet().statistics();
+        assert_eq!(stats.total_weights, 500 + 25_000 + 400_000 + 5_000);
+    }
+
+    #[test]
+    fn lenet_op_count_matches_table3() {
+        let stats = lenet().statistics();
+        let ops = stats.total_ops as f64;
+        assert!((ops - 4.6e6).abs() / 4.6e6 < 0.05, "ops = {ops}");
+    }
+
+    #[test]
+    fn lenet_shapes_follow_the_caffe_topology() {
+        let g = lenet();
+        let shapes = g.infer_shapes().unwrap();
+        let outputs = g.outputs();
+        assert_eq!(shapes[&outputs[0]], TensorShape::Features(10));
+    }
+
+    #[test]
+    fn cifar_vgg17_is_close_to_published_size() {
+        let stats = cifar_vgg17().statistics();
+        let w = stats.total_weights as f64;
+        let o = stats.total_ops as f64;
+        assert!((w - 1.1e6).abs() / 1.1e6 < 0.10, "weights = {w}");
+        assert!((o - 333.4e6).abs() / 333.4e6 < 0.10, "ops = {o}");
+    }
+
+    #[test]
+    fn cifar_vgg17_has_seventeen_named_layers() {
+        // 11 convolutions + 4 poolings + 1 fully connected + softmax = 17.
+        let g = cifar_vgg17();
+        let layered = g
+            .nodes()
+            .iter()
+            .filter(|n| {
+                matches!(
+                    n.op,
+                    Operator::Conv2d { .. }
+                        | Operator::Linear { .. }
+                        | Operator::MaxPool2d { .. }
+                        | Operator::Softmax
+                )
+            })
+            .count();
+        assert_eq!(layered, 17);
+    }
+
+    #[test]
+    fn conv_layers_dominate_cifar_vgg17_compute() {
+        let stats = cifar_vgg17().statistics();
+        assert!(stats.ops_share_of("conv") > 0.99);
+    }
+}

@@ -1,0 +1,68 @@
+//! Placement and routing for the FPSA fabric.
+//!
+//! The last step of the FPSA software stack (Section 5.3 of the paper) places
+//! the function-block netlist onto physical fabric slots and configures the
+//! connection and switch boxes so that every net gets a dedicated path. The
+//! paper adopts the mature FPGA tool-chain approach: simulated-annealing
+//! placement and shortest-path (Dijkstra) routing that minimizes the critical
+//! path.
+//!
+//! * [`place`] — simulated-annealing placer over kind-compatible fabric
+//!   slots, minimizing half-perimeter wirelength.
+//! * [`route`] — congestion-aware router: single-bend paths when channels
+//!   have room, Dijkstra detours when they do not.
+//! * [`timing`] — critical-path and average-delay analysis of a routed
+//!   design, the quantity that becomes the communication term of the
+//!   pipeline clock.
+
+pub mod place;
+pub mod route;
+pub mod timing;
+
+pub use place::{Placement, Placer, PlacerConfig};
+pub use route::{Router, RoutingResult};
+pub use timing::TimingReport;
+
+use fpsa_arch::{ArchitectureConfig, Fabric};
+use fpsa_mapper::Netlist;
+
+/// Run the full place-and-route flow for a netlist on an architecture.
+///
+/// Builds a fabric just large enough for the netlist, places it, routes it
+/// and reports timing.
+pub fn place_and_route(
+    netlist: &Netlist,
+    config: &ArchitectureConfig,
+    placer_config: PlacerConfig,
+) -> (Placement, RoutingResult, TimingReport) {
+    let stats = netlist.stats();
+    // Size the fabric so that every block (PEs, SMBs and CLBs) has a slot.
+    let fabric = Fabric::with_pe_count(config.clone(), netlist.len().max(stats.pe_count).max(1));
+    let placement = Placer::new(placer_config).place(netlist, &fabric);
+    let routing = Router::new(config.routing).route(netlist, &placement);
+    let timing = TimingReport::analyze(&routing, &config.routing);
+    (placement, routing, timing)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpsa_mapper::{AllocationPolicy, Mapper};
+    use fpsa_nn::zoo;
+    use fpsa_synthesis::{NeuralSynthesizer, SynthesisConfig};
+
+    #[test]
+    fn full_flow_runs_on_lenet() {
+        let graph = NeuralSynthesizer::new(SynthesisConfig::fpsa_default())
+            .synthesize(&zoo::lenet())
+            .unwrap();
+        let mapping = Mapper::new(64, AllocationPolicy::DuplicationDegree(1)).map(&graph);
+        let config = ArchitectureConfig::fpsa();
+        let (placement, routing, timing) =
+            place_and_route(&mapping.netlist, &config, PlacerConfig::fast());
+        assert_eq!(placement.positions().len(), mapping.netlist.len());
+        assert_eq!(routing.routed_nets(), mapping.netlist.nets().len());
+        assert!(timing.critical_delay_ns > 0.0);
+        assert!(timing.critical_delay_ns < 100.0, "critical path should be nanoseconds");
+    }
+}

@@ -1,0 +1,288 @@
+//! Simulated-annealing placement.
+//!
+//! Blocks may only occupy fabric slots of their own kind (PEs on PE slots,
+//! SMBs on SMB slots, CLBs on CLB slots). The cost function is the classic
+//! half-perimeter wirelength (HPWL) over all nets; moves swap two blocks of
+//! the same kind or move a block to a free compatible slot, and are accepted
+//! with the Metropolis criterion under a geometric cooling schedule.
+
+use fpsa_arch::{BlockKind, Fabric, FabricDimensions};
+use fpsa_mapper::{Netlist, NetlistBlock};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Placer tuning parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlacerConfig {
+    /// Random seed (placement is deterministic for a given seed).
+    pub seed: u64,
+    /// Moves attempted per temperature step.
+    pub moves_per_temperature: usize,
+    /// Number of temperature steps.
+    pub temperature_steps: usize,
+    /// Initial temperature as a fraction of the initial cost.
+    pub initial_temperature_fraction: f64,
+    /// Geometric cooling factor per step.
+    pub cooling: f64,
+}
+
+impl PlacerConfig {
+    /// A quality-oriented configuration (used for final results).
+    pub fn quality() -> Self {
+        PlacerConfig {
+            seed: 0xF95A,
+            moves_per_temperature: 2000,
+            temperature_steps: 60,
+            initial_temperature_fraction: 0.05,
+            cooling: 0.9,
+        }
+    }
+
+    /// A fast configuration for tests and large netlists.
+    pub fn fast() -> Self {
+        PlacerConfig {
+            seed: 0xF95A,
+            moves_per_temperature: 300,
+            temperature_steps: 20,
+            initial_temperature_fraction: 0.05,
+            cooling: 0.85,
+        }
+    }
+}
+
+impl Default for PlacerConfig {
+    fn default() -> Self {
+        Self::fast()
+    }
+}
+
+/// A placement: the slot coordinate of every netlist block.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    /// Fabric grid dimensions.
+    pub dims: FabricDimensions,
+    positions: Vec<(usize, usize)>,
+    cost: f64,
+}
+
+impl Placement {
+    /// Slot coordinates per block (indexed by netlist block index).
+    pub fn positions(&self) -> &[(usize, usize)] {
+        &self.positions
+    }
+
+    /// The coordinate of one block.
+    pub fn position(&self, block: usize) -> (usize, usize) {
+        self.positions[block]
+    }
+
+    /// Total half-perimeter wirelength of the placement.
+    pub fn wirelength(&self) -> f64 {
+        self.cost
+    }
+}
+
+/// The simulated-annealing placer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Placer {
+    config: PlacerConfig,
+}
+
+impl Placer {
+    /// Create a placer.
+    pub fn new(config: PlacerConfig) -> Self {
+        Placer { config }
+    }
+
+    /// Place a netlist onto a fabric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fabric has fewer slots of some kind than the netlist
+    /// needs.
+    pub fn place(&self, netlist: &Netlist, fabric: &Fabric) -> Placement {
+        let dims = fabric.dims;
+        let kind_of = |b: &NetlistBlock| match b {
+            NetlistBlock::Pe { .. } => BlockKind::Pe,
+            NetlistBlock::Smb { .. } => BlockKind::Smb,
+            NetlistBlock::Clb { .. } => BlockKind::Clb,
+        };
+
+        // Initial assignment: blocks of each kind take the slots of that kind
+        // in index order; SMB/CLB overflow falls back to spare PE slots
+        // (physically those slots would be configured as the needed kind).
+        let mut free: std::collections::HashMap<BlockKind, Vec<usize>> = BlockKind::all()
+            .iter()
+            .map(|&k| (k, fabric.slots_of(k).into_iter().rev().collect()))
+            .collect();
+        let mut positions: Vec<(usize, usize)> = Vec::with_capacity(netlist.len());
+        for block in netlist.blocks() {
+            let kind = kind_of(block);
+            let slot = free
+                .get_mut(&kind)
+                .and_then(Vec::pop)
+                .or_else(|| free.get_mut(&BlockKind::Pe).and_then(Vec::pop))
+                .or_else(|| free.get_mut(&BlockKind::Smb).and_then(Vec::pop))
+                .or_else(|| free.get_mut(&BlockKind::Clb).and_then(Vec::pop))
+                .expect("fabric must have at least as many slots as the netlist has blocks");
+            positions.push(dims.coord(slot));
+        }
+
+        // Nets incident to each block, for incremental cost updates.
+        let mut nets_of_block: Vec<Vec<usize>> = vec![Vec::new(); netlist.len()];
+        for (i, net) in netlist.nets().iter().enumerate() {
+            nets_of_block[net.source].push(i);
+            for &s in &net.sinks {
+                nets_of_block[s].push(i);
+            }
+        }
+
+        let hpwl = |positions: &[(usize, usize)], net: &fpsa_mapper::Net| -> f64 {
+            let mut min_r = usize::MAX;
+            let mut max_r = 0usize;
+            let mut min_c = usize::MAX;
+            let mut max_c = 0usize;
+            for &b in std::iter::once(&net.source).chain(net.sinks.iter()) {
+                let (r, c) = positions[b];
+                min_r = min_r.min(r);
+                max_r = max_r.max(r);
+                min_c = min_c.min(c);
+                max_c = max_c.max(c);
+            }
+            (max_r - min_r) as f64 + (max_c - min_c) as f64
+        };
+        let total_cost = |positions: &[(usize, usize)]| -> f64 {
+            netlist.nets().iter().map(|n| hpwl(positions, n)).sum()
+        };
+
+        let mut cost = total_cost(&positions);
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut temperature = (cost * self.config.initial_temperature_fraction).max(1.0);
+
+        // Group block indices by kind so that swaps stay kind-compatible.
+        // A BTreeMap keeps the iteration order deterministic, which keeps the
+        // whole placement deterministic for a given seed.
+        let mut by_kind: std::collections::BTreeMap<BlockKind, Vec<usize>> = Default::default();
+        for (i, b) in netlist.blocks().iter().enumerate() {
+            by_kind.entry(kind_of(b)).or_default().push(i);
+        }
+
+        for _ in 0..self.config.temperature_steps {
+            for _ in 0..self.config.moves_per_temperature {
+                // Pick a kind with at least two blocks and swap two of them.
+                let kinds: Vec<&BlockKind> =
+                    by_kind.iter().filter(|(_, v)| v.len() >= 2).map(|(k, _)| k).collect();
+                if kinds.is_empty() {
+                    break;
+                }
+                let kind = *kinds[rng.gen_range(0..kinds.len())];
+                let members = &by_kind[&kind];
+                let a = members[rng.gen_range(0..members.len())];
+                let b = members[rng.gen_range(0..members.len())];
+                if a == b {
+                    continue;
+                }
+                // Incremental cost over the affected nets only.
+                let mut affected: Vec<usize> = nets_of_block[a]
+                    .iter()
+                    .chain(nets_of_block[b].iter())
+                    .copied()
+                    .collect();
+                affected.sort_unstable();
+                affected.dedup();
+                let before: f64 = affected
+                    .iter()
+                    .map(|&n| hpwl(&positions, &netlist.nets()[n]))
+                    .sum();
+                positions.swap(a, b);
+                let after: f64 = affected
+                    .iter()
+                    .map(|&n| hpwl(&positions, &netlist.nets()[n]))
+                    .sum();
+                let delta = after - before;
+                let accept = delta <= 0.0
+                    || rng.gen::<f64>() < (-delta / temperature.max(1e-9)).exp();
+                if accept {
+                    cost += delta;
+                } else {
+                    positions.swap(a, b);
+                }
+            }
+            temperature *= self.config.cooling;
+        }
+
+        Placement {
+            dims,
+            positions,
+            cost,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpsa_arch::ArchitectureConfig;
+    use fpsa_mapper::{AllocationPolicy, Mapper};
+    use fpsa_nn::zoo;
+    use fpsa_synthesis::{NeuralSynthesizer, SynthesisConfig};
+
+    fn lenet_netlist() -> Netlist {
+        let graph = NeuralSynthesizer::new(SynthesisConfig::fpsa_default())
+            .synthesize(&zoo::lenet())
+            .unwrap();
+        Mapper::new(64, AllocationPolicy::DuplicationDegree(1))
+            .map(&graph)
+            .netlist
+    }
+
+    #[test]
+    fn every_block_gets_a_unique_slot() {
+        let netlist = lenet_netlist();
+        let fabric = Fabric::with_pe_count(ArchitectureConfig::fpsa(), netlist.len());
+        let placement = Placer::new(PlacerConfig::fast()).place(&netlist, &fabric);
+        let mut seen: Vec<(usize, usize)> = placement.positions().to_vec();
+        let before = seen.len();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(before, seen.len(), "blocks must not share slots");
+        assert_eq!(before, netlist.len());
+    }
+
+    #[test]
+    fn annealing_does_not_increase_wirelength_vs_initial() {
+        let netlist = lenet_netlist();
+        let fabric = Fabric::with_pe_count(ArchitectureConfig::fpsa(), netlist.len());
+        let mut no_anneal = PlacerConfig::fast();
+        no_anneal.temperature_steps = 0;
+        let initial = Placer::new(no_anneal).place(&netlist, &fabric);
+        let annealed = Placer::new(PlacerConfig::fast()).place(&netlist, &fabric);
+        assert!(
+            annealed.wirelength() <= initial.wirelength(),
+            "annealed {} vs initial {}",
+            annealed.wirelength(),
+            initial.wirelength()
+        );
+    }
+
+    #[test]
+    fn placement_is_deterministic_for_a_seed() {
+        let netlist = lenet_netlist();
+        let fabric = Fabric::with_pe_count(ArchitectureConfig::fpsa(), netlist.len());
+        let a = Placer::new(PlacerConfig::fast()).place(&netlist, &fabric);
+        let b = Placer::new(PlacerConfig::fast()).place(&netlist, &fabric);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn positions_stay_inside_the_grid() {
+        let netlist = lenet_netlist();
+        let fabric = Fabric::with_pe_count(ArchitectureConfig::fpsa(), netlist.len());
+        let placement = Placer::new(PlacerConfig::fast()).place(&netlist, &fabric);
+        for &(r, c) in placement.positions() {
+            assert!(r < placement.dims.rows);
+            assert!(c < placement.dims.cols);
+        }
+    }
+}

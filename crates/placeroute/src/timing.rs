@@ -1,0 +1,99 @@
+//! Timing analysis of a routed design.
+//!
+//! The routed hop counts combined with the routing-architecture delay model
+//! give the per-connection wire delay. The critical path (the slowest
+//! connection) becomes the communication term of the pipeline clock: in FPSA
+//! each transferred bit must traverse it once per cycle, so the per-value
+//! communication latency is `bits_per_value x critical_delay`.
+
+use crate::route::RoutingResult;
+use fpsa_arch::RoutingArchitecture;
+use serde::{Deserialize, Serialize};
+
+/// The timing summary of a routed netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimingReport {
+    /// Longest connection in block hops.
+    pub critical_hops: usize,
+    /// Delay of the critical connection in ns.
+    pub critical_delay_ns: f64,
+    /// Average connection delay in ns.
+    pub average_delay_ns: f64,
+    /// Whether the design routed within the channel capacity.
+    pub routable: bool,
+}
+
+impl TimingReport {
+    /// Analyze a routing result under a routing architecture.
+    pub fn analyze(routing: &RoutingResult, arch: &RoutingArchitecture) -> Self {
+        let critical_hops = routing.critical_hops();
+        TimingReport {
+            critical_hops,
+            critical_delay_ns: arch.path_delay_ns(critical_hops),
+            average_delay_ns: arch.path_delay_ns(routing.average_hops().round() as usize),
+            routable: routing.is_routable(),
+        }
+    }
+
+    /// Per-value communication latency when values are serialized over
+    /// `bits_per_value` bits (spike counts use n bits, spike trains 2^n).
+    pub fn value_transfer_ns(&self, bits_per_value: u64) -> f64 {
+        self.critical_delay_ns * bits_per_value as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn routing_with_hops(hops: Vec<usize>) -> RoutingResult {
+        RoutingResult {
+            connection_hops: hops,
+            peak_channel_occupancy: 10,
+            channel_width: 512,
+            detoured_connections: 0,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn critical_delay_uses_the_longest_connection() {
+        let arch = RoutingArchitecture::fpsa_default();
+        let report = TimingReport::analyze(&routing_with_hops(vec![3, 50, 10]), &arch);
+        assert_eq!(report.critical_hops, 50);
+        assert!((report.critical_delay_ns - arch.path_delay_ns(50)).abs() < 1e-12);
+        assert!(report.average_delay_ns <= report.critical_delay_ns);
+        assert!(report.routable);
+    }
+
+    #[test]
+    fn spike_trains_cost_more_transfer_time_than_counts() {
+        let arch = RoutingArchitecture::fpsa_default();
+        let report = TimingReport::analyze(&routing_with_hops(vec![40]), &arch);
+        let counts = report.value_transfer_ns(6);
+        let trains = report.value_transfer_ns(64);
+        assert!((trains / counts - 64.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn figure7_shape_spike_count_vs_train_latencies() {
+        // With a routed critical path of a few tens of hops, 6-bit counts
+        // land near tens of ns and 64-bit trains near several hundred ns —
+        // the FP-PRIME (59.4 ns) vs FPSA (633.9 ns) relationship of Figure 7.
+        let arch = RoutingArchitecture::fpsa_default();
+        let report = TimingReport::analyze(&routing_with_hops(vec![68]), &arch);
+        let counts = report.value_transfer_ns(6);
+        let trains = report.value_transfer_ns(64);
+        assert!(counts > 20.0 && counts < 120.0, "counts {counts}");
+        assert!(trains > 300.0 && trains < 1200.0, "trains {trains}");
+    }
+
+    #[test]
+    fn unroutable_designs_are_flagged() {
+        let arch = RoutingArchitecture::fpsa_default();
+        let mut routing = routing_with_hops(vec![5]);
+        routing.peak_channel_occupancy = 1000;
+        let report = TimingReport::analyze(&routing, &arch);
+        assert!(!report.routable);
+    }
+}

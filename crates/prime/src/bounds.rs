@@ -1,0 +1,351 @@
+//! Peak / utilization / communication performance bounds (Section 3).
+//!
+//! Figure 2 of the paper plots three curves for PRIME running VGG16 against
+//! chip area: the *peak* performance (every PE busy every cycle), the *ideal*
+//! performance (infinite communication bandwidth, limited only by how well
+//! layer duplication can balance the pipeline) and the *real* performance
+//! (additionally limited by the communication subsystem). The same machinery
+//! with different PE and communication parameters produces the FP-PRIME and
+//! FPSA curves of Figure 6.
+//!
+//! The model works at layer granularity from [`fpsa_nn::WorkloadStats`]: each
+//! weight-bearing layer needs `ceil(weights / PE capacity)` PEs to exist at
+//! all, and executes `reuse` core-ops per duplicate; extra PEs are granted to
+//! the layer with the most iterations, one full duplicate at a time, exactly
+//! like the mapper's allocation policy.
+
+use crate::bus::MemoryBus;
+use fpsa_nn::WorkloadStats;
+use serde::{Deserialize, Serialize};
+
+/// The PE parameters the bound model needs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PeParameters {
+    /// PE area including its share of buffers/control/drivers, in µm².
+    pub area_um2: f64,
+    /// Latency of one vector-matrix multiplication in ns.
+    pub vmm_latency_ns: f64,
+    /// Weights stored per PE.
+    pub capacity_weights: u64,
+    /// Operations performed per VMM.
+    pub ops_per_vmm: f64,
+    /// Output values produced per VMM.
+    pub values_per_vmm: u64,
+}
+
+impl PeParameters {
+    /// Build from an architecture configuration's PE model, adding the
+    /// per-PE share of support blocks.
+    pub fn from_arch(config: &fpsa_arch::ArchitectureConfig) -> Self {
+        PeParameters {
+            area_um2: config.area_per_pe_um2(),
+            vmm_latency_ns: config.pe.vmm_latency_ns,
+            capacity_weights: (config.pe.rows * config.pe.cols) as u64,
+            ops_per_vmm: config.pe.ops_per_vmm(),
+            values_per_vmm: config.pe.cols as u64,
+        }
+    }
+}
+
+/// The communication subsystem the bound model assumes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CommunicationModel {
+    /// Infinite bandwidth (the "ideal" curve).
+    Ideal,
+    /// A shared memory bus (PRIME).
+    Bus(MemoryBus),
+    /// Dedicated routed paths; each transferred value costs this many ns
+    /// (critical path x serialized bits), paid once per VMM because all of a
+    /// PE's outputs travel on parallel wires.
+    Routed {
+        /// Per-value transfer latency in ns.
+        per_value_ns: f64,
+    },
+}
+
+/// One point of a bounds sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoundsPoint {
+    /// Chip area in mm².
+    pub area_mm2: f64,
+    /// Number of PEs that fit.
+    pub pe_count: usize,
+    /// Peak performance in OPS.
+    pub peak_ops: f64,
+    /// Ideal (infinite-bandwidth) performance in OPS.
+    pub ideal_ops: f64,
+    /// Real performance in OPS.
+    pub real_ops: f64,
+    /// Whether the model's weights fit at this area at all.
+    pub feasible: bool,
+    /// The realized model-level duplication degree.
+    pub duplication_degree: u64,
+}
+
+/// The bound model for one (architecture, workload) pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerformanceBounds {
+    pe: PeParameters,
+    comm: CommunicationModel,
+    io_bits: u32,
+    layers: Vec<LayerModel>,
+    total_ops: f64,
+    total_activations: f64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct LayerModel {
+    min_pes: u64,
+    reuse: u64,
+}
+
+impl PerformanceBounds {
+    /// Build the model from workload statistics.
+    pub fn new(
+        pe: PeParameters,
+        comm: CommunicationModel,
+        io_bits: u32,
+        stats: &WorkloadStats,
+    ) -> Self {
+        let layers = stats
+            .layers
+            .iter()
+            .filter(|l| l.weights > 0)
+            .map(|l| LayerModel {
+                min_pes: l.weights.div_ceil(pe.capacity_weights).max(1),
+                reuse: l.reuse_degree.max(1),
+            })
+            .collect();
+        PerformanceBounds {
+            pe,
+            comm,
+            io_bits,
+            layers,
+            total_ops: stats.total_ops as f64,
+            total_activations: stats.total_activations as f64,
+        }
+    }
+
+    /// The minimum number of PEs needed to hold every weight once.
+    pub fn minimum_pe_count(&self) -> u64 {
+        self.layers.iter().map(|l| l.min_pes).sum()
+    }
+
+    /// The smallest chip area (mm²) at which the model fits.
+    pub fn minimum_area_mm2(&self) -> f64 {
+        self.minimum_pe_count() as f64 * self.pe.area_um2 * 1e-6
+    }
+
+    /// Evaluate the bounds at one chip area.
+    pub fn at_area(&self, area_mm2: f64) -> BoundsPoint {
+        let pe_count = ((area_mm2 * 1e6 / self.pe.area_um2).floor() as u64).max(1);
+        self.at_pe_count(pe_count, area_mm2)
+    }
+
+    /// Evaluate the bounds for an explicit PE budget.
+    pub fn at_pe_count(&self, pe_count: u64, area_mm2: f64) -> BoundsPoint {
+        let peak_ops =
+            pe_count as f64 * self.pe.ops_per_vmm / (self.pe.vmm_latency_ns * 1e-9);
+        let minimum = self.minimum_pe_count();
+        if pe_count < minimum || self.layers.is_empty() {
+            return BoundsPoint {
+                area_mm2,
+                pe_count: pe_count as usize,
+                peak_ops,
+                ideal_ops: 0.0,
+                real_ops: 0.0,
+                feasible: false,
+                duplication_degree: 0,
+            };
+        }
+
+        // Greedy duplication: repeatedly grant one full duplicate to the
+        // layer with the largest iteration count.
+        let mut duplicates: Vec<u64> = vec![1; self.layers.len()];
+        let mut spare = pe_count - minimum;
+        loop {
+            let (bottleneck, iterations) = self.bottleneck(&duplicates);
+            if iterations <= 1 {
+                break;
+            }
+            let cost = self.layers[bottleneck].min_pes;
+            if cost > spare {
+                break;
+            }
+            duplicates[bottleneck] += 1;
+            spare -= cost;
+        }
+
+        let (_, bottleneck_iterations) = self.bottleneck(&duplicates);
+        let max_reuse_layer = self
+            .layers
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, l)| l.reuse)
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        let duplication_degree = duplicates[max_reuse_layer];
+
+        // Ideal: only the compute pipeline limits throughput.
+        let compute_period_ns = bottleneck_iterations as f64 * self.pe.vmm_latency_ns;
+        let ideal_ops = self.total_ops / (compute_period_ns * 1e-9);
+
+        // Real: add the communication term.
+        let real_period_ns = match self.comm {
+            CommunicationModel::Ideal => compute_period_ns,
+            CommunicationModel::Routed { per_value_ns } => {
+                bottleneck_iterations as f64 * (self.pe.vmm_latency_ns + per_value_ns)
+            }
+            CommunicationModel::Bus(bus) => {
+                let comm_ns = bus.sample_transfer_ns(self.total_activations, self.io_bits);
+                compute_period_ns.max(comm_ns)
+            }
+        };
+        let real_ops = self.total_ops / (real_period_ns * 1e-9);
+
+        BoundsPoint {
+            area_mm2,
+            pe_count: pe_count as usize,
+            peak_ops,
+            ideal_ops,
+            real_ops,
+            feasible: true,
+            duplication_degree,
+        }
+    }
+
+    /// Sweep a range of chip areas (log-spaced), as in Figures 2 and 6.
+    pub fn sweep(&self, min_area_mm2: f64, max_area_mm2: f64, points: usize) -> Vec<BoundsPoint> {
+        assert!(points >= 2, "a sweep needs at least two points");
+        let log_min = min_area_mm2.max(1e-3).ln();
+        let log_max = max_area_mm2.max(min_area_mm2).ln();
+        (0..points)
+            .map(|i| {
+                let t = i as f64 / (points - 1) as f64;
+                let area = (log_min + t * (log_max - log_min)).exp();
+                self.at_area(area)
+            })
+            .collect()
+    }
+
+    fn bottleneck(&self, duplicates: &[u64]) -> (usize, u64) {
+        self.layers
+            .iter()
+            .zip(duplicates)
+            .map(|(l, &d)| l.reuse.div_ceil(d))
+            .enumerate()
+            .max_by_key(|&(_, iters)| iters)
+            .map(|(i, iters)| (i, iters))
+            .unwrap_or((0, 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpsa_arch::ArchitectureConfig;
+    use fpsa_nn::zoo;
+
+    fn prime_bounds(stats: &WorkloadStats) -> PerformanceBounds {
+        PerformanceBounds::new(
+            PeParameters::from_arch(&ArchitectureConfig::prime()),
+            CommunicationModel::Bus(MemoryBus::prime_default()),
+            6,
+            stats,
+        )
+    }
+
+    #[test]
+    fn peak_exceeds_ideal_exceeds_real() {
+        let stats = zoo::vgg16().statistics();
+        let bounds = prime_bounds(&stats);
+        let point = bounds.at_area(bounds.minimum_area_mm2() * 4.0);
+        assert!(point.feasible);
+        assert!(point.peak_ops >= point.ideal_ops);
+        assert!(point.ideal_ops >= point.real_ops);
+    }
+
+    #[test]
+    fn too_small_chips_are_infeasible() {
+        let stats = zoo::vgg16().statistics();
+        let bounds = prime_bounds(&stats);
+        let point = bounds.at_area(bounds.minimum_area_mm2() * 0.5);
+        assert!(!point.feasible);
+        assert_eq!(point.ideal_ops, 0.0);
+    }
+
+    #[test]
+    fn prime_real_performance_is_communication_bound_at_scale() {
+        // Figure 2: with ample area, PRIME's real curve sits roughly two
+        // orders of magnitude below the ideal curve.
+        let stats = zoo::vgg16().statistics();
+        let bounds = prime_bounds(&stats);
+        let point = bounds.at_area(1000.0);
+        assert!(point.feasible);
+        let gap = point.ideal_ops / point.real_ops;
+        assert!(gap > 10.0, "ideal/real gap {gap} should be large");
+    }
+
+    #[test]
+    fn ideal_curve_scales_superlinearly_then_saturates() {
+        let stats = zoo::vgg16().statistics();
+        let bounds = PerformanceBounds::new(
+            PeParameters::from_arch(&ArchitectureConfig::prime()),
+            CommunicationModel::Ideal,
+            6,
+            &stats,
+        );
+        let a0 = bounds.minimum_area_mm2();
+        let small = bounds.at_area(a0 * 1.2);
+        let medium = bounds.at_area(a0 * 2.4);
+        // Doubling the area more than doubles the ideal performance in the
+        // unbalanced region (super-linear scaling).
+        assert!(medium.ideal_ops / small.ideal_ops > 2.0);
+        // And the ideal curve can never exceed peak.
+        let huge = bounds.at_area(a0 * 200.0);
+        assert!(huge.ideal_ops <= huge.peak_ops * 1.000001);
+    }
+
+    #[test]
+    fn fpsa_routed_bounds_beat_prime_bus_bounds() {
+        let stats = zoo::vgg16().statistics();
+        let prime = prime_bounds(&stats);
+        let fpsa = PerformanceBounds::new(
+            PeParameters::from_arch(&ArchitectureConfig::fpsa()),
+            CommunicationModel::Routed { per_value_ns: 640.0 },
+            6,
+            &stats,
+        );
+        let area = prime.minimum_area_mm2().max(fpsa.minimum_area_mm2()) * 8.0;
+        let p = prime.at_area(area);
+        let f = fpsa.at_area(area);
+        assert!(f.real_ops > p.real_ops * 50.0, "FPSA should be far ahead at {area} mm^2");
+    }
+
+    #[test]
+    fn sweep_is_monotone_in_area_for_the_peak_curve() {
+        let stats = zoo::alexnet().statistics();
+        let bounds = prime_bounds(&stats);
+        let sweep = bounds.sweep(10.0, 10_000.0, 12);
+        assert_eq!(sweep.len(), 12);
+        for pair in sweep.windows(2) {
+            assert!(pair[1].peak_ops >= pair[0].peak_ops);
+        }
+    }
+
+    #[test]
+    fn duplication_degree_grows_with_area() {
+        let stats = zoo::vgg16().statistics();
+        let bounds = PerformanceBounds::new(
+            PeParameters::from_arch(&ArchitectureConfig::fpsa()),
+            CommunicationModel::Ideal,
+            6,
+            &stats,
+        );
+        let a0 = bounds.minimum_area_mm2();
+        let d1 = bounds.at_area(a0 * 1.05).duplication_degree;
+        let d2 = bounds.at_area(a0 * 3.0).duplication_degree;
+        assert!(d2 >= d1);
+        assert!(d1 >= 1);
+    }
+}

@@ -1,0 +1,23 @@
+//! The PRIME baseline and the analytic performance-bound model.
+//!
+//! PRIME is the state-of-the-art ReRAM accelerator the paper compares
+//! against: its PEs keep conventional DAC/ADC peripherals (shared across rows
+//! and columns, which serializes the conversion), represent 8-bit weights by
+//! splicing two 4-bit cells, and communicate over the memory chip's shared
+//! bus. This crate models:
+//!
+//! * [`pe`] — the PRIME processing element, composed from its peripheral
+//!   circuits and calibrated against the published Table 2 figures
+//!   (34 802 µm², 3 064.7 ns, 1.229 TOPS/mm²);
+//! * [`bus`] — the shared memory bus and its per-sample transfer time;
+//! * [`bounds`] — the peak / utilization / communication performance bounds
+//!   of Section 3 (Figure 2), formulated generically so the same machinery
+//!   also produces the FPSA and FP-PRIME curves of Figure 6.
+
+pub mod bounds;
+pub mod bus;
+pub mod pe;
+
+pub use bounds::{BoundsPoint, CommunicationModel, PerformanceBounds, PeParameters};
+pub use bus::MemoryBus;
+pub use pe::PrimePeSpec;

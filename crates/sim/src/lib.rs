@@ -1,0 +1,20 @@
+//! Simulation engines for the FPSA reproduction.
+//!
+//! Two complementary simulators live here:
+//!
+//! * [`perf`] — the pipeline performance simulator. Given a mapped model
+//!   (allocation + schedule), an architecture configuration and a
+//!   communication estimate (from real place & route or from the analytic
+//!   model), it reports throughput, end-to-end latency, area and the
+//!   computation/communication breakdown — the quantities behind Figures 6–8
+//!   and Table 3 of the paper.
+//! * [`functional`] — functional studies on real (small, trainable) networks:
+//!   running a trained MLP through cycle-accurate spiking PEs to confirm the
+//!   spiking schema computes the right function, and the device-variation
+//!   accuracy study behind Figure 9 (splice vs add weight representation).
+
+pub mod functional;
+pub mod perf;
+
+pub use functional::{SpikingMlpRunner, VariationStudy};
+pub use perf::{CommunicationEstimate, PerformanceReport, PerformanceSimulator};

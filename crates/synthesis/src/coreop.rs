@@ -1,0 +1,355 @@
+//! The core-op graph data model.
+//!
+//! A *core-op* is the single operation the FPSA PE supports: a vector-matrix
+//! multiplication of at most crossbar size, optionally followed by ReLU. A
+//! convolutional layer produces one core-op per output position and weight
+//! tile; all core-ops sharing a weight tile form a [`CoreOpGroup`], and the
+//! group's *reuse degree* is the number of such core-ops. Keeping the graph
+//! in group form keeps even ImageNet-scale networks tractable (VGG16 has
+//! millions of core-ops but only a few thousand groups).
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a core-op group within one graph.
+pub type GroupId = usize;
+
+/// What a group of core-ops implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CoreOpKind {
+    /// A weight tile of a fully connected or convolutional layer.
+    Vmm,
+    /// A partial-sum reduction tile (sums the outputs of several VMM tiles).
+    Reduction,
+    /// A pooling construct (average pooling matrix or max-pooling MLP).
+    Pooling,
+    /// An element-wise construct (residual addition).
+    Eltwise,
+}
+
+impl CoreOpKind {
+    /// Short mnemonic for reports.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            CoreOpKind::Vmm => "vmm",
+            CoreOpKind::Reduction => "reduce",
+            CoreOpKind::Pooling => "pool",
+            CoreOpKind::Eltwise => "eltwise",
+        }
+    }
+}
+
+/// A group of core-ops sharing one weight tile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoreOpGroup {
+    /// Stable identifier (index into the graph's group list).
+    pub id: GroupId,
+    /// Human-readable name, derived from the source layer and tile indices.
+    pub name: String,
+    /// Source node id in the original computational graph.
+    pub source_node: usize,
+    /// What the group implements.
+    pub kind: CoreOpKind,
+    /// Rows of the weight tile (crossbar inputs used), ≤ crossbar rows.
+    pub rows: usize,
+    /// Columns of the weight tile (crossbar outputs used), ≤ crossbar columns.
+    pub cols: usize,
+    /// Number of core-ops that share this tile (1 for fully connected
+    /// layers, `output_h x output_w` for convolutions).
+    pub reuse_degree: u64,
+    /// Whether ReLU is fused into the core-op.
+    pub relu: bool,
+    /// Pipeline depth position of the source layer (used for latency
+    /// estimates; filled in by the synthesizer from the topological order).
+    pub layer_depth: usize,
+}
+
+impl CoreOpGroup {
+    /// Total core-ops represented by this group.
+    pub fn core_op_count(&self) -> u64 {
+        self.reuse_degree
+    }
+
+    /// Weight storage demand of the tile in weights.
+    pub fn weight_count(&self) -> u64 {
+        (self.rows * self.cols) as u64
+    }
+
+    /// Operations (multiply + add) performed by all core-ops of the group
+    /// per network inference.
+    pub fn ops(&self) -> u64 {
+        2 * self.weight_count() * self.reuse_degree
+    }
+}
+
+/// One individual core-op, materialized from a group (used by the functional
+/// simulator and by tests on small networks).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CoreOp {
+    /// The group this core-op belongs to.
+    pub group: GroupId,
+    /// Index of the core-op within its group (e.g. the output position).
+    pub instance: u64,
+}
+
+/// The synthesized graph of core-op groups.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct CoreOpGraph {
+    /// Model name, carried over from the computational graph.
+    pub model: String,
+    /// Crossbar rows the synthesizer targeted.
+    pub crossbar_rows: usize,
+    /// Logical crossbar columns the synthesizer targeted.
+    pub crossbar_cols: usize,
+    groups: Vec<CoreOpGroup>,
+    edges: Vec<(GroupId, GroupId)>,
+}
+
+impl CoreOpGraph {
+    /// Create an empty graph.
+    pub fn new(model: impl Into<String>, crossbar_rows: usize, crossbar_cols: usize) -> Self {
+        CoreOpGraph {
+            model: model.into(),
+            crossbar_rows,
+            crossbar_cols,
+            groups: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Add a group, assigning its id.
+    pub fn add_group(&mut self, mut group: CoreOpGroup) -> GroupId {
+        let id = self.groups.len();
+        group.id = id;
+        self.groups.push(group);
+        id
+    }
+
+    /// Add a data dependency between two groups.
+    pub fn add_edge(&mut self, from: GroupId, to: GroupId) {
+        self.edges.push((from, to));
+    }
+
+    /// All groups.
+    pub fn groups(&self) -> &[CoreOpGroup] {
+        &self.groups
+    }
+
+    /// All dependency edges.
+    pub fn edges(&self) -> &[(GroupId, GroupId)] {
+        &self.edges
+    }
+
+    /// Number of groups.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Whether the graph has no groups.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Groups that feed `id`.
+    pub fn predecessors(&self, id: GroupId) -> Vec<GroupId> {
+        self.edges
+            .iter()
+            .filter(|(_, t)| *t == id)
+            .map(|(f, _)| *f)
+            .collect()
+    }
+
+    /// Groups fed by `id`.
+    pub fn successors(&self, id: GroupId) -> Vec<GroupId> {
+        self.edges
+            .iter()
+            .filter(|(f, _)| *f == id)
+            .map(|(_, t)| *t)
+            .collect()
+    }
+
+    /// Total number of individual core-ops.
+    pub fn total_core_ops(&self) -> u64 {
+        self.groups.iter().map(CoreOpGroup::core_op_count).sum()
+    }
+
+    /// Total operations per inference.
+    pub fn total_ops(&self) -> u64 {
+        self.groups.iter().map(CoreOpGroup::ops).sum()
+    }
+
+    /// Total weights stored across all tiles.
+    pub fn total_weights(&self) -> u64 {
+        self.groups.iter().map(CoreOpGroup::weight_count).sum()
+    }
+
+    /// The minimum number of PEs needed to hold every weight tile once.
+    pub fn minimum_pe_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The maximum reuse degree over all groups (the paper's reference group
+    /// for the model-level duplication degree).
+    pub fn max_reuse_degree(&self) -> u64 {
+        self.groups.iter().map(|g| g.reuse_degree).max().unwrap_or(1)
+    }
+
+    /// The spatial utilization: the compute-weighted fraction of crossbar
+    /// cells actually used by the mapped tiles (Figure 8c's "Spatial
+    /// Utilization Bound" relative to peak).
+    pub fn spatial_utilization(&self) -> f64 {
+        let capacity = (self.crossbar_rows * self.crossbar_cols) as f64;
+        if capacity == 0.0 || self.groups.is_empty() {
+            return 0.0;
+        }
+        let used: f64 = self
+            .groups
+            .iter()
+            .map(|g| g.reuse_degree as f64 * (g.rows * g.cols) as f64)
+            .sum();
+        let allocated: f64 = self
+            .groups
+            .iter()
+            .map(|g| g.reuse_degree as f64 * capacity)
+            .sum();
+        used / allocated
+    }
+
+    /// Fraction of groups (and therefore minimum PEs) devoted to a given
+    /// kind of construct — reproduces the paper's observation that pooling
+    /// occupies 67% of GoogLeNet's PEs after synthesis.
+    pub fn group_share_of(&self, kind: CoreOpKind) -> f64 {
+        if self.groups.is_empty() {
+            return 0.0;
+        }
+        self.groups.iter().filter(|g| g.kind == kind).count() as f64 / self.groups.len() as f64
+    }
+
+    /// The number of pipeline levels (maximum layer depth + 1).
+    pub fn pipeline_depth(&self) -> usize {
+        self.groups.iter().map(|g| g.layer_depth + 1).max().unwrap_or(0)
+    }
+
+    /// Materialize individual core-ops, up to `limit` instances (returns
+    /// `None` if the expansion would exceed the limit). Useful for
+    /// functional simulation of small models.
+    pub fn expand(&self, limit: u64) -> Option<Vec<CoreOp>> {
+        if self.total_core_ops() > limit {
+            return None;
+        }
+        let mut out = Vec::with_capacity(self.total_core_ops() as usize);
+        for g in &self.groups {
+            for instance in 0..g.reuse_degree {
+                out.push(CoreOp {
+                    group: g.id,
+                    instance,
+                });
+            }
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn group(kind: CoreOpKind, rows: usize, cols: usize, reuse: u64, depth: usize) -> CoreOpGroup {
+        CoreOpGroup {
+            id: 0,
+            name: "g".into(),
+            source_node: 0,
+            kind,
+            rows,
+            cols,
+            reuse_degree: reuse,
+            relu: true,
+            layer_depth: depth,
+        }
+    }
+
+    fn sample_graph() -> CoreOpGraph {
+        let mut g = CoreOpGraph::new("test", 256, 256);
+        let a = g.add_group(group(CoreOpKind::Vmm, 256, 256, 100, 0));
+        let b = g.add_group(group(CoreOpKind::Vmm, 128, 64, 1, 1));
+        let c = g.add_group(group(CoreOpKind::Pooling, 32, 8, 100, 1));
+        g.add_edge(a, b);
+        g.add_edge(a, c);
+        g
+    }
+
+    #[test]
+    fn ids_are_assigned_sequentially() {
+        let g = sample_graph();
+        assert_eq!(g.groups()[0].id, 0);
+        assert_eq!(g.groups()[2].id, 2);
+        assert_eq!(g.len(), 3);
+    }
+
+    #[test]
+    fn adjacency_queries_work() {
+        let g = sample_graph();
+        assert_eq!(g.successors(0), vec![1, 2]);
+        assert_eq!(g.predecessors(2), vec![0]);
+        assert!(g.predecessors(0).is_empty());
+    }
+
+    #[test]
+    fn totals_aggregate_groups() {
+        let g = sample_graph();
+        assert_eq!(g.total_core_ops(), 100 + 1 + 100);
+        assert_eq!(g.minimum_pe_count(), 3);
+        assert_eq!(g.max_reuse_degree(), 100);
+        assert_eq!(
+            g.total_weights(),
+            (256 * 256 + 128 * 64 + 32 * 8) as u64
+        );
+    }
+
+    #[test]
+    fn spatial_utilization_is_weighted_by_reuse() {
+        let g = sample_graph();
+        let cap = 256.0 * 256.0;
+        let used = 100.0 * cap + 1.0 * (128.0 * 64.0) + 100.0 * (32.0 * 8.0);
+        let alloc = 201.0 * cap;
+        assert!((g.spatial_utilization() - used / alloc).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spatial_utilization_of_full_tiles_is_one() {
+        let mut g = CoreOpGraph::new("full", 256, 256);
+        g.add_group(group(CoreOpKind::Vmm, 256, 256, 10, 0));
+        assert!((g.spatial_utilization() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn group_share_counts_kinds() {
+        let g = sample_graph();
+        assert!((g.group_share_of(CoreOpKind::Pooling) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(g.group_share_of(CoreOpKind::Reduction), 0.0);
+    }
+
+    #[test]
+    fn expand_respects_limit() {
+        let g = sample_graph();
+        assert!(g.expand(10).is_none());
+        let ops = g.expand(1000).unwrap();
+        assert_eq!(ops.len(), 201);
+        assert_eq!(ops[0], CoreOp { group: 0, instance: 0 });
+    }
+
+    #[test]
+    fn pipeline_depth_is_max_layer_depth_plus_one() {
+        let g = sample_graph();
+        assert_eq!(g.pipeline_depth(), 2);
+        assert_eq!(CoreOpGraph::new("e", 256, 256).pipeline_depth(), 0);
+    }
+
+    #[test]
+    fn empty_graph_is_safe() {
+        let g = CoreOpGraph::new("empty", 256, 256);
+        assert!(g.is_empty());
+        assert_eq!(g.spatial_utilization(), 0.0);
+        assert_eq!(g.total_core_ops(), 0);
+        assert_eq!(g.group_share_of(CoreOpKind::Vmm), 0.0);
+    }
+}

@@ -1,0 +1,52 @@
+//! Functional end-to-end demo: train a small network, run it through the
+//! cycle-accurate spiking PEs, and compare architectures for deploying it.
+//!
+//! ```text
+//! cargo run --release --example compile_and_simulate
+//! ```
+//!
+//! This example exercises the parts of the stack the performance figures do
+//! not: the tiny training engine, the spike-level functional simulation of
+//! the PE (Equations 1–6 of the paper), and compilation of the same model for
+//! the FPSA, FP-PRIME and PRIME targets.
+
+use fpsa::arch::ArchitectureConfig;
+use fpsa::core::compiler::Compiler;
+use fpsa::nn::dataset::Dataset;
+use fpsa::nn::mlp::{Mlp, TrainConfig};
+use fpsa::nn::zoo;
+use fpsa::sim::SpikingMlpRunner;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== Train a small network and run it on spiking PEs ==\n");
+    let data = Dataset::gaussian_blobs(4, 80, 8, 0.3, 7);
+    let (train, test) = data.split(0.8);
+    let mut mlp = Mlp::new(&[8, 24, 4], 1);
+    mlp.train(&train, TrainConfig::default());
+    let float_accuracy = mlp.accuracy(&test);
+    let spiking_accuracy = SpikingMlpRunner::new(64).accuracy(&mlp, &test);
+    println!("  float accuracy           : {float_accuracy:.3}");
+    println!("  spiking (64-cycle) window: {spiking_accuracy:.3}");
+    println!("  (the spiking PE computes ReLU(Wx) with 6-bit rate-coded precision)\n");
+
+    println!("== Compile CIFAR-VGG17 for the three architectures ==\n");
+    let model = zoo::cifar_vgg17();
+    for arch in [
+        ArchitectureConfig::prime(),
+        ArchitectureConfig::fp_prime(),
+        ArchitectureConfig::fpsa(),
+    ] {
+        let name = arch.kind.name();
+        let compiled = Compiler::for_architecture(arch)
+            .with_duplication(16)
+            .without_place_and_route()
+            .compile(&model)?;
+        let perf = compiled.performance();
+        println!(
+            "  {name:<9}: {:>12.0} samples/s, latency {:>10.1} us, area {:>8.2} mm^2",
+            perf.throughput_samples_per_s, perf.latency_us, perf.area_mm2
+        );
+    }
+    println!("\nFPSA wins on every axis: the routed fabric removes the bus bottleneck and the\nspiking PE shrinks both the area and the per-VMM latency.");
+    Ok(())
+}

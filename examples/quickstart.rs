@@ -1,0 +1,67 @@
+//! Quickstart: compile a network for FPSA and look at what the stack produced.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! The example compiles LeNet through the full software stack (neural
+//! synthesizer → spatial-to-temporal mapper → placement & routing), prints the
+//! intermediate artifact sizes, the device-level Table 1 parameters, and the
+//! estimated performance of the compiled design.
+
+use fpsa::core::compiler::Compiler;
+use fpsa::core::experiments::table1;
+use fpsa::nn::zoo;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== FPSA quickstart ==\n");
+
+    println!("Function-block parameters (Table 1, regenerated from device models):");
+    println!("{}", table1::to_table(&table1::run()));
+
+    let model = zoo::lenet();
+    let stats = model.statistics();
+    println!(
+        "Compiling {} ({} weights, {} ops/sample) for the FPSA fabric...",
+        stats.model, stats.total_weights, stats.total_ops
+    );
+
+    let compiled = Compiler::fpsa().with_duplication(4).compile(&model)?;
+
+    println!(
+        "  core-op graph : {} groups / {} core-ops (max reuse degree {})",
+        compiled.core_graph.len(),
+        compiled.core_graph.total_core_ops(),
+        compiled.core_graph.max_reuse_degree()
+    );
+    let netlist = compiled.mapping.netlist.stats();
+    println!(
+        "  netlist       : {} PEs, {} SMBs, {} CLBs, {} nets",
+        netlist.pe_count, netlist.smb_count, netlist.clb_count, netlist.net_count
+    );
+    if let Some(physical) = &compiled.physical {
+        println!(
+            "  placed & routed: critical path {:.2} ns over {} hops (channel width needed: {})",
+            physical.timing.critical_delay_ns,
+            physical.timing.critical_hops,
+            physical.routing.required_channel_width()
+        );
+    }
+    let bitstream = compiled.bitstream();
+    println!(
+        "  configuration : {} sections, {} payload bytes",
+        bitstream.sections().len(),
+        bitstream.payload_bytes()
+    );
+
+    let perf = compiled.performance();
+    println!("\nEstimated performance on FPSA:");
+    println!("  throughput : {:.1} samples/s", perf.throughput_samples_per_s);
+    println!("  latency    : {:.2} us", perf.latency_us);
+    println!("  area       : {:.2} mm^2 ({} PEs)", perf.area_mm2, perf.pe_count);
+    println!(
+        "  per-PE time: {:.1} ns compute + {:.1} ns communication",
+        perf.compute_ns_per_vmm, perf.communication_ns_per_vmm
+    );
+    Ok(())
+}

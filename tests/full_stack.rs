@@ -1,0 +1,115 @@
+//! Cross-crate integration tests: the whole flow from a framework-level
+//! computational graph down to a placed, routed, configured fabric and its
+//! performance report.
+
+use fpsa::arch::ArchitectureConfig;
+use fpsa::core::compiler::Compiler;
+use fpsa::core::evaluator::Evaluator;
+use fpsa::nn::zoo::{self, Benchmark};
+use fpsa::sim::CommunicationEstimate;
+
+#[test]
+fn lenet_compiles_places_routes_and_reports_performance() {
+    let compiled = Compiler::fpsa().with_duplication(2).compile(&zoo::lenet()).unwrap();
+
+    // Synthesis produced only crossbar-sized tiles.
+    assert!(compiled
+        .core_graph
+        .groups()
+        .iter()
+        .all(|g| g.rows <= 256 && g.cols <= 256));
+
+    // Mapping produced a netlist whose PE count matches the allocation.
+    let stats = compiled.mapping.netlist.stats();
+    assert_eq!(stats.pe_count, compiled.mapping.allocation.total_pes());
+
+    // Physical design ran and fits the FPSA channel width.
+    let physical = compiled.physical.as_ref().expect("LeNet gets full P&R");
+    assert!(physical.timing.routable);
+    assert!(physical.timing.critical_delay_ns < 50.0);
+
+    // The performance report is self-consistent.
+    let perf = compiled.performance();
+    assert!(perf.throughput_samples_per_s > 0.0);
+    assert!(perf.latency_us > 0.0);
+    assert!(perf.area_mm2 > 0.0);
+    assert!((perf.ops_per_mm2 - perf.ops_per_second / perf.area_mm2).abs() / perf.ops_per_mm2 < 1e-6);
+}
+
+#[test]
+fn the_three_architectures_rank_as_the_paper_reports() {
+    // PRIME < FP-PRIME < FPSA in throughput on the same CNN at the same
+    // duplication degree.
+    let model = zoo::cifar_vgg17();
+    let mut throughput = Vec::new();
+    for arch in [
+        ArchitectureConfig::prime(),
+        ArchitectureConfig::fp_prime(),
+        ArchitectureConfig::fpsa(),
+    ] {
+        let compiled = Compiler::for_architecture(arch)
+            .with_duplication(16)
+            .without_place_and_route()
+            .compile(&model)
+            .unwrap();
+        throughput.push(compiled.performance().throughput_samples_per_s);
+    }
+    assert!(throughput[1] > throughput[0], "FP-PRIME should beat PRIME");
+    assert!(throughput[2] > throughput[1], "FPSA should beat FP-PRIME");
+    assert!(throughput[2] > throughput[0] * 10.0, "FPSA should beat PRIME by a wide margin");
+}
+
+#[test]
+fn routed_critical_path_feeds_the_performance_model() {
+    let compiled = Compiler::fpsa().compile(&zoo::mlp_500_100()).unwrap();
+    match compiled.communication_estimate() {
+        CommunicationEstimate::Routed { critical_path_ns } => {
+            let timing = &compiled.physical.as_ref().unwrap().timing;
+            assert!((critical_path_ns - timing.critical_delay_ns).abs() < 1e-9);
+        }
+        other => panic!("expected a routed estimate, got {other:?}"),
+    }
+}
+
+#[test]
+fn evaluator_matches_a_manual_compile() {
+    let eval = Evaluator::fpsa().evaluate(Benchmark::LeNet, 4);
+    let manual = Compiler::fpsa()
+        .with_duplication(4)
+        .without_place_and_route()
+        .compile(&zoo::lenet())
+        .unwrap()
+        .performance();
+    assert!(
+        (eval.performance.throughput_samples_per_s - manual.throughput_samples_per_s).abs()
+            / manual.throughput_samples_per_s
+            < 1e-9
+    );
+}
+
+#[test]
+fn duplication_sweep_is_superlinear_for_cnns_and_flat_for_mlps() {
+    let evaluator = Evaluator::fpsa();
+    let lenet_1 = evaluator.evaluate(Benchmark::LeNet, 1);
+    let lenet_64 = evaluator.evaluate(Benchmark::LeNet, 64);
+    let speedup = lenet_64.performance.ops_per_second / lenet_1.performance.ops_per_second;
+    let area_growth = lenet_64.performance.area_mm2 / lenet_1.performance.area_mm2;
+    assert!(speedup > 8.0);
+    assert!(area_growth < speedup);
+
+    let mlp_1 = evaluator.evaluate(Benchmark::Mlp500x100, 1);
+    let mlp_64 = evaluator.evaluate(Benchmark::Mlp500x100, 64);
+    let mlp_speedup = mlp_64.performance.ops_per_second / mlp_1.performance.ops_per_second;
+    assert!(mlp_speedup < 1.5);
+}
+
+#[test]
+fn bitstreams_round_trip_for_every_small_model() {
+    for model in [zoo::mlp_500_100(), zoo::lenet()] {
+        let compiled = Compiler::fpsa().compile(&model).unwrap();
+        let bitstream = compiled.bitstream();
+        let bytes = bitstream.to_bytes();
+        let parsed = fpsa::arch::Bitstream::from_bytes(bytes).expect("bitstream parses back");
+        assert_eq!(parsed.sections().len(), bitstream.sections().len());
+    }
+}
