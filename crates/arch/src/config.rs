@@ -165,7 +165,9 @@ impl ArchitectureConfig {
             kind: ArchitectureKind::Prime,
             pe: PeModel::prime(),
             io_bits: 6,
-            communication: CommunicationStyle::MemoryBus { bandwidth_gbps: 32.0 },
+            communication: CommunicationStyle::MemoryBus {
+                bandwidth_gbps: 32.0,
+            },
             routing: RoutingArchitecture::fpsa_default(),
             pes_per_smb: 8,
             pes_per_clb: 8,
@@ -188,8 +190,8 @@ impl ArchitectureConfig {
     /// SMB, CLB and routing-driver area, in µm².
     pub fn area_per_pe_um2(&self) -> f64 {
         let (smb, clb) = self.support_blocks();
-        let support = smb.area_um2() / self.pes_per_smb as f64
-            + clb.area_um2() / self.pes_per_clb as f64;
+        let support =
+            smb.area_um2() / self.pes_per_smb as f64 + clb.area_um2() / self.pes_per_clb as f64;
         let drivers = if self.kind.uses_reconfigurable_routing() {
             self.routing.driver_area_um2_per_tile()
         } else {

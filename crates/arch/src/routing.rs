@@ -105,9 +105,7 @@ mod tests {
     #[test]
     fn hop_delay_combines_wire_and_switch() {
         let r = RoutingArchitecture::fpsa_default();
-        assert!(
-            (r.hop_delay_ns() - (r.wire_delay_per_block_ns + r.switch_delay_ns)).abs() < 1e-12
-        );
+        assert!((r.hop_delay_ns() - (r.wire_delay_per_block_ns + r.switch_delay_ns)).abs() < 1e-12);
     }
 
     #[test]

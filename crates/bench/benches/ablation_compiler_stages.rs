@@ -1,44 +1,64 @@
-//! Ablation benchmarks for the software stack itself: how long each stage of
-//! the compiler takes (synthesis, mapping, placement & routing) and how the
+//! Ablation benchmarks for the software stack itself: where compile time
+//! goes stage by stage — read straight from the instrumented pipeline's
+//! `StageTrace` instead of re-timing each step by hand — and how the
 //! duplication degree and channel width affect the result. These are the
 //! design-choice ablations called out in DESIGN.md rather than paper figures.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fpsa_arch::{ArchitectureConfig, Fabric};
-use fpsa_mapper::{AllocationPolicy, Mapper};
+use fpsa_bench::{print_experiment, save_json};
+use fpsa_core::compiler::Compiler;
+use fpsa_core::pipeline::{CompileStage, MapStage, SynthesizeStage};
 use fpsa_nn::zoo;
-use fpsa_placeroute::{Placer, PlacerConfig, Router};
-use fpsa_synthesis::{NeuralSynthesizer, SynthesisConfig};
+use fpsa_placeroute::Router;
 
 fn bench(c: &mut Criterion) {
-    let synthesizer = NeuralSynthesizer::new(SynthesisConfig::fpsa_default());
     let lenet = zoo::lenet();
-    let core = synthesizer.synthesize(&lenet).unwrap();
+
+    // One instrumented compilation provides the per-stage breakdown that
+    // this ablation used to reconstruct by timing each step separately.
+    let compiled = Compiler::fpsa().compile(&lenet).unwrap();
+    print_experiment(
+        "Compiler-stage ablation: LeNet wall-clock by pipeline stage",
+        &compiled.trace.to_table(),
+    );
+    save_json("ablation_compiler_stages", &compiled.trace);
+
+    let arch = compiled.arch.clone();
+    let synthesize = SynthesizeStage::for_architecture(&arch);
+    let core = synthesize.run(&lenet).unwrap();
 
     let mut group = c.benchmark_group("compiler_stages");
     group.sample_size(20);
+    group.bench_function("compile_lenet_full_pipeline", |b| {
+        b.iter(|| Compiler::fpsa().compile(&lenet).unwrap())
+    });
     group.bench_function("synthesize_lenet", |b| {
-        b.iter(|| synthesizer.synthesize(&lenet).unwrap())
+        b.iter(|| synthesize.run(&lenet).unwrap())
     });
     for dup in [1u64, 16] {
         group.bench_with_input(BenchmarkId::new("map_lenet_dup", dup), &dup, |b, &dup| {
-            let mapper = Mapper::new(64, AllocationPolicy::DuplicationDegree(dup));
-            b.iter(|| mapper.map(&core))
+            let map = MapStage::new(&arch, dup);
+            b.iter(|| map.run(&core).unwrap())
         });
     }
-    let mapping = Mapper::new(64, AllocationPolicy::DuplicationDegree(1)).map(&core);
-    let config = ArchitectureConfig::fpsa();
-    let fabric = Fabric::with_pe_count(config.clone(), mapping.netlist.len());
-    group.bench_function("place_lenet", |b| {
-        b.iter(|| Placer::new(PlacerConfig::fast()).place(&mapping.netlist, &fabric))
-    });
-    let placement = Placer::new(PlacerConfig::fast()).place(&mapping.netlist, &fabric);
+    // Channel width is a routing-architecture knob beneath the PlaceRoute
+    // stage; ablate it against the placement of the compiled model.
+    let mapping = &compiled.mapping;
+    let placement = &compiled
+        .physical
+        .as_ref()
+        .expect("LeNet is small enough for P&R")
+        .placement;
     for width in [128usize, 512] {
-        group.bench_with_input(BenchmarkId::new("route_lenet_width", width), &width, |b, &w| {
-            let mut routing = config.routing;
-            routing.channel_width = w;
-            b.iter(|| Router::new(routing).route(&mapping.netlist, &placement))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("route_lenet_width", width),
+            &width,
+            |b, &w| {
+                let mut routing = arch.routing;
+                routing.channel_width = w;
+                b.iter(|| Router::new(routing).route(&mapping.netlist, placement))
+            },
+        );
     }
     group.finish();
 }

@@ -6,7 +6,10 @@ use fpsa_core::experiments::fig2;
 
 fn bench(c: &mut Criterion) {
     let fig = fig2::run();
-    print_experiment("Figure 2: PRIME bounds for VGG16 (peak / ideal / real)", &fig2::to_table(&fig));
+    print_experiment(
+        "Figure 2: PRIME bounds for VGG16 (peak / ideal / real)",
+        &fig2::to_table(&fig),
+    );
     save_json("fig2", &fig);
     let mut group = c.benchmark_group("fig2");
     group.sample_size(20);

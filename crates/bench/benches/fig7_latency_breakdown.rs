@@ -1,13 +1,22 @@
-//! Regenerates Figure 7: per-PE latency breakdown (computation vs communication).
+//! Regenerates Figure 7: per-PE latency breakdown (computation vs
+//! communication), plus the compile-stage breakdown of the shared VGG16
+//! compilation measured by the instrumented pipeline.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use fpsa_bench::{print_experiment, save_json};
 use fpsa_core::experiments::fig7;
 
 fn bench(c: &mut Criterion) {
-    let bars = fig7::run();
-    print_experiment("Figure 7: per-PE latency breakdown for VGG16", &fig7::to_table(&bars));
-    save_json("fig7", &bars);
+    let fig = fig7::run();
+    print_experiment(
+        "Figure 7: per-PE latency breakdown for VGG16",
+        &fig7::to_table(&fig),
+    );
+    print_experiment(
+        "Figure 7 (instrumentation): where the VGG16 compile spent its time",
+        &fig.compile.to_table(),
+    );
+    save_json("fig7", &fig);
     let mut group = c.benchmark_group("fig7");
     group.sample_size(10);
     group.bench_function("latency_breakdown_vgg16", |b| b.iter(fig7::run));

@@ -6,7 +6,10 @@ use fpsa_core::experiments::table1;
 
 fn bench(c: &mut Criterion) {
     let rows = table1::run();
-    print_experiment("Table 1: function-block parameters (45 nm)", &table1::to_table(&rows));
+    print_experiment(
+        "Table 1: function-block parameters (45 nm)",
+        &table1::to_table(&rows),
+    );
     save_json("table1", &rows);
     c.bench_function("table1/function_block_models", |b| b.iter(table1::run));
 }

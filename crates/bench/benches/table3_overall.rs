@@ -6,7 +6,10 @@ use fpsa_core::experiments::table3;
 
 fn bench(c: &mut Criterion) {
     let cols = table3::run();
-    print_experiment("Table 3: overall FPSA performance (64x duplication)", &table3::to_table(&cols));
+    print_experiment(
+        "Table 3: overall FPSA performance (64x duplication)",
+        &table3::to_table(&cols),
+    );
     save_json("table3", &cols);
     let mut group = c.benchmark_group("table3");
     group.sample_size(10);

@@ -1,19 +1,27 @@
 //! The end-to-end compilation pipeline.
 //!
-//! `Compiler` runs the three software-stack steps of the paper in order:
-//! neural synthesis (computational graph → core-op graph), spatial-to-
-//! temporal mapping (core-op graph → function-block netlist), and — when the
-//! netlist is small enough for full physical design — placement & routing on
-//! the fabric. The result carries every intermediate artifact so that tools,
-//! tests and experiments can inspect any stage.
+//! `Compiler` drives the instrumented stage pipeline of [`crate::pipeline`]
+//! through the three software-stack steps of the paper — neural synthesis
+//! (computational graph → core-op graph), spatial-to-temporal mapping
+//! (core-op graph → function-block netlist) and, when the netlist is small
+//! enough for full physical design, placement & routing on the fabric —
+//! followed by communication estimation. The result carries every
+//! intermediate artifact plus a [`StageTrace`] of per-stage wall-clock time
+//! and artifact sizes, so tools, tests and experiments can inspect any stage
+//! and see where compile time went.
 
+use crate::pipeline::{
+    EstimateStage, InstrumentedPipeline, MapStage, PlaceRouteStage, SynthesizeStage,
+};
 use fpsa_arch::{ArchitectureConfig, Bitstream, SectionKind};
-use fpsa_mapper::{AllocationPolicy, Mapper, Mapping};
+use fpsa_mapper::Mapping;
 use fpsa_nn::{ComputationalGraph, NnError};
-use fpsa_placeroute::{place_and_route, PlacerConfig, Placement, RoutingResult, TimingReport};
-use fpsa_sim::{CommunicationEstimate, PerformanceReport, PerformanceSimulator};
-use fpsa_synthesis::{CoreOpGraph, NeuralSynthesizer, SynthesisConfig};
+use fpsa_placeroute::PlacerConfig;
+use fpsa_sim::{CommunicationEstimate, PerformanceReport, PerformanceSimulator, StageTrace};
+use fpsa_synthesis::CoreOpGraph;
 use serde::{Deserialize, Serialize};
+
+pub use crate::pipeline::PhysicalDesign;
 
 /// Above this many netlist blocks the compiler skips full placement &
 /// routing and uses the analytic wire model instead (documented in
@@ -66,55 +74,35 @@ impl Compiler {
         self
     }
 
-    /// Compile a computational graph.
+    /// Compile a computational graph through the instrumented stage pipeline
+    /// `Synthesize → Map → PlaceRoute → Estimate`.
     ///
     /// # Errors
     ///
-    /// Propagates graph and shape errors from the synthesis step.
+    /// Propagates graph and shape errors from the synthesis stage.
     pub fn compile(&self, graph: &ComputationalGraph) -> Result<CompiledModel, NnError> {
-        let synthesizer = NeuralSynthesizer::new(SynthesisConfig {
-            crossbar_rows: self.arch.pe.rows,
-            crossbar_cols: self.arch.pe.cols,
-        });
-        let core_graph = synthesizer.synthesize(graph)?;
-        let mapper = Mapper::new(
-            self.arch.sampling_window(),
-            AllocationPolicy::DuplicationDegree(self.duplication),
-        );
-        let mapping = mapper.map(&core_graph);
-
-        let physical = if !self.skip_place_and_route
-            && mapping.netlist.len() <= PLACE_AND_ROUTE_BLOCK_LIMIT
-        {
-            let (placement, routing, timing) =
-                place_and_route(&mapping.netlist, &self.arch, self.placer);
-            Some(PhysicalDesign {
-                placement,
-                routing,
-                timing,
-            })
-        } else {
-            None
-        };
-
+        let mut pipeline = InstrumentedPipeline::new();
+        let core_graph =
+            pipeline.run_stage(&SynthesizeStage::for_architecture(&self.arch), graph)?;
+        let mapping =
+            pipeline.run_stage(&MapStage::new(&self.arch, self.duplication), &core_graph)?;
+        let physical = pipeline.run_stage(
+            &PlaceRouteStage::new(self.arch.clone(), self.placer, self.skip_place_and_route),
+            &mapping,
+        )?;
+        let communication = pipeline.run_stage(
+            &EstimateStage::new(self.arch.clone()),
+            (&mapping, physical.as_ref()),
+        )?;
         Ok(CompiledModel {
             arch: self.arch.clone(),
             core_graph,
             mapping,
             physical,
+            communication,
+            trace: pipeline.finish(),
         })
     }
-}
-
-/// The physical-design artifacts (present when P&R ran).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct PhysicalDesign {
-    /// Block placement on the fabric.
-    pub placement: Placement,
-    /// Routed nets.
-    pub routing: RoutingResult,
-    /// Timing analysis of the routed design.
-    pub timing: TimingReport,
 }
 
 /// Everything the compiler produced for one model.
@@ -128,27 +116,30 @@ pub struct CompiledModel {
     pub mapping: Mapping,
     /// Placement/routing/timing, when physical design ran.
     pub physical: Option<PhysicalDesign>,
+    /// The communication estimate picked by the pipeline's Estimate stage.
+    pub communication: CommunicationEstimate,
+    /// Per-stage wall-clock and artifact-size instrumentation.
+    pub trace: StageTrace,
 }
 
 impl CompiledModel {
     /// The communication estimate to use for performance evaluation: the
-    /// routed critical path when available, the analytic model otherwise.
+    /// routed critical path when available, the analytic model otherwise
+    /// (picked once by the pipeline's Estimate stage).
     pub fn communication_estimate(&self) -> CommunicationEstimate {
-        match (&self.physical, &self.arch.communication) {
-            (Some(p), fpsa_arch::CommunicationStyle::Routed { .. }) => {
-                CommunicationEstimate::from_timing(&p.timing)
-            }
-            _ => CommunicationEstimate::analytic(&self.arch, self.mapping.netlist.len()),
-        }
+        self.communication
     }
 
-    /// Evaluate the performance of the compiled model.
+    /// Evaluate the performance of the compiled model. The report carries
+    /// this compilation's [`StageTrace`].
     pub fn performance(&self) -> PerformanceReport {
-        PerformanceSimulator::new(self.arch.clone()).evaluate(
-            &self.core_graph,
-            &self.mapping,
-            self.communication_estimate(),
-        )
+        PerformanceSimulator::new(self.arch.clone())
+            .evaluate(
+                &self.core_graph,
+                &self.mapping,
+                self.communication_estimate(),
+            )
+            .with_compile_trace(self.trace.clone())
     }
 
     /// Emit the configuration bitstream: one weight section per PE, one LUT
@@ -165,7 +156,9 @@ impl CompiledModel {
                     // One 4-bit level per cell; the weights themselves are
                     // trained values not carried through this flow, so the
                     // section records the tile geometry as placeholder levels.
-                    let levels = vec![0u8; g.rows * g.cols / 2];
+                    // Odd cell counts round up — the trailing cell still
+                    // needs its half-byte.
+                    let levels = vec![0u8; (g.rows * g.cols).div_ceil(2)];
                     bitstream.push(
                         SectionKind::PeWeights,
                         slot as u32,
@@ -193,6 +186,7 @@ impl CompiledModel {
 mod tests {
     use super::*;
     use fpsa_nn::zoo;
+    use fpsa_sim::StageKind;
 
     #[test]
     fn compiling_lenet_runs_the_whole_flow() {
@@ -203,6 +197,23 @@ mod tests {
         let report = compiled.performance();
         assert!(report.throughput_samples_per_s > 0.0);
         assert!(report.area_mm2 > 0.0);
+    }
+
+    #[test]
+    fn compilation_records_a_full_stage_trace() {
+        let compiled = Compiler::fpsa().compile(&zoo::lenet()).unwrap();
+        let kinds: Vec<StageKind> = compiled.trace.records().iter().map(|r| r.stage).collect();
+        assert_eq!(kinds, StageKind::ALL.to_vec());
+        // Synthesis consumed the graph's nodes and produced the core groups.
+        let synth = &compiled.trace.records()[0];
+        assert_eq!(synth.items_out, compiled.core_graph.len());
+        // Mapping produced the netlist.
+        let map = &compiled.trace.records()[1];
+        assert_eq!(map.items_out, compiled.mapping.netlist.len());
+        // The trace rides on the performance report.
+        let report = compiled.performance();
+        let trace = report.compile.expect("compiled models report their trace");
+        assert_eq!(trace, compiled.trace);
     }
 
     #[test]
@@ -224,6 +235,10 @@ mod tests {
             CommunicationEstimate::Routed { .. }
         ));
         assert!(compiled.performance().throughput_samples_per_s > 0.0);
+        // The PlaceRoute stage still appears in the trace, with no output.
+        let pr = &compiled.trace.records()[2];
+        assert_eq!(pr.stage, StageKind::PlaceRoute);
+        assert_eq!(pr.items_out, 0);
     }
 
     #[test]
@@ -243,6 +258,54 @@ mod tests {
         // And it survives a serialization round trip.
         let parsed = Bitstream::from_bytes(bitstream.to_bytes()).unwrap();
         assert_eq!(parsed.sections().len(), bitstream.sections().len());
+    }
+
+    #[test]
+    fn odd_sized_tiles_keep_their_last_half_byte() {
+        use fpsa_mapper::{AllocationPolicy, Mapper};
+        use fpsa_synthesis::{CoreOpGraph, CoreOpGroup, CoreOpKind};
+
+        // A single 3x3 weight tile: 9 cells is odd, so the weight section
+        // must round the level count up instead of dropping the ninth cell.
+        let mut graph = CoreOpGraph::new("odd-tile", 256, 256);
+        graph.add_group(CoreOpGroup {
+            id: 0,
+            name: "odd".into(),
+            source_node: 0,
+            kind: CoreOpKind::Vmm,
+            rows: 3,
+            cols: 3,
+            reuse_degree: 1,
+            relu: false,
+            layer_depth: 0,
+        });
+        let arch = ArchitectureConfig::fpsa();
+        let mapping = Mapper::new(
+            arch.sampling_window(),
+            AllocationPolicy::DuplicationDegree(1),
+        )
+        .map(&graph);
+        let compiled = CompiledModel {
+            communication: CommunicationEstimate::analytic(&arch, mapping.netlist.len()),
+            arch,
+            core_graph: graph,
+            mapping,
+            physical: None,
+            trace: StageTrace::new(),
+        };
+
+        let bitstream = compiled.bitstream();
+        let weights = bitstream
+            .sections()
+            .iter()
+            .find(|s| s.kind == SectionKind::PeWeights)
+            .expect("the tile produced a weight section");
+        // ceil(9 / 2) = 5 levels, packed two per byte -> 3 payload bytes.
+        // The old `9 / 2` truncation produced 4 levels -> 2 bytes, losing
+        // the last cell.
+        let expected_levels = (3usize * 3).div_ceil(2);
+        assert_eq!(weights.payload.len(), expected_levels.div_ceil(2));
+        assert_eq!(weights.payload.len(), 3);
     }
 
     #[test]

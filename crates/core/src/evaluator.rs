@@ -4,8 +4,9 @@
 //! degree and collects everything the paper's figures report: the measured
 //! performance, the peak and the spatial/temporal utilization bounds, and the
 //! compute/communication latency breakdown. Evaluations of independent
-//! (model, duplication) points are embarrassingly parallel, so the sweep
-//! helpers fan out across threads.
+//! (model, duplication) points are embarrassingly parallel;
+//! [`Evaluator::evaluate_many`] routes them through the unified
+//! [`crate::sweep::Sweep`] engine.
 
 use crate::compiler::Compiler;
 use fpsa_arch::ArchitectureConfig;
@@ -95,21 +96,10 @@ impl Evaluator {
         }
     }
 
-    /// Evaluate several (benchmark, duplication) points in parallel.
+    /// Evaluate several (benchmark, duplication) points in parallel through
+    /// the unified sweep engine; results keep the input order.
     pub fn evaluate_many(&self, points: &[(Benchmark, u64)]) -> Vec<ModelEvaluation> {
-        let mut results: Vec<Option<ModelEvaluation>> = vec![None; points.len()];
-        crossbeam::scope(|scope| {
-            let mut handles = Vec::new();
-            for (i, &(benchmark, dup)) in points.iter().enumerate() {
-                let evaluator = self.clone();
-                handles.push((i, scope.spawn(move |_| evaluator.evaluate(benchmark, dup))));
-            }
-            for (i, handle) in handles {
-                results[i] = Some(handle.join().expect("evaluation threads do not panic"));
-            }
-        })
-        .expect("crossbeam scope");
-        results.into_iter().map(|r| r.expect("filled")).collect()
+        crate::sweep::Sweep::over_points(&self.arch, points).run()
     }
 }
 
@@ -161,8 +151,7 @@ mod tests {
     #[test]
     fn fpsa_density_exceeds_prime_density_on_the_same_model() {
         let fpsa = Evaluator::fpsa().evaluate(Benchmark::LeNet, 4);
-        let prime =
-            Evaluator::new(ArchitectureConfig::prime()).evaluate(Benchmark::LeNet, 4);
+        let prime = Evaluator::new(ArchitectureConfig::prime()).evaluate(Benchmark::LeNet, 4);
         assert!(fpsa.density_ops_mm2() > prime.density_ops_mm2() * 5.0);
     }
 }

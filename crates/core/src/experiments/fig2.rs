@@ -1,6 +1,7 @@
 //! Figure 2: PRIME's peak / ideal / real performance versus chip area.
 
 use crate::report::{engineering, format_table};
+use crate::sweep::{log_space, parallel_map};
 use fpsa_arch::ArchitectureConfig;
 use fpsa_nn::zoo;
 use fpsa_prime::{BoundsPoint, CommunicationModel, MemoryBus, PeParameters, PerformanceBounds};
@@ -13,7 +14,8 @@ pub struct Figure2 {
     pub points: Vec<BoundsPoint>,
 }
 
-/// Regenerate Figure 2 (VGG16 on PRIME, 45 nm).
+/// Regenerate Figure 2 (VGG16 on PRIME, 45 nm): the bound model evaluated
+/// over a log-spaced area axis through the unified sweep engine.
 pub fn run() -> Figure2 {
     let stats = zoo::vgg16().statistics();
     let bounds = PerformanceBounds::new(
@@ -22,16 +24,23 @@ pub fn run() -> Figure2 {
         6,
         &stats,
     );
-    let min_area = bounds.minimum_area_mm2();
+    let areas = log_space(bounds.minimum_area_mm2(), 10_000.0, 16);
     Figure2 {
-        points: bounds.sweep(min_area, 10_000.0, 16),
+        points: parallel_map(&areas, |&area| bounds.at_area(area)),
     }
 }
 
 /// Render the sweep as text.
 pub fn to_table(fig: &Figure2) -> String {
     format_table(
-        &["area (mm^2)", "PEs", "peak (OPS)", "ideal (OPS)", "real (OPS)", "dup"],
+        &[
+            "area (mm^2)",
+            "PEs",
+            "peak (OPS)",
+            "ideal (OPS)",
+            "real (OPS)",
+            "dup",
+        ],
         &fig.points
             .iter()
             .map(|p| {

@@ -7,6 +7,7 @@
 //! produce the up-to-1000x speedup at equal area.
 
 use crate::report::{engineering, format_table};
+use crate::sweep::{log_space, parallel_map};
 use fpsa_arch::ArchitectureConfig;
 use fpsa_nn::zoo;
 use fpsa_prime::{BoundsPoint, CommunicationModel, MemoryBus, PeParameters, PerformanceBounds};
@@ -36,16 +37,16 @@ fn bounds_for(arch: &ArchitectureConfig, per_value_ns: f64) -> PerformanceBounds
         fpsa_arch::CommunicationStyle::MemoryBus { .. } => {
             CommunicationModel::Bus(MemoryBus::prime_default())
         }
-        fpsa_arch::CommunicationStyle::Routed { .. } => {
-            CommunicationModel::Routed { per_value_ns }
-        }
+        fpsa_arch::CommunicationStyle::Routed { .. } => CommunicationModel::Routed { per_value_ns },
     };
     PerformanceBounds::new(PeParameters::from_arch(arch), comm, 6, &stats)
 }
 
 /// Regenerate Figure 6. The routed per-value latencies follow the Figure 7
 /// measurement methodology: 6 serialized bits per value for FP-PRIME, 64 for
-/// FPSA, over the same routed critical path.
+/// FPSA, over the same routed critical path. The three architecture curves
+/// (and each curve's area axis) evaluate in parallel through the unified
+/// sweep engine.
 pub fn run() -> Figure6 {
     let critical_path_ns = 9.9;
     let configs = [
@@ -54,15 +55,14 @@ pub fn run() -> Figure6 {
         (ArchitectureConfig::fpsa(), 64.0 * critical_path_ns),
     ];
     let max_area = 10_000.0;
-    let mut curves = Vec::new();
-    for (arch, per_value_ns) in &configs {
+    let curves: Vec<ArchitectureCurve> = parallel_map(&configs, |(arch, per_value_ns)| {
         let bounds = bounds_for(arch, *per_value_ns);
-        let min = bounds.minimum_area_mm2();
-        curves.push(ArchitectureCurve {
+        let areas = log_space(bounds.minimum_area_mm2(), max_area, 14);
+        ArchitectureCurve {
             architecture: arch.kind.name().to_string(),
-            points: bounds.sweep(min, max_area, 14),
-        });
-    }
+            points: parallel_map(&areas, |&area| bounds.at_area(area)),
+        }
+    });
     let prime_last = curves[0].points.last().unwrap().real_ops;
     let fpsa_last = curves[2].points.last().unwrap().real_ops;
     Figure6 {
@@ -84,7 +84,12 @@ pub fn to_table(fig: &Figure6) -> String {
         ]);
     }
     format_table(
-        &["area (mm^2, PRIME axis)", "PRIME (OPS)", "FP-PRIME (OPS)", "FPSA (OPS)"],
+        &[
+            "area (mm^2, PRIME axis)",
+            "PRIME (OPS)",
+            "FP-PRIME (OPS)",
+            "FPSA (OPS)",
+        ],
         &rows,
     )
 }

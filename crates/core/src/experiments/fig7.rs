@@ -1,12 +1,17 @@
 //! Figure 7: the per-PE latency breakdown (computation vs communication).
+//!
+//! VGG16 is synthesized and mapped once through the instrumented compile
+//! pipeline (its [`StageTrace`] rides along on the result for the benchmark
+//! harness), then the three architectures evaluate the same mapped model in
+//! parallel through the unified sweep engine.
 
+use crate::compiler::Compiler;
 use crate::report::format_table;
+use crate::sweep::parallel_map;
 use fpsa_arch::ArchitectureConfig;
 use fpsa_nn::zoo::Benchmark;
-use fpsa_sim::{CommunicationEstimate, PerformanceSimulator};
-use fpsa_mapper::{AllocationPolicy, Mapper};
 use fpsa_prime::MemoryBus;
-use fpsa_synthesis::{NeuralSynthesizer, SynthesisConfig};
+use fpsa_sim::{CommunicationEstimate, PerformanceSimulator, StageTrace};
 use serde::{Deserialize, Serialize};
 
 /// One bar of Figure 7.
@@ -27,12 +32,26 @@ impl Figure7Bar {
     }
 }
 
+/// The Figure 7 data set: the three bars plus the compile-stage trace of the
+/// shared VGG16 compilation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Figure7 {
+    /// One bar per architecture (PRIME, FP-PRIME, FPSA).
+    pub bars: Vec<Figure7Bar>,
+    /// Where compile time went for the shared VGG16 compilation (consumed by
+    /// the Figure 7 bench and printed next to the bars).
+    pub compile: StageTrace,
+}
+
 /// Regenerate Figure 7 for VGG16.
-pub fn run() -> Vec<Figure7Bar> {
-    let graph = NeuralSynthesizer::new(SynthesisConfig::fpsa_default())
-        .synthesize(&Benchmark::Vgg16.build())
+pub fn run() -> Figure7 {
+    // One compilation through the staged pipeline provides the shared
+    // core-op graph, mapping and the instrumentation trace. VGG16 is far
+    // beyond the P&R block limit, so physical design is skipped explicitly.
+    let compiled = Compiler::fpsa()
+        .without_place_and_route()
+        .compile(&Benchmark::Vgg16.build())
         .expect("VGG16 synthesizes");
-    let mapping = Mapper::new(64, AllocationPolicy::DuplicationDegree(1)).map(&graph);
 
     // The routed designs share one critical path; PRIME uses the bus.
     let critical_path_ns = 9.9;
@@ -52,25 +71,34 @@ pub fn run() -> Vec<Figure7Bar> {
             CommunicationEstimate::Routed { critical_path_ns },
         ),
     ];
-    configs
-        .iter()
-        .map(|(arch, comm)| {
-            let report =
-                PerformanceSimulator::new(arch.clone()).evaluate(&graph, &mapping, *comm);
-            Figure7Bar {
-                architecture: arch.kind.name().to_string(),
-                compute_ns: report.compute_ns_per_vmm,
-                communication_ns: report.communication_ns_per_vmm,
-            }
-        })
-        .collect()
+    let bars = parallel_map(&configs, |(arch, comm)| {
+        let report = PerformanceSimulator::new(arch.clone()).evaluate(
+            &compiled.core_graph,
+            &compiled.mapping,
+            *comm,
+        );
+        Figure7Bar {
+            architecture: arch.kind.name().to_string(),
+            compute_ns: report.compute_ns_per_vmm,
+            communication_ns: report.communication_ns_per_vmm,
+        }
+    });
+    Figure7 {
+        bars,
+        compile: compiled.trace,
+    }
 }
 
 /// Render the bars as text.
-pub fn to_table(bars: &[Figure7Bar]) -> String {
+pub fn to_table(fig: &Figure7) -> String {
     format_table(
-        &["architecture", "compute (ns)", "communication (ns)", "total (ns)"],
-        &bars
+        &[
+            "architecture",
+            "compute (ns)",
+            "communication (ns)",
+            "total (ns)",
+        ],
+        &fig.bars
             .iter()
             .map(|b| {
                 vec![
@@ -87,14 +115,15 @@ pub fn to_table(bars: &[Figure7Bar]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fpsa_sim::StageKind;
 
     #[test]
     fn breakdown_reproduces_the_figure7_shape() {
-        let bars = run();
-        assert_eq!(bars.len(), 3);
-        let prime = &bars[0];
-        let fp_prime = &bars[1];
-        let fpsa = &bars[2];
+        let fig = run();
+        assert_eq!(fig.bars.len(), 3);
+        let prime = &fig.bars[0];
+        let fp_prime = &fig.bars[1];
+        let fpsa = &fig.bars[2];
         // PRIME: communication dwarfs computation.
         assert!(prime.communication_ns > prime.compute_ns);
         // FP-PRIME: the routed fabric makes communication negligible next to
@@ -109,14 +138,25 @@ mod tests {
 
     #[test]
     fn spike_train_to_count_ratio_is_64_to_6() {
-        let bars = run();
-        let ratio = bars[2].communication_ns / bars[1].communication_ns;
+        let fig = run();
+        let ratio = fig.bars[2].communication_ns / fig.bars[1].communication_ns;
         assert!((ratio - 64.0 / 6.0).abs() < 0.2, "ratio {ratio}");
     }
 
     #[test]
+    fn compile_trace_covers_the_whole_pipeline() {
+        let fig = run();
+        let kinds: Vec<StageKind> = fig.compile.records().iter().map(|r| r.stage).collect();
+        assert_eq!(kinds, StageKind::ALL.to_vec());
+        // Physical design was skipped for the ImageNet-scale netlist.
+        let pr = &fig.compile.records()[2];
+        assert_eq!(pr.items_out, 0);
+        assert!(fig.compile.total_wall_ns() > 0.0);
+    }
+
+    #[test]
     fn table_renders_three_bars() {
-        let bars = run();
-        assert_eq!(to_table(&bars).lines().count(), 5);
+        let fig = run();
+        assert_eq!(to_table(&fig).lines().count(), 5);
     }
 }

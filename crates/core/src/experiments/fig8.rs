@@ -5,8 +5,10 @@
 //! computational density together with its peak and the spatial/temporal
 //! utilization bounds (Figure 8c).
 
-use crate::evaluator::{Evaluator, ModelEvaluation};
+use crate::evaluator::ModelEvaluation;
 use crate::report::{engineering, format_table};
+use crate::sweep::Sweep;
+use fpsa_arch::ArchitectureConfig;
 use fpsa_nn::zoo::Benchmark;
 use serde::{Deserialize, Serialize};
 
@@ -23,8 +25,11 @@ pub struct Figure8 {
 impl Figure8 {
     /// The evaluations of one model, ordered by duplication degree.
     pub fn for_model(&self, name: &str) -> Vec<&ModelEvaluation> {
-        let mut v: Vec<&ModelEvaluation> =
-            self.evaluations.iter().filter(|e| e.model == name).collect();
+        let mut v: Vec<&ModelEvaluation> = self
+            .evaluations
+            .iter()
+            .filter(|e| e.model == name)
+            .collect();
         v.sort_by_key(|e| e.duplication);
         v
     }
@@ -55,27 +60,32 @@ impl Figure8 {
     }
 }
 
-/// Regenerate Figure 8 on the FPSA architecture.
+/// Regenerate Figure 8 on the FPSA architecture: the full model ×
+/// duplication grid, evaluated in parallel by the unified sweep engine.
 pub fn run() -> Figure8 {
-    let evaluator = Evaluator::fpsa();
-    let points: Vec<(Benchmark, u64)> = Benchmark::all()
-        .into_iter()
-        .flat_map(|b| DUPLICATION_DEGREES.into_iter().map(move |d| (b, d)))
-        .collect();
     Figure8 {
-        evaluations: evaluator.evaluate_many(&points),
+        evaluations: Sweep::cartesian(
+            &Benchmark::all(),
+            &[ArchitectureConfig::fpsa()],
+            &DUPLICATION_DEGREES,
+        )
+        .run(),
     }
 }
 
 /// A faster variant covering only the small models (used in tests).
 pub fn run_small() -> Figure8 {
-    let evaluator = Evaluator::fpsa();
-    let points: Vec<(Benchmark, u64)> = [Benchmark::Mlp500x100, Benchmark::LeNet, Benchmark::CifarVgg17]
-        .into_iter()
-        .flat_map(|b| DUPLICATION_DEGREES.into_iter().map(move |d| (b, d)))
-        .collect();
     Figure8 {
-        evaluations: evaluator.evaluate_many(&points),
+        evaluations: Sweep::cartesian(
+            &[
+                Benchmark::Mlp500x100,
+                Benchmark::LeNet,
+                Benchmark::CifarVgg17,
+            ],
+            &[ArchitectureConfig::fpsa()],
+            &DUPLICATION_DEGREES,
+        )
+        .run(),
     }
 }
 

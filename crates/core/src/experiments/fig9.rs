@@ -12,6 +12,7 @@
 //! method climbs toward full precision with √cells.
 
 use crate::report::format_table;
+use crate::sweep::parallel_map;
 use fpsa_device::variation::{CellVariation, WeightScheme};
 use fpsa_nn::dataset::Dataset;
 use fpsa_nn::mlp::{Mlp, TrainConfig};
@@ -64,38 +65,45 @@ pub fn run() -> Figure9 {
 }
 
 /// Regenerate the sweep for an arbitrary variation, cell counts and trial
-/// count (tests use a smaller setting).
+/// count (tests use a smaller setting). Every (cells, method) point runs an
+/// independent, deterministically seeded study, so the grid fans out through
+/// the unified sweep engine.
 pub fn run_with(variation: CellVariation, cell_counts: &[usize], trials: usize) -> Figure9 {
     let (mlp, test) = reference_network();
     let full = mlp.accuracy(&test);
-    let mut points = Vec::new();
-    for &cells in cell_counts {
-        for (method, scheme) in [
-            (
-                "splice",
-                WeightScheme::Splice {
+    let grid: Vec<(&'static str, WeightScheme, usize)> = cell_counts
+        .iter()
+        .flat_map(|&cells| {
+            [
+                (
+                    "splice",
+                    WeightScheme::Splice {
+                        cells,
+                        bits_per_cell: 4,
+                    },
                     cells,
-                    bits_per_cell: 4,
-                },
-            ),
-            (
-                "add",
-                WeightScheme::Add {
+                ),
+                (
+                    "add",
+                    WeightScheme::Add {
+                        cells,
+                        bits_per_cell: 4,
+                    },
                     cells,
-                    bits_per_cell: 4,
-                },
-            ),
-        ] {
-            let study = VariationStudy::new(scheme, variation, trials, 1234 + cells as u64);
-            points.push(Figure9Point {
-                method: method.to_string(),
-                cells,
-                normalized_deviation: scheme.normalized_deviation(variation),
-                normalized_accuracy: study.normalized_accuracy(&mlp, &test),
-                logit_distortion: study.mean_logit_distortion(&mlp, &test),
-            });
+                ),
+            ]
+        })
+        .collect();
+    let points = parallel_map(&grid, |&(method, scheme, cells)| {
+        let study = VariationStudy::new(scheme, variation, trials, 1234 + cells as u64);
+        Figure9Point {
+            method: method.to_string(),
+            cells,
+            normalized_deviation: scheme.normalized_deviation(variation),
+            normalized_accuracy: study.normalized_accuracy(&mlp, &test),
+            logit_distortion: study.mean_logit_distortion(&mlp, &test),
         }
-    }
+    });
     Figure9 {
         points,
         full_precision_accuracy: full,
@@ -105,7 +113,13 @@ pub fn run_with(variation: CellVariation, cell_counts: &[usize], trials: usize) 
 /// Render the sweep as text.
 pub fn to_table(fig: &Figure9) -> String {
     format_table(
-        &["method", "cells", "norm. deviation", "norm. accuracy", "logit distortion"],
+        &[
+            "method",
+            "cells",
+            "norm. deviation",
+            "norm. accuracy",
+            "logit distortion",
+        ],
         &fig.points
             .iter()
             .map(|p| {

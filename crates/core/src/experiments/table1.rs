@@ -1,9 +1,10 @@
 //! Table 1: parameters of the function blocks under the 45 nm process.
 
 use crate::report::format_table;
+use crate::sweep::parallel_map;
 use fpsa_device::circuits::{ChargingUnit, NeuronUnit, SpikeSubtracter};
 use fpsa_device::clb::ConfigurableLogicBlockSpec;
-use fpsa_device::pe::ProcessingElementSpec;
+use fpsa_device::pe::{PeCostBreakdown, ProcessingElementSpec};
 use fpsa_device::reram::CrossbarSpec;
 use fpsa_device::smb::SpikingMemoryBlockSpec;
 use serde::{Deserialize, Serialize};
@@ -23,73 +24,111 @@ pub struct Table1Row {
     pub published_area_um2: f64,
 }
 
-/// Regenerate Table 1 from the device-level component models.
+/// The components Table 1 reports, in publication order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Component {
+    Pe,
+    ChargingUnits,
+    Crossbars,
+    NeuronUnits,
+    Subtracters,
+    Clb,
+    Smb,
+}
+
+impl Component {
+    const ALL: [Component; 7] = [
+        Component::Pe,
+        Component::ChargingUnits,
+        Component::Crossbars,
+        Component::NeuronUnits,
+        Component::Subtracters,
+        Component::Clb,
+        Component::Smb,
+    ];
+
+    /// Evaluate this component's device models into its table row. The PE
+    /// spec and its cost breakdown are computed once by [`run`] and shared
+    /// across rows.
+    fn row(self, pe: &ProcessingElementSpec, breakdown: &PeCostBreakdown) -> Table1Row {
+        match self {
+            Component::Pe => Table1Row {
+                component: "PE (256x256)".into(),
+                energy_pj: pe.cycle_energy_pj(),
+                area_um2: pe.area_um2(),
+                latency_ns: pe.clock_period_ns(),
+                published_area_um2: 22_051.414,
+            },
+            Component::ChargingUnits => Table1Row {
+                component: "Charging unit (x256)".into(),
+                energy_pj: breakdown.charging_units.energy_pj,
+                area_um2: breakdown.charging_units.area_um2,
+                latency_ns: ChargingUnit::n45().latency_ns,
+                published_area_um2: 600.704,
+            },
+            Component::Crossbars => Table1Row {
+                component: "ReRAM 256x512 (x8)".into(),
+                energy_pj: breakdown.crossbars.energy_pj,
+                area_um2: breakdown.crossbars.area_um2,
+                latency_ns: CrossbarSpec::fpsa_256x512().rc_delay_ns(),
+                published_area_um2: 8_493.466,
+            },
+            Component::NeuronUnits => Table1Row {
+                component: "Neuron unit (x512)".into(),
+                energy_pj: breakdown.neuron_units.energy_pj,
+                area_um2: breakdown.neuron_units.area_um2,
+                latency_ns: NeuronUnit::n45().latency_ns,
+                published_area_um2: 9_854.342,
+            },
+            Component::Subtracters => Table1Row {
+                component: "Subtracter (x256)".into(),
+                energy_pj: breakdown.subtracters.energy_pj,
+                area_um2: breakdown.subtracters.area_um2,
+                latency_ns: SpikeSubtracter::n45().latency_ns,
+                published_area_um2: 3_102.902,
+            },
+            Component::Clb => {
+                let clb = ConfigurableLogicBlockSpec::fpsa_128lut();
+                Table1Row {
+                    component: "CLB (128x LUT)".into(),
+                    energy_pj: clb.cycle_energy_pj,
+                    area_um2: clb.area_um2(),
+                    latency_ns: clb.latency_ns(),
+                    published_area_um2: 5_998.272,
+                }
+            }
+            Component::Smb => {
+                let smb = SpikingMemoryBlockSpec::fpsa_16kb();
+                Table1Row {
+                    component: "SMB (16Kb)".into(),
+                    energy_pj: smb.access_energy_pj,
+                    area_um2: smb.area_um2(),
+                    latency_ns: smb.access_latency_ns(),
+                    published_area_um2: 5_421.900,
+                }
+            }
+        }
+    }
+}
+
+/// Regenerate Table 1 from the device-level component models; the rows are
+/// independent model evaluations and fan out through the sweep engine.
 pub fn run() -> Vec<Table1Row> {
     let pe = ProcessingElementSpec::fpsa_default();
     let breakdown = pe.cost_breakdown();
-    let charging = ChargingUnit::n45();
-    let neuron = NeuronUnit::n45();
-    let sub = SpikeSubtracter::n45();
-    let xbar = CrossbarSpec::fpsa_256x512();
-    let clb = ConfigurableLogicBlockSpec::fpsa_128lut();
-    let smb = SpikingMemoryBlockSpec::fpsa_16kb();
-    vec![
-        Table1Row {
-            component: "PE (256x256)".into(),
-            energy_pj: pe.cycle_energy_pj(),
-            area_um2: pe.area_um2(),
-            latency_ns: pe.clock_period_ns(),
-            published_area_um2: 22_051.414,
-        },
-        Table1Row {
-            component: "Charging unit (x256)".into(),
-            energy_pj: breakdown.charging_units.energy_pj,
-            area_um2: breakdown.charging_units.area_um2,
-            latency_ns: charging.latency_ns,
-            published_area_um2: 600.704,
-        },
-        Table1Row {
-            component: "ReRAM 256x512 (x8)".into(),
-            energy_pj: breakdown.crossbars.energy_pj,
-            area_um2: breakdown.crossbars.area_um2,
-            latency_ns: xbar.rc_delay_ns(),
-            published_area_um2: 8_493.466,
-        },
-        Table1Row {
-            component: "Neuron unit (x512)".into(),
-            energy_pj: breakdown.neuron_units.energy_pj,
-            area_um2: breakdown.neuron_units.area_um2,
-            latency_ns: neuron.latency_ns,
-            published_area_um2: 9_854.342,
-        },
-        Table1Row {
-            component: "Subtracter (x256)".into(),
-            energy_pj: breakdown.subtracters.energy_pj,
-            area_um2: breakdown.subtracters.area_um2,
-            latency_ns: sub.latency_ns,
-            published_area_um2: 3_102.902,
-        },
-        Table1Row {
-            component: "CLB (128x LUT)".into(),
-            energy_pj: clb.cycle_energy_pj,
-            area_um2: clb.area_um2(),
-            latency_ns: clb.latency_ns(),
-            published_area_um2: 5_998.272,
-        },
-        Table1Row {
-            component: "SMB (16Kb)".into(),
-            energy_pj: smb.access_energy_pj,
-            area_um2: smb.area_um2(),
-            latency_ns: smb.access_latency_ns(),
-            published_area_um2: 5_421.900,
-        },
-    ]
+    parallel_map(&Component::ALL, |component| component.row(&pe, &breakdown))
 }
 
 /// Render the table as text.
 pub fn to_table(rows: &[Table1Row]) -> String {
     format_table(
-        &["component", "energy (pJ)", "area (um^2)", "latency (ns)", "paper area (um^2)"],
+        &[
+            "component",
+            "energy (pJ)",
+            "area (um^2)",
+            "latency (ns)",
+            "paper area (um^2)",
+        ],
         &rows
             .iter()
             .map(|r| {

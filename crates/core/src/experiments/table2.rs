@@ -1,6 +1,7 @@
 //! Table 2: PE comparison between PRIME and FPSA.
 
 use crate::report::format_table;
+use crate::sweep::parallel_map;
 use fpsa_device::pe::ProcessingElementSpec;
 use fpsa_prime::PrimePeSpec;
 use serde::{Deserialize, Serialize};
@@ -31,24 +32,43 @@ pub struct Table2 {
     pub density_improvement: f64,
 }
 
-/// Regenerate Table 2 from the two PE models.
+/// The PE designs Table 2 compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PeUnderTest {
+    Prime,
+    Fpsa,
+}
+
+impl PeUnderTest {
+    /// Evaluate this design's PE model into its table row.
+    fn row(self) -> Table2Row {
+        match self {
+            PeUnderTest::Prime => {
+                let prime = PrimePeSpec::prime_default();
+                Table2Row {
+                    architecture: "PRIME".into(),
+                    area_um2: prime.area_um2(),
+                    latency_ns: prime.vmm_latency_ns(),
+                    density_tops_mm2: prime.density_tops_mm2(),
+                }
+            }
+            PeUnderTest::Fpsa => {
+                let fpsa = ProcessingElementSpec::fpsa_default();
+                Table2Row {
+                    architecture: "FPSA".into(),
+                    area_um2: fpsa.area_um2(),
+                    latency_ns: fpsa.vmm_latency_ns(),
+                    density_tops_mm2: fpsa.computational_density_tops_per_mm2(),
+                }
+            }
+        }
+    }
+}
+
+/// Regenerate Table 2 from the two PE models (evaluated through the sweep
+/// engine, like every other driver).
 pub fn run() -> Table2 {
-    let prime = PrimePeSpec::prime_default();
-    let fpsa = ProcessingElementSpec::fpsa_default();
-    let rows = vec![
-        Table2Row {
-            architecture: "PRIME".into(),
-            area_um2: prime.area_um2(),
-            latency_ns: prime.vmm_latency_ns(),
-            density_tops_mm2: prime.density_tops_mm2(),
-        },
-        Table2Row {
-            architecture: "FPSA".into(),
-            area_um2: fpsa.area_um2(),
-            latency_ns: fpsa.vmm_latency_ns(),
-            density_tops_mm2: fpsa.computational_density_tops_per_mm2(),
-        },
-    ];
+    let rows = parallel_map(&[PeUnderTest::Prime, PeUnderTest::Fpsa], |pe| pe.row());
     Table2 {
         area_change: rows[1].area_um2 / rows[0].area_um2 - 1.0,
         latency_change: rows[1].latency_ns / rows[0].latency_ns - 1.0,
@@ -78,7 +98,12 @@ pub fn to_table(table: &Table2) -> String {
         format!("{:.2}x", table.density_improvement),
     ]);
     format_table(
-        &["architecture", "area (um^2)", "latency (ns)", "density (TOPS/mm^2)"],
+        &[
+            "architecture",
+            "area (um^2)",
+            "latency (ns)",
+            "density (TOPS/mm^2)",
+        ],
         &rows,
     )
 }
@@ -91,8 +116,16 @@ mod tests {
     fn improvements_match_the_published_table() {
         let t = run();
         // Paper: -36.63% area, -94.90% latency, 30.92x density.
-        assert!((t.area_change + 0.3663).abs() < 0.03, "area change {}", t.area_change);
-        assert!((t.latency_change + 0.949).abs() < 0.01, "latency change {}", t.latency_change);
+        assert!(
+            (t.area_change + 0.3663).abs() < 0.03,
+            "area change {}",
+            t.area_change
+        );
+        assert!(
+            (t.latency_change + 0.949).abs() < 0.01,
+            "latency change {}",
+            t.latency_change
+        );
         assert!(
             t.density_improvement > 28.0 && t.density_improvement < 34.0,
             "density improvement {}",

@@ -1,7 +1,8 @@
 //! Table 3: the overall performance of FPSA for every benchmark model.
 
-use crate::evaluator::Evaluator;
 use crate::report::{engineering, format_table};
+use crate::sweep::Sweep;
+use fpsa_arch::ArchitectureConfig;
 use fpsa_nn::zoo::Benchmark;
 use serde::{Deserialize, Serialize};
 
@@ -33,14 +34,15 @@ pub fn run() -> Vec<Table3Column> {
     run_with_duplication(64)
 }
 
-/// Regenerate the table at an arbitrary duplication degree.
+/// Regenerate the table at an arbitrary duplication degree. Every model
+/// evaluates in parallel through the unified sweep engine.
 pub fn run_with_duplication(duplication: u64) -> Vec<Table3Column> {
-    let evaluator = Evaluator::fpsa();
-    let points: Vec<(Benchmark, u64)> = Benchmark::all()
-        .into_iter()
-        .map(|b| (b, duplication))
-        .collect();
-    let evals = evaluator.evaluate_many(&points);
+    let evals = Sweep::cartesian(
+        &Benchmark::all(),
+        &[ArchitectureConfig::fpsa()],
+        &[duplication],
+    )
+    .run();
     Benchmark::all()
         .into_iter()
         .zip(evals)
@@ -154,7 +156,13 @@ mod tests {
                 .unwrap()
                 .published_weights();
             let err = (c.weights as f64 - published).abs() / published;
-            assert!(err < 0.10, "{}: weights {} vs {}", c.model, c.weights, published);
+            assert!(
+                err < 0.10,
+                "{}: weights {} vs {}",
+                c.model,
+                c.weights,
+                published
+            );
         }
     }
 

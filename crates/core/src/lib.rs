@@ -2,13 +2,18 @@
 //!
 //! This crate ties the whole system together:
 //!
-//! * [`compiler`] — the end-to-end compilation pipeline (neural synthesizer →
-//!   spatial-to-temporal mapper → placement & routing → configuration) that a
-//!   user would run to deploy a network on the FPSA fabric;
+//! * [`compiler`] — the end-to-end compilation flow that a user would run to
+//!   deploy a network on the FPSA fabric;
+//! * [`pipeline`] — the instrumented stage pipeline beneath the compiler
+//!   (`Synthesize → Map → PlaceRoute → Estimate`), each stage a typed
+//!   artifact transform whose wall-clock time and sizes land in a
+//!   `StageTrace`;
 //! * [`evaluator`] — the evaluation harness that compiles a benchmark on a
 //!   chosen architecture (FPSA / FP-PRIME / PRIME), estimates or measures the
 //!   communication critical path, and reports throughput, latency, area and
 //!   utilization;
+//! * [`sweep`] — the unified rayon-backed parallel sweep engine every
+//!   experiment driver and `Evaluator::evaluate_many` fan out through;
 //! * [`experiments`] — one driver per table and figure of the paper's
 //!   evaluation section, each returning structured records that the
 //!   benchmarks, examples and EXPERIMENTS.md regenerate.
@@ -28,7 +33,10 @@
 pub mod compiler;
 pub mod evaluator;
 pub mod experiments;
+pub mod pipeline;
 pub mod report;
+pub mod sweep;
 
 pub use compiler::{CompiledModel, Compiler};
 pub use evaluator::{Evaluator, ModelEvaluation};
+pub use sweep::{Sweep, SweepPoint};

@@ -1,0 +1,375 @@
+//! The instrumented compile pipeline.
+//!
+//! [`crate::compiler::Compiler::compile`] runs as four explicit stages —
+//! `Synthesize → Map → PlaceRoute → Estimate` — each a [`CompileStage`] with
+//! typed input and output artifacts. Stages borrow their inputs and produce
+//! only the new artifact, so nothing is cloned between stages.
+//! [`InstrumentedPipeline::run_stage`] wraps every stage with wall-clock
+//! timing and artifact-size accounting and accumulates the measurements into
+//! a [`StageTrace`] that travels on the compiled model (and from there into
+//! `fpsa_sim::PerformanceReport`), so compile-time breakdowns come from real
+//! instrumentation.
+//!
+//! The stage types are public: benchmarks (the compiler-stage ablation) and
+//! tools can run any stage in isolation against its typed artifact.
+
+use fpsa_arch::ArchitectureConfig;
+use fpsa_mapper::{AllocationPolicy, Mapper, Mapping};
+use fpsa_nn::{ComputationalGraph, NnError};
+use fpsa_placeroute::{place_and_route, Placement, PlacerConfig, RoutingResult, TimingReport};
+use fpsa_sim::{CommunicationEstimate, StageKind, StageRecord, StageTrace};
+use fpsa_synthesis::{CoreOpGraph, NeuralSynthesizer, SynthesisConfig};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// One typed stage of the compile pipeline.
+///
+/// A stage borrows its input artifact (the lifetime-parameterized
+/// [`CompileStage::Input`]) and produces the next artifact; the sizes
+/// reported by [`CompileStage::items_in`] / [`CompileStage::items_out`] land
+/// in the [`StageTrace`] next to the stage's wall-clock time.
+pub trait CompileStage {
+    /// The (usually borrowed) artifact the stage consumes.
+    type Input<'a>;
+    /// The artifact the stage produces.
+    type Output;
+
+    /// Which pipeline stage this is.
+    fn kind(&self) -> StageKind;
+
+    /// Execute the stage.
+    ///
+    /// # Errors
+    ///
+    /// Stages propagate graph and shape errors from synthesis; the later
+    /// stages are infallible today but share the signature so the pipeline
+    /// composes uniformly.
+    fn run(&self, input: Self::Input<'_>) -> Result<Self::Output, NnError>;
+
+    /// Size of the input artifact, in the stage's natural unit.
+    fn items_in(input: &Self::Input<'_>) -> usize;
+
+    /// Size of the output artifact, in the stage's natural unit.
+    fn items_out(output: &Self::Output) -> usize;
+}
+
+/// Stage 1: neural synthesis (computational graph → core-op graph).
+#[derive(Debug, Clone)]
+pub struct SynthesizeStage {
+    synthesizer: NeuralSynthesizer,
+}
+
+impl SynthesizeStage {
+    /// A synthesis stage tiling for the architecture's crossbar geometry.
+    pub fn for_architecture(arch: &ArchitectureConfig) -> Self {
+        SynthesizeStage {
+            synthesizer: NeuralSynthesizer::new(SynthesisConfig {
+                crossbar_rows: arch.pe.rows,
+                crossbar_cols: arch.pe.cols,
+            }),
+        }
+    }
+}
+
+impl CompileStage for SynthesizeStage {
+    type Input<'a> = &'a ComputationalGraph;
+    type Output = CoreOpGraph;
+
+    fn kind(&self) -> StageKind {
+        StageKind::Synthesize
+    }
+
+    fn run(&self, input: &ComputationalGraph) -> Result<CoreOpGraph, NnError> {
+        self.synthesizer.synthesize(input)
+    }
+
+    fn items_in(input: &&ComputationalGraph) -> usize {
+        input.len()
+    }
+
+    fn items_out(output: &CoreOpGraph) -> usize {
+        output.len()
+    }
+}
+
+/// Stage 2: spatial-to-temporal mapping (core-op graph → netlist).
+#[derive(Debug, Clone, Copy)]
+pub struct MapStage {
+    mapper: Mapper,
+}
+
+impl MapStage {
+    /// A mapping stage for the architecture's sampling window and the given
+    /// duplication degree.
+    pub fn new(arch: &ArchitectureConfig, duplication: u64) -> Self {
+        MapStage {
+            mapper: Mapper::new(
+                arch.sampling_window(),
+                AllocationPolicy::DuplicationDegree(duplication),
+            ),
+        }
+    }
+}
+
+impl CompileStage for MapStage {
+    type Input<'a> = &'a CoreOpGraph;
+    type Output = Mapping;
+
+    fn kind(&self) -> StageKind {
+        StageKind::Map
+    }
+
+    fn run(&self, input: &CoreOpGraph) -> Result<Mapping, NnError> {
+        Ok(self.mapper.map(input))
+    }
+
+    fn items_in(input: &&CoreOpGraph) -> usize {
+        input.len()
+    }
+
+    fn items_out(output: &Mapping) -> usize {
+        output.netlist.len()
+    }
+}
+
+/// The physical-design artifacts (present when P&R ran).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhysicalDesign {
+    /// Block placement on the fabric.
+    pub placement: Placement,
+    /// Routed nets.
+    pub routing: RoutingResult,
+    /// Timing analysis of the routed design.
+    pub timing: TimingReport,
+}
+
+/// Stage 3: placement & routing, skipped above the block limit.
+#[derive(Debug, Clone)]
+pub struct PlaceRouteStage {
+    arch: ArchitectureConfig,
+    placer: PlacerConfig,
+    skip: bool,
+    block_limit: usize,
+}
+
+impl PlaceRouteStage {
+    /// A physical-design stage with the compiler's standard block limit.
+    pub fn new(arch: ArchitectureConfig, placer: PlacerConfig, skip: bool) -> Self {
+        PlaceRouteStage {
+            arch,
+            placer,
+            skip,
+            block_limit: crate::compiler::PLACE_AND_ROUTE_BLOCK_LIMIT,
+        }
+    }
+
+    /// Whether this stage would run physical design for a netlist size.
+    pub fn would_run(&self, blocks: usize) -> bool {
+        !self.skip && blocks <= self.block_limit
+    }
+}
+
+impl CompileStage for PlaceRouteStage {
+    type Input<'a> = &'a Mapping;
+    type Output = Option<PhysicalDesign>;
+
+    fn kind(&self) -> StageKind {
+        StageKind::PlaceRoute
+    }
+
+    fn run(&self, input: &Mapping) -> Result<Option<PhysicalDesign>, NnError> {
+        if !self.would_run(input.netlist.len()) {
+            return Ok(None);
+        }
+        let (placement, routing, timing) = place_and_route(&input.netlist, &self.arch, self.placer);
+        Ok(Some(PhysicalDesign {
+            placement,
+            routing,
+            timing,
+        }))
+    }
+
+    fn items_in(input: &&Mapping) -> usize {
+        input.netlist.len()
+    }
+
+    fn items_out(output: &Option<PhysicalDesign>) -> usize {
+        // Connections that went through physical design; 0 when the stage
+        // fell back to the analytic model.
+        match output {
+            Some(physical) => physical.routing.connection_hops.len(),
+            None => 0,
+        }
+    }
+}
+
+/// Stage 4: pick the communication estimate — the routed critical path when
+/// physical design ran on a routed architecture, the analytic model (or the
+/// bus model) otherwise.
+#[derive(Debug, Clone)]
+pub struct EstimateStage {
+    arch: ArchitectureConfig,
+}
+
+impl EstimateStage {
+    /// An estimation stage for the target architecture.
+    pub fn new(arch: ArchitectureConfig) -> Self {
+        EstimateStage { arch }
+    }
+}
+
+impl CompileStage for EstimateStage {
+    type Input<'a> = (&'a Mapping, Option<&'a PhysicalDesign>);
+    type Output = CommunicationEstimate;
+
+    fn kind(&self) -> StageKind {
+        StageKind::Estimate
+    }
+
+    fn run(&self, input: (&Mapping, Option<&PhysicalDesign>)) -> Result<Self::Output, NnError> {
+        let (mapping, physical) = input;
+        Ok(match (physical, &self.arch.communication) {
+            (Some(p), fpsa_arch::CommunicationStyle::Routed { .. }) => {
+                CommunicationEstimate::from_timing(&p.timing)
+            }
+            _ => CommunicationEstimate::analytic(&self.arch, mapping.netlist.len()),
+        })
+    }
+
+    fn items_in(input: &(&Mapping, Option<&PhysicalDesign>)) -> usize {
+        input.0.netlist.len()
+    }
+
+    fn items_out(_output: &CommunicationEstimate) -> usize {
+        1
+    }
+}
+
+/// Runs stages in order, recording wall-clock time and artifact sizes.
+#[derive(Debug, Clone, Default)]
+pub struct InstrumentedPipeline {
+    trace: StageTrace,
+}
+
+impl InstrumentedPipeline {
+    /// A pipeline with an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Run one stage, timing it and recording artifact sizes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the stage's error; nothing is recorded for a failed stage.
+    pub fn run_stage<'a, S: CompileStage>(
+        &mut self,
+        stage: &S,
+        input: S::Input<'a>,
+    ) -> Result<S::Output, NnError> {
+        let items_in = S::items_in(&input);
+        let start = Instant::now();
+        let output = stage.run(input)?;
+        let wall_ns = start.elapsed().as_secs_f64() * 1e9;
+        self.trace.push(StageRecord {
+            stage: stage.kind(),
+            wall_ns,
+            items_in,
+            items_out: S::items_out(&output),
+        });
+        Ok(output)
+    }
+
+    /// The measurements recorded so far.
+    pub fn trace(&self) -> &StageTrace {
+        &self.trace
+    }
+
+    /// Consume the pipeline, yielding the trace.
+    pub fn finish(self) -> StageTrace {
+        self.trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpsa_nn::zoo;
+
+    #[test]
+    fn stages_compose_into_the_compiler_flow() {
+        let arch = ArchitectureConfig::fpsa();
+        let graph = zoo::lenet();
+        let mut pipeline = InstrumentedPipeline::new();
+        let core = pipeline
+            .run_stage(&SynthesizeStage::for_architecture(&arch), &graph)
+            .unwrap();
+        let mapping = pipeline.run_stage(&MapStage::new(&arch, 1), &core).unwrap();
+        let physical = pipeline
+            .run_stage(
+                &PlaceRouteStage::new(arch.clone(), PlacerConfig::fast(), false),
+                &mapping,
+            )
+            .unwrap();
+        assert!(physical.is_some(), "LeNet fits under the block limit");
+        let communication = pipeline
+            .run_stage(&EstimateStage::new(arch), (&mapping, physical.as_ref()))
+            .unwrap();
+        assert!(matches!(
+            communication,
+            CommunicationEstimate::Routed { .. }
+        ));
+
+        let trace = pipeline.finish();
+        let kinds: Vec<StageKind> = trace.records().iter().map(|r| r.stage).collect();
+        assert_eq!(kinds, StageKind::ALL.to_vec());
+        assert!(trace.records().iter().all(|r| r.wall_ns >= 0.0));
+        // The mapper folds the spatial core-op graph onto a netlist, so both
+        // sides of every stage carry real sizes.
+        assert!(trace.records().iter().all(|r| r.items_in > 0));
+    }
+
+    #[test]
+    fn skipping_place_and_route_records_an_empty_output() {
+        let arch = ArchitectureConfig::fpsa();
+        let graph = zoo::lenet();
+        let mut pipeline = InstrumentedPipeline::new();
+        let core = pipeline
+            .run_stage(&SynthesizeStage::for_architecture(&arch), &graph)
+            .unwrap();
+        let mapping = pipeline.run_stage(&MapStage::new(&arch, 1), &core).unwrap();
+        let physical = pipeline
+            .run_stage(
+                &PlaceRouteStage::new(arch.clone(), PlacerConfig::fast(), true),
+                &mapping,
+            )
+            .unwrap();
+        assert!(physical.is_none());
+        let record = &pipeline.trace().records()[2];
+        assert_eq!(record.stage, StageKind::PlaceRoute);
+        assert_eq!(record.items_out, 0);
+        assert!(record.items_in > 0);
+    }
+
+    #[test]
+    fn stage_errors_propagate_and_record_nothing() {
+        use fpsa_nn::{Operator, TensorShape};
+
+        let arch = ArchitectureConfig::fpsa();
+        let mut pipeline = InstrumentedPipeline::new();
+        // A node wired to a nonexistent input fails synthesis.
+        let mut graph = ComputationalGraph::new("broken");
+        graph.add_input("input", TensorShape::Features(8));
+        graph.add_node(
+            "dangling",
+            Operator::Linear {
+                in_features: 8,
+                out_features: 4,
+            },
+            vec![999],
+        );
+        let result = pipeline.run_stage(&SynthesizeStage::for_architecture(&arch), &graph);
+        assert!(result.is_err());
+        assert!(pipeline.trace().is_empty());
+    }
+}

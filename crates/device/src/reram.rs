@@ -110,7 +110,12 @@ impl CrossbarSpec {
     /// # Errors
     ///
     /// Returns [`DeviceError::InvalidParameter`] if either dimension is zero.
-    pub fn new(rows: usize, cols: usize, cell: ReramCell, tech: TechnologyNode) -> Result<Self, DeviceError> {
+    pub fn new(
+        rows: usize,
+        cols: usize,
+        cell: ReramCell,
+        tech: TechnologyNode,
+    ) -> Result<Self, DeviceError> {
         if rows == 0 {
             return Err(DeviceError::InvalidParameter {
                 name: "rows",
@@ -123,7 +128,12 @@ impl CrossbarSpec {
                 reason: "must be non-zero".into(),
             });
         }
-        Ok(CrossbarSpec { rows, cols, cell, tech })
+        Ok(CrossbarSpec {
+            rows,
+            cols,
+            cell,
+            tech,
+        })
     }
 
     /// Number of cells in the array.
@@ -181,7 +191,11 @@ impl CrossbarSpec {
             if column.len() != self.rows {
                 return Err(DeviceError::InvalidParameter {
                     name: "conductance",
-                    reason: format!("expected {} rows per column, got {}", self.rows, column.len()),
+                    reason: format!(
+                        "expected {} rows per column, got {}",
+                        self.rows,
+                        column.len()
+                    ),
                 });
             }
             let i: f64 = column.iter().zip(voltages).map(|(g, v)| g * v).sum();

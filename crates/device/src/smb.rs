@@ -143,10 +143,13 @@ impl SpikingMemoryBlock {
     /// Returns [`DeviceError::InvalidParameter`] for an out-of-range index.
     pub fn store_count(&mut self, index: usize, count: u32) -> Result<(), DeviceError> {
         let max = ((1u64 << self.value_bits) - 1) as u32;
-        let slot = self.entries.get_mut(index).ok_or(DeviceError::InvalidParameter {
-            name: "index",
-            reason: format!("index {index} out of range"),
-        })?;
+        let slot = self
+            .entries
+            .get_mut(index)
+            .ok_or(DeviceError::InvalidParameter {
+                name: "index",
+                reason: format!("index {index} out of range"),
+            })?;
         *slot = count.min(max);
         Ok(())
     }
@@ -172,7 +175,11 @@ impl SpikingMemoryBlock {
     /// # Errors
     ///
     /// Returns [`DeviceError::InvalidParameter`] for an out-of-range index.
-    pub fn generate_spike_train(&self, index: usize, window: usize) -> Result<Vec<bool>, DeviceError> {
+    pub fn generate_spike_train(
+        &self,
+        index: usize,
+        window: usize,
+    ) -> Result<Vec<bool>, DeviceError> {
         let count = self.load_count(index)? as usize;
         let count = count.min(window);
         let mut train = vec![false; window];

@@ -195,7 +195,7 @@ impl SpikingPe {
             let mut pos_count: u32 = 0;
             let mut neg_count: u32 = 0;
             let mut bits = vec![false; self.window];
-            for t in 0..self.window {
+            for (t, bit) in bits.iter_mut().enumerate() {
                 let mut pos_charge = 0.0;
                 let mut neg_charge = 0.0;
                 for (i, train) in inputs.iter().enumerate() {
@@ -220,10 +220,10 @@ impl SpikingPe {
                 // cumulative positive count still exceeds the cumulative
                 // negative count.
                 if p && pos_count > neg_count {
-                    bits[t] = true;
+                    *bit = true;
                 } else if p && n {
                     // Simultaneous spikes cancel.
-                    bits[t] = false;
+                    *bit = false;
                 }
             }
             // Enforce the exact subtracter semantics on the counts: the
@@ -248,7 +248,7 @@ impl SpikingPe {
             .iter()
             .map(|row| {
                 let acc: f64 = row.iter().zip(input_values).map(|(w, x)| w * x).sum();
-                acc.max(0.0).min(1.0)
+                acc.clamp(0.0, 1.0)
             })
             .collect()
     }

@@ -130,9 +130,8 @@ impl WeightScheme {
     /// Bits per cell.
     pub fn bits_per_cell(&self) -> u32 {
         match *self {
-            WeightScheme::Splice { bits_per_cell, .. } | WeightScheme::Add { bits_per_cell, .. } => {
-                bits_per_cell
-            }
+            WeightScheme::Splice { bits_per_cell, .. }
+            | WeightScheme::Add { bits_per_cell, .. } => bits_per_cell,
         }
     }
 
@@ -140,7 +139,10 @@ impl WeightScheme {
     pub fn max_value(&self) -> u64 {
         let per_cell = (1u64 << self.bits_per_cell()) - 1;
         match *self {
-            WeightScheme::Splice { cells, bits_per_cell } => {
+            WeightScheme::Splice {
+                cells,
+                bits_per_cell,
+            } => {
                 let mut v = 0u64;
                 for i in 0..cells {
                     v += per_cell << (bits_per_cell as usize * i);
@@ -166,7 +168,10 @@ impl WeightScheme {
             return 0.0;
         }
         match *self {
-            WeightScheme::Splice { cells, bits_per_cell } => {
+            WeightScheme::Splice {
+                cells,
+                bits_per_cell,
+            } => {
                 // value = Σ 2^(b i) X_i  =>  var = Σ 4^(b i) σ².
                 let mut var = 0.0;
                 for i in 0..cells {
@@ -188,7 +193,10 @@ impl WeightScheme {
         let target = (clamped * self.max_value() as f64).round() as u64;
         let per_cell = (1u64 << self.bits_per_cell()) - 1;
         match *self {
-            WeightScheme::Splice { cells, bits_per_cell } => (0..cells)
+            WeightScheme::Splice {
+                cells,
+                bits_per_cell,
+            } => (0..cells)
                 .map(|i| ((target >> (bits_per_cell as usize * i)) & per_cell) as u32)
                 .collect(),
             WeightScheme::Add { cells, .. } => {
@@ -197,7 +205,7 @@ impl WeightScheme {
                 let mut out = Vec::with_capacity(cells);
                 for i in 0..cells {
                     let cells_left = (cells - i) as u64;
-                    let share = (remaining + cells_left - 1) / cells_left;
+                    let share = remaining.div_ceil(cells_left);
                     let level = share.min(per_cell);
                     out.push(level as u32);
                     remaining -= level;

@@ -36,7 +36,11 @@ pub struct Allocation {
 impl Allocation {
     /// Run the allocator over a core-op graph.
     pub fn allocate(graph: &CoreOpGraph, policy: AllocationPolicy) -> Self {
-        let reuse: Vec<u64> = graph.groups().iter().map(|g| g.reuse_degree.max(1)).collect();
+        let reuse: Vec<u64> = graph
+            .groups()
+            .iter()
+            .map(|g| g.reuse_degree.max(1))
+            .collect();
         let per_group = match policy {
             AllocationPolicy::DuplicationDegree(d) => {
                 let d = d.max(1);
@@ -202,8 +206,8 @@ mod tests {
     #[test]
     fn temporal_utilization_improves_with_duplication() {
         let g = graph_with_reuse(&[1000, 10, 10, 10]);
-        let u1 = Allocation::allocate(&g, AllocationPolicy::DuplicationDegree(1))
-            .temporal_utilization();
+        let u1 =
+            Allocation::allocate(&g, AllocationPolicy::DuplicationDegree(1)).temporal_utilization();
         let u16 = Allocation::allocate(&g, AllocationPolicy::DuplicationDegree(16))
             .temporal_utilization();
         assert!(u16 > u1);

@@ -41,11 +41,7 @@ impl ControlPlan {
     }
 
     /// Build the plan for an allocated, scheduled graph.
-    pub fn for_schedule(
-        graph: &CoreOpGraph,
-        allocation: &Allocation,
-        schedule: &Schedule,
-    ) -> Self {
+    pub fn for_schedule(graph: &CoreOpGraph, allocation: &Allocation, schedule: &Schedule) -> Self {
         let pe_luts: usize = graph
             .groups()
             .iter()

@@ -179,8 +179,7 @@ impl Scheduler {
             for pair in sorted.windows(2) {
                 let first_end = entries[pair[0]].map(|e| e.end_cycle).unwrap_or(0);
                 if let Some(e) = entries[pair[1]].as_mut() {
-                    if e.end_cycle <= first_end + self.sampling_window
-                        && e.start_cycle <= first_end
+                    if e.end_cycle <= first_end + self.sampling_window && e.start_cycle <= first_end
                     {
                         let shift = first_end + 1 - e.start_cycle;
                         e.start_cycle += shift;

@@ -112,8 +112,8 @@ impl Dataset {
         let mut labels = Vec::new();
         for i in 0..samples_per_class {
             for class in 0..classes {
-                let radius = 0.25 + class as f64 * 0.5 / classes as f64
-                    + rng.gen_range(-0.05..0.05);
+                let radius =
+                    0.25 + class as f64 * 0.5 / classes as f64 + rng.gen_range(-0.05..0.05);
                 let theta = (i as f64 / samples_per_class as f64) * std::f64::consts::TAU
                     + rng.gen_range(-0.1..0.1);
                 samples.push(vec![

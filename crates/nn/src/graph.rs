@@ -47,7 +47,12 @@ impl ComputationalGraph {
     }
 
     /// Append a node and return its id.
-    pub fn add_node(&mut self, name: impl Into<String>, op: Operator, inputs: Vec<NodeId>) -> NodeId {
+    pub fn add_node(
+        &mut self,
+        name: impl Into<String>,
+        op: Operator,
+        inputs: Vec<NodeId>,
+    ) -> NodeId {
         let id = self.nodes.len();
         self.nodes.push(Node {
             id,
@@ -159,7 +164,12 @@ impl ComputationalGraph {
             let input_shapes: Vec<TensorShape> = node
                 .inputs
                 .iter()
-                .map(|i| shapes.get(i).copied().ok_or(NnError::UnknownNode { id: *i }))
+                .map(|i| {
+                    shapes
+                        .get(i)
+                        .copied()
+                        .ok_or(NnError::UnknownNode { id: *i })
+                })
                 .collect::<Result<_, _>>()?;
             let out = node.op.infer_shape(&node.name, &input_shapes)?;
             shapes.insert(id, out);

@@ -87,7 +87,10 @@ impl Mlp {
     ///
     /// Panics if fewer than two sizes are given.
     pub fn new(sizes: &[usize], seed: u64) -> Self {
-        assert!(sizes.len() >= 2, "an MLP needs at least input and output sizes");
+        assert!(
+            sizes.len() >= 2,
+            "an MLP needs at least input and output sizes"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let layers = sizes
             .windows(2)
@@ -248,7 +251,9 @@ pub fn softmax(logits: &[f32]) -> Vec<f32> {
     let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
     let exps: Vec<f32> = logits.iter().map(|&l| (l - max).exp()).collect();
     let sum: f32 = exps.iter().sum();
-    exps.iter().map(|e| e / sum.max(f32::MIN_POSITIVE)).collect()
+    exps.iter()
+        .map(|e| e / sum.max(f32::MIN_POSITIVE))
+        .collect()
 }
 
 #[cfg(test)]
@@ -293,8 +298,14 @@ mod tests {
             },
         );
         let after = mlp.accuracy(&test);
-        assert!(after > before, "accuracy should improve ({before} -> {after})");
-        assert!(after > 0.9, "blobs should be almost perfectly separable, got {after}");
+        assert!(
+            after > before,
+            "accuracy should improve ({before} -> {after})"
+        );
+        assert!(
+            after > 0.9,
+            "blobs should be almost perfectly separable, got {after}"
+        );
     }
 
     #[test]

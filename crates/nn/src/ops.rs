@@ -387,8 +387,14 @@ mod tests {
 
     #[test]
     fn pooling_shrinks_spatial_dimensions() {
-        let pool = Operator::MaxPool2d { kernel: 2, stride: 2 };
-        assert_eq!(pool.infer_shape("p", &[chw(16, 8, 8)]).unwrap(), chw(16, 4, 4));
+        let pool = Operator::MaxPool2d {
+            kernel: 2,
+            stride: 2,
+        };
+        assert_eq!(
+            pool.infer_shape("p", &[chw(16, 8, 8)]).unwrap(),
+            chw(16, 4, 4)
+        );
         let gap = Operator::GlobalAvgPool;
         assert_eq!(
             gap.infer_shape("g", &[chw(1024, 7, 7)]).unwrap(),

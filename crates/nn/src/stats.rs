@@ -68,7 +68,11 @@ impl WorkloadStats {
     /// The maximum reuse degree across all layers (the paper's duplication
     /// degree is defined relative to this group).
     pub fn max_reuse_degree(&self) -> u64 {
-        self.layers.iter().map(|l| l.reuse_degree).max().unwrap_or(1)
+        self.layers
+            .iter()
+            .map(|l| l.reuse_degree)
+            .max()
+            .unwrap_or(1)
     }
 
     /// Fraction of the total weights held by the `k` layers with the largest
@@ -150,7 +154,10 @@ mod tests {
     fn aggregates_sum_layers() {
         let stats = WorkloadStats::from_layers(
             "m".into(),
-            vec![layer("a", "conv", 100, 1000, 10), layer("b", "fc", 900, 900, 1)],
+            vec![
+                layer("a", "conv", 100, 1000, 10),
+                layer("b", "fc", 900, 900, 1),
+            ],
         );
         assert_eq!(stats.total_weights, 1000);
         assert_eq!(stats.total_macs, 1900);
@@ -163,7 +170,10 @@ mod tests {
     fn share_helpers_compute_fractions() {
         let stats = WorkloadStats::from_layers(
             "m".into(),
-            vec![layer("a", "conv", 100, 1000, 10), layer("b", "fc", 900, 900, 1)],
+            vec![
+                layer("a", "conv", 100, 1000, 10),
+                layer("b", "fc", 900, 900, 1),
+            ],
         );
         assert!((stats.weight_share_of("fc") - 0.9).abs() < 1e-12);
         assert!((stats.ops_share_of("conv") - 2000.0 / 3800.0).abs() < 1e-12);

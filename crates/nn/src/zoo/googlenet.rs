@@ -18,24 +18,61 @@ fn inception(
 ) -> (NodeId, usize) {
     let InceptionCfg(c1, r3, c3, r5, c5, pp) = cfg;
     // Branch 1: 1x1 convolution.
-    let b1 = conv_relu(g, &format!("{name}_1x1"), input, in_channels, c1, 1, 1, 0, 1);
+    let b1 = conv_relu(
+        g,
+        &format!("{name}_1x1"),
+        input,
+        in_channels,
+        c1,
+        1,
+        1,
+        0,
+        1,
+    );
     // Branch 2: 1x1 reduce then 3x3.
-    let b2r = conv_relu(g, &format!("{name}_3x3r"), input, in_channels, r3, 1, 1, 0, 1);
+    let b2r = conv_relu(
+        g,
+        &format!("{name}_3x3r"),
+        input,
+        in_channels,
+        r3,
+        1,
+        1,
+        0,
+        1,
+    );
     let b2 = conv_relu(g, &format!("{name}_3x3"), b2r, r3, c3, 3, 1, 1, 1);
     // Branch 3: 1x1 reduce then 5x5.
-    let b3r = conv_relu(g, &format!("{name}_5x5r"), input, in_channels, r5, 1, 1, 0, 1);
+    let b3r = conv_relu(
+        g,
+        &format!("{name}_5x5r"),
+        input,
+        in_channels,
+        r5,
+        1,
+        1,
+        0,
+        1,
+    );
     let b3 = conv_relu(g, &format!("{name}_5x5"), b3r, r5, c5, 5, 1, 2, 1);
     // Branch 4: 3x3 max pool then 1x1 projection.
     let b4p = g.add_node(
         format!("{name}_pool"),
-        Operator::MaxPool2d { kernel: 3, stride: 1 },
+        Operator::MaxPool2d {
+            kernel: 3,
+            stride: 1,
+        },
         vec![input],
     );
     // The stride-1 3x3 pool shrinks the map by 2 pixels without padding; pad
     // is not modelled by the pool operator, so project from the pooled map
     // using a 1x1 conv applied to the same channel count.
     let b4 = conv_relu(g, &format!("{name}_proj"), b4p, in_channels, pp, 1, 1, 1, 1);
-    let out = g.add_node(format!("{name}_concat"), Operator::Concat, vec![b1, b2, b3, b4]);
+    let out = g.add_node(
+        format!("{name}_concat"),
+        Operator::Concat,
+        vec![b1, b2, b3, b4],
+    );
     (out, c1 + c3 + c5 + pp)
 }
 
@@ -53,19 +90,73 @@ pub fn googlenet() -> ComputationalGraph {
     let n2 = g.add_node("norm2", Operator::LocalResponseNorm, vec![c2]);
     let p2 = maxpool(&mut g, "pool2", n2, 3, 2);
 
-    let (i3a, c3a) = inception(&mut g, "inception_3a", p2, 192, InceptionCfg(64, 96, 128, 16, 32, 32));
-    let (i3b, c3b) = inception(&mut g, "inception_3b", i3a, c3a, InceptionCfg(128, 128, 192, 32, 96, 64));
+    let (i3a, c3a) = inception(
+        &mut g,
+        "inception_3a",
+        p2,
+        192,
+        InceptionCfg(64, 96, 128, 16, 32, 32),
+    );
+    let (i3b, c3b) = inception(
+        &mut g,
+        "inception_3b",
+        i3a,
+        c3a,
+        InceptionCfg(128, 128, 192, 32, 96, 64),
+    );
     let p3 = maxpool(&mut g, "pool3", i3b, 3, 2);
 
-    let (i4a, c4a) = inception(&mut g, "inception_4a", p3, c3b, InceptionCfg(192, 96, 208, 16, 48, 64));
-    let (i4b, c4b) = inception(&mut g, "inception_4b", i4a, c4a, InceptionCfg(160, 112, 224, 24, 64, 64));
-    let (i4c, c4c) = inception(&mut g, "inception_4c", i4b, c4b, InceptionCfg(128, 128, 256, 24, 64, 64));
-    let (i4d, c4d) = inception(&mut g, "inception_4d", i4c, c4c, InceptionCfg(112, 144, 288, 32, 64, 64));
-    let (i4e, c4e) = inception(&mut g, "inception_4e", i4d, c4d, InceptionCfg(256, 160, 320, 32, 128, 128));
+    let (i4a, c4a) = inception(
+        &mut g,
+        "inception_4a",
+        p3,
+        c3b,
+        InceptionCfg(192, 96, 208, 16, 48, 64),
+    );
+    let (i4b, c4b) = inception(
+        &mut g,
+        "inception_4b",
+        i4a,
+        c4a,
+        InceptionCfg(160, 112, 224, 24, 64, 64),
+    );
+    let (i4c, c4c) = inception(
+        &mut g,
+        "inception_4c",
+        i4b,
+        c4b,
+        InceptionCfg(128, 128, 256, 24, 64, 64),
+    );
+    let (i4d, c4d) = inception(
+        &mut g,
+        "inception_4d",
+        i4c,
+        c4c,
+        InceptionCfg(112, 144, 288, 32, 64, 64),
+    );
+    let (i4e, c4e) = inception(
+        &mut g,
+        "inception_4e",
+        i4d,
+        c4d,
+        InceptionCfg(256, 160, 320, 32, 128, 128),
+    );
     let p4 = maxpool(&mut g, "pool4", i4e, 3, 2);
 
-    let (i5a, c5a) = inception(&mut g, "inception_5a", p4, c4e, InceptionCfg(256, 160, 320, 32, 128, 128));
-    let (i5b, c5b) = inception(&mut g, "inception_5b", i5a, c5a, InceptionCfg(384, 192, 384, 48, 128, 128));
+    let (i5a, c5a) = inception(
+        &mut g,
+        "inception_5a",
+        p4,
+        c4e,
+        InceptionCfg(256, 160, 320, 32, 128, 128),
+    );
+    let (i5b, c5b) = inception(
+        &mut g,
+        "inception_5b",
+        i5a,
+        c5a,
+        InceptionCfg(384, 192, 384, 48, 128, 128),
+    );
 
     let gap = g.add_node("global_pool", Operator::GlobalAvgPool, vec![i5b]);
     let drop = g.add_node("dropout", Operator::Dropout, vec![gap]);

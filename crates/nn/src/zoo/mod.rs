@@ -242,7 +242,11 @@ mod tests {
             // GoogLeNet's published 3.2G ops includes overhead (auxiliary
             // classifiers / LRN accounting) that inference-only graphs do not
             // reproduce exactly; allow a slightly wider band there.
-            let ops_tolerance = if b == Benchmark::GoogLeNet { 0.12 } else { 0.10 };
+            let ops_tolerance = if b == Benchmark::GoogLeNet {
+                0.12
+            } else {
+                0.10
+            };
             assert!(
                 o_err < ops_tolerance,
                 "{}: op count {} differs from published {} by {:.1}%",

@@ -16,7 +16,16 @@ fn bottleneck(
     stride: usize,
 ) -> (NodeId, usize) {
     let out_channels = mid_channels * 4;
-    let c1 = conv(g, &format!("{name}_conv1"), input, in_channels, mid_channels, 1, 1, 0);
+    let c1 = conv(
+        g,
+        &format!("{name}_conv1"),
+        input,
+        in_channels,
+        mid_channels,
+        1,
+        1,
+        0,
+    );
     let r1 = g.add_node(format!("{name}_relu1"), Operator::Relu, vec![c1]);
     let c2 = g.add_node(
         format!("{name}_conv2"),
@@ -31,7 +40,16 @@ fn bottleneck(
         vec![r1],
     );
     let r2 = g.add_node(format!("{name}_relu2"), Operator::Relu, vec![c2]);
-    let c3 = conv(g, &format!("{name}_conv3"), r2, mid_channels, out_channels, 1, 1, 0);
+    let c3 = conv(
+        g,
+        &format!("{name}_conv3"),
+        r2,
+        mid_channels,
+        out_channels,
+        1,
+        1,
+        0,
+    );
 
     let shortcut = if in_channels != out_channels || stride != 1 {
         g.add_node(
@@ -140,8 +158,7 @@ mod tests {
         let last_relu = g
             .nodes()
             .iter()
-            .filter(|n| n.name.starts_with("layer4_block2"))
-            .last()
+            .rfind(|n| n.name.starts_with("layer4_block2"))
             .unwrap();
         assert_eq!(shapes[&last_relu.id], TensorShape::chw(2048, 7, 7));
     }

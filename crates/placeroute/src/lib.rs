@@ -63,6 +63,9 @@ mod tests {
         assert_eq!(placement.positions().len(), mapping.netlist.len());
         assert_eq!(routing.routed_nets(), mapping.netlist.nets().len());
         assert!(timing.critical_delay_ns > 0.0);
-        assert!(timing.critical_delay_ns < 100.0, "critical path should be nanoseconds");
+        assert!(
+            timing.critical_delay_ns < 100.0,
+            "critical path should be nanoseconds"
+        );
     }
 }

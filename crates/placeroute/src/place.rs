@@ -171,8 +171,11 @@ impl Placer {
         for _ in 0..self.config.temperature_steps {
             for _ in 0..self.config.moves_per_temperature {
                 // Pick a kind with at least two blocks and swap two of them.
-                let kinds: Vec<&BlockKind> =
-                    by_kind.iter().filter(|(_, v)| v.len() >= 2).map(|(k, _)| k).collect();
+                let kinds: Vec<&BlockKind> = by_kind
+                    .iter()
+                    .filter(|(_, v)| v.len() >= 2)
+                    .map(|(k, _)| k)
+                    .collect();
                 if kinds.is_empty() {
                     break;
                 }
@@ -201,8 +204,8 @@ impl Placer {
                     .map(|&n| hpwl(&positions, &netlist.nets()[n]))
                     .sum();
                 let delta = after - before;
-                let accept = delta <= 0.0
-                    || rng.gen::<f64>() < (-delta / temperature.max(1e-9)).exp();
+                let accept =
+                    delta <= 0.0 || rng.gen::<f64>() < (-delta / temperature.max(1e-9)).exp();
                 if accept {
                     cost += delta;
                 } else {

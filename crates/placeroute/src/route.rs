@@ -101,22 +101,21 @@ impl Router {
                 // Candidate 2: vertical first, then horizontal.
                 let cost_vh = l_path_cost(src, dst, false, &horizontal, &vertical, cols);
                 let capacity = self.routing.channel_width;
-                let hops;
-                if cost_hv.1 < capacity || cost_vh.1 < capacity {
+                let hops = if cost_hv.1 < capacity || cost_vh.1 < capacity {
                     let horizontal_first = cost_hv.1 <= cost_vh.1;
-                    hops = apply_l_path(
+                    apply_l_path(
                         src,
                         dst,
                         horizontal_first,
                         &mut horizontal,
                         &mut vertical,
                         cols,
-                    );
+                    )
                 } else {
                     // Dijkstra fallback over the channel grid with
                     // congestion-aware costs.
                     detoured += 1;
-                    hops = dijkstra_route(
+                    dijkstra_route(
                         src,
                         dst,
                         rows,
@@ -124,8 +123,8 @@ impl Router {
                         capacity,
                         &mut horizontal,
                         &mut vertical,
-                    );
-                }
+                    )
+                };
                 connection_hops.push(hops);
                 let _ = idx; // silence unused in some cfgs
             }
@@ -268,7 +267,11 @@ fn dijkstra_route(
                 vertical[idx(r.min(nr), c)]
             };
             // Congestion penalty: channels past capacity cost 16x.
-            let cost = 1 + if channel >= capacity { 16 } else { channel as u64 / 64 };
+            let cost = 1 + if channel >= capacity {
+                16
+            } else {
+                channel as u64 / 64
+            };
             let nd = d + cost;
             let ni = idx(nr, nc);
             if nd < dist[ni] {

@@ -18,6 +18,6 @@ pub mod bounds;
 pub mod bus;
 pub mod pe;
 
-pub use bounds::{BoundsPoint, CommunicationModel, PerformanceBounds, PeParameters};
+pub use bounds::{BoundsPoint, CommunicationModel, PeParameters, PerformanceBounds};
 pub use bus::MemoryBus;
 pub use pe::PrimePeSpec;

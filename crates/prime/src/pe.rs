@@ -130,7 +130,12 @@ mod tests {
     fn area_matches_table2() {
         let pe = PrimePeSpec::prime_default();
         let err = (pe.area_um2() - published::AREA_UM2).abs() / published::AREA_UM2;
-        assert!(err < 0.02, "area {} vs published {}", pe.area_um2(), published::AREA_UM2);
+        assert!(
+            err < 0.02,
+            "area {} vs published {}",
+            pe.area_um2(),
+            published::AREA_UM2
+        );
     }
 
     #[test]
@@ -148,8 +153,8 @@ mod tests {
     #[test]
     fn density_matches_table2() {
         let pe = PrimePeSpec::prime_default();
-        let err =
-            (pe.density_tops_mm2() - published::DENSITY_TOPS_MM2).abs() / published::DENSITY_TOPS_MM2;
+        let err = (pe.density_tops_mm2() - published::DENSITY_TOPS_MM2).abs()
+            / published::DENSITY_TOPS_MM2;
         assert!(err < 0.06, "density {}", pe.density_tops_mm2());
     }
 
@@ -158,7 +163,10 @@ mod tests {
         let prime = PrimePeSpec::prime_default();
         let fpsa = fpsa_device::pe::ProcessingElementSpec::fpsa_default();
         let improvement = fpsa.computational_density_tops_per_mm2() / prime.density_tops_mm2();
-        assert!(improvement > 27.0 && improvement < 36.0, "improvement {improvement}");
+        assert!(
+            improvement > 27.0 && improvement < 36.0,
+            "improvement {improvement}"
+        );
     }
 
     #[test]

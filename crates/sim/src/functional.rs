@@ -277,12 +277,7 @@ mod tests {
     #[test]
     fn ideal_devices_preserve_accuracy() {
         let (mlp, test) = trained_network();
-        let study = VariationStudy::new(
-            WeightScheme::fpsa_add(),
-            CellVariation::ideal(),
-            1,
-            3,
-        );
+        let study = VariationStudy::new(WeightScheme::fpsa_add(), CellVariation::ideal(), 1, 3);
         let normalized = study.normalized_accuracy(&mlp, &test);
         assert!(normalized > 0.95, "normalized accuracy {normalized}");
     }
@@ -315,7 +310,10 @@ mod tests {
         let splice = VariationStudy::new(WeightScheme::prime_splice(), stress, 5, 5)
             .normalized_accuracy(&mlp, &test);
         let add = VariationStudy::new(
-            WeightScheme::Add { cells: 16, bits_per_cell: 4 },
+            WeightScheme::Add {
+                cells: 16,
+                bits_per_cell: 4,
+            },
             stress,
             5,
             5,
@@ -325,7 +323,10 @@ mod tests {
             add >= splice,
             "add ({add}) should not be worse than splice ({splice}) under stress"
         );
-        assert!(add > 0.8, "16-cell add should stay close to full precision, got {add}");
+        assert!(
+            add > 0.8,
+            "16-cell add should stay close to full precision, got {add}"
+        );
     }
 
     #[test]
@@ -333,14 +334,20 @@ mod tests {
         let (mlp, test) = trained_network();
         let variation = CellVariation::measured();
         let few = VariationStudy::new(
-            WeightScheme::Add { cells: 1, bits_per_cell: 4 },
+            WeightScheme::Add {
+                cells: 1,
+                bits_per_cell: 4,
+            },
             variation,
             3,
             9,
         )
         .mean_logit_distortion(&mlp, &test);
         let many = VariationStudy::new(
-            WeightScheme::Add { cells: 16, bits_per_cell: 4 },
+            WeightScheme::Add {
+                cells: 16,
+                bits_per_cell: 4,
+            },
             variation,
             3,
             9,

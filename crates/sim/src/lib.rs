@@ -12,9 +12,16 @@
 //!   running a trained MLP through cycle-accurate spiking PEs to confirm the
 //!   spiking schema computes the right function, and the device-variation
 //!   accuracy study behind Figure 9 (splice vs add weight representation).
+//!
+//! The [`trace`] module carries compile-stage instrumentation: the compiler
+//! in `fpsa-core` fills a [`StageTrace`] per compilation and attaches it to
+//! the [`PerformanceReport`], so consumers see both runtime performance and
+//! where compile time went.
 
 pub mod functional;
 pub mod perf;
+pub mod trace;
 
 pub use functional::{SpikingMlpRunner, VariationStudy};
 pub use perf::{CommunicationEstimate, PerformanceReport, PerformanceSimulator};
+pub use trace::{StageKind, StageRecord, StageTrace};

@@ -64,7 +64,7 @@ impl CommunicationEstimate {
 }
 
 /// The output of the performance simulator.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PerformanceReport {
     /// Sustained throughput in samples per second.
     pub throughput_samples_per_s: f64,
@@ -84,12 +84,21 @@ pub struct PerformanceReport {
     pub pipeline_period_ns: f64,
     /// Number of PEs used.
     pub pe_count: usize,
+    /// Per-stage compile instrumentation, when the report came from a model
+    /// compiled through the staged pipeline (`None` for raw simulator runs).
+    pub compile: Option<crate::trace::StageTrace>,
 }
 
 impl PerformanceReport {
     /// Throughput expressed as operations per second divided by area.
     pub fn density_tops_mm2(&self) -> f64 {
         self.ops_per_mm2 * 1e-12
+    }
+
+    /// Attach the compile-stage trace of the model this report measures.
+    pub fn with_compile_trace(mut self, trace: crate::trace::StageTrace) -> Self {
+        self.compile = Some(trace);
+        self
     }
 }
 
@@ -196,6 +205,7 @@ impl PerformanceSimulator {
             communication_ns_per_vmm,
             pipeline_period_ns,
             pe_count: stats.pe_count,
+            compile: None,
         }
     }
 }
@@ -221,12 +231,16 @@ mod tests {
         let fpsa = PerformanceSimulator::new(ArchitectureConfig::fpsa()).evaluate(
             &graph,
             &mapping,
-            CommunicationEstimate::Routed { critical_path_ns: 10.0 },
+            CommunicationEstimate::Routed {
+                critical_path_ns: 10.0,
+            },
         );
         let prime = PerformanceSimulator::new(ArchitectureConfig::prime()).evaluate(
             &graph,
             &mapping,
-            CommunicationEstimate::Bus { bandwidth_gbps: 32.0 },
+            CommunicationEstimate::Bus {
+                bandwidth_gbps: 32.0,
+            },
         );
         // On a small model the gap is dominated by the PE speedup alone; the
         // 1000x headline requires the ImageNet-scale models where the bus
@@ -243,7 +257,9 @@ mod tests {
         let routed = sim.evaluate(
             &graph,
             &mapping,
-            CommunicationEstimate::Routed { critical_path_ns: 10.0 },
+            CommunicationEstimate::Routed {
+                critical_path_ns: 10.0,
+            },
         );
         assert!(ideal.throughput_samples_per_s > routed.throughput_samples_per_s);
         assert_eq!(routed.compute_ns_per_vmm, ideal.compute_ns_per_vmm);
@@ -256,7 +272,9 @@ mod tests {
         let (graph, m1) = mapped(zoo::lenet, 1);
         let (_, m16) = mapped(zoo::lenet, 16);
         let sim = PerformanceSimulator::new(ArchitectureConfig::fpsa());
-        let comm = CommunicationEstimate::Routed { critical_path_ns: 10.0 };
+        let comm = CommunicationEstimate::Routed {
+            critical_path_ns: 10.0,
+        };
         let r1 = sim.evaluate(&graph, &m1, comm);
         let r16 = sim.evaluate(&graph, &m16, comm);
         let speedup = r16.throughput_samples_per_s / r1.throughput_samples_per_s;
@@ -277,7 +295,9 @@ mod tests {
         let prime = PerformanceSimulator::new(ArchitectureConfig::prime()).evaluate(
             &graph,
             &mapping,
-            CommunicationEstimate::Bus { bandwidth_gbps: 32.0 },
+            CommunicationEstimate::Bus {
+                bandwidth_gbps: 32.0,
+            },
         );
         let ideal = PerformanceSimulator::new(ArchitectureConfig::prime()).evaluate(
             &graph,
@@ -295,13 +315,13 @@ mod tests {
     #[test]
     fn spike_trains_cost_more_communication_than_counts() {
         let (graph, mapping) = mapped(zoo::lenet, 1);
-        let comm = CommunicationEstimate::Routed { critical_path_ns: 10.0 };
-        let fpsa = PerformanceSimulator::new(ArchitectureConfig::fpsa()).evaluate(
-            &graph, &mapping, comm,
-        );
-        let fp_prime = PerformanceSimulator::new(ArchitectureConfig::fp_prime()).evaluate(
-            &graph, &mapping, comm,
-        );
+        let comm = CommunicationEstimate::Routed {
+            critical_path_ns: 10.0,
+        };
+        let fpsa =
+            PerformanceSimulator::new(ArchitectureConfig::fpsa()).evaluate(&graph, &mapping, comm);
+        let fp_prime = PerformanceSimulator::new(ArchitectureConfig::fp_prime())
+            .evaluate(&graph, &mapping, comm);
         // FPSA serializes 64 bits per value, FP-PRIME only 6.
         assert!(
             (fpsa.communication_ns_per_vmm / fp_prime.communication_ns_per_vmm - 64.0 / 6.0).abs()
@@ -323,6 +343,51 @@ mod tests {
     }
 
     #[test]
+    fn analytic_hop_count_grows_with_block_count() {
+        let arch = ArchitectureConfig::fpsa();
+        let delay = |blocks: usize| match CommunicationEstimate::analytic(&arch, blocks) {
+            CommunicationEstimate::Routed { critical_path_ns } => critical_path_ns,
+            other => panic!("FPSA should produce a routed estimate, got {other:?}"),
+        };
+        // The critical path scales with the perimeter of the occupied fabric
+        // region: never shrinking with block count, and clearly growing over
+        // orders of magnitude.
+        let sweep = [1usize, 4, 16, 256, 4_096, 65_536];
+        for pair in sweep.windows(2) {
+            assert!(
+                delay(pair[1]) >= delay(pair[0]),
+                "delay must not shrink: {} blocks -> {} ns, {} blocks -> {} ns",
+                pair[0],
+                delay(pair[0]),
+                pair[1],
+                delay(pair[1])
+            );
+        }
+        assert!(delay(65_536) > delay(1), "delay must grow over the sweep");
+    }
+
+    #[test]
+    fn analytic_estimate_degrades_gracefully_at_tiny_block_counts() {
+        let arch = ArchitectureConfig::fpsa();
+        let delay = |blocks: usize| match CommunicationEstimate::analytic(&arch, blocks) {
+            CommunicationEstimate::Routed { critical_path_ns } => critical_path_ns,
+            other => panic!("FPSA should produce a routed estimate, got {other:?}"),
+        };
+        // Empty and single-block netlists clamp to one hop instead of
+        // producing zero, negative or non-finite delays.
+        for blocks in [0usize, 1] {
+            let d = delay(blocks);
+            assert!(d.is_finite() && d > 0.0, "{blocks} blocks gave {d} ns");
+        }
+        assert_eq!(delay(0), delay(1), "0 and 1 blocks share the one-hop floor");
+        // The bus model is untouched by block count, including zero.
+        match CommunicationEstimate::analytic(&ArchitectureConfig::prime(), 0) {
+            CommunicationEstimate::Bus { bandwidth_gbps } => assert!(bandwidth_gbps > 0.0),
+            other => panic!("PRIME should produce a bus estimate, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn report_densities_are_consistent() {
         let (graph, mapping) = mapped(zoo::mlp_500_100, 1);
         let report = PerformanceSimulator::new(ArchitectureConfig::fpsa()).evaluate(
@@ -332,6 +397,9 @@ mod tests {
         );
         assert!(report.area_mm2 > 0.0);
         assert!((report.ops_per_mm2 - report.ops_per_second / report.area_mm2).abs() < 1.0);
-        assert!(report.density_tops_mm2() < 40.0, "density cannot exceed the PE peak");
+        assert!(
+            report.density_tops_mm2() < 40.0,
+            "density cannot exceed the PE peak"
+        );
     }
 }

@@ -1,0 +1,208 @@
+//! Compile-stage instrumentation.
+//!
+//! The compiler in `fpsa-core` runs as an explicit staged pipeline
+//! (`Synthesize → Map → PlaceRoute → Estimate`, see DESIGN.md). Each stage
+//! records its wall-clock time and artifact sizes into a [`StageTrace`] that
+//! travels on the compiled model and into [`crate::PerformanceReport`], so
+//! latency breakdowns (the Figure 7 bench and the compiler-stage ablation
+//! bench) read real measurements instead of re-deriving them.
+//!
+//! The trace lives in `fpsa-sim` rather than `fpsa-core` because the
+//! performance report is the public carrier: everything that consumes a
+//! report can see where compile time went without depending on the compiler.
+
+use serde::{Deserialize, Serialize};
+
+/// The four stages of the compile pipeline, in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StageKind {
+    /// Neural synthesis: computational graph → core-op graph.
+    Synthesize,
+    /// Spatial-to-temporal mapping: core-op graph → allocation/schedule/netlist.
+    Map,
+    /// Physical design: netlist → placement, routing and timing.
+    PlaceRoute,
+    /// Communication estimation: routed timing or the analytic wire model.
+    Estimate,
+}
+
+impl StageKind {
+    /// All stages in pipeline order.
+    pub const ALL: [StageKind; 4] = [
+        StageKind::Synthesize,
+        StageKind::Map,
+        StageKind::PlaceRoute,
+        StageKind::Estimate,
+    ];
+
+    /// Human-readable stage name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StageKind::Synthesize => "synthesize",
+            StageKind::Map => "map",
+            StageKind::PlaceRoute => "place&route",
+            StageKind::Estimate => "estimate",
+        }
+    }
+}
+
+/// One stage's measurements.
+///
+/// Equality deliberately ignores `wall_ns`: two compilations of the same
+/// model produce *structurally* identical traces but can never produce
+/// identical timings, and results of parallel and sequential sweeps must
+/// compare equal.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StageRecord {
+    /// Which stage ran.
+    pub stage: StageKind,
+    /// Wall-clock time the stage took, in nanoseconds.
+    pub wall_ns: f64,
+    /// Number of artifact items the stage consumed (graph nodes, core-op
+    /// groups, netlist blocks — whatever the stage's input is measured in).
+    pub items_in: usize,
+    /// Number of artifact items the stage produced.
+    pub items_out: usize,
+}
+
+impl PartialEq for StageRecord {
+    fn eq(&self, other: &Self) -> bool {
+        self.stage == other.stage
+            && self.items_in == other.items_in
+            && self.items_out == other.items_out
+    }
+}
+
+/// The ordered per-stage measurements of one compilation.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StageTrace {
+    records: Vec<StageRecord>,
+}
+
+impl StageTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one stage's record (stages arrive in execution order).
+    pub fn push(&mut self, record: StageRecord) {
+        self.records.push(record);
+    }
+
+    /// The recorded stages in execution order.
+    pub fn records(&self) -> &[StageRecord] {
+        &self.records
+    }
+
+    /// Number of recorded stages.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether anything was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Wall-clock time of one stage, if it ran.
+    pub fn wall_ns(&self, stage: StageKind) -> Option<f64> {
+        self.records
+            .iter()
+            .find(|r| r.stage == stage)
+            .map(|r| r.wall_ns)
+    }
+
+    /// Total wall-clock time across all recorded stages.
+    pub fn total_wall_ns(&self) -> f64 {
+        self.records.iter().map(|r| r.wall_ns).sum()
+    }
+
+    /// One stage's share of the total wall-clock time, in `0..=1`.
+    pub fn share(&self, stage: StageKind) -> Option<f64> {
+        let total = self.total_wall_ns();
+        if total <= 0.0 {
+            return None;
+        }
+        self.wall_ns(stage).map(|ns| ns / total)
+    }
+
+    /// Render the trace as an aligned plain-text table.
+    pub fn to_table(&self) -> String {
+        let mut out = String::from("stage        | wall (ms) | share | items in -> out\n");
+        out.push_str("-------------|-----------|-------|----------------\n");
+        for r in &self.records {
+            let share = self.share(r.stage).unwrap_or(0.0);
+            out.push_str(&format!(
+                "{:<12} | {:>9.3} | {:>4.0}% | {} -> {}\n",
+                r.stage.name(),
+                r.wall_ns * 1e-6,
+                share * 100.0,
+                r.items_in,
+                r.items_out
+            ));
+        }
+        out.push_str(&format!(
+            "total        | {:>9.3} |  100% |\n",
+            self.total_wall_ns() * 1e-6
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(stage: StageKind, wall_ns: f64) -> StageRecord {
+        StageRecord {
+            stage,
+            wall_ns,
+            items_in: 10,
+            items_out: 20,
+        }
+    }
+
+    #[test]
+    fn equality_ignores_wall_clock() {
+        let mut a = StageTrace::new();
+        let mut b = StageTrace::new();
+        a.push(record(StageKind::Synthesize, 1_000.0));
+        b.push(record(StageKind::Synthesize, 9_999.0));
+        assert_eq!(a, b);
+        // But not the structure.
+        b.push(record(StageKind::Map, 1.0));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn totals_and_shares_add_up() {
+        let mut trace = StageTrace::new();
+        trace.push(record(StageKind::Synthesize, 300.0));
+        trace.push(record(StageKind::Map, 700.0));
+        assert_eq!(trace.total_wall_ns(), 1_000.0);
+        assert_eq!(trace.share(StageKind::Map), Some(0.7));
+        assert_eq!(trace.wall_ns(StageKind::PlaceRoute), None);
+        assert_eq!(trace.share(StageKind::PlaceRoute), None);
+    }
+
+    #[test]
+    fn empty_trace_has_no_shares() {
+        let trace = StageTrace::new();
+        assert!(trace.is_empty());
+        assert_eq!(trace.share(StageKind::Synthesize), None);
+    }
+
+    #[test]
+    fn table_lists_every_stage_plus_total() {
+        let mut trace = StageTrace::new();
+        for stage in StageKind::ALL {
+            trace.push(record(stage, 100.0));
+        }
+        let table = trace.to_table();
+        assert_eq!(table.lines().count(), 2 + 4 + 1);
+        for stage in StageKind::ALL {
+            assert!(table.contains(stage.name()), "{table}");
+        }
+    }
+}

@@ -190,7 +190,11 @@ impl CoreOpGraph {
     /// The maximum reuse degree over all groups (the paper's reference group
     /// for the model-level duplication degree).
     pub fn max_reuse_degree(&self) -> u64 {
-        self.groups.iter().map(|g| g.reuse_degree).max().unwrap_or(1)
+        self.groups
+            .iter()
+            .map(|g| g.reuse_degree)
+            .max()
+            .unwrap_or(1)
     }
 
     /// The spatial utilization: the compute-weighted fraction of crossbar
@@ -226,7 +230,11 @@ impl CoreOpGraph {
 
     /// The number of pipeline levels (maximum layer depth + 1).
     pub fn pipeline_depth(&self) -> usize {
-        self.groups.iter().map(|g| g.layer_depth + 1).max().unwrap_or(0)
+        self.groups
+            .iter()
+            .map(|g| g.layer_depth + 1)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Materialize individual core-ops, up to `limit` instances (returns
@@ -299,10 +307,7 @@ mod tests {
         assert_eq!(g.total_core_ops(), 100 + 1 + 100);
         assert_eq!(g.minimum_pe_count(), 3);
         assert_eq!(g.max_reuse_degree(), 100);
-        assert_eq!(
-            g.total_weights(),
-            (256 * 256 + 128 * 64 + 32 * 8) as u64
-        );
+        assert_eq!(g.total_weights(), (256 * 256 + 128 * 64 + 32 * 8) as u64);
     }
 
     #[test]
@@ -334,7 +339,13 @@ mod tests {
         assert!(g.expand(10).is_none());
         let ops = g.expand(1000).unwrap();
         assert_eq!(ops.len(), 201);
-        assert_eq!(ops[0], CoreOp { group: 0, instance: 0 });
+        assert_eq!(
+            ops[0],
+            CoreOp {
+                group: 0,
+                instance: 0
+            }
+        );
     }
 
     #[test]

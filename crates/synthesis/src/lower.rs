@@ -21,7 +21,10 @@ pub struct TileConstraints {
 impl TileConstraints {
     /// The default FPSA constraint: a 256×256 logical crossbar.
     pub fn fpsa_256() -> Self {
-        TileConstraints { rows: 256, cols: 256 }
+        TileConstraints {
+            rows: 256,
+            cols: 256,
+        }
     }
 }
 
@@ -75,18 +78,38 @@ impl LoweredNode {
     }
 }
 
-/// Lower a dense weight matrix of `input_dim x output_dim`, reused
-/// `reuse` times, into VMM tiles plus (if needed) reduction tiles.
-pub fn lower_dense(
-    name: &str,
-    source_node: usize,
-    input_dim: usize,
-    output_dim: usize,
-    reuse: u64,
-    relu: bool,
-    kind: CoreOpKind,
-    constraints: TileConstraints,
-) -> LoweredNode {
+/// The parameters of one dense lowering: a weight matrix of
+/// `input_dim x output_dim`, executed `reuse` times per sample.
+#[derive(Debug, Clone, Copy)]
+pub struct DenseSpec<'a> {
+    /// Name prefix for the generated tiles.
+    pub name: &'a str,
+    /// The computational-graph node the tiles come from.
+    pub source_node: usize,
+    /// Weight-matrix rows (the layer's input dimension).
+    pub input_dim: usize,
+    /// Weight-matrix columns (the layer's output dimension).
+    pub output_dim: usize,
+    /// How many times the matrix is reused per sample.
+    pub reuse: u64,
+    /// Whether a ReLU follows (fused into the tiles when possible).
+    pub relu: bool,
+    /// The core-op kind of the VMM tiles.
+    pub kind: CoreOpKind,
+}
+
+/// Lower a dense weight matrix into VMM tiles plus (if needed) reduction
+/// tiles.
+pub fn lower_dense(spec: DenseSpec<'_>, constraints: TileConstraints) -> LoweredNode {
+    let DenseSpec {
+        name,
+        source_node,
+        input_dim,
+        output_dim,
+        reuse,
+        relu,
+        kind,
+    } = spec;
     let row_tiles = tile_sizes(input_dim, constraints.rows);
     let col_tiles = tile_sizes(output_dim, constraints.cols);
     let mut groups = Vec::new();
@@ -166,13 +189,15 @@ pub fn lower_node(
             in_features,
             out_features,
         } => lower_dense(
-            name,
-            node_id,
-            in_features,
-            out_features,
-            1,
-            fuse_relu,
-            CoreOpKind::Vmm,
+            DenseSpec {
+                name,
+                source_node: node_id,
+                input_dim: in_features,
+                output_dim: out_features,
+                reuse: 1,
+                relu: fuse_relu,
+                kind: CoreOpKind::Vmm,
+            },
             constraints,
         ),
         Operator::Conv2d {
@@ -184,13 +209,15 @@ pub fn lower_node(
         } => {
             let (oh, ow) = output_shape.spatial();
             lower_dense(
-                name,
-                node_id,
-                (in_channels / groups) * kernel * kernel,
-                out_channels / groups,
-                (oh * ow * groups) as u64,
-                fuse_relu,
-                CoreOpKind::Vmm,
+                DenseSpec {
+                    name,
+                    source_node: node_id,
+                    input_dim: (in_channels / groups) * kernel * kernel,
+                    output_dim: out_channels / groups,
+                    reuse: (oh * ow * groups) as u64,
+                    relu: fuse_relu,
+                    kind: CoreOpKind::Vmm,
+                },
                 constraints,
             )
         }
@@ -284,7 +311,9 @@ fn lower_pooling(
     two_stage: bool,
     constraints: TileConstraints,
 ) -> LoweredNode {
-    let per_tile = (constraints.rows / window.max(1)).max(1).min(constraints.cols);
+    let per_tile = (constraints.rows / window.max(1))
+        .max(1)
+        .min(constraints.cols);
     let blocks = tile_sizes(channels, per_tile);
     let mut groups = Vec::new();
     for (i, &block) in blocks.iter().enumerate() {
@@ -294,7 +323,11 @@ fn lower_pooling(
             source_node,
             kind: CoreOpKind::Pooling,
             rows: (window * block).min(constraints.rows),
-            cols: if two_stage { (2 * block).min(constraints.cols) } else { block },
+            cols: if two_stage {
+                (2 * block).min(constraints.cols)
+            } else {
+                block
+            },
             reuse_degree: reuse,
             relu: false,
             layer_depth: 0,
@@ -355,13 +388,15 @@ mod tests {
     #[test]
     fn small_dense_layer_is_one_tile_with_fused_relu() {
         let lowered = lower_dense(
-            "fc",
-            0,
-            100,
-            10,
-            1,
-            true,
-            CoreOpKind::Vmm,
+            DenseSpec {
+                name: "fc",
+                source_node: 0,
+                input_dim: 100,
+                output_dim: 10,
+                reuse: 1,
+                relu: true,
+                kind: CoreOpKind::Vmm,
+            },
             TileConstraints::fpsa_256(),
         );
         assert_eq!(lowered.groups.len(), 1);
@@ -376,13 +411,15 @@ mod tests {
     fn large_dense_layer_gets_reduction_tiles() {
         // 784 inputs -> 4 row tiles; 500 outputs -> 2 col tiles.
         let lowered = lower_dense(
-            "fc1",
-            0,
-            784,
-            500,
-            1,
-            true,
-            CoreOpKind::Vmm,
+            DenseSpec {
+                name: "fc1",
+                source_node: 0,
+                input_dim: 784,
+                output_dim: 500,
+                reuse: 1,
+                relu: true,
+                kind: CoreOpKind::Vmm,
+            },
             TileConstraints::fpsa_256(),
         );
         let groups = &lowered.groups;
@@ -443,7 +480,10 @@ mod tests {
 
     #[test]
     fn max_pooling_produces_two_stage_small_tiles() {
-        let op = Operator::MaxPool2d { kernel: 2, stride: 2 };
+        let op = Operator::MaxPool2d {
+            kernel: 2,
+            stride: 2,
+        };
         let input = TensorShape::chw(512, 14, 14);
         let output = op.infer_shape("p", &[input]).unwrap();
         let lowered = lower_node(
@@ -466,7 +506,10 @@ mod tests {
 
     #[test]
     fn avg_pooling_is_single_stage() {
-        let op = Operator::AvgPool2d { kernel: 2, stride: 2 };
+        let op = Operator::AvgPool2d {
+            kernel: 2,
+            stride: 2,
+        };
         let input = TensorShape::chw(128, 8, 8);
         let output = op.infer_shape("p", &[input]).unwrap();
         let lowered = lower_node(

@@ -79,11 +79,7 @@ impl NeuralSynthesizer {
 
         for id in order {
             let node = graph.node(id)?;
-            let input_shapes: Vec<_> = node
-                .inputs
-                .iter()
-                .map(|i| shapes[i])
-                .collect();
+            let input_shapes: Vec<_> = node.inputs.iter().map(|i| shapes[i]).collect();
             let output_shape = shapes[&id];
             let fuse_relu = graph
                 .consumers(id)

@@ -56,9 +56,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let perf = compiled.performance();
     println!("\nEstimated performance on FPSA:");
-    println!("  throughput : {:.1} samples/s", perf.throughput_samples_per_s);
+    println!(
+        "  throughput : {:.1} samples/s",
+        perf.throughput_samples_per_s
+    );
     println!("  latency    : {:.2} us", perf.latency_us);
-    println!("  area       : {:.2} mm^2 ({} PEs)", perf.area_mm2, perf.pe_count);
+    println!(
+        "  area       : {:.2} mm^2 ({} PEs)",
+        perf.area_mm2, perf.pe_count
+    );
     println!(
         "  per-PE time: {:.1} ns compute + {:.1} ns communication",
         perf.compute_ns_per_vmm, perf.communication_ns_per_vmm

@@ -19,8 +19,16 @@ fn main() {
     println!("Analytic normalized deviation (Section 7.2):");
     let variation = CellVariation::measured();
     for cells in [1usize, 2, 4, 8, 16] {
-        let splice = WeightScheme::Splice { cells, bits_per_cell: 4 }.normalized_deviation(variation);
-        let add = WeightScheme::Add { cells, bits_per_cell: 4 }.normalized_deviation(variation);
+        let splice = WeightScheme::Splice {
+            cells,
+            bits_per_cell: 4,
+        }
+        .normalized_deviation(variation);
+        let add = WeightScheme::Add {
+            cells,
+            bits_per_cell: 4,
+        }
+        .normalized_deviation(variation);
         println!("  {cells:>2} cells:  splice {splice:.4}   add {add:.4}");
     }
 

@@ -26,8 +26,9 @@ fn main() {
     );
 
     println!("Figure 7 — average per-PE latency breakdown:");
-    let bars = fig7::run();
-    println!("{}", fig7::to_table(&bars));
+    let fig7_data = fig7::run();
+    println!("{}", fig7::to_table(&fig7_data));
+    let bars = &fig7_data.bars;
     println!(
         "Replacing the bus with the reconfigurable routing removes {:.1}% of PRIME's per-PE latency;",
         100.0 * (bars[0].total_ns() - bars[1].total_ns()) / bars[0].total_ns()
@@ -36,4 +37,6 @@ fn main() {
         "the spiking PE then cuts the remaining computation time by {:.1}x.",
         bars[1].compute_ns / bars[2].compute_ns
     );
+    println!("\nWhere the shared VGG16 compile spent its time:");
+    println!("{}", fig7_data.compile.to_table());
 }

@@ -10,7 +10,10 @@ use fpsa::sim::CommunicationEstimate;
 
 #[test]
 fn lenet_compiles_places_routes_and_reports_performance() {
-    let compiled = Compiler::fpsa().with_duplication(2).compile(&zoo::lenet()).unwrap();
+    let compiled = Compiler::fpsa()
+        .with_duplication(2)
+        .compile(&zoo::lenet())
+        .unwrap();
 
     // Synthesis produced only crossbar-sized tiles.
     assert!(compiled
@@ -33,7 +36,9 @@ fn lenet_compiles_places_routes_and_reports_performance() {
     assert!(perf.throughput_samples_per_s > 0.0);
     assert!(perf.latency_us > 0.0);
     assert!(perf.area_mm2 > 0.0);
-    assert!((perf.ops_per_mm2 - perf.ops_per_second / perf.area_mm2).abs() / perf.ops_per_mm2 < 1e-6);
+    assert!(
+        (perf.ops_per_mm2 - perf.ops_per_second / perf.area_mm2).abs() / perf.ops_per_mm2 < 1e-6
+    );
 }
 
 #[test]
@@ -56,7 +61,10 @@ fn the_three_architectures_rank_as_the_paper_reports() {
     }
     assert!(throughput[1] > throughput[0], "FP-PRIME should beat PRIME");
     assert!(throughput[2] > throughput[1], "FPSA should beat FP-PRIME");
-    assert!(throughput[2] > throughput[0] * 10.0, "FPSA should beat PRIME by a wide margin");
+    assert!(
+        throughput[2] > throughput[0] * 10.0,
+        "FPSA should beat PRIME by a wide margin"
+    );
 }
 
 #[test]

@@ -55,9 +55,12 @@ fn claim_fpsa_speedup_over_prime_reaches_hundreds_to_a_thousand_x() {
 #[test]
 fn claim_spiking_pe_cuts_latency_by_about_20x() {
     // §1: "The latency is decreased by 19.6x" (PE compute path).
-    let bars = fig7::run();
-    let ratio = bars[1].compute_ns / bars[2].compute_ns;
-    assert!(ratio > 15.0 && ratio < 25.0, "compute latency ratio {ratio}");
+    let fig = fig7::run();
+    let ratio = fig.bars[1].compute_ns / fig.bars[2].compute_ns;
+    assert!(
+        ratio > 15.0 && ratio < 25.0,
+        "compute latency ratio {ratio}"
+    );
 }
 
 #[test]
@@ -70,12 +73,28 @@ fn claim_fpsa_pe_density_is_about_38_tops_per_mm2() {
 #[test]
 fn claim_add_method_reduces_deviation_by_sqrt_n() {
     let v = CellVariation::measured();
-    let one = WeightScheme::Add { cells: 1, bits_per_cell: 4 }.normalized_deviation(v);
-    let sixteen = WeightScheme::Add { cells: 16, bits_per_cell: 4 }.normalized_deviation(v);
+    let one = WeightScheme::Add {
+        cells: 1,
+        bits_per_cell: 4,
+    }
+    .normalized_deviation(v);
+    let sixteen = WeightScheme::Add {
+        cells: 16,
+        bits_per_cell: 4,
+    }
+    .normalized_deviation(v);
     assert!((one / sixteen - 4.0).abs() < 1e-9);
     // And splicing barely helps.
-    let splice2 = WeightScheme::Splice { cells: 2, bits_per_cell: 4 }.normalized_deviation(v);
-    let splice1 = WeightScheme::Splice { cells: 1, bits_per_cell: 4 }.normalized_deviation(v);
+    let splice2 = WeightScheme::Splice {
+        cells: 2,
+        bits_per_cell: 4,
+    }
+    .normalized_deviation(v);
+    let splice1 = WeightScheme::Splice {
+        cells: 1,
+        bits_per_cell: 4,
+    }
+    .normalized_deviation(v);
     assert!((splice2 - splice1).abs() / splice1 < 0.1);
 }
 
@@ -87,8 +106,18 @@ fn claim_table3_weight_and_op_counts_match() {
             / benchmark.published_weights();
         let o_err =
             (stats.total_ops as f64 - benchmark.published_ops()).abs() / benchmark.published_ops();
-        assert!(w_err < 0.10, "{}: weights off by {:.1}%", benchmark.name(), w_err * 100.0);
-        assert!(o_err < 0.12, "{}: ops off by {:.1}%", benchmark.name(), o_err * 100.0);
+        assert!(
+            w_err < 0.10,
+            "{}: weights off by {:.1}%",
+            benchmark.name(),
+            w_err * 100.0
+        );
+        assert!(
+            o_err < 0.12,
+            "{}: ops off by {:.1}%",
+            benchmark.name(),
+            o_err * 100.0
+        );
     }
 }
 

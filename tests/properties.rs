@@ -5,8 +5,8 @@ use fpsa::device::spiking::{SpikeTrain, SpikingPe};
 use fpsa::device::variation::{CellVariation, WeightScheme};
 use fpsa::mapper::{AllocationPolicy, Mapper};
 use fpsa::nn::quant::Quantizer;
-use fpsa::synthesis::{CoreOpGraph, CoreOpGroup, CoreOpKind, NeuralSynthesizer, SynthesisConfig};
 use fpsa::nn::{ComputationalGraph, Operator, TensorShape};
+use fpsa::synthesis::{CoreOpGraph, CoreOpGroup, CoreOpKind, NeuralSynthesizer, SynthesisConfig};
 use proptest::prelude::*;
 
 fn arbitrary_mlp(sizes: Vec<usize>) -> ComputationalGraph {

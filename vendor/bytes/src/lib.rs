@@ -1,0 +1,209 @@
+//! Offline stand-in for the `bytes` crate (see DESIGN.md).
+//!
+//! Covers the surface the bitstream packer uses: [`BytesMut`] as an
+//! append-only builder, [`Bytes`] as a cheaply cloneable immutable view with
+//! zero-copy [`Bytes::slice`], and the [`Buf`]/[`BufMut`] cursor traits with
+//! big-endian integer access (the upstream default).
+
+use std::sync::Arc;
+
+/// An immutable, reference-counted byte buffer view.
+#[derive(Debug, Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes::from(Vec::new())
+    }
+
+    /// Bytes remaining in the view.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A zero-copy sub-view over `range` (relative to this view).
+    pub fn slice(&self, range: core::ops::Range<usize>) -> Bytes {
+        assert!(range.start <= range.end && self.start + range.end <= self.end);
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    /// Copy the view into an owned `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_ref().to_vec()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        let end = data.len();
+        Bytes {
+            data: data.into(),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl core::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_ref()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+
+impl Eq for Bytes {}
+
+/// A growable byte buffer that freezes into [`Bytes`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Convert into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+/// Read cursor over a byte source; integers are big-endian.
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+    /// Borrow the unconsumed bytes.
+    fn chunk(&self) -> &[u8];
+    /// Drop `count` bytes from the front.
+    fn advance(&mut self, count: usize);
+
+    /// Consume one byte.
+    fn get_u8(&mut self) -> u8 {
+        assert!(self.remaining() >= 1, "buffer underflow");
+        let value = self.chunk()[0];
+        self.advance(1);
+        value
+    }
+
+    /// Consume a big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        assert!(self.remaining() >= 4, "buffer underflow");
+        let mut raw = [0u8; 4];
+        raw.copy_from_slice(&self.chunk()[..4]);
+        self.advance(4);
+        u32::from_be_bytes(raw)
+    }
+
+    /// Consume `len` bytes as an owned view.
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        assert!(self.remaining() >= len, "buffer underflow");
+        let out = Bytes::from(self.chunk()[..len].to_vec());
+        self.advance(len);
+        out
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self.as_ref()
+    }
+
+    fn advance(&mut self, count: usize) {
+        assert!(count <= self.len(), "advance past end");
+        self.start += count;
+    }
+}
+
+/// Write cursor appending to a byte sink; integers are big-endian.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, bytes: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, value: u8) {
+        self.put_slice(&[value]);
+    }
+
+    /// Append a big-endian `u32`.
+    fn put_u32(&mut self, value: u32) {
+        self.put_slice(&value.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, bytes: &[u8]) {
+        self.data.extend_from_slice(bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integers_round_trip_big_endian() {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_u32(0xDEAD_BEEF);
+        buf.put_u8(7);
+        buf.put_slice(&[1, 2, 3]);
+        let mut bytes = buf.freeze();
+        assert_eq!(bytes.len(), 8);
+        assert_eq!(bytes.as_ref()[0], 0xDE);
+        assert_eq!(bytes.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(bytes.get_u8(), 7);
+        assert_eq!(bytes.copy_to_bytes(3).to_vec(), vec![1, 2, 3]);
+        assert_eq!(bytes.remaining(), 0);
+    }
+
+    #[test]
+    fn slices_are_views_into_the_same_allocation() {
+        let bytes = Bytes::from((0u8..32).collect::<Vec<_>>());
+        let slice = bytes.slice(4..12);
+        assert_eq!(slice.len(), 8);
+        assert_eq!(slice.as_ref()[0], 4);
+        // Slicing a slice stays relative.
+        let inner = slice.slice(2..4);
+        assert_eq!(inner.to_vec(), vec![6, 7]);
+    }
+}

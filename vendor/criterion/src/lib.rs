@@ -1,0 +1,227 @@
+//! Offline stand-in for the `criterion` crate (see DESIGN.md).
+//!
+//! Provides the macro and builder surface the `fpsa-bench` targets use —
+//! [`criterion_group!`], [`criterion_main!`], benchmark groups, parametrized
+//! ids and `Bencher::iter` — backed by a simple wall-clock loop: a warm-up
+//! pass followed by `sample_size` timed samples, reporting min / mean. No
+//! statistics engine, plots or CLI filtering; the point is that
+//! `cargo bench` runs the same experiment code end to end.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard optimization barrier under criterion's name.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// The benchmark context handed to `criterion_group!` targets.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+
+    /// Run a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.to_string(), 20, &mut routine);
+        self
+    }
+}
+
+/// A named, parametrized benchmark id (`BenchmarkId::new("route", width)`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Combine a function name and a parameter into one id.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId { id: name.into() }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timed samples each benchmark records.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Benchmark a routine.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(
+            &format!("{}/{}", self.name, id),
+            self.sample_size,
+            &mut routine,
+        );
+        self
+    }
+
+    /// Benchmark a routine against an explicit input.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        run_benchmark(
+            &format!("{}/{}", self.name, id),
+            self.sample_size,
+            &mut |b| routine(b, input),
+        );
+        self
+    }
+
+    /// Finish the group (report separator).
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, routine: &mut F) {
+    // Warm-up pass.
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+    };
+    routine(&mut bencher);
+
+    let mut bencher = Bencher {
+        samples: Vec::with_capacity(sample_size),
+    };
+    for _ in 0..sample_size {
+        routine(&mut bencher);
+    }
+    let samples = &bencher.samples;
+    if samples.is_empty() {
+        println!("{label}: no samples recorded");
+        return;
+    }
+    let min = samples.iter().min().copied().unwrap_or_default();
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    println!(
+        "{label}: min {} / mean {} over {} samples",
+        format_duration(min),
+        format_duration(mean),
+        samples.len()
+    );
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Times one sample per [`Bencher::iter`] call.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time one execution of `routine` and record it as a sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        let output = routine();
+        self.samples.push(start.elapsed());
+        drop(black_box(output));
+    }
+}
+
+/// Bundle benchmark functions into a runnable group, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_run_their_benchmarks() {
+        let mut c = Criterion::default();
+        let mut calls = 0usize;
+        {
+            let mut group = c.benchmark_group("selftest");
+            group.sample_size(3);
+            group.bench_function("count", |b| b.iter(|| std::hint::black_box(1 + 1)));
+            group.bench_with_input(BenchmarkId::new("with_input", 7), &7, |b, &x| {
+                b.iter(|| x * 2)
+            });
+            group.finish();
+        }
+        calls += 1;
+        assert_eq!(calls, 1);
+    }
+}

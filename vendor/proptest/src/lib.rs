@@ -1,0 +1,237 @@
+//! Offline stand-in for the `proptest` crate (see DESIGN.md).
+//!
+//! Supports the subset the property tests use: the [`proptest!`] macro over
+//! functions with `arg in strategy` parameters, range strategies over the
+//! numeric primitives, [`collection::vec`] (fixed or ranged length, nestable)
+//! and the `prop_assert*` macros. Cases are generated from a deterministic
+//! per-case seed, so failures reproduce; there is no shrinking — a failing
+//! case panics with the regular assertion message.
+
+use core::ops::Range;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Runner configuration (`#![proptest_config(..)]`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// How many random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A recipe for generating random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Draw one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),+) => {
+        $(impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.start..self.end)
+            }
+        })+
+    };
+}
+
+range_strategy!(f64, f32, usize, u64, u32, u16, i64, i32);
+
+/// The deterministic RNG for one test case (used by the [`proptest!`]
+/// expansion; public so the macro can reach it, hidden from docs).
+#[doc(hidden)]
+pub fn __case_rng(name: &str, case: u32) -> StdRng {
+    // Mix the property name into the stream so sibling properties do not see
+    // identical inputs.
+    let mut seed = 0xA076_1D64_78BD_642Fu64 ^ case as u64;
+    for byte in name.bytes() {
+        seed = seed.wrapping_mul(0x100_0000_01B3).wrapping_add(byte as u64);
+    }
+    StdRng::seed_from_u64(seed)
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{StdRng, Strategy};
+    use core::ops::Range;
+    use rand::Rng;
+
+    /// A length specification: fixed or uniformly drawn from a range.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(len: usize) -> Self {
+            SizeRange {
+                lo: len,
+                hi: len + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(range: Range<usize>) -> Self {
+            assert!(
+                range.start < range.end,
+                "vec strategy size range {}..{} is empty",
+                range.start,
+                range.end
+            );
+            SizeRange {
+                lo: range.start,
+                hi: range.end,
+            }
+        }
+    }
+
+    /// Generate `Vec`s whose elements come from `element` and whose length
+    /// comes from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let len = if self.size.hi - self.size.lo <= 1 {
+                self.size.lo
+            } else {
+                rng.gen_range(self.size.lo..self.size.hi)
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a `proptest!` test module needs in scope.
+    pub use crate::collection;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{ProptestConfig, Strategy};
+}
+
+/// Assert inside a property; failures panic with the assertion message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Define property tests: each function runs its body over `cases` randomly
+/// generated argument sets.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr) ) => {};
+    ( ($config:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($arg:pat in $strategy:expr),* $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $config;
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::__case_rng(stringify!($name), __case);
+                $(let $arg = $crate::Strategy::sample(&($strategy), &mut __rng);)*
+                $body
+            }
+        }
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Range strategies stay in range.
+        #[test]
+        fn ranges_are_respected(x in 1.5f64..2.5, n in 3usize..7) {
+            prop_assert!((1.5..2.5).contains(&x));
+            prop_assert!((3..7).contains(&n));
+        }
+
+        /// Vec strategies honour fixed and ranged sizes, including nesting.
+        #[test]
+        fn vecs_have_requested_shapes(
+            fixed in collection::vec(0.0f64..1.0, 4),
+            ranged in collection::vec(collection::vec(0u32..10, 2), 1..5),
+        ) {
+            prop_assert_eq!(fixed.len(), 4);
+            prop_assert!((1..5).contains(&ranged.len()));
+            for inner in &ranged {
+                prop_assert_eq!(inner.len(), 2);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "is empty")]
+    fn empty_vec_size_range_is_rejected() {
+        // Built from variables so the reversed-range typo this guards
+        // against is not itself a compile-time lint here.
+        let (lo, hi) = (5usize, 3usize);
+        let _ = collection::vec(0u32..10, lo..hi);
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let a: f64 = Strategy::sample(&(0.0f64..1.0), &mut crate::__case_rng("p", 3));
+        let b: f64 = Strategy::sample(&(0.0f64..1.0), &mut crate::__case_rng("p", 3));
+        assert_eq!(a, b);
+    }
+}

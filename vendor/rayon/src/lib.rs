@@ -1,0 +1,169 @@
+//! Offline stand-in for the `rayon` crate (see DESIGN.md).
+//!
+//! Implements the `par_iter().map(..).collect()` shape the sweep engine
+//! uses, executing on `std::thread::scope` with one contiguous chunk per
+//! hardware thread. Results come back in input order, exactly like rayon's
+//! indexed parallel iterators, so swapping in real rayon changes scheduling
+//! granularity but never results.
+
+pub mod iter {
+    //! Parallel iterator types.
+
+    /// Number of worker threads to fan out over for `n` items.
+    fn worker_count(n: usize) -> usize {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4)
+            .min(n)
+            .max(1)
+    }
+
+    /// Order-preserving parallel map over a slice: the execution engine
+    /// beneath every iterator in this facade.
+    pub(crate) fn par_map_slice<'data, T, R, F>(items: &'data [T], f: &F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&'data T) -> R + Sync,
+    {
+        let n = items.len();
+        if n <= 1 {
+            return items.iter().map(f).collect();
+        }
+        let chunk = n.div_ceil(worker_count(n));
+        let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+        out.resize_with(n, || None);
+        std::thread::scope(|scope| {
+            for (chunk_in, chunk_out) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
+                scope.spawn(move || {
+                    for (slot, item) in chunk_out.iter_mut().zip(chunk_in) {
+                        *slot = Some(f(item));
+                    }
+                });
+            }
+        });
+        out.into_iter()
+            .map(|r| r.expect("scoped workers fill every slot"))
+            .collect()
+    }
+
+    /// Borrowing conversion into a parallel iterator (`.par_iter()`).
+    pub trait IntoParallelRefIterator<'data> {
+        /// The borrowed item type.
+        type Item: Sync + 'data;
+        /// Start a parallel pipeline over `&self`.
+        fn par_iter(&'data self) -> ParIter<'data, Self::Item>;
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+        type Item = T;
+        fn par_iter(&'data self) -> ParIter<'data, T> {
+            ParIter { items: self }
+        }
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Item = T;
+        fn par_iter(&'data self) -> ParIter<'data, T> {
+            ParIter { items: self }
+        }
+    }
+
+    impl<'data, T: Sync + 'data, const N: usize> IntoParallelRefIterator<'data> for [T; N] {
+        type Item = T;
+        fn par_iter(&'data self) -> ParIter<'data, T> {
+            ParIter { items: self }
+        }
+    }
+
+    /// A parallel iterator over borrowed slice elements.
+    pub struct ParIter<'data, T> {
+        items: &'data [T],
+    }
+
+    impl<'data, T: Sync> ParIter<'data, T> {
+        /// Map every element through `f` in parallel.
+        pub fn map<R, F>(self, f: F) -> Map<'data, T, F>
+        where
+            R: Send,
+            F: Fn(&'data T) -> R + Sync,
+        {
+            Map {
+                items: self.items,
+                f,
+            }
+        }
+    }
+
+    /// The result of [`ParIter::map`], awaiting collection.
+    pub struct Map<'data, T, F> {
+        items: &'data [T],
+        f: F,
+    }
+
+    impl<'data, T: Sync, F> Map<'data, T, F> {
+        /// Execute the pipeline and gather results in input order.
+        pub fn collect<C, R>(self) -> C
+        where
+            F: Fn(&'data T) -> R + Sync,
+            R: Send,
+            C: FromParallelResults<R>,
+        {
+            C::from_results(par_map_slice(self.items, &self.f))
+        }
+    }
+
+    /// Containers a parallel pipeline can collect into.
+    pub trait FromParallelResults<R> {
+        /// Build the container from in-order results.
+        fn from_results(results: Vec<R>) -> Self;
+    }
+
+    impl<R> FromParallelResults<R> for Vec<R> {
+        fn from_results(results: Vec<R>) -> Self {
+            results
+        }
+    }
+}
+
+pub mod prelude {
+    //! Import everything needed for `par_iter().map(..).collect()`.
+    pub use crate::iter::{FromParallelResults, IntoParallelRefIterator, Map, ParIter};
+}
+
+/// The number of threads the facade will fan out over.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = items.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs_work() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one = [7u32];
+        let out: Vec<u32> = one.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn closures_may_capture_environment() {
+        let offset = 100u64;
+        let items = vec![1u64, 2, 3];
+        let out: Vec<u64> = items.par_iter().map(|&x| x + offset).collect();
+        assert_eq!(out, vec![101, 102, 103]);
+    }
+}

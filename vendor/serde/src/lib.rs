@@ -1,0 +1,52 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the workspace vendors a minimal facade (documented in DESIGN.md): the
+//! [`Serialize`] and [`Deserialize`] traits exist and satisfy every
+//! `#[derive(Serialize, Deserialize)]` and trait bound in the stack, and
+//! serialization renders through the type's `Debug` representation instead of
+//! a full serde data model. Swapping this crate for real serde requires no
+//! source changes outside `vendor/`.
+
+/// A value that can be rendered for persistence.
+///
+/// Blanket-implemented for every `Debug` type; the facade renders the pretty
+/// `Debug` representation, which `serde_json` then wraps into a valid JSON
+/// string.
+pub trait Serialize {
+    /// Render the value as its pretty `Debug` representation.
+    fn to_debug_repr(&self) -> String;
+}
+
+impl<T: core::fmt::Debug + ?Sized> Serialize for T {
+    fn to_debug_repr(&self) -> String {
+        format!("{self:#?}")
+    }
+}
+
+/// A value that can (nominally) be reconstructed from persisted form.
+///
+/// The facade keeps only the trait bound; nothing in the repository
+/// deserializes through serde (binary artifacts such as bitstreams have their
+/// own parsers).
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T: Sized> Deserialize<'de> for T {}
+
+/// Owned-deserialization marker, mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: Sized {}
+
+impl<T: Sized> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+#[cfg(test)]
+mod tests {
+    use super::Serialize;
+
+    #[test]
+    fn debug_types_serialize() {
+        assert_eq!(vec![1, 2].to_debug_repr(), "[\n    1,\n    2,\n]");
+    }
+}

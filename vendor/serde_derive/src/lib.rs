@@ -1,0 +1,20 @@
+//! No-op derive macros for the vendored `serde` facade.
+//!
+//! The facade's `Serialize` trait is blanket-implemented over `Debug` and its
+//! `Deserialize` trait over all sized types, so the derives have nothing to
+//! generate; they exist so that the `#[derive(Serialize, Deserialize)]`
+//! attributes across the stack resolve exactly as they would with real serde.
+
+use proc_macro::TokenStream;
+
+/// Accepted on any item; the blanket impl in `serde` already covers it.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepted on any item; the blanket impl in `serde` already covers it.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,80 @@
+//! Offline stand-in for `serde_json` (see DESIGN.md).
+//!
+//! Serializes any `serde::Serialize` value — i.e. any `Debug` type under the
+//! vendored facade — into a *valid JSON document*: a single JSON string whose
+//! content is the value's pretty `Debug` rendering. That keeps
+//! `target/experiment-data/*.json` machine-loadable while staying honest
+//! about the facade's fidelity.
+
+use serde::Serialize;
+
+/// A serialization error.
+///
+/// The facade's serializer is infallible, but the type exists so call sites
+/// written against real `serde_json` compile unchanged.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl core::fmt::Display for Error {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "serde_json facade: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize `value` as a compact JSON document.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(escape_json_string(&value.to_debug_repr()))
+}
+
+/// Serialize `value` as a human-readable JSON document.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    to_string(value)
+}
+
+/// Escape arbitrary text into a JSON string literal.
+fn escape_json_string(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 2);
+    out.push('"');
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_is_a_valid_json_string_literal() {
+        let json = to_string_pretty(&vec![1, 2, 3]).unwrap();
+        assert!(json.starts_with('"') && json.ends_with('"'));
+        assert!(json.contains("\\n"), "newlines must be escaped: {json}");
+        assert!(!json[1..json.len() - 1].contains('\n'));
+    }
+
+    #[test]
+    fn quotes_and_backslashes_are_escaped() {
+        let json = to_string(&"a \"b\"").unwrap();
+        // Inside the outer quotes every quote character must be preceded by a
+        // backslash, so the literal never terminates early.
+        let inner = &json[1..json.len() - 1];
+        let bytes = inner.as_bytes();
+        for (i, &b) in bytes.iter().enumerate() {
+            if b == b'"' {
+                assert!(i > 0 && bytes[i - 1] == b'\\', "unescaped quote in {json}");
+            }
+        }
+    }
+}
