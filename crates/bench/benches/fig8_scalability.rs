@@ -17,6 +17,10 @@ fn bench(c: &mut Criterion) {
         ),
         &fig8::to_table(&fig),
     );
+    print_experiment(
+        "Figure 8 routing fabric: minimum channel width (mrVPR sweep)",
+        &fig8::channel_width_table(&fig),
+    );
     save_json("fig8", &fig);
     let mut group = c.benchmark_group("fig8");
     group.sample_size(10);

@@ -16,12 +16,11 @@ use crate::pipeline::{
 use fpsa_arch::{ArchitectureConfig, Bitstream, SectionKind};
 use fpsa_mapper::Mapping;
 use fpsa_nn::{ComputationalGraph, NnError};
-use fpsa_placeroute::PlacerConfig;
 use fpsa_sim::{CommunicationEstimate, PerformanceReport, PerformanceSimulator, StageTrace};
 use fpsa_synthesis::CoreOpGraph;
 use serde::{Deserialize, Serialize};
 
-pub use crate::pipeline::PhysicalDesign;
+pub use crate::pipeline::{ChannelWidthMode, PhysicalDesign, PlaceRouteConfig};
 
 /// Above this many netlist blocks the compiler skips full placement &
 /// routing and uses the analytic wire model instead (documented in
@@ -35,10 +34,9 @@ pub struct Compiler {
     pub arch: ArchitectureConfig,
     /// Model-level duplication degree (Section 5.2).
     pub duplication: u64,
-    /// Placer effort used when physical design runs.
-    pub placer: PlacerConfig,
-    /// Force-skip physical design even for small netlists.
-    pub skip_place_and_route: bool,
+    /// Physical-design configuration (placer effort, router negotiation,
+    /// channel-width mode, block limit, skip policy).
+    pub place_route: PlaceRouteConfig,
 }
 
 impl Compiler {
@@ -47,8 +45,7 @@ impl Compiler {
         Compiler {
             arch: ArchitectureConfig::fpsa(),
             duplication: 1,
-            placer: PlacerConfig::fast(),
-            skip_place_and_route: false,
+            place_route: PlaceRouteConfig::fast(),
         }
     }
 
@@ -57,8 +54,7 @@ impl Compiler {
         Compiler {
             arch,
             duplication: 1,
-            placer: PlacerConfig::fast(),
-            skip_place_and_route: false,
+            place_route: PlaceRouteConfig::fast(),
         }
     }
 
@@ -68,9 +64,15 @@ impl Compiler {
         self
     }
 
+    /// Use an explicit physical-design configuration.
+    pub fn with_place_route(mut self, config: PlaceRouteConfig) -> Self {
+        self.place_route = config;
+        self
+    }
+
     /// Skip physical design and always use the analytic communication model.
     pub fn without_place_and_route(mut self) -> Self {
-        self.skip_place_and_route = true;
+        self.place_route.skip = true;
         self
     }
 
@@ -87,7 +89,7 @@ impl Compiler {
         let mapping =
             pipeline.run_stage(&MapStage::new(&self.arch, self.duplication), &core_graph)?;
         let physical = pipeline.run_stage(
-            &PlaceRouteStage::new(self.arch.clone(), self.placer, self.skip_place_and_route),
+            &PlaceRouteStage::new(self.arch.clone(), self.place_route),
             &mapping,
         )?;
         let communication = pipeline.run_stage(

@@ -53,8 +53,14 @@ pub fn run() -> Figure7 {
         .compile(&Benchmark::Vgg16.build())
         .expect("VGG16 synthesizes");
 
-    // The routed designs share one critical path; PRIME uses the bus.
-    let critical_path_ns = 9.9;
+    // The routed designs share one delay profile (critical connection ~68
+    // hops, typical connection about half that distance, per the paper's
+    // routed fabric); PRIME uses the bus.
+    let routing = ArchitectureConfig::fpsa().routing;
+    let routed_profile = CommunicationEstimate::Routed {
+        critical_path_ns: 9.9,
+        average_path_ns: routing.path_delay_ns(34),
+    };
     let configs = [
         (
             ArchitectureConfig::prime(),
@@ -62,14 +68,8 @@ pub fn run() -> Figure7 {
                 bandwidth_gbps: MemoryBus::prime_default().bandwidth_gbps,
             },
         ),
-        (
-            ArchitectureConfig::fp_prime(),
-            CommunicationEstimate::Routed { critical_path_ns },
-        ),
-        (
-            ArchitectureConfig::fpsa(),
-            CommunicationEstimate::Routed { critical_path_ns },
-        ),
+        (ArchitectureConfig::fp_prime(), routed_profile),
+        (ArchitectureConfig::fpsa(), routed_profile),
     ];
     let bars = parallel_map(&configs, |(arch, comm)| {
         let report = PerformanceSimulator::new(arch.clone()).evaluate(

@@ -3,11 +3,15 @@
 //! For every benchmark model and duplication degree in {1, 4, 16, 64} the
 //! experiment reports performance (Figure 8a), area (Figure 8b) and
 //! computational density together with its peak and the spatial/temporal
-//! utilization bounds (Figure 8c).
+//! utilization bounds (Figure 8c). For the netlists small enough for full
+//! physical design it additionally reports the minimum routing channel width
+//! found by the PathFinder search — the quantity the paper's mrVPR flow
+//! measures for the routing fabric.
 
+use crate::compiler::{Compiler, PlaceRouteConfig};
 use crate::evaluator::ModelEvaluation;
 use crate::report::{engineering, format_table};
-use crate::sweep::Sweep;
+use crate::sweep::{parallel_map, Sweep};
 use fpsa_arch::ArchitectureConfig;
 use fpsa_nn::zoo::Benchmark;
 use serde::{Deserialize, Serialize};
@@ -15,11 +19,35 @@ use serde::{Deserialize, Serialize};
 /// The duplication degrees evaluated by the paper.
 pub const DUPLICATION_DEGREES: [u64; 4] = [1, 4, 16, 64];
 
+/// The models small enough for full physical design at 1x duplication.
+pub const CHANNEL_WIDTH_MODELS: [Benchmark; 3] = [
+    Benchmark::Mlp500x100,
+    Benchmark::LeNet,
+    Benchmark::CifarVgg17,
+];
+
+/// The minimum-channel-width result of one model (the mrVPR sweep).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChannelWidthPoint {
+    /// Model name.
+    pub model: String,
+    /// Netlist blocks that went through physical design.
+    pub blocks: usize,
+    /// Minimum channel width at which the design routes.
+    pub required_channel_width: usize,
+    /// PathFinder iterations the minimum-width routing needed.
+    pub router_iterations: usize,
+    /// Critical connection length at the minimum width, in hops.
+    pub critical_hops: usize,
+}
+
 /// The full Figure 8 data set.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Figure8 {
     /// One evaluation per (model, duplication degree).
     pub evaluations: Vec<ModelEvaluation>,
+    /// Minimum routing channel width per physically designed model.
+    pub channel_widths: Vec<ChannelWidthPoint>,
 }
 
 impl Figure8 {
@@ -60,8 +88,34 @@ impl Figure8 {
     }
 }
 
+/// The minimum-channel-width search over the physically designable models:
+/// each model compiles once with the PlaceRoute stage in `Minimize` mode.
+/// Models whose netlists exceed the block limit drop out.
+pub fn channel_width_search() -> Vec<ChannelWidthPoint> {
+    parallel_map(&CHANNEL_WIDTH_MODELS, |benchmark| {
+        let compiled = Compiler::fpsa()
+            .with_place_route(PlaceRouteConfig::fast().minimize_channel_width())
+            .compile(&benchmark.build())
+            .expect("zoo models are well formed");
+        compiled
+            .physical
+            .as_ref()
+            .map(|physical| ChannelWidthPoint {
+                model: benchmark.name().to_string(),
+                blocks: compiled.mapping.netlist.len(),
+                required_channel_width: physical.routing.channel_width,
+                router_iterations: physical.routing.iterations,
+                critical_hops: physical.timing.critical_hops,
+            })
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
 /// Regenerate Figure 8 on the FPSA architecture: the full model ×
-/// duplication grid, evaluated in parallel by the unified sweep engine.
+/// duplication grid, evaluated in parallel by the unified sweep engine,
+/// plus the minimum-channel-width search.
 pub fn run() -> Figure8 {
     Figure8 {
         evaluations: Sweep::cartesian(
@@ -70,23 +124,48 @@ pub fn run() -> Figure8 {
             &DUPLICATION_DEGREES,
         )
         .run(),
+        channel_widths: channel_width_search(),
     }
 }
 
-/// A faster variant covering only the small models (used in tests).
+/// A faster variant covering only the small models (used in tests). The
+/// channel-width search is skipped here; run it via [`channel_width_search`]
+/// or the full [`run`].
 pub fn run_small() -> Figure8 {
     Figure8 {
         evaluations: Sweep::cartesian(
-            &[
-                Benchmark::Mlp500x100,
-                Benchmark::LeNet,
-                Benchmark::CifarVgg17,
-            ],
+            &CHANNEL_WIDTH_MODELS,
             &[ArchitectureConfig::fpsa()],
             &DUPLICATION_DEGREES,
         )
         .run(),
+        channel_widths: Vec::new(),
     }
+}
+
+/// Render the minimum-channel-width results as text.
+pub fn channel_width_table(fig: &Figure8) -> String {
+    format_table(
+        &[
+            "model",
+            "blocks",
+            "min channel width",
+            "router iterations",
+            "critical hops",
+        ],
+        &fig.channel_widths
+            .iter()
+            .map(|p| {
+                vec![
+                    p.model.clone(),
+                    p.blocks.to_string(),
+                    p.required_channel_width.to_string(),
+                    p.router_iterations.to_string(),
+                    p.critical_hops.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
 }
 
 /// Render Figure 8 as text.
@@ -165,5 +244,34 @@ mod tests {
         assert!(area4 >= 1.0);
         assert!(area4 < perf4 * 1.5);
         assert!(!to_table(&fig).is_empty());
+    }
+
+    #[test]
+    fn channel_width_search_covers_the_small_models() {
+        let points = channel_width_search();
+        assert!(
+            points.len() >= 2,
+            "at least the MNIST-scale models fit under the block limit"
+        );
+        let arch_width = ArchitectureConfig::fpsa().routing.channel_width;
+        for p in &points {
+            assert!(p.required_channel_width >= 1);
+            assert!(
+                p.required_channel_width <= arch_width,
+                "{}: minimum width {} exceeds the fabric's {}",
+                p.model,
+                p.required_channel_width,
+                arch_width
+            );
+            assert!(p.router_iterations >= 1);
+            assert!(p.blocks > 0);
+        }
+        let mut fig = run_small();
+        fig.channel_widths = points;
+        let table = channel_width_table(&fig);
+        assert!(table.contains("min channel width"));
+        for p in &fig.channel_widths {
+            assert!(table.contains(&p.model));
+        }
     }
 }

@@ -23,6 +23,12 @@ pub struct Table3Column {
     pub latency_us: f64,
     /// Area in mm² (45 nm).
     pub area_mm2: f64,
+    /// Per-VMM communication cost over the critical routed connection in ns
+    /// (what clocks the pipeline).
+    pub communication_ns_per_vmm: f64,
+    /// Per-VMM communication cost over a typical routed connection in ns
+    /// (the mean of the delay profile; what latency accumulates).
+    pub communication_avg_ns_per_vmm: f64,
     /// Published throughput (samples/s) from the paper, for the report.
     pub published_throughput: f64,
     /// Published area (mm²) from the paper, for the report.
@@ -54,6 +60,8 @@ pub fn run_with_duplication(duplication: u64) -> Vec<Table3Column> {
             throughput_samples_per_s: eval.performance.throughput_samples_per_s,
             latency_us: eval.performance.latency_us,
             area_mm2: eval.performance.area_mm2,
+            communication_ns_per_vmm: eval.performance.communication_ns_per_vmm,
+            communication_avg_ns_per_vmm: eval.performance.communication_avg_ns_per_vmm,
             published_throughput: published_throughput(benchmark),
             published_area_mm2: published_area(benchmark),
         })
@@ -97,6 +105,8 @@ pub fn to_table(columns: &[Table3Column]) -> String {
             "throughput (sample/s)",
             "latency (us)",
             "area (mm^2)",
+            "comm crit (ns)",
+            "comm avg (ns)",
             "paper thr.",
             "paper area",
         ],
@@ -111,6 +121,8 @@ pub fn to_table(columns: &[Table3Column]) -> String {
                     engineering(c.throughput_samples_per_s),
                     format!("{:.2}", c.latency_us),
                     format!("{:.2}", c.area_mm2),
+                    format!("{:.1}", c.communication_ns_per_vmm),
+                    format!("{:.1}", c.communication_avg_ns_per_vmm),
                     engineering(c.published_throughput),
                     format!("{:.2}", c.published_area_mm2),
                 ]
@@ -162,6 +174,23 @@ mod tests {
                 c.model,
                 c.weights,
                 published
+            );
+        }
+    }
+
+    #[test]
+    fn communication_profile_columns_are_consistent() {
+        // The typical-connection cost never exceeds the critical one, and
+        // FPSA's routed fabric always charges something per VMM.
+        let cols = run_with_duplication(1);
+        for c in &cols {
+            assert!(c.communication_ns_per_vmm > 0.0, "{}", c.model);
+            assert!(
+                c.communication_avg_ns_per_vmm <= c.communication_ns_per_vmm + 1e-9,
+                "{}: avg {} exceeds critical {}",
+                c.model,
+                c.communication_avg_ns_per_vmm,
+                c.communication_ns_per_vmm
             );
         }
     }

@@ -16,8 +16,10 @@
 use fpsa_arch::ArchitectureConfig;
 use fpsa_mapper::{AllocationPolicy, Mapper, Mapping};
 use fpsa_nn::{ComputationalGraph, NnError};
-use fpsa_placeroute::{place_and_route, Placement, PlacerConfig, RoutingResult, TimingReport};
-use fpsa_sim::{CommunicationEstimate, StageKind, StageRecord, StageTrace};
+use fpsa_placeroute::{
+    Placement, Placer, PlacerConfig, Router, RouterConfig, RoutingResult, TimingReport,
+};
+use fpsa_sim::{CommunicationEstimate, StageKind, StageQuality, StageRecord, StageTrace};
 use fpsa_synthesis::{CoreOpGraph, NeuralSynthesizer, SynthesisConfig};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
@@ -51,6 +53,13 @@ pub trait CompileStage {
 
     /// Size of the output artifact, in the stage's natural unit.
     fn items_out(output: &Self::Output) -> usize;
+
+    /// Deterministic quality metrics of the output, if the stage reports any
+    /// (they land in the [`StageTrace`] next to the wall-clock cost).
+    fn quality(output: &Self::Output) -> Option<StageQuality> {
+        let _ = output;
+        None
+    }
 }
 
 /// Stage 1: neural synthesis (computational graph → core-op graph).
@@ -143,29 +152,93 @@ pub struct PhysicalDesign {
     pub timing: TimingReport,
 }
 
+/// How the PlaceRoute stage picks the routing channel width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChannelWidthMode {
+    /// Route at the architecture's configured channel width.
+    Architecture,
+    /// Search for the minimum channel width that still routes — the paper's
+    /// mrVPR minimum-channel-width sweep — and keep the routing found there.
+    Minimize,
+}
+
+/// Configuration of the physical-design stage: effort presets for placement
+/// and routing, the channel-width mode, and the skip policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlaceRouteConfig {
+    /// Annealing effort and seed.
+    pub placer: PlacerConfig,
+    /// PathFinder negotiation parameters.
+    pub router: RouterConfig,
+    /// Fixed-width routing or minimum-channel-width search.
+    pub channel_width: ChannelWidthMode,
+    /// Above this many netlist blocks the stage skips physical design and
+    /// the pipeline falls back to the analytic wire model.
+    pub block_limit: usize,
+    /// Force-skip physical design regardless of netlist size.
+    pub skip: bool,
+}
+
+impl PlaceRouteConfig {
+    /// The fast preset used by default compiles and tests.
+    pub fn fast() -> Self {
+        PlaceRouteConfig {
+            placer: PlacerConfig::fast(),
+            router: RouterConfig::negotiated(),
+            channel_width: ChannelWidthMode::Architecture,
+            block_limit: crate::compiler::PLACE_AND_ROUTE_BLOCK_LIMIT,
+            skip: false,
+        }
+    }
+
+    /// The quality preset used for final results.
+    pub fn quality() -> Self {
+        PlaceRouteConfig {
+            placer: PlacerConfig::quality(),
+            ..Self::fast()
+        }
+    }
+
+    /// Switch to the minimum-channel-width search mode.
+    pub fn minimize_channel_width(mut self) -> Self {
+        self.channel_width = ChannelWidthMode::Minimize;
+        self
+    }
+
+    /// Force-skip physical design.
+    pub fn skipped(mut self) -> Self {
+        self.skip = true;
+        self
+    }
+}
+
+impl Default for PlaceRouteConfig {
+    fn default() -> Self {
+        Self::fast()
+    }
+}
+
 /// Stage 3: placement & routing, skipped above the block limit.
 #[derive(Debug, Clone)]
 pub struct PlaceRouteStage {
     arch: ArchitectureConfig,
-    placer: PlacerConfig,
-    skip: bool,
-    block_limit: usize,
+    config: PlaceRouteConfig,
 }
 
 impl PlaceRouteStage {
-    /// A physical-design stage with the compiler's standard block limit.
-    pub fn new(arch: ArchitectureConfig, placer: PlacerConfig, skip: bool) -> Self {
-        PlaceRouteStage {
-            arch,
-            placer,
-            skip,
-            block_limit: crate::compiler::PLACE_AND_ROUTE_BLOCK_LIMIT,
-        }
+    /// A physical-design stage for an architecture.
+    pub fn new(arch: ArchitectureConfig, config: PlaceRouteConfig) -> Self {
+        PlaceRouteStage { arch, config }
+    }
+
+    /// The stage's configuration.
+    pub fn config(&self) -> &PlaceRouteConfig {
+        &self.config
     }
 
     /// Whether this stage would run physical design for a netlist size.
     pub fn would_run(&self, blocks: usize) -> bool {
-        !self.skip && blocks <= self.block_limit
+        !self.config.skip && blocks <= self.config.block_limit
     }
 }
 
@@ -181,7 +254,15 @@ impl CompileStage for PlaceRouteStage {
         if !self.would_run(input.netlist.len()) {
             return Ok(None);
         }
-        let (placement, routing, timing) = place_and_route(&input.netlist, &self.arch, self.placer);
+        let netlist = &input.netlist;
+        let fabric = fpsa_placeroute::fabric_for(netlist, &self.arch);
+        let placement = Placer::new(self.config.placer).place(netlist, &fabric);
+        let router = Router::with_config(self.arch.routing, self.config.router);
+        let routing = match self.config.channel_width {
+            ChannelWidthMode::Architecture => router.route(netlist, &placement),
+            ChannelWidthMode::Minimize => router.minimum_channel_width(netlist, &placement).1,
+        };
+        let timing = TimingReport::analyze(&routing, &self.arch.routing);
         Ok(Some(PhysicalDesign {
             placement,
             routing,
@@ -200,6 +281,16 @@ impl CompileStage for PlaceRouteStage {
             Some(physical) => physical.routing.connection_hops.len(),
             None => 0,
         }
+    }
+
+    fn quality(output: &Option<PhysicalDesign>) -> Option<StageQuality> {
+        output.as_ref().map(|physical| StageQuality::PlaceRoute {
+            placement_wirelength: physical.placement.quality().final_wirelength,
+            placement_acceptance_rate: physical.placement.quality().acceptance_rate(),
+            router_iterations: physical.routing.iterations,
+            required_channel_width: physical.routing.required_channel_width(),
+            critical_hops: physical.timing.critical_hops,
+        })
     }
 }
 
@@ -276,6 +367,7 @@ impl InstrumentedPipeline {
             wall_ns,
             items_in,
             items_out: S::items_out(&output),
+            quality: S::quality(&output),
         });
         Ok(output)
     }
@@ -307,7 +399,7 @@ mod tests {
         let mapping = pipeline.run_stage(&MapStage::new(&arch, 1), &core).unwrap();
         let physical = pipeline
             .run_stage(
-                &PlaceRouteStage::new(arch.clone(), PlacerConfig::fast(), false),
+                &PlaceRouteStage::new(arch.clone(), PlaceRouteConfig::fast()),
                 &mapping,
             )
             .unwrap();
@@ -327,6 +419,52 @@ mod tests {
         // The mapper folds the spatial core-op graph onto a netlist, so both
         // sides of every stage carry real sizes.
         assert!(trace.records().iter().all(|r| r.items_in > 0));
+        // The PlaceRoute stage reports its quality metrics into the trace.
+        match &trace.records()[2].quality {
+            Some(StageQuality::PlaceRoute {
+                placement_wirelength,
+                placement_acceptance_rate,
+                router_iterations,
+                required_channel_width,
+                ..
+            }) => {
+                assert!(*placement_wirelength > 0.0);
+                assert!((0.0..=1.0).contains(placement_acceptance_rate));
+                assert!(*router_iterations >= 1);
+                assert!(*required_channel_width >= 1);
+            }
+            other => panic!("PlaceRoute must report quality, got {other:?}"),
+        }
+        // The other stages report none.
+        assert!(trace.records()[0].quality.is_none());
+        assert!(trace.records()[1].quality.is_none());
+    }
+
+    #[test]
+    fn minimize_mode_finds_a_width_below_the_architecture_default() {
+        let arch = ArchitectureConfig::fpsa();
+        let graph = zoo::lenet();
+        let mut pipeline = InstrumentedPipeline::new();
+        let core = pipeline
+            .run_stage(&SynthesizeStage::for_architecture(&arch), &graph)
+            .unwrap();
+        let mapping = pipeline.run_stage(&MapStage::new(&arch, 1), &core).unwrap();
+        let stage = PlaceRouteStage::new(
+            arch.clone(),
+            PlaceRouteConfig::fast().minimize_channel_width(),
+        );
+        let physical = pipeline.run_stage(&stage, &mapping).unwrap().unwrap();
+        assert!(physical.routing.is_routable());
+        assert!(
+            physical.routing.channel_width <= arch.routing.channel_width,
+            "minimum width {} exceeds the architecture's {}",
+            physical.routing.channel_width,
+            arch.routing.channel_width
+        );
+        assert_eq!(
+            physical.routing.channel_width,
+            physical.routing.required_channel_width()
+        );
     }
 
     #[test]
@@ -340,7 +478,7 @@ mod tests {
         let mapping = pipeline.run_stage(&MapStage::new(&arch, 1), &core).unwrap();
         let physical = pipeline
             .run_stage(
-                &PlaceRouteStage::new(arch.clone(), PlacerConfig::fast(), true),
+                &PlaceRouteStage::new(arch.clone(), PlaceRouteConfig::fast().skipped()),
                 &mapping,
             )
             .unwrap();
@@ -349,6 +487,7 @@ mod tests {
         assert_eq!(record.stage, StageKind::PlaceRoute);
         assert_eq!(record.items_out, 0);
         assert!(record.items_in > 0);
+        assert!(record.quality.is_none(), "skipped stages report no quality");
     }
 
     #[test]

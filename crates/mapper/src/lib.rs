@@ -26,7 +26,7 @@ pub mod netlist;
 pub mod schedule;
 
 pub use allocation::{Allocation, AllocationPolicy};
-pub use netlist::{Net, Netlist, NetlistBlock, NetlistStats};
+pub use netlist::{Net, NetIncidence, Netlist, NetlistBlock, NetlistStats};
 pub use schedule::{Schedule, ScheduleEntry, Scheduler};
 
 use fpsa_synthesis::CoreOpGraph;

@@ -80,6 +80,54 @@ pub struct NetlistStats {
     pub total_fanout: usize,
 }
 
+/// The net→block incidence index of a netlist: for every block, the indices
+/// of the nets it touches (as source or sink).
+///
+/// Placement engines need this to evaluate moves incrementally — swapping two
+/// blocks only perturbs the nets incident to them, so the cost delta is a sum
+/// over `nets_of(a) ∪ nets_of(b)` instead of the whole netlist.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetIncidence {
+    nets_of_block: Vec<Vec<usize>>,
+}
+
+impl NetIncidence {
+    /// Build the index for a netlist.
+    fn build(netlist: &Netlist) -> Self {
+        let mut nets_of_block: Vec<Vec<usize>> = vec![Vec::new(); netlist.len()];
+        for (i, net) in netlist.nets().iter().enumerate() {
+            nets_of_block[net.source].push(i);
+            for &s in &net.sinks {
+                if s != net.source {
+                    nets_of_block[s].push(i);
+                }
+            }
+        }
+        // A block can appear several times in one net's sink list (and nets
+        // of a block must be unique for incremental delta sums).
+        for nets in &mut nets_of_block {
+            nets.sort_unstable();
+            nets.dedup();
+        }
+        NetIncidence { nets_of_block }
+    }
+
+    /// Indices of the nets incident to one block.
+    pub fn nets_of(&self, block: usize) -> &[usize] {
+        &self.nets_of_block[block]
+    }
+
+    /// Number of blocks indexed.
+    pub fn len(&self) -> usize {
+        self.nets_of_block.len()
+    }
+
+    /// Whether the index covers no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.nets_of_block.is_empty()
+    }
+}
+
 /// The function-block netlist.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct Netlist {
@@ -181,9 +229,51 @@ impl Netlist {
         }
     }
 
+    /// Assemble a netlist directly from blocks and nets.
+    ///
+    /// This is the constructor for synthetic netlists (tests, property-based
+    /// fuzzing, hand-written examples); the compile pipeline goes through
+    /// [`Netlist::build`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any net references a block index out of range.
+    pub fn from_parts(model: impl Into<String>, blocks: Vec<NetlistBlock>, nets: Vec<Net>) -> Self {
+        for (i, net) in nets.iter().enumerate() {
+            assert!(
+                net.source < blocks.len(),
+                "net {i} source {} out of range ({} blocks)",
+                net.source,
+                blocks.len()
+            );
+            for &s in &net.sinks {
+                assert!(
+                    s < blocks.len(),
+                    "net {i} sink {s} out of range ({} blocks)",
+                    blocks.len()
+                );
+            }
+        }
+        Netlist {
+            model: model.into(),
+            blocks,
+            nets,
+        }
+    }
+
     /// All blocks.
     pub fn blocks(&self) -> &[NetlistBlock] {
         &self.blocks
+    }
+
+    /// The net→block incidence index (which nets touch each block).
+    pub fn incidence(&self) -> NetIncidence {
+        NetIncidence::build(self)
+    }
+
+    /// Total number of (source, sink) connections across all nets.
+    pub fn connection_count(&self) -> usize {
+        self.nets.iter().map(|n| n.sinks.len()).sum()
     }
 
     /// All nets.
@@ -332,5 +422,69 @@ mod tests {
         let manual: usize = n.nets().iter().map(|net| net.sinks.len()).sum();
         assert_eq!(stats.total_fanout, manual);
         assert_eq!(stats.net_count, n.nets().len());
+        assert_eq!(stats.total_fanout, n.connection_count());
+    }
+
+    #[test]
+    fn incidence_index_inverts_the_net_list() {
+        let (_, n) = build(&[16, 16, 1], 4);
+        let incidence = n.incidence();
+        assert_eq!(incidence.len(), n.len());
+        // Forward check: every net appears in the index of all its blocks.
+        for (i, net) in n.nets().iter().enumerate() {
+            assert!(incidence.nets_of(net.source).contains(&i));
+            for &s in &net.sinks {
+                assert!(incidence.nets_of(s).contains(&i));
+            }
+        }
+        // Reverse check: every indexed net really touches the block.
+        for block in 0..n.len() {
+            for &net in incidence.nets_of(block) {
+                let touches = n.nets()[net].source == block || n.nets()[net].sinks.contains(&block);
+                assert!(
+                    touches,
+                    "net {net} indexed for block {block} but not incident"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incidence_entries_are_sorted_and_unique() {
+        // A net listing the same sink twice must index it once.
+        let blocks = vec![
+            NetlistBlock::Pe {
+                group: 0,
+                duplicate: 0,
+            },
+            NetlistBlock::Pe {
+                group: 1,
+                duplicate: 0,
+            },
+        ];
+        let nets = vec![Net {
+            source: 0,
+            sinks: vec![1, 1, 0],
+            values_per_activation: 1,
+        }];
+        let n = Netlist::from_parts("dup-sinks", blocks, nets);
+        let incidence = n.incidence();
+        assert_eq!(incidence.nets_of(0), &[0]);
+        assert_eq!(incidence.nets_of(1), &[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_parts_rejects_dangling_net_indices() {
+        let blocks = vec![NetlistBlock::Pe {
+            group: 0,
+            duplicate: 0,
+        }];
+        let nets = vec![Net {
+            source: 0,
+            sinks: vec![7],
+            values_per_activation: 1,
+        }];
+        let _ = Netlist::from_parts("bad", blocks, nets);
     }
 }

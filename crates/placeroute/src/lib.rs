@@ -1,47 +1,65 @@
-//! Placement and routing for the FPSA fabric.
+//! The timing-driven physical-design engine for the FPSA fabric.
 //!
 //! The last step of the FPSA software stack (Section 5.3 of the paper) places
 //! the function-block netlist onto physical fabric slots and configures the
 //! connection and switch boxes so that every net gets a dedicated path. The
-//! paper adopts the mature FPGA tool-chain approach: simulated-annealing
-//! placement and shortest-path (Dijkstra) routing that minimizes the critical
-//! path.
+//! engine mirrors the mature FPGA tool-chain the paper adopts (mrVPR):
 //!
-//! * [`place`] — simulated-annealing placer over kind-compatible fabric
-//!   slots, minimizing half-perimeter wirelength.
-//! * [`route`] — congestion-aware router: single-bend paths when channels
-//!   have room, Dijkstra detours when they do not.
-//! * [`timing`] — critical-path and average-delay analysis of a routed
-//!   design, the quantity that becomes the communication term of the
-//!   pipeline clock.
+//! * [`place`] — incremental simulated-annealing placer: cached per-net
+//!   bounding boxes, criticality-weighted HPWL, adaptive cooling, and a
+//!   [`PlacementQuality`] trajectory report.
+//! * [`route`] — PathFinder negotiated-congestion router: iterative
+//!   rip-up-and-reroute with history + present-congestion costs, per-net
+//!   multicast routing trees, parallel route waves, and a
+//!   minimum-channel-width search.
+//! * [`timing`] — per-connection delay profiles of the routed design; the
+//!   critical connection becomes the communication term of the pipeline
+//!   clock.
 
 pub mod place;
 pub mod route;
 pub mod timing;
 
-pub use place::{Placement, Placer, PlacerConfig};
-pub use route::{Router, RoutingResult};
+pub use place::{AnnealStep, Placement, PlacementQuality, Placer, PlacerConfig};
+pub use route::{Orientation, RouteEdge, Router, RouterConfig, RoutingResult, RoutingTree};
 pub use timing::TimingReport;
 
 use fpsa_arch::{ArchitectureConfig, Fabric};
 use fpsa_mapper::Netlist;
 
-/// Run the full place-and-route flow for a netlist on an architecture.
+/// The fabric a netlist needs: sized so that every block (PEs, SMBs and
+/// CLBs) has a slot. This is the single sizing policy shared by the
+/// standalone flow below and the compile pipeline's PlaceRoute stage.
+pub fn fabric_for(netlist: &Netlist, config: &ArchitectureConfig) -> Fabric {
+    let stats = netlist.stats();
+    Fabric::with_pe_count(config.clone(), netlist.len().max(stats.pe_count).max(1))
+}
+
+/// Run the full place-and-route flow for a netlist on an architecture with
+/// explicit placer and router configurations.
 ///
 /// Builds a fabric just large enough for the netlist, places it, routes it
-/// and reports timing.
+/// with PathFinder negotiation and reports timing.
+pub fn place_and_route_with(
+    netlist: &Netlist,
+    config: &ArchitectureConfig,
+    placer_config: PlacerConfig,
+    router_config: RouterConfig,
+) -> (Placement, RoutingResult, TimingReport) {
+    let fabric = fabric_for(netlist, config);
+    let placement = Placer::new(placer_config).place(netlist, &fabric);
+    let routing = Router::with_config(config.routing, router_config).route(netlist, &placement);
+    let timing = TimingReport::analyze(&routing, &config.routing);
+    (placement, routing, timing)
+}
+
+/// [`place_and_route_with`] under the default negotiated router.
 pub fn place_and_route(
     netlist: &Netlist,
     config: &ArchitectureConfig,
     placer_config: PlacerConfig,
 ) -> (Placement, RoutingResult, TimingReport) {
-    let stats = netlist.stats();
-    // Size the fabric so that every block (PEs, SMBs and CLBs) has a slot.
-    let fabric = Fabric::with_pe_count(config.clone(), netlist.len().max(stats.pe_count).max(1));
-    let placement = Placer::new(placer_config).place(netlist, &fabric);
-    let routing = Router::new(config.routing).route(netlist, &placement);
-    let timing = TimingReport::analyze(&routing, &config.routing);
-    (placement, routing, timing)
+    place_and_route_with(netlist, config, placer_config, RouterConfig::negotiated())
 }
 
 #[cfg(test)]
@@ -66,6 +84,10 @@ mod tests {
         assert!(
             timing.critical_delay_ns < 100.0,
             "critical path should be nanoseconds"
+        );
+        assert_eq!(
+            timing.connection_delays_ns.len(),
+            mapping.netlist.connection_count()
         );
     }
 }

@@ -1,13 +1,22 @@
-//! Simulated-annealing placement.
+//! Timing-driven simulated-annealing placement.
 //!
 //! Blocks may only occupy fabric slots of their own kind (PEs on PE slots,
-//! SMBs on SMB slots, CLBs on CLB slots). The cost function is the classic
-//! half-perimeter wirelength (HPWL) over all nets; moves swap two blocks of
-//! the same kind or move a block to a free compatible slot, and are accepted
-//! with the Metropolis criterion under a geometric cooling schedule.
+//! SMBs on SMB slots, CLBs on CLB slots). The cost function is
+//! criticality-weighted half-perimeter wirelength (HPWL): every net's HPWL is
+//! scaled by a weight derived from its traffic (`values_per_activation`), so
+//! the annealer pulls the heavily used nets — the ones that set the routed
+//! critical path — tighter than one-shot control nets.
+//!
+//! The engine is incremental: per-net bounding boxes are cached and a move
+//! only re-evaluates the nets incident to the two swapped blocks (the
+//! [`fpsa_mapper::NetIncidence`] index), so the cost of one move is
+//! proportional to local fanout instead of netlist size. The cooling schedule
+//! is adaptive in the VPR style — the cooling factor follows the measured
+//! acceptance rate — and the whole trajectory is reported in a
+//! [`PlacementQuality`] attached to the result.
 
 use fpsa_arch::{BlockKind, Fabric, FabricDimensions};
-use fpsa_mapper::{Netlist, NetlistBlock};
+use fpsa_mapper::{Net, Netlist, NetlistBlock};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -19,23 +28,27 @@ pub struct PlacerConfig {
     pub seed: u64,
     /// Moves attempted per temperature step.
     pub moves_per_temperature: usize,
-    /// Number of temperature steps.
-    pub temperature_steps: usize,
+    /// Upper bound on temperature steps (the adaptive schedule usually
+    /// freezes earlier).
+    pub max_temperature_steps: usize,
     /// Initial temperature as a fraction of the initial cost.
     pub initial_temperature_fraction: f64,
-    /// Geometric cooling factor per step.
-    pub cooling: f64,
+    /// Weight of net criticality in the cost: a net carrying the peak traffic
+    /// counts `1 + timing_weight` times its HPWL, a trafficless net once.
+    pub timing_weight: f64,
 }
 
 impl PlacerConfig {
-    /// A quality-oriented configuration (used for final results).
+    /// A quality-oriented configuration (used for final results). The
+    /// incremental engine's cheaper moves buy a larger budget per step than
+    /// the seed annealer could afford in the same wall-clock.
     pub fn quality() -> Self {
         PlacerConfig {
             seed: 0xF95A,
-            moves_per_temperature: 2000,
-            temperature_steps: 60,
+            moves_per_temperature: 3000,
+            max_temperature_steps: 60,
             initial_temperature_fraction: 0.05,
-            cooling: 0.9,
+            timing_weight: 0.5,
         }
     }
 
@@ -44,9 +57,9 @@ impl PlacerConfig {
         PlacerConfig {
             seed: 0xF95A,
             moves_per_temperature: 300,
-            temperature_steps: 20,
+            max_temperature_steps: 20,
             initial_temperature_fraction: 0.05,
-            cooling: 0.85,
+            timing_weight: 0.5,
         }
     }
 }
@@ -57,13 +70,62 @@ impl Default for PlacerConfig {
     }
 }
 
-/// A placement: the slot coordinate of every netlist block.
+/// One temperature step of the annealing trajectory.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AnnealStep {
+    /// Temperature during the step.
+    pub temperature: f64,
+    /// Fraction of attempted moves that were accepted, 0..=1.
+    pub acceptance_rate: f64,
+    /// Criticality-weighted cost at the end of the step.
+    pub weighted_cost: f64,
+}
+
+/// The annealer's self-report: how the placement was reached.
+///
+/// Everything in here is deterministic for a given seed (no wall-clock), so
+/// two placements of the same netlist compare equal field by field.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct PlacementQuality {
+    /// Unweighted HPWL of the initial (pre-annealing) assignment.
+    pub initial_wirelength: f64,
+    /// Unweighted HPWL of the final placement.
+    pub final_wirelength: f64,
+    /// Total moves evaluated.
+    pub moves_evaluated: u64,
+    /// Total moves accepted.
+    pub moves_accepted: u64,
+    /// Cost/acceptance trajectory, one entry per temperature step.
+    pub steps: Vec<AnnealStep>,
+}
+
+impl PlacementQuality {
+    /// Overall acceptance rate across the whole anneal, 0..=1.
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.moves_evaluated == 0 {
+            return 0.0;
+        }
+        self.moves_accepted as f64 / self.moves_evaluated as f64
+    }
+
+    /// Relative HPWL improvement over the initial assignment, 0..=1.
+    pub fn improvement(&self) -> f64 {
+        if self.initial_wirelength <= 0.0 {
+            return 0.0;
+        }
+        1.0 - self.final_wirelength / self.initial_wirelength
+    }
+}
+
+/// A placement: the slot coordinate of every netlist block, plus the quality
+/// report of the anneal that produced it.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Placement {
     /// Fabric grid dimensions.
     pub dims: FabricDimensions,
     positions: Vec<(usize, usize)>,
-    cost: f64,
+    wirelength: f64,
+    quality: PlacementQuality,
 }
 
 impl Placement {
@@ -77,9 +139,180 @@ impl Placement {
         self.positions[block]
     }
 
-    /// Total half-perimeter wirelength of the placement.
+    /// Total (unweighted) half-perimeter wirelength of the placement.
     pub fn wirelength(&self) -> f64 {
-        self.cost
+        self.wirelength
+    }
+
+    /// The annealing quality report.
+    pub fn quality(&self) -> &PlacementQuality {
+        &self.quality
+    }
+}
+
+/// Cached bounding box of one net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct NetBox {
+    min_r: usize,
+    max_r: usize,
+    min_c: usize,
+    max_c: usize,
+}
+
+impl NetBox {
+    fn of(positions: &[(usize, usize)], net: &Net) -> Self {
+        let (mut min_r, mut max_r, mut min_c, mut max_c) = {
+            let (r, c) = positions[net.source];
+            (r, r, c, c)
+        };
+        for &s in &net.sinks {
+            let (r, c) = positions[s];
+            min_r = min_r.min(r);
+            max_r = max_r.max(r);
+            min_c = min_c.min(c);
+            max_c = max_c.max(c);
+        }
+        NetBox {
+            min_r,
+            max_r,
+            min_c,
+            max_c,
+        }
+    }
+
+    fn hpwl(&self) -> f64 {
+        (self.max_r - self.min_r) as f64 + (self.max_c - self.min_c) as f64
+    }
+}
+
+/// Mutable annealing state shared by the cooling sweeps and the final
+/// zero-temperature quench.
+struct AnnealState<'a> {
+    nets: &'a [Net],
+    incidence: &'a fpsa_mapper::NetIncidence,
+    weights: &'a [f64],
+    positions: &'a mut Vec<(usize, usize)>,
+    boxes: &'a mut Vec<NetBox>,
+    weighted_cost: &'a mut f64,
+    swappable: &'a [&'a Vec<usize>],
+    /// Blocks eligible for swapping (their kind has at least two members),
+    /// so move proposals are proportional to block counts per kind.
+    movable: &'a [usize],
+    /// Block index → index into `swappable` of its kind group.
+    group_of: &'a [usize],
+    /// Stamp-based dedup of affected nets: O(1) per net instead of
+    /// sort+dedup per move.
+    stamp: Vec<u64>,
+    move_id: u64,
+    affected: Vec<usize>,
+    new_boxes: Vec<NetBox>,
+}
+
+impl AnnealState<'_> {
+    /// One sweep of up to `moves` attempted swaps at `temperature`
+    /// (0 = pure greedy descent). Records the step into `quality` and
+    /// returns its acceptance rate.
+    fn sweep(
+        &mut self,
+        temperature: f64,
+        moves: usize,
+        rng: &mut StdRng,
+        quality: &mut PlacementQuality,
+    ) -> f64 {
+        let mut attempted = 0u64;
+        let mut accepted = 0u64;
+        for _ in 0..moves {
+            // Proposals are proportional to block counts per kind: `a` is a
+            // uniformly random movable block, `b` a partner of its kind —
+            // either uniformly random, or (for a fraction of moves) the
+            // sampled partner closest to the centroid of `a`'s nets, which
+            // steers the anneal instead of waiting for lucky swaps.
+            let a = self.movable[rng.gen_range(0..self.movable.len())];
+            let members = self.swappable[self.group_of[a]];
+            let guided = !self.incidence.nets_of(a).is_empty() && rng.gen::<f64>() < 0.2;
+            let b = if guided {
+                let nets_of_a = self.incidence.nets_of(a);
+                let mut ideal_r = 0.0;
+                let mut ideal_c = 0.0;
+                for &n in nets_of_a {
+                    let bx = &self.boxes[n];
+                    ideal_r += (bx.min_r + bx.max_r) as f64 / 2.0;
+                    ideal_c += (bx.min_c + bx.max_c) as f64 / 2.0;
+                }
+                ideal_r /= nets_of_a.len() as f64;
+                ideal_c /= nets_of_a.len() as f64;
+                let mut best = a;
+                let mut best_distance = f64::INFINITY;
+                for _ in 0..8 {
+                    let candidate = members[rng.gen_range(0..members.len())];
+                    if candidate == a {
+                        continue;
+                    }
+                    let (r, c) = self.positions[candidate];
+                    let distance = (r as f64 - ideal_r).abs() + (c as f64 - ideal_c).abs();
+                    if distance < best_distance {
+                        best_distance = distance;
+                        best = candidate;
+                    }
+                }
+                best
+            } else {
+                members[rng.gen_range(0..members.len())]
+            };
+            if a == b {
+                continue;
+            }
+            attempted += 1;
+            self.move_id += 1;
+
+            self.affected.clear();
+            for &n in self
+                .incidence
+                .nets_of(a)
+                .iter()
+                .chain(self.incidence.nets_of(b))
+            {
+                if self.stamp[n] != self.move_id {
+                    self.stamp[n] = self.move_id;
+                    self.affected.push(n);
+                }
+            }
+
+            self.positions.swap(a, b);
+            self.new_boxes.clear();
+            let mut delta = 0.0;
+            for &n in &self.affected {
+                let nb = NetBox::of(self.positions, &self.nets[n]);
+                delta += self.weights[n] * (nb.hpwl() - self.boxes[n].hpwl());
+                self.new_boxes.push(nb);
+            }
+
+            let accept = delta <= 0.0
+                || (temperature > 0.0 && rng.gen::<f64>() < (-delta / temperature).exp());
+            if accept {
+                accepted += 1;
+                *self.weighted_cost += delta;
+                for (&n, &nb) in self.affected.iter().zip(&self.new_boxes) {
+                    self.boxes[n] = nb;
+                }
+            } else {
+                self.positions.swap(a, b);
+            }
+        }
+
+        let acceptance_rate = if attempted == 0 {
+            0.0
+        } else {
+            accepted as f64 / attempted as f64
+        };
+        quality.moves_evaluated += attempted;
+        quality.moves_accepted += accepted;
+        quality.steps.push(AnnealStep {
+            temperature,
+            acceptance_rate,
+            weighted_cost: *self.weighted_cost,
+        });
+        acceptance_rate
     }
 }
 
@@ -129,36 +362,29 @@ impl Placer {
             positions.push(dims.coord(slot));
         }
 
-        // Nets incident to each block, for incremental cost updates.
-        let mut nets_of_block: Vec<Vec<usize>> = vec![Vec::new(); netlist.len()];
-        for (i, net) in netlist.nets().iter().enumerate() {
-            nets_of_block[net.source].push(i);
-            for &s in &net.sinks {
-                nets_of_block[s].push(i);
-            }
-        }
+        // The net→block incidence index drives incremental move evaluation.
+        let incidence = netlist.incidence();
+        let nets = netlist.nets();
 
-        let hpwl = |positions: &[(usize, usize)], net: &fpsa_mapper::Net| -> f64 {
-            let mut min_r = usize::MAX;
-            let mut max_r = 0usize;
-            let mut min_c = usize::MAX;
-            let mut max_c = 0usize;
-            for &b in std::iter::once(&net.source).chain(net.sinks.iter()) {
-                let (r, c) = positions[b];
-                min_r = min_r.min(r);
-                max_r = max_r.max(r);
-                min_c = min_c.min(c);
-                max_c = max_c.max(c);
-            }
-            (max_r - min_r) as f64 + (max_c - min_c) as f64
-        };
-        let total_cost = |positions: &[(usize, usize)]| -> f64 {
-            netlist.nets().iter().map(|n| hpwl(positions, n)).sum()
-        };
+        // Criticality weights: nets carrying more values per activation set
+        // the routed critical path, so their wirelength counts for more.
+        let max_traffic = nets
+            .iter()
+            .map(|n| n.values_per_activation)
+            .max()
+            .unwrap_or(1)
+            .max(1) as f64;
+        let weights: Vec<f64> = nets
+            .iter()
+            .map(|n| {
+                1.0 + self.config.timing_weight * (n.values_per_activation as f64 / max_traffic)
+            })
+            .collect();
 
-        let mut cost = total_cost(&positions);
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let mut temperature = (cost * self.config.initial_temperature_fraction).max(1.0);
+        // Cached per-net bounding boxes and the weighted cost they imply.
+        let mut boxes: Vec<NetBox> = nets.iter().map(|n| NetBox::of(&positions, n)).collect();
+        let mut weighted_cost: f64 = boxes.iter().zip(&weights).map(|(b, w)| w * b.hpwl()).sum();
+        let initial_wirelength: f64 = boxes.iter().map(NetBox::hpwl).sum();
 
         // Group block indices by kind so that swaps stay kind-compatible.
         // A BTreeMap keeps the iteration order deterministic, which keeps the
@@ -167,58 +393,90 @@ impl Placer {
         for (i, b) in netlist.blocks().iter().enumerate() {
             by_kind.entry(kind_of(b)).or_default().push(i);
         }
+        let swappable: Vec<&Vec<usize>> = by_kind.values().filter(|v| v.len() >= 2).collect();
+        let mut group_of = vec![usize::MAX; netlist.len()];
+        let mut movable: Vec<usize> = Vec::new();
+        for (g, members) in swappable.iter().enumerate() {
+            for &block in members.iter() {
+                group_of[block] = g;
+                movable.push(block);
+            }
+        }
+        movable.sort_unstable();
 
-        for _ in 0..self.config.temperature_steps {
-            for _ in 0..self.config.moves_per_temperature {
-                // Pick a kind with at least two blocks and swap two of them.
-                let kinds: Vec<&BlockKind> = by_kind
-                    .iter()
-                    .filter(|(_, v)| v.len() >= 2)
-                    .map(|(k, _)| k)
-                    .collect();
-                if kinds.is_empty() {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut temperature = (weighted_cost * self.config.initial_temperature_fraction).max(1.0);
+        let mut quality = PlacementQuality {
+            initial_wirelength,
+            ..Default::default()
+        };
+
+        let mut state = AnnealState {
+            nets,
+            incidence: &incidence,
+            weights: &weights,
+            positions: &mut positions,
+            boxes: &mut boxes,
+            weighted_cost: &mut weighted_cost,
+            swappable: &swappable,
+            movable: &movable,
+            group_of: &group_of,
+            stamp: vec![0; nets.len()],
+            move_id: 0,
+            affected: Vec::new(),
+            new_boxes: Vec::new(),
+        };
+
+        if !movable.is_empty() && self.config.max_temperature_steps > 0 {
+            for _ in 0..self.config.max_temperature_steps {
+                let acceptance_rate = state.sweep(
+                    temperature,
+                    self.config.moves_per_temperature,
+                    &mut rng,
+                    &mut quality,
+                );
+
+                // Adaptive cooling (VPR): cool slowly through the productive
+                // mid-range of acceptance rates, fast outside it.
+                temperature *= match acceptance_rate {
+                    r if r > 0.96 => 0.5,
+                    r if r > 0.80 => 0.9,
+                    r if r > 0.15 => 0.95,
+                    _ => 0.8,
+                };
+                // Freeze-out: once the temperature is far below the typical
+                // per-net cost, no hill climb can be accepted any more.
+                if temperature < 0.005 * *state.weighted_cost / nets.len().max(1) as f64 {
                     break;
                 }
-                let kind = *kinds[rng.gen_range(0..kinds.len())];
-                let members = &by_kind[&kind];
-                let a = members[rng.gen_range(0..members.len())];
-                let b = members[rng.gen_range(0..members.len())];
-                if a == b {
-                    continue;
-                }
-                // Incremental cost over the affected nets only.
-                let mut affected: Vec<usize> = nets_of_block[a]
-                    .iter()
-                    .chain(nets_of_block[b].iter())
-                    .copied()
-                    .collect();
-                affected.sort_unstable();
-                affected.dedup();
-                let before: f64 = affected
-                    .iter()
-                    .map(|&n| hpwl(&positions, &netlist.nets()[n]))
-                    .sum();
-                positions.swap(a, b);
-                let after: f64 = affected
-                    .iter()
-                    .map(|&n| hpwl(&positions, &netlist.nets()[n]))
-                    .sum();
-                let delta = after - before;
-                let accept =
-                    delta <= 0.0 || rng.gen::<f64>() < (-delta / temperature.max(1e-9)).exp();
-                if accept {
-                    cost += delta;
-                } else {
-                    positions.swap(a, b);
+            }
+            // Zero-temperature quench: pure-greedy descent sweeps squeeze
+            // out the improving moves the frozen schedule left, repeated
+            // until a whole sweep stops finding any.
+            for _ in 0..8 {
+                let before = *state.weighted_cost;
+                state.sweep(
+                    0.0,
+                    self.config.moves_per_temperature,
+                    &mut rng,
+                    &mut quality,
+                );
+                if *state.weighted_cost >= before - 1e-9 {
+                    break;
                 }
             }
-            temperature *= self.config.cooling;
         }
+
+        // Report the exact final wirelength (unweighted, recomputed from
+        // scratch so float drift from incremental updates cannot leak out).
+        let final_wirelength: f64 = nets.iter().map(|n| NetBox::of(&positions, n).hpwl()).sum();
+        quality.final_wirelength = final_wirelength;
 
         Placement {
             dims,
             positions,
-            cost,
+            wirelength: final_wirelength,
+            quality,
         }
     }
 }
@@ -258,7 +516,7 @@ mod tests {
         let netlist = lenet_netlist();
         let fabric = Fabric::with_pe_count(ArchitectureConfig::fpsa(), netlist.len());
         let mut no_anneal = PlacerConfig::fast();
-        no_anneal.temperature_steps = 0;
+        no_anneal.max_temperature_steps = 0;
         let initial = Placer::new(no_anneal).place(&netlist, &fabric);
         let annealed = Placer::new(PlacerConfig::fast()).place(&netlist, &fabric);
         assert!(
@@ -267,6 +525,10 @@ mod tests {
             annealed.wirelength(),
             initial.wirelength()
         );
+        // The quality report agrees with the two measurements.
+        assert_eq!(annealed.quality().initial_wirelength, initial.wirelength());
+        assert_eq!(annealed.quality().final_wirelength, annealed.wirelength());
+        assert!(annealed.quality().improvement() >= 0.0);
     }
 
     #[test]
@@ -287,5 +549,133 @@ mod tests {
             assert!(r < placement.dims.rows);
             assert!(c < placement.dims.cols);
         }
+    }
+
+    #[test]
+    fn quality_records_the_annealing_trajectory() {
+        let netlist = lenet_netlist();
+        let fabric = Fabric::with_pe_count(ArchitectureConfig::fpsa(), netlist.len());
+        let placement = Placer::new(PlacerConfig::fast()).place(&netlist, &fabric);
+        let quality = placement.quality();
+        assert!(!quality.steps.is_empty());
+        // Cooling steps plus the final zero-temperature quench sweeps.
+        assert!(quality.steps.len() <= PlacerConfig::fast().max_temperature_steps + 8);
+        assert_eq!(
+            quality.steps.last().unwrap().temperature,
+            0.0,
+            "the trajectory ends with the greedy quench"
+        );
+        for step in &quality.steps {
+            assert!(step.temperature >= 0.0);
+            assert!((0.0..=1.0).contains(&step.acceptance_rate));
+            assert!(step.weighted_cost >= 0.0);
+        }
+        // Temperatures never rise; they strictly decrease while positive
+        // (the quench sweeps all sit at zero).
+        for pair in quality.steps.windows(2) {
+            assert!(pair[1].temperature <= pair[0].temperature);
+            if pair[1].temperature > 0.0 {
+                assert!(pair[1].temperature < pair[0].temperature);
+            }
+        }
+        // The trajectory ends no higher than it started.
+        assert!(
+            quality.steps.last().unwrap().weighted_cost
+                <= quality.steps.first().unwrap().weighted_cost
+        );
+        assert!(quality.moves_evaluated > 0);
+        assert!((0.0..=1.0).contains(&quality.acceptance_rate()));
+    }
+
+    #[test]
+    fn quality_settings_match_or_beat_fast_settings() {
+        let netlist = lenet_netlist();
+        let fabric = Fabric::with_pe_count(ArchitectureConfig::fpsa(), netlist.len());
+        let fast = Placer::new(PlacerConfig::fast()).place(&netlist, &fabric);
+        let quality = Placer::new(PlacerConfig::quality()).place(&netlist, &fabric);
+        assert!(
+            quality.wirelength() <= fast.wirelength() * 1.05,
+            "quality {} should not lose to fast {}",
+            quality.wirelength(),
+            fast.wirelength()
+        );
+    }
+
+    #[test]
+    fn a_chain_of_blocks_reaches_minimal_wirelength() {
+        use fpsa_mapper::Net;
+        // Four PEs in a chain on a fabric with >= 4 PE slots: the optimal
+        // placement puts neighbours on adjacent slots, HPWL = 3.
+        let blocks = (0..4)
+            .map(|i| NetlistBlock::Pe {
+                group: i,
+                duplicate: 0,
+            })
+            .collect();
+        let nets = (0..3)
+            .map(|i| Net {
+                source: i,
+                sinks: vec![i + 1],
+                values_per_activation: 8,
+            })
+            .collect();
+        let netlist = Netlist::from_parts("chain", blocks, nets);
+        let fabric = Fabric::with_pe_count(ArchitectureConfig::fpsa(), 4);
+        let placement = Placer::new(PlacerConfig::quality()).place(&netlist, &fabric);
+        assert_eq!(
+            placement.wirelength(),
+            3.0,
+            "the annealer should find the optimal chain embedding"
+        );
+    }
+
+    #[test]
+    fn timing_weight_pulls_critical_nets_tighter() {
+        use fpsa_mapper::Net;
+        // Two nets from one hub: one carries 64 values per activation, the
+        // other 1. Under a strong timing weight the heavy net's HPWL must not
+        // exceed the light net's.
+        let blocks = (0..12)
+            .map(|i| NetlistBlock::Pe {
+                group: i,
+                duplicate: 0,
+            })
+            .collect();
+        let mut nets = vec![
+            Net {
+                source: 0,
+                sinks: vec![1],
+                values_per_activation: 64,
+            },
+            Net {
+                source: 0,
+                sinks: vec![2],
+                values_per_activation: 1,
+            },
+        ];
+        // Background nets keep the anneal non-trivial.
+        for i in 3..11 {
+            nets.push(Net {
+                source: i,
+                sinks: vec![i + 1],
+                values_per_activation: 4,
+            });
+        }
+        let netlist = Netlist::from_parts("weighted", blocks, nets);
+        let fabric = Fabric::with_pe_count(ArchitectureConfig::fpsa(), netlist.len());
+        let mut config = PlacerConfig::quality();
+        config.timing_weight = 4.0;
+        let placement = Placer::new(config).place(&netlist, &fabric);
+        let dist = |a: usize, b: usize| {
+            placement
+                .dims
+                .manhattan(placement.position(a), placement.position(b))
+        };
+        assert!(
+            dist(0, 1) <= dist(0, 2),
+            "critical net spans {} but non-critical spans {}",
+            dist(0, 1),
+            dist(0, 2)
+        );
     }
 }

@@ -1,34 +1,128 @@
-//! Congestion-aware routing.
+//! PathFinder negotiated-congestion routing.
 //!
-//! Every net receives a dedicated path of channel segments, as in the FPGA
-//! routing model the paper adopts. The router first tries the two single-bend
-//! (L-shaped) paths between source and sink, picking the one crossing the
-//! less congested channels; when both are saturated it falls back to a full
-//! Dijkstra search over the channel grid with congestion-dependent edge
-//! costs, which is the shortest-path formulation the paper cites.
+//! Every net is routed as a **routing tree** over the channel grid: one trunk
+//! shared by all sinks (real multicast) instead of independent per-sink
+//! paths. The router runs the PathFinder negotiation loop: all nets are
+//! ripped up and re-routed every iteration under a cost that combines the
+//! base segment cost, a *present congestion* penalty that grows each
+//! iteration, and a *history* term remembering which segments were fought
+//! over in earlier iterations. Congestion is thereby negotiated away — nets
+//! that can cheaply detour do, nets that genuinely need a contested segment
+//! keep it — which is exactly the router model of the paper's mrVPR flow.
+//!
+//! Within an iteration nets route in **waves**: the congestion state is
+//! frozen once per wave, every net of the wave searches against that frozen
+//! snapshot in parallel (rayon), and the resulting trees are committed in
+//! net order. Results are therefore bit-identical for any thread count: the
+//! snapshot, the wave partition and the commit order are all independent of
+//! scheduling.
 
 use crate::place::Placement;
 use fpsa_arch::RoutingArchitecture;
 use fpsa_mapper::Netlist;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-/// The routed result of one net (to one sink): the sequence of tile
-/// coordinates traversed, including the endpoints.
-pub type RoutePath = Vec<(usize, usize)>;
+/// Orientation of a routing channel segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Orientation {
+    /// Connects tile `(r, c)` to `(r, c + 1)`.
+    Horizontal,
+    /// Connects tile `(r, c)` to `(r + 1, c)`.
+    Vertical,
+}
+
+/// One channel segment used by a routing tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RouteEdge {
+    /// Segment orientation.
+    pub orientation: Orientation,
+    /// Row of the segment's lower-left tile.
+    pub row: usize,
+    /// Column of the segment's lower-left tile.
+    pub col: usize,
+}
+
+impl RouteEdge {
+    /// The two tiles this segment connects.
+    pub fn endpoints(&self) -> ((usize, usize), (usize, usize)) {
+        match self.orientation {
+            Orientation::Horizontal => ((self.row, self.col), (self.row, self.col + 1)),
+            Orientation::Vertical => ((self.row, self.col), (self.row + 1, self.col)),
+        }
+    }
+}
+
+/// The routed tree of one net: a set of channel segments connecting the
+/// source tile to every sink tile, with trunk segments shared across sinks.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RoutingTree {
+    /// Index of the net in the netlist.
+    pub net: usize,
+    /// Tile of the driving block.
+    pub source: (usize, usize),
+    /// Tile of every sink block, in net order.
+    pub sinks: Vec<(usize, usize)>,
+    /// The channel segments of the tree (each used once, shared by all sinks
+    /// downstream of it).
+    pub edges: Vec<RouteEdge>,
+    /// Hops from the source to each sink along the tree, in `sinks` order.
+    pub sink_hops: Vec<usize>,
+}
+
+impl RoutingTree {
+    /// Number of channel segments the tree occupies.
+    pub fn wirelength(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the source reaches every sink over the tree's edges.
+    pub fn is_connected(&self) -> bool {
+        use std::collections::{HashMap, HashSet, VecDeque};
+        if self.sinks.iter().all(|&s| s == self.source) {
+            return true;
+        }
+        let mut adjacency: HashMap<(usize, usize), Vec<(usize, usize)>> = HashMap::new();
+        for edge in &self.edges {
+            let (a, b) = edge.endpoints();
+            adjacency.entry(a).or_default().push(b);
+            adjacency.entry(b).or_default().push(a);
+        }
+        let mut reached: HashSet<(usize, usize)> = HashSet::new();
+        let mut queue = VecDeque::from([self.source]);
+        reached.insert(self.source);
+        while let Some(node) = queue.pop_front() {
+            for &next in adjacency.get(&node).into_iter().flatten() {
+                if reached.insert(next) {
+                    queue.push_back(next);
+                }
+            }
+        }
+        self.sinks.iter().all(|s| reached.contains(s))
+    }
+}
 
 /// Routing outcome for a whole netlist.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct RoutingResult {
-    /// One entry per (net, sink) connection: the number of block hops.
+    /// One routing tree per net, in net order.
+    pub trees: Vec<RoutingTree>,
+    /// One entry per (net, sink) connection: hops from source to sink along
+    /// the net's tree, flattened in net order.
     pub connection_hops: Vec<usize>,
     /// Peak channel occupancy observed (tracks used in the busiest channel).
     pub peak_channel_occupancy: usize,
     /// Channel capacity the router was given.
     pub channel_width: usize,
-    /// Number of connections that needed the Dijkstra fallback.
-    pub detoured_connections: usize,
+    /// Negotiation iterations until convergence (or the iteration cap).
+    pub iterations: usize,
+    /// Channels still above capacity when routing stopped.
+    pub overused_channels: usize,
+    /// Total channel segments occupied across all trees (the routed
+    /// wirelength; trunk sharing makes this less than the sum of hops).
+    pub total_channel_segments: usize,
     /// Number of nets routed.
     pub nets_routed: usize,
 }
@@ -64,252 +158,475 @@ impl RoutingResult {
     }
 }
 
+/// PathFinder negotiation parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RouterConfig {
+    /// Maximum rip-up-and-reroute iterations.
+    pub max_iterations: usize,
+    /// Present-congestion factor of the first iteration (0 routes every net
+    /// on its unconstrained shortest path, the classic PathFinder opening).
+    pub initial_present_factor: f64,
+    /// Multiplier on the present-congestion factor per iteration.
+    pub present_growth: f64,
+    /// Weight of the accumulated history cost.
+    pub history_weight: f64,
+    /// Nets routed per parallel wave (the congestion snapshot refreshes
+    /// between waves; 1 reproduces fully sequential negotiation).
+    pub wave_width: usize,
+    /// Evaluate waves with rayon (`false` forces sequential evaluation; the
+    /// results are bit-identical either way).
+    pub parallel: bool,
+}
+
+impl RouterConfig {
+    /// The full negotiated-congestion configuration.
+    pub fn negotiated() -> Self {
+        RouterConfig {
+            max_iterations: 32,
+            initial_present_factor: 0.0,
+            present_growth: 1.6,
+            history_weight: 0.5,
+            wave_width: 32,
+            parallel: true,
+        }
+    }
+
+    /// A single congestion-aware pass with no negotiation: every net routes
+    /// once, sequentially, seeing the congestion of the nets before it. This
+    /// is the strongest greedy baseline and exists for ablation.
+    pub fn single_pass() -> Self {
+        RouterConfig {
+            max_iterations: 1,
+            initial_present_factor: 0.5,
+            present_growth: 1.0,
+            history_weight: 0.0,
+            wave_width: 1,
+            parallel: false,
+        }
+    }
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self::negotiated()
+    }
+}
+
+/// Congestion state of the channel grid, frozen per wave for the searches.
+#[derive(Debug, Clone)]
+struct ChannelState {
+    rows: usize,
+    cols: usize,
+    /// Occupancy of horizontal segments, indexed `r * cols + c` for the
+    /// segment `(r, c) – (r, c + 1)`.
+    occupancy_h: Vec<u32>,
+    /// Occupancy of vertical segments, indexed `r * cols + c` for the
+    /// segment `(r, c) – (r + 1, c)`.
+    occupancy_v: Vec<u32>,
+    history_h: Vec<f64>,
+    history_v: Vec<f64>,
+}
+
+impl ChannelState {
+    fn new(rows: usize, cols: usize) -> Self {
+        let n = rows * cols;
+        ChannelState {
+            rows,
+            cols,
+            occupancy_h: vec![0; n],
+            occupancy_v: vec![0; n],
+            history_h: vec![0.0; n],
+            history_v: vec![0.0; n],
+        }
+    }
+
+    fn index(&self, edge: RouteEdge) -> usize {
+        edge.row * self.cols + edge.col
+    }
+
+    fn occupy(&mut self, edge: RouteEdge, delta: i64) {
+        let i = self.index(edge);
+        let slot = match edge.orientation {
+            Orientation::Horizontal => &mut self.occupancy_h[i],
+            Orientation::Vertical => &mut self.occupancy_v[i],
+        };
+        *slot = (*slot as i64 + delta).max(0) as u32;
+    }
+
+    /// PathFinder cost of crossing one segment, scaled to an integer so the
+    /// Dijkstra heap has a total, platform-independent order.
+    fn edge_cost(&self, edge: RouteEdge, capacity: usize, pres_fac: f64, hist_weight: f64) -> u64 {
+        let i = self.index(edge);
+        let (occupancy, history) = match edge.orientation {
+            Orientation::Horizontal => (self.occupancy_h[i], self.history_h[i]),
+            Orientation::Vertical => (self.occupancy_v[i], self.history_v[i]),
+        };
+        let overuse = (occupancy as i64 + 1 - capacity as i64).max(0) as f64;
+        let cost = (1.0 + hist_weight * history) * (1.0 + pres_fac * overuse);
+        (cost * 1024.0).round().max(1.0) as u64
+    }
+
+    /// Accumulate history cost on every currently overused segment and
+    /// report (overused segment count, peak occupancy).
+    fn accumulate_history(&mut self, capacity: usize) -> (usize, usize) {
+        let mut overused = 0usize;
+        let mut peak = 0usize;
+        for (occ, hist) in self
+            .occupancy_h
+            .iter()
+            .zip(self.history_h.iter_mut())
+            .chain(self.occupancy_v.iter().zip(self.history_v.iter_mut()))
+        {
+            peak = peak.max(*occ as usize);
+            if *occ as usize > capacity {
+                overused += 1;
+                *hist += (*occ as usize - capacity) as f64;
+            }
+        }
+        (overused, peak)
+    }
+}
+
 /// The router.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Router {
     routing: RoutingArchitecture,
+    config: RouterConfig,
 }
 
 impl Router {
-    /// Create a router for the given routing architecture.
+    /// A negotiated-congestion router for the given routing architecture.
     pub fn new(routing: RoutingArchitecture) -> Self {
-        Router { routing }
+        Router {
+            routing,
+            config: RouterConfig::negotiated(),
+        }
     }
 
-    /// Route every net of a placed netlist.
+    /// A router with explicit negotiation parameters.
+    pub fn with_config(routing: RoutingArchitecture, config: RouterConfig) -> Self {
+        Router { routing, config }
+    }
+
+    /// The negotiation parameters in use.
+    pub fn config(&self) -> &RouterConfig {
+        &self.config
+    }
+
+    /// Route every net of a placed netlist with PathFinder negotiation.
     pub fn route(&self, netlist: &Netlist, placement: &Placement) -> RoutingResult {
+        self.route_with_width(netlist, placement, self.routing.channel_width)
+    }
+
+    /// Route under an explicit channel capacity (the probe primitive of the
+    /// minimum-channel-width search).
+    pub fn route_with_width(
+        &self,
+        netlist: &Netlist,
+        placement: &Placement,
+        channel_width: usize,
+    ) -> RoutingResult {
         let rows = placement.dims.rows.max(1);
         let cols = placement.dims.cols.max(1);
-        // Horizontal channel usage per (row, col) tile and vertical likewise.
-        let mut horizontal = vec![0usize; rows * cols];
-        let mut vertical = vec![0usize; rows * cols];
-        let idx = |r: usize, c: usize| r * cols + c;
+        let capacity = channel_width.max(1);
+        let mut state = ChannelState::new(rows, cols);
 
-        let mut connection_hops = Vec::new();
-        let mut detoured = 0usize;
+        // The terminals of every net, fixed by the placement.
+        type NetTerminals = ((usize, usize), Vec<(usize, usize)>);
+        let terminals: Vec<NetTerminals> = netlist
+            .nets()
+            .iter()
+            .map(|net| {
+                (
+                    placement.position(net.source),
+                    net.sinks.iter().map(|&s| placement.position(s)).collect(),
+                )
+            })
+            .collect();
 
-        for net in netlist.nets() {
-            let src = placement.position(net.source);
-            for &sink in &net.sinks {
-                let dst = placement.position(sink);
-                if src == dst {
-                    connection_hops.push(0);
-                    continue;
+        let mut trees: Vec<RoutingTree> = Vec::new();
+        let mut pres_fac = self.config.initial_present_factor;
+        let mut iterations = 0usize;
+        let mut overused = 0usize;
+        let mut peak = 0usize;
+
+        for iteration in 0..self.config.max_iterations.max(1) {
+            iterations = iteration + 1;
+            let net_order: Vec<usize> = (0..terminals.len()).collect();
+            let mut new_trees: Vec<RoutingTree> = Vec::with_capacity(terminals.len());
+            for wave in net_order.chunks(self.config.wave_width.max(1)) {
+                // Rip up the wave's previous-iteration routes so the frozen
+                // snapshot prices only *other* nets' segments.
+                if !trees.is_empty() {
+                    for &net in wave {
+                        for &edge in &trees[net].edges {
+                            state.occupy(edge, -1);
+                        }
+                    }
                 }
-                // Candidate 1: horizontal first, then vertical.
-                let cost_hv = l_path_cost(src, dst, true, &horizontal, &vertical, cols);
-                // Candidate 2: vertical first, then horizontal.
-                let cost_vh = l_path_cost(src, dst, false, &horizontal, &vertical, cols);
-                let capacity = self.routing.channel_width;
-                let hops = if cost_hv.1 < capacity || cost_vh.1 < capacity {
-                    let horizontal_first = cost_hv.1 <= cost_vh.1;
-                    apply_l_path(
-                        src,
-                        dst,
-                        horizontal_first,
-                        &mut horizontal,
-                        &mut vertical,
-                        cols,
-                    )
-                } else {
-                    // Dijkstra fallback over the channel grid with
-                    // congestion-aware costs.
-                    detoured += 1;
-                    dijkstra_route(
-                        src,
-                        dst,
-                        rows,
-                        cols,
+                let snapshot = &state;
+                let route_one = |&net: &usize| {
+                    route_net(
+                        net,
+                        terminals[net].0,
+                        &terminals[net].1,
+                        snapshot,
                         capacity,
-                        &mut horizontal,
-                        &mut vertical,
+                        pres_fac,
+                        self.config.history_weight,
                     )
                 };
-                connection_hops.push(hops);
-                let _ = idx; // silence unused in some cfgs
+                let routed: Vec<RoutingTree> = if self.config.parallel {
+                    wave.par_iter().map(route_one).collect()
+                } else {
+                    wave.iter().map(route_one).collect()
+                };
+                for tree in routed {
+                    for &edge in &tree.edges {
+                        state.occupy(edge, 1);
+                    }
+                    new_trees.push(tree);
+                }
             }
+            trees = new_trees;
+
+            let (over, pk) = state.accumulate_history(capacity);
+            overused = over;
+            peak = pk;
+            if overused == 0 {
+                break;
+            }
+            pres_fac = if pres_fac == 0.0 {
+                1.0
+            } else {
+                pres_fac * self.config.present_growth
+            };
         }
 
-        let peak = horizontal
+        let connection_hops: Vec<usize> = trees
             .iter()
-            .chain(vertical.iter())
-            .copied()
-            .max()
-            .unwrap_or(0);
+            .flat_map(|t| t.sink_hops.iter().copied())
+            .collect();
+        let total_channel_segments = trees.iter().map(RoutingTree::wirelength).sum();
         RoutingResult {
             connection_hops,
             peak_channel_occupancy: peak,
-            channel_width: self.routing.channel_width,
-            detoured_connections: detoured,
-            nets_routed: netlist.nets().len(),
+            // The clamped capacity the router actually enforced, so the
+            // result's routability fields stay self-consistent for width 0.
+            channel_width: capacity,
+            iterations,
+            overused_channels: overused,
+            total_channel_segments,
+            nets_routed: trees.len(),
+            trees,
         }
+    }
+
+    /// The minimum channel width the design routes in — the quantity the
+    /// paper's mrVPR flow reports. Doubles the width until the design routes,
+    /// then binary-searches down; returns the width and the routing at it.
+    pub fn minimum_channel_width(
+        &self,
+        netlist: &Netlist,
+        placement: &Placement,
+    ) -> (usize, RoutingResult) {
+        // Find a routable upper bound.
+        let mut width = 1usize;
+        let mut best = self.route_with_width(netlist, placement, width);
+        while !best.is_routable() {
+            // Peak occupancy at the failed width is a sound next probe: the
+            // design certainly needs no more tracks than its worst overuse.
+            width = best.peak_channel_occupancy.max(width * 2);
+            best = self.route_with_width(netlist, placement, width);
+            if width >= 1 << 20 {
+                return (width, best);
+            }
+        }
+        if width == 1 {
+            return (1, best);
+        }
+        // Binary search for the smallest routable width in [lo, width];
+        // width 1 already failed above, so the search floor is 2.
+        let mut lo = 2usize;
+        let mut hi = width;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let probe = self.route_with_width(netlist, placement, mid);
+            if probe.is_routable() {
+                hi = mid;
+                best = probe;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        (hi, best)
     }
 }
 
-/// Cost (hops, max-occupancy-on-path) of an L-shaped path.
-fn l_path_cost(
-    src: (usize, usize),
-    dst: (usize, usize),
-    horizontal_first: bool,
-    horizontal: &[usize],
-    vertical: &[usize],
-    cols: usize,
-) -> (usize, usize) {
-    let mut max_occ = 0usize;
-    let mut hops = 0usize;
-    let (sr, sc) = src;
-    let (dr, dc) = dst;
-    if horizontal_first {
-        for c in range_between(sc, dc) {
-            max_occ = max_occ.max(horizontal[sr * cols + c]);
-            hops += 1;
-        }
-        for r in range_between(sr, dr) {
-            max_occ = max_occ.max(vertical[r * cols + dc]);
-            hops += 1;
-        }
-    } else {
-        for r in range_between(sr, dr) {
-            max_occ = max_occ.max(vertical[r * cols + sc]);
-            hops += 1;
-        }
-        for c in range_between(sc, dc) {
-            max_occ = max_occ.max(horizontal[dr * cols + c]);
-            hops += 1;
-        }
-    }
-    (hops, max_occ)
-}
-
-/// Occupy the channels along an L-shaped path and return its hop count.
-fn apply_l_path(
-    src: (usize, usize),
-    dst: (usize, usize),
-    horizontal_first: bool,
-    horizontal: &mut [usize],
-    vertical: &mut [usize],
-    cols: usize,
-) -> usize {
-    let (sr, sc) = src;
-    let (dr, dc) = dst;
-    let mut hops = 0usize;
-    if horizontal_first {
-        for c in range_between(sc, dc) {
-            horizontal[sr * cols + c] += 1;
-            hops += 1;
-        }
-        for r in range_between(sr, dr) {
-            vertical[r * cols + dc] += 1;
-            hops += 1;
-        }
-    } else {
-        for r in range_between(sr, dr) {
-            vertical[r * cols + sc] += 1;
-            hops += 1;
-        }
-        for c in range_between(sc, dc) {
-            horizontal[dr * cols + c] += 1;
-            hops += 1;
-        }
-    }
-    hops
-}
-
-/// The half-open range of channel segments crossed when moving between two
-/// coordinates along one axis.
-fn range_between(a: usize, b: usize) -> std::ops::Range<usize> {
-    if a <= b {
-        a..b
-    } else {
-        b..a
-    }
-}
-
-/// Dijkstra over the tile grid with congestion-aware costs; occupies the
-/// channels along the found path and returns its length in hops.
-fn dijkstra_route(
-    src: (usize, usize),
-    dst: (usize, usize),
-    rows: usize,
-    cols: usize,
+/// Route one net as a tree against a frozen congestion snapshot: sinks join
+/// the tree one at a time via a multi-source Dijkstra whose wavefront starts
+/// on every tile already in the tree, so later sinks reuse the trunk built
+/// for earlier ones.
+fn route_net(
+    net: usize,
+    source: (usize, usize),
+    sinks: &[(usize, usize)],
+    state: &ChannelState,
     capacity: usize,
-    horizontal: &mut [usize],
-    vertical: &mut [usize],
-) -> usize {
+    pres_fac: f64,
+    hist_weight: f64,
+) -> RoutingTree {
+    let (rows, cols) = (state.rows, state.cols);
     let n = rows * cols;
-    let idx = |r: usize, c: usize| r * cols + c;
-    let mut dist = vec![u64::MAX; n];
-    let mut prev = vec![usize::MAX; n];
-    let mut heap = BinaryHeap::new();
-    dist[idx(src.0, src.1)] = 0;
-    heap.push(Reverse((0u64, idx(src.0, src.1))));
-    while let Some(Reverse((d, node))) = heap.pop() {
-        if d > dist[node] {
+    let tile = |r: usize, c: usize| r * cols + c;
+
+    let mut in_tree = vec![false; n];
+    in_tree[tile(source.0, source.1)] = true;
+    let mut tree_edges: Vec<RouteEdge> = Vec::new();
+
+    // Deterministic sink order: nearest first, ties by net order. Routing
+    // close sinks first grows the trunk outward, which later sinks reuse.
+    let mut order: Vec<usize> = (0..sinks.len()).collect();
+    order.sort_by_key(|&i| {
+        let (r, c) = sinks[i];
+        (r.abs_diff(source.0) + c.abs_diff(source.1), i)
+    });
+
+    let mut dist: Vec<u64> = vec![u64::MAX; n];
+    let mut prev: Vec<usize> = vec![usize::MAX; n];
+    for &sink_index in &order {
+        let (tr, tc) = sinks[sink_index];
+        let target = tile(tr, tc);
+        if in_tree[target] {
             continue;
         }
-        if node == idx(dst.0, dst.1) {
-            break;
+
+        dist.fill(u64::MAX);
+        prev.fill(usize::MAX);
+        let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+        for (node, _) in in_tree.iter().enumerate().filter(|(_, &t)| t) {
+            dist[node] = 0;
+            heap.push(Reverse((0, node)));
         }
-        let (r, c) = (node / cols, node % cols);
-        let neighbours = [
-            (r.wrapping_sub(1), c, false),
-            (r + 1, c, false),
-            (r, c.wrapping_sub(1), true),
-            (r, c + 1, true),
-        ];
-        for (nr, nc, is_horizontal) in neighbours {
-            if nr >= rows || nc >= cols {
+        while let Some(Reverse((d, node))) = heap.pop() {
+            if d > dist[node] {
                 continue;
             }
-            let channel = if is_horizontal {
-                horizontal[idx(r, c.min(nc))]
-            } else {
-                vertical[idx(r.min(nr), c)]
-            };
-            // Congestion penalty: channels past capacity cost 16x.
-            let cost = 1 + if channel >= capacity {
-                16
-            } else {
-                channel as u64 / 64
-            };
-            let nd = d + cost;
-            let ni = idx(nr, nc);
-            if nd < dist[ni] {
-                dist[ni] = nd;
-                prev[ni] = node;
-                heap.push(Reverse((nd, ni)));
+            if node == target {
+                break;
+            }
+            let (r, c) = (node / cols, node % cols);
+            let neighbours = [
+                (r.wrapping_sub(1), c),
+                (r + 1, c),
+                (r, c.wrapping_sub(1)),
+                (r, c + 1),
+            ];
+            for (nr, nc) in neighbours {
+                if nr >= rows || nc >= cols {
+                    continue;
+                }
+                let edge = edge_between((r, c), (nr, nc));
+                let nd = d + state.edge_cost(edge, capacity, pres_fac, hist_weight);
+                let ni = tile(nr, nc);
+                if nd < dist[ni] {
+                    dist[ni] = nd;
+                    prev[ni] = node;
+                    heap.push(Reverse((nd, ni)));
+                }
+            }
+        }
+
+        // Walk back from the sink until the existing tree, collecting the
+        // new branch.
+        let mut node = target;
+        while !in_tree[node] {
+            let p = prev[node];
+            debug_assert_ne!(p, usize::MAX, "grid searches always reach the sink");
+            tree_edges.push(edge_between(
+                (p / cols, p % cols),
+                (node / cols, node % cols),
+            ));
+            in_tree[node] = true;
+            node = p;
+        }
+    }
+
+    let sink_hops = tree_hops(source, sinks, &tree_edges, rows, cols);
+    RoutingTree {
+        net,
+        source,
+        sinks: sinks.to_vec(),
+        edges: tree_edges,
+        sink_hops,
+    }
+}
+
+/// The channel segment between two adjacent tiles.
+fn edge_between(a: (usize, usize), b: (usize, usize)) -> RouteEdge {
+    if a.0 == b.0 {
+        RouteEdge {
+            orientation: Orientation::Horizontal,
+            row: a.0,
+            col: a.1.min(b.1),
+        }
+    } else {
+        RouteEdge {
+            orientation: Orientation::Vertical,
+            row: a.0.min(b.0),
+            col: a.1,
+        }
+    }
+}
+
+/// Hops from the source to each sink over the tree's edges (BFS, since every
+/// tree edge costs one hop).
+fn tree_hops(
+    source: (usize, usize),
+    sinks: &[(usize, usize)],
+    edges: &[RouteEdge],
+    rows: usize,
+    cols: usize,
+) -> Vec<usize> {
+    let n = rows * cols;
+    let tile = |(r, c): (usize, usize)| r * cols + c;
+    let mut adjacency: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for edge in edges {
+        let (a, b) = edge.endpoints();
+        adjacency[tile(a)].push(tile(b));
+        adjacency[tile(b)].push(tile(a));
+    }
+    let mut hops = vec![usize::MAX; n];
+    let mut queue = std::collections::VecDeque::from([tile(source)]);
+    hops[tile(source)] = 0;
+    while let Some(node) = queue.pop_front() {
+        for &next in &adjacency[node] {
+            if hops[next] == usize::MAX {
+                hops[next] = hops[node] + 1;
+                queue.push_back(next);
             }
         }
     }
-    // Walk back, occupying channels.
-    let mut hops = 0usize;
-    let mut node = idx(dst.0, dst.1);
-    while node != idx(src.0, src.1) && prev[node] != usize::MAX {
-        let p = prev[node];
-        let (r, c) = (node / cols, node % cols);
-        let (pr, pc) = (p / cols, p % cols);
-        if r == pr {
-            horizontal[idx(r, c.min(pc))] += 1;
-        } else {
-            vertical[idx(r.min(pr), c)] += 1;
-        }
-        hops += 1;
-        node = p;
-    }
-    hops
+    sinks
+        .iter()
+        .map(|&s| {
+            let h = hops[tile(s)];
+            debug_assert_ne!(h, usize::MAX, "every sink is connected to its tree");
+            h
+        })
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::place::{Placer, PlacerConfig};
     use fpsa_arch::{ArchitectureConfig, Fabric};
-    use fpsa_mapper::{AllocationPolicy, Mapper};
+    use fpsa_mapper::{AllocationPolicy, Mapper, Net, NetlistBlock};
     use fpsa_nn::zoo;
     use fpsa_synthesis::{NeuralSynthesizer, SynthesisConfig};
 
-    use crate::place::{Placer, PlacerConfig};
-
-    fn routed_lenet() -> (Netlist, RoutingResult) {
+    fn lenet_placed() -> (Netlist, Placement, ArchitectureConfig) {
         let graph = NeuralSynthesizer::new(SynthesisConfig::fpsa_default())
             .synthesize(&zoo::lenet())
             .unwrap();
@@ -319,6 +636,11 @@ mod tests {
         let config = ArchitectureConfig::fpsa();
         let fabric = Fabric::with_pe_count(config.clone(), netlist.len());
         let placement = Placer::new(PlacerConfig::fast()).place(&netlist, &fabric);
+        (netlist, placement, config)
+    }
+
+    fn routed_lenet() -> (Netlist, RoutingResult) {
+        let (netlist, placement, config) = lenet_placed();
         let result = Router::new(config.routing).route(&netlist, &placement);
         (netlist, result)
     }
@@ -327,8 +649,8 @@ mod tests {
     fn every_net_is_routed() {
         let (netlist, result) = routed_lenet();
         assert_eq!(result.routed_nets(), netlist.nets().len());
-        let connections: usize = netlist.nets().iter().map(|n| n.sinks.len()).sum();
-        assert_eq!(result.connection_hops.len(), connections);
+        assert_eq!(result.connection_hops.len(), netlist.connection_count());
+        assert_eq!(result.trees.len(), netlist.nets().len());
     }
 
     #[test]
@@ -348,51 +670,150 @@ mod tests {
             result.peak_channel_occupancy,
             result.channel_width
         );
+        assert_eq!(result.overused_channels, 0);
     }
 
     #[test]
-    fn range_between_is_symmetric_in_length() {
-        assert_eq!(range_between(2, 7).len(), 5);
-        assert_eq!(range_between(7, 2).len(), 5);
-        assert_eq!(range_between(3, 3).len(), 0);
+    fn every_tree_is_connected_and_trunks_are_shared() {
+        let (netlist, result) = routed_lenet();
+        for tree in &result.trees {
+            assert!(tree.is_connected(), "net {} tree is disconnected", tree.net);
+        }
+        // Multicast: the occupied segments are at most (and for high-fanout
+        // CLB nets strictly fewer than) the sum of per-sink path lengths.
+        let path_hop_sum: usize = result.connection_hops.iter().sum();
+        assert!(result.total_channel_segments <= path_hop_sum);
+        let high_fanout = netlist
+            .nets()
+            .iter()
+            .position(|n| n.sinks.len() >= 4)
+            .expect("LeNet has CLB control nets with fanout >= 4");
+        let tree = &result.trees[high_fanout];
+        let tree_path_sum: usize = tree.sink_hops.iter().sum();
+        assert!(
+            tree.wirelength() < tree_path_sum,
+            "fanout-{} tree uses {} segments but {} path hops — no trunk sharing",
+            tree.sinks.len(),
+            tree.wirelength(),
+            tree_path_sum
+        );
     }
 
     #[test]
-    fn l_paths_have_manhattan_length() {
-        let mut h = vec![0usize; 100];
-        let mut v = vec![0usize; 100];
-        let hops = apply_l_path((1, 1), (4, 7), true, &mut h, &mut v, 10);
-        assert_eq!(hops, 3 + 6);
-        let occupied: usize = h.iter().sum::<usize>() + v.iter().sum::<usize>();
-        assert_eq!(occupied, hops);
+    fn negotiation_matches_or_beats_the_single_pass_width() {
+        let (netlist, placement, config) = lenet_placed();
+        let negotiated = Router::new(config.routing).route(&netlist, &placement);
+        let single = Router::with_config(config.routing, RouterConfig::single_pass())
+            .route(&netlist, &placement);
+        assert!(
+            negotiated.required_channel_width() <= single.required_channel_width(),
+            "negotiated needs {} tracks, single pass {}",
+            negotiated.required_channel_width(),
+            single.required_channel_width()
+        );
     }
 
     #[test]
-    fn dijkstra_fallback_finds_a_path_under_congestion() {
-        // Saturate every channel so the direct L-paths are rejected.
-        let rows = 4;
-        let cols = 4;
-        let mut h = vec![10usize; rows * cols];
-        let mut v = vec![10usize; rows * cols];
-        let hops = dijkstra_route((0, 0), (3, 3), rows, cols, 1, &mut h, &mut v);
-        assert!(hops >= 6, "a path must still be found, got {hops} hops");
-    }
-
-    #[test]
-    fn narrow_channels_force_detours() {
-        let graph = NeuralSynthesizer::new(SynthesisConfig::fpsa_default())
-            .synthesize(&zoo::lenet())
-            .unwrap();
-        let netlist = Mapper::new(64, AllocationPolicy::DuplicationDegree(1))
-            .map(&graph)
-            .netlist;
+    fn negotiation_resolves_a_contested_cut() {
+        // Four nets crossing the same row on a 2-column grid: with capacity
+        // 2 per channel, a one-shot shortest-path router piles them onto the
+        // direct column; negotiation must spread them over both columns.
+        let blocks: Vec<NetlistBlock> = (0..8)
+            .map(|i| NetlistBlock::Pe {
+                group: i,
+                duplicate: 0,
+            })
+            .collect();
+        let nets: Vec<Net> = (0..4)
+            .map(|i| Net {
+                source: i,
+                sinks: vec![i + 4],
+                values_per_activation: 1,
+            })
+            .collect();
+        let netlist = Netlist::from_parts("cut", blocks, nets);
         let config = ArchitectureConfig::fpsa();
         let fabric = Fabric::with_pe_count(config.clone(), netlist.len());
         let placement = Placer::new(PlacerConfig::fast()).place(&netlist, &fabric);
         let mut narrow = config.routing;
-        narrow.channel_width = 1;
-        let narrow_result = Router::new(narrow).route(&netlist, &placement);
-        let wide_result = Router::new(config.routing).route(&netlist, &placement);
-        assert!(narrow_result.detoured_connections >= wide_result.detoured_connections);
+        narrow.channel_width = 2;
+        let result = Router::new(narrow).route(&netlist, &placement);
+        assert!(
+            result.is_routable(),
+            "peak {} with width 2 after {} iterations",
+            result.peak_channel_occupancy,
+            result.iterations
+        );
+    }
+
+    #[test]
+    fn routing_is_deterministic() {
+        let (netlist, placement, config) = lenet_placed();
+        let a = Router::new(config.routing).route(&netlist, &placement);
+        let b = Router::new(config.routing).route(&netlist, &placement);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_waves_match_sequential_evaluation() {
+        // The wave snapshot makes route computation a pure function of the
+        // frozen congestion state, so parallel and sequential evaluation of
+        // the same waves must agree bit for bit — which also means any rayon
+        // thread count produces this same result.
+        let (netlist, placement, config) = lenet_placed();
+        let mut sequential_cfg = RouterConfig::negotiated();
+        sequential_cfg.parallel = false;
+        let parallel = Router::new(config.routing).route(&netlist, &placement);
+        let sequential =
+            Router::with_config(config.routing, sequential_cfg).route(&netlist, &placement);
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn minimum_channel_width_is_tight() {
+        let (netlist, placement, config) = lenet_placed();
+        let router = Router::new(config.routing);
+        let (width, result) = router.minimum_channel_width(&netlist, &placement);
+        assert!(result.is_routable());
+        assert_eq!(result.channel_width, width);
+        assert!(width <= config.routing.channel_width);
+        assert!(width >= 1);
+        if width > 1 {
+            let below = router.route_with_width(&netlist, &placement, width - 1);
+            assert!(
+                !below.is_routable(),
+                "width {} already routes, {} is not minimal",
+                width - 1,
+                width
+            );
+        }
+    }
+
+    #[test]
+    fn zero_hop_connections_are_free() {
+        // A net whose sink is the source block itself costs nothing.
+        let blocks = vec![
+            NetlistBlock::Pe {
+                group: 0,
+                duplicate: 0,
+            },
+            NetlistBlock::Pe {
+                group: 1,
+                duplicate: 0,
+            },
+        ];
+        let nets = vec![Net {
+            source: 0,
+            sinks: vec![0],
+            values_per_activation: 1,
+        }];
+        let netlist = Netlist::from_parts("self-loop", blocks, nets);
+        let config = ArchitectureConfig::fpsa();
+        let fabric = Fabric::with_pe_count(config.clone(), netlist.len());
+        let placement = Placer::new(PlacerConfig::fast()).place(&netlist, &fabric);
+        let result = Router::new(config.routing).route(&netlist, &placement);
+        assert_eq!(result.connection_hops, vec![0]);
+        assert_eq!(result.total_channel_segments, 0);
+        assert!(result.trees[0].is_connected());
     }
 }

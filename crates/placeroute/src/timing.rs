@@ -1,23 +1,29 @@
 //! Timing analysis of a routed design.
 //!
-//! The routed hop counts combined with the routing-architecture delay model
-//! give the per-connection wire delay. The critical path (the slowest
-//! connection) becomes the communication term of the pipeline clock: in FPSA
-//! each transferred bit must traverse it once per cycle, so the per-value
-//! communication latency is `bits_per_value x critical_delay`.
+//! The routed trees combined with the routing-architecture delay model give a
+//! **per-connection delay profile**: one delay per (net, sink) connection,
+//! not just a single critical-hop scalar. The critical path (the slowest
+//! connection) becomes the communication term of the pipeline clock — in
+//! FPSA each transferred bit must traverse it once per cycle, so the
+//! per-value communication latency is `bits_per_value × critical_delay` —
+//! while the profile's mean feeds latency estimates and its quantiles
+//! describe how balanced the routed fabric is.
 
 use crate::route::RoutingResult;
 use fpsa_arch::RoutingArchitecture;
 use serde::{Deserialize, Serialize};
 
 /// The timing summary of a routed netlist.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TimingReport {
+    /// Delay of every (net, sink) connection in ns, in routed order.
+    pub connection_delays_ns: Vec<f64>,
     /// Longest connection in block hops.
     pub critical_hops: usize,
     /// Delay of the critical connection in ns.
     pub critical_delay_ns: f64,
-    /// Average connection delay in ns.
+    /// Mean over the per-connection delays in ns (not the delay of the
+    /// rounded mean hop count — fractional hop averages stay fractional).
     pub average_delay_ns: f64,
     /// Whether the design routed within the channel capacity.
     pub routable: bool,
@@ -26,11 +32,22 @@ pub struct TimingReport {
 impl TimingReport {
     /// Analyze a routing result under a routing architecture.
     pub fn analyze(routing: &RoutingResult, arch: &RoutingArchitecture) -> Self {
+        let connection_delays_ns: Vec<f64> = routing
+            .connection_hops
+            .iter()
+            .map(|&hops| arch.path_delay_ns(hops))
+            .collect();
         let critical_hops = routing.critical_hops();
+        let average_delay_ns = if connection_delays_ns.is_empty() {
+            arch.path_delay_ns(0)
+        } else {
+            connection_delays_ns.iter().sum::<f64>() / connection_delays_ns.len() as f64
+        };
         TimingReport {
             critical_hops,
             critical_delay_ns: arch.path_delay_ns(critical_hops),
-            average_delay_ns: arch.path_delay_ns(routing.average_hops().round() as usize),
+            average_delay_ns,
+            connection_delays_ns,
             routable: routing.is_routable(),
         }
     }
@@ -39,6 +56,18 @@ impl TimingReport {
     /// `bits_per_value` bits (spike counts use n bits, spike trains 2^n).
     pub fn value_transfer_ns(&self, bits_per_value: u64) -> f64 {
         self.critical_delay_ns * bits_per_value as f64
+    }
+
+    /// The `q`-quantile (0..=1) of the per-connection delay profile, in ns.
+    /// Returns the critical delay for an empty profile.
+    pub fn delay_quantile_ns(&self, q: f64) -> f64 {
+        if self.connection_delays_ns.is_empty() {
+            return self.critical_delay_ns;
+        }
+        let mut sorted = self.connection_delays_ns.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("delays are finite"));
+        let rank = (q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64).round() as usize;
+        sorted[rank]
     }
 }
 
@@ -51,7 +80,6 @@ mod tests {
             connection_hops: hops,
             peak_channel_occupancy: 10,
             channel_width: 512,
-            detoured_connections: 0,
             ..Default::default()
         }
     }
@@ -64,6 +92,39 @@ mod tests {
         assert!((report.critical_delay_ns - arch.path_delay_ns(50)).abs() < 1e-12);
         assert!(report.average_delay_ns <= report.critical_delay_ns);
         assert!(report.routable);
+    }
+
+    #[test]
+    fn average_delay_is_the_mean_of_the_profile_not_a_rounded_hop_count() {
+        // Regression: hop counts [1, 2] average 1.5 hops; the old
+        // implementation rounded that to path_delay_ns(2). The average delay
+        // must be the mean over per-connection delays instead.
+        let arch = RoutingArchitecture::fpsa_default();
+        let report = TimingReport::analyze(&routing_with_hops(vec![1, 2]), &arch);
+        let expected = (arch.path_delay_ns(1) + arch.path_delay_ns(2)) / 2.0;
+        assert!(
+            (report.average_delay_ns - expected).abs() < 1e-12,
+            "average {} vs mean of profile {}",
+            report.average_delay_ns,
+            expected
+        );
+        let rounded = arch.path_delay_ns(2);
+        assert!(
+            (report.average_delay_ns - rounded).abs() > 1e-3,
+            "average must not quantize to the rounded hop count"
+        );
+    }
+
+    #[test]
+    fn profile_has_one_delay_per_connection() {
+        let arch = RoutingArchitecture::fpsa_default();
+        let report = TimingReport::analyze(&routing_with_hops(vec![3, 7, 11, 2]), &arch);
+        assert_eq!(report.connection_delays_ns.len(), 4);
+        for (delay, hops) in report.connection_delays_ns.iter().zip([3usize, 7, 11, 2]) {
+            assert!((delay - arch.path_delay_ns(hops)).abs() < 1e-12);
+        }
+        assert!((report.delay_quantile_ns(0.0) - arch.path_delay_ns(2)).abs() < 1e-12);
+        assert!((report.delay_quantile_ns(1.0) - arch.path_delay_ns(11)).abs() < 1e-12);
     }
 
     #[test]
@@ -95,5 +156,13 @@ mod tests {
         routing.peak_channel_occupancy = 1000;
         let report = TimingReport::analyze(&routing, &arch);
         assert!(!report.routable);
+    }
+
+    #[test]
+    fn empty_profiles_degrade_to_the_zero_hop_delay() {
+        let arch = RoutingArchitecture::fpsa_default();
+        let report = TimingReport::analyze(&routing_with_hops(vec![]), &arch);
+        assert!((report.average_delay_ns - arch.path_delay_ns(0)).abs() < 1e-12);
+        assert_eq!(report.critical_hops, 0);
     }
 }

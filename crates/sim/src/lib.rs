@@ -24,4 +24,4 @@ pub mod trace;
 
 pub use functional::{SpikingMlpRunner, VariationStudy};
 pub use perf::{CommunicationEstimate, PerformanceReport, PerformanceSimulator};
-pub use trace::{StageKind, StageRecord, StageTrace};
+pub use trace::{StageKind, StageQuality, StageRecord, StageTrace};

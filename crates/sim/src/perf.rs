@@ -19,11 +19,15 @@ use serde::{Deserialize, Serialize};
 /// How the per-value communication cost is obtained.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum CommunicationEstimate {
-    /// Values travel over the routed fabric whose critical path is known
-    /// (from real place & route or from the analytic wire model).
+    /// Values travel over the routed fabric whose per-connection delay
+    /// profile is known (from real place & route or from the analytic wire
+    /// model). The critical connection clocks the pipeline; the profile mean
+    /// is what a typical value actually pays.
     Routed {
         /// Critical-path delay of one bit, in ns.
         critical_path_ns: f64,
+        /// Mean per-connection delay of one bit, in ns.
+        average_path_ns: f64,
     },
     /// Values share a memory bus of the given bandwidth.
     Bus {
@@ -35,16 +39,19 @@ pub enum CommunicationEstimate {
 }
 
 impl CommunicationEstimate {
-    /// Build the estimate from a real timing report.
+    /// Build the estimate from a real timing report: the full per-connection
+    /// delay profile collapses to its max and mean.
     pub fn from_timing(timing: &TimingReport) -> Self {
         CommunicationEstimate::Routed {
             critical_path_ns: timing.critical_delay_ns,
+            average_path_ns: timing.average_delay_ns,
         }
     }
 
     /// The analytic estimate used when running full place & route is not
     /// practical (ImageNet-scale netlists): the critical path scales with the
-    /// perimeter of the fabric region occupied by the netlist.
+    /// perimeter of the fabric region occupied by the netlist, and a typical
+    /// connection crosses about half the critical distance.
     pub fn analytic(config: &ArchitectureConfig, block_count: usize) -> Self {
         match config.communication {
             CommunicationStyle::MemoryBus { bandwidth_gbps } => {
@@ -57,6 +64,7 @@ impl CommunicationEstimate {
                 let hops = (side * 0.5).ceil() as usize;
                 CommunicationEstimate::Routed {
                     critical_path_ns: config.routing.path_delay_ns(hops),
+                    average_path_ns: config.routing.path_delay_ns(hops.div_ceil(2)),
                 }
             }
         }
@@ -78,8 +86,13 @@ pub struct PerformanceReport {
     pub ops_per_mm2: f64,
     /// Average computation latency of one PE invocation in ns (Figure 7).
     pub compute_ns_per_vmm: f64,
-    /// Average communication latency of one PE invocation in ns (Figure 7).
+    /// Communication latency of one PE invocation over the critical routed
+    /// connection in ns (Figure 7; this is what clocks the pipeline).
     pub communication_ns_per_vmm: f64,
+    /// Communication latency of one PE invocation over a *typical* routed
+    /// connection in ns — the mean of the per-connection delay profile. This
+    /// is the cost that end-to-end latency accumulates.
+    pub communication_avg_ns_per_vmm: f64,
     /// Pipeline period in ns.
     pub pipeline_period_ns: f64,
     /// Number of PEs used.
@@ -134,18 +147,23 @@ impl PerformanceSimulator {
         // Computation: one VMM per core-op.
         let compute_ns_per_vmm = self.config.pe.vmm_latency_ns;
 
-        // Communication: per-value transfer cost, then per-VMM cost.
+        // Communication: per-value transfer cost, then per-VMM cost. The
+        // critical connection clocks the pipeline; the profile mean is what a
+        // typical value pays on its way through the fabric.
         let values_per_vmm = self.config.pe.cols as f64;
-        let communication_ns_per_vmm = match comm {
-            CommunicationEstimate::Ideal => 0.0,
-            CommunicationEstimate::Routed { critical_path_ns } => {
+        let (communication_ns_per_vmm, communication_avg_ns_per_vmm) = match comm {
+            CommunicationEstimate::Ideal => (0.0, 0.0),
+            CommunicationEstimate::Routed {
+                critical_path_ns,
+                average_path_ns,
+            } => {
                 let bits = match self.config.communication {
                     CommunicationStyle::Routed { bits_per_value } => bits_per_value as f64,
                     CommunicationStyle::MemoryBus { .. } => self.config.io_bits as f64,
                 };
                 // All output values of a VMM leave on parallel routed wires;
-                // the serialized bits of one value pay the critical path.
-                critical_path_ns * bits
+                // the serialized bits of one value pay the path delay.
+                (critical_path_ns * bits, average_path_ns * bits)
             }
             CommunicationEstimate::Bus { bandwidth_gbps } => {
                 // Every value crosses the shared bus; PEs contend for it.
@@ -153,7 +171,8 @@ impl PerformanceSimulator {
                 let traffic_per_sample = total_core_ops * values_per_vmm * bytes_per_value;
                 let bus_time_per_sample_ns = traffic_per_sample / bandwidth_gbps;
                 // Average bus time attributable to one VMM of one PE.
-                bus_time_per_sample_ns * pe_count as f64 / total_core_ops
+                let per_vmm = bus_time_per_sample_ns * pe_count as f64 / total_core_ops;
+                (per_vmm, per_vmm)
             }
         };
 
@@ -175,9 +194,12 @@ impl PerformanceSimulator {
         let ops_per_second = throughput * total_ops;
 
         // End-to-end latency: the scheduled span in sampling windows times
-        // the per-window wall time, plus a transfer per pipeline stage.
+        // the per-window wall time. A sample crosses many connections of
+        // varied length on its way through the pipeline, so the accumulated
+        // communication term is the *average* routed delay, not the critical
+        // one (the critical connection only clocks the steady-state period).
         let window = self.config.sampling_window() as f64;
-        let wall_per_cycle_ns = (compute_ns_per_vmm + communication_ns_per_vmm) / window;
+        let wall_per_cycle_ns = (compute_ns_per_vmm + communication_avg_ns_per_vmm) / window;
         let latency_ns = mapping.schedule.latency_cycles() as f64 * wall_per_cycle_ns;
 
         // Area: every netlist block plus routing drivers.
@@ -203,6 +225,7 @@ impl PerformanceSimulator {
             ops_per_mm2: ops_per_second / area_mm2.max(1e-9),
             compute_ns_per_vmm,
             communication_ns_per_vmm,
+            communication_avg_ns_per_vmm,
             pipeline_period_ns,
             pe_count: stats.pe_count,
             compile: None,
@@ -233,6 +256,7 @@ mod tests {
             &mapping,
             CommunicationEstimate::Routed {
                 critical_path_ns: 10.0,
+                average_path_ns: 10.0,
             },
         );
         let prime = PerformanceSimulator::new(ArchitectureConfig::prime()).evaluate(
@@ -259,6 +283,7 @@ mod tests {
             &mapping,
             CommunicationEstimate::Routed {
                 critical_path_ns: 10.0,
+                average_path_ns: 10.0,
             },
         );
         assert!(ideal.throughput_samples_per_s > routed.throughput_samples_per_s);
@@ -274,6 +299,7 @@ mod tests {
         let sim = PerformanceSimulator::new(ArchitectureConfig::fpsa());
         let comm = CommunicationEstimate::Routed {
             critical_path_ns: 10.0,
+            average_path_ns: 10.0,
         };
         let r1 = sim.evaluate(&graph, &m1, comm);
         let r16 = sim.evaluate(&graph, &m16, comm);
@@ -317,6 +343,7 @@ mod tests {
         let (graph, mapping) = mapped(zoo::lenet, 1);
         let comm = CommunicationEstimate::Routed {
             critical_path_ns: 10.0,
+            average_path_ns: 10.0,
         };
         let fpsa =
             PerformanceSimulator::new(ArchitectureConfig::fpsa()).evaluate(&graph, &mapping, comm);
@@ -337,8 +364,13 @@ mod tests {
         assert!(matches!(routed, CommunicationEstimate::Routed { .. }));
         let bus = CommunicationEstimate::analytic(&ArchitectureConfig::prime(), 400);
         assert!(matches!(bus, CommunicationEstimate::Bus { .. }));
-        if let CommunicationEstimate::Routed { critical_path_ns } = routed {
+        if let CommunicationEstimate::Routed {
+            critical_path_ns,
+            average_path_ns,
+        } = routed
+        {
             assert!(critical_path_ns > 0.0 && critical_path_ns < 100.0);
+            assert!(average_path_ns > 0.0 && average_path_ns <= critical_path_ns);
         }
     }
 
@@ -346,7 +378,9 @@ mod tests {
     fn analytic_hop_count_grows_with_block_count() {
         let arch = ArchitectureConfig::fpsa();
         let delay = |blocks: usize| match CommunicationEstimate::analytic(&arch, blocks) {
-            CommunicationEstimate::Routed { critical_path_ns } => critical_path_ns,
+            CommunicationEstimate::Routed {
+                critical_path_ns, ..
+            } => critical_path_ns,
             other => panic!("FPSA should produce a routed estimate, got {other:?}"),
         };
         // The critical path scales with the perimeter of the occupied fabric
@@ -370,7 +404,9 @@ mod tests {
     fn analytic_estimate_degrades_gracefully_at_tiny_block_counts() {
         let arch = ArchitectureConfig::fpsa();
         let delay = |blocks: usize| match CommunicationEstimate::analytic(&arch, blocks) {
-            CommunicationEstimate::Routed { critical_path_ns } => critical_path_ns,
+            CommunicationEstimate::Routed {
+                critical_path_ns, ..
+            } => critical_path_ns,
             other => panic!("FPSA should produce a routed estimate, got {other:?}"),
         };
         // Empty and single-block netlists clamp to one hop instead of
@@ -385,6 +421,38 @@ mod tests {
             CommunicationEstimate::Bus { bandwidth_gbps } => assert!(bandwidth_gbps > 0.0),
             other => panic!("PRIME should produce a bus estimate, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn latency_accumulates_the_average_delay_and_the_period_the_critical_one() {
+        let (graph, mapping) = mapped(zoo::lenet, 1);
+        let sim = PerformanceSimulator::new(ArchitectureConfig::fpsa());
+        let balanced = sim.evaluate(
+            &graph,
+            &mapping,
+            CommunicationEstimate::Routed {
+                critical_path_ns: 10.0,
+                average_path_ns: 10.0,
+            },
+        );
+        let skewed = sim.evaluate(
+            &graph,
+            &mapping,
+            CommunicationEstimate::Routed {
+                critical_path_ns: 10.0,
+                average_path_ns: 4.0,
+            },
+        );
+        // Same critical path: the pipeline clock and throughput are equal.
+        assert_eq!(balanced.pipeline_period_ns, skewed.pipeline_period_ns);
+        assert_eq!(
+            balanced.throughput_samples_per_s,
+            skewed.throughput_samples_per_s
+        );
+        // But a sample accumulates the typical connection delay, so the
+        // skewed profile finishes sooner end to end.
+        assert!(skewed.latency_us < balanced.latency_us);
+        assert!(skewed.communication_avg_ns_per_vmm < skewed.communication_ns_per_vmm);
     }
 
     #[test]

@@ -46,12 +46,33 @@ impl StageKind {
     }
 }
 
+/// Deterministic quality metrics a stage attaches to its record — the
+/// *result* quality next to the wall-clock cost, so a trace answers both
+/// "where did compile time go" and "what did that time buy".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum StageQuality {
+    /// Physical-design quality from the PlaceRoute stage.
+    PlaceRoute {
+        /// Final unweighted HPWL of the placement.
+        placement_wirelength: f64,
+        /// Overall annealing acceptance rate, 0..=1.
+        placement_acceptance_rate: f64,
+        /// PathFinder negotiation iterations until convergence.
+        router_iterations: usize,
+        /// Minimum channel width the routed design needs.
+        required_channel_width: usize,
+        /// Longest routed connection in block hops.
+        critical_hops: usize,
+    },
+}
+
 /// One stage's measurements.
 ///
 /// Equality deliberately ignores `wall_ns`: two compilations of the same
 /// model produce *structurally* identical traces but can never produce
 /// identical timings, and results of parallel and sequential sweeps must
-/// compare equal.
+/// compare equal. Quality metrics are deterministic, so they *do* take part
+/// in equality.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct StageRecord {
     /// Which stage ran.
@@ -63,6 +84,9 @@ pub struct StageRecord {
     pub items_in: usize,
     /// Number of artifact items the stage produced.
     pub items_out: usize,
+    /// Deterministic quality metrics of the stage's result, if it reports
+    /// any (today only PlaceRoute does).
+    pub quality: Option<StageQuality>,
 }
 
 impl PartialEq for StageRecord {
@@ -70,6 +94,7 @@ impl PartialEq for StageRecord {
         self.stage == other.stage
             && self.items_in == other.items_in
             && self.items_out == other.items_out
+            && self.quality == other.quality
     }
 }
 
@@ -160,6 +185,7 @@ mod tests {
             wall_ns,
             items_in: 10,
             items_out: 20,
+            quality: None,
         }
     }
 
@@ -173,6 +199,24 @@ mod tests {
         // But not the structure.
         b.push(record(StageKind::Map, 1.0));
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn equality_compares_quality_metrics() {
+        let quality = StageQuality::PlaceRoute {
+            placement_wirelength: 120.0,
+            placement_acceptance_rate: 0.4,
+            router_iterations: 3,
+            required_channel_width: 9,
+            critical_hops: 14,
+        };
+        let mut a = record(StageKind::PlaceRoute, 1.0);
+        let mut b = record(StageKind::PlaceRoute, 2.0);
+        a.quality = Some(quality.clone());
+        b.quality = Some(quality);
+        assert_eq!(a, b);
+        b.quality = None;
+        assert_ne!(a, b, "quality metrics are deterministic, so they compare");
     }
 
     #[test]

@@ -46,6 +46,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             physical.timing.critical_hops,
             physical.routing.required_channel_width()
         );
+        println!(
+            "                   HPWL {:.0} ({:.0}% anneal improvement), avg delay {:.2} ns, {} PathFinder iteration(s)",
+            physical.placement.wirelength(),
+            physical.placement.quality().improvement() * 100.0,
+            physical.timing.average_delay_ns,
+            physical.routing.iterations
+        );
     }
     let bitstream = compiled.bitstream();
     println!(

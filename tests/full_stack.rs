@@ -68,12 +68,17 @@ fn the_three_architectures_rank_as_the_paper_reports() {
 }
 
 #[test]
-fn routed_critical_path_feeds_the_performance_model() {
+fn routed_delay_profile_feeds_the_performance_model() {
     let compiled = Compiler::fpsa().compile(&zoo::mlp_500_100()).unwrap();
     match compiled.communication_estimate() {
-        CommunicationEstimate::Routed { critical_path_ns } => {
+        CommunicationEstimate::Routed {
+            critical_path_ns,
+            average_path_ns,
+        } => {
             let timing = &compiled.physical.as_ref().unwrap().timing;
             assert!((critical_path_ns - timing.critical_delay_ns).abs() < 1e-9);
+            assert!((average_path_ns - timing.average_delay_ns).abs() < 1e-9);
+            assert!(average_path_ns <= critical_path_ns);
         }
         other => panic!("expected a routed estimate, got {other:?}"),
     }
