@@ -16,7 +16,10 @@ use crate::pipeline::{
 use fpsa_arch::{ArchitectureConfig, Bitstream, SectionKind};
 use fpsa_mapper::Mapping;
 use fpsa_nn::{ComputationalGraph, NnError};
-use fpsa_sim::{CommunicationEstimate, PerformanceReport, PerformanceSimulator, StageTrace};
+use fpsa_sim::{
+    CommunicationEstimate, ExecError, Executor, PerformanceReport, PerformanceSimulator, Precision,
+    StageTrace,
+};
 use fpsa_synthesis::CoreOpGraph;
 use serde::{Deserialize, Serialize};
 
@@ -130,6 +133,24 @@ impl CompiledModel {
     /// (picked once by the pipeline's Estimate stage).
     pub fn communication_estimate(&self) -> CommunicationEstimate {
         self.communication
+    }
+
+    /// Bind this compiled model to numeric parameters, producing an
+    /// [`Executor`] that computes the network's outputs on the simulated
+    /// fabric (see `fpsa_sim::exec`). `graph` and `params` must be the
+    /// computational graph this model was compiled from and its weights.
+    ///
+    /// # Errors
+    ///
+    /// Propagates binding errors (mismatched artifacts, unsupported
+    /// constructs, invalid schedule or netlist transport).
+    pub fn executor(
+        &self,
+        graph: &ComputationalGraph,
+        params: &fpsa_nn::GraphParameters,
+        precision: &Precision,
+    ) -> Result<Executor, ExecError> {
+        Executor::bind(graph, params, &self.core_graph, &self.mapping, precision)
     }
 
     /// Evaluate the performance of the compiled model. The report carries
@@ -277,6 +298,8 @@ mod tests {
             kind: CoreOpKind::Vmm,
             rows: 3,
             cols: 3,
+            row_offset: 0,
+            col_offset: 0,
             reuse_degree: 1,
             relu: false,
             layer_depth: 0,

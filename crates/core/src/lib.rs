@@ -14,6 +14,10 @@
 //!   utilization;
 //! * [`sweep`] — the unified rayon-backed parallel sweep engine every
 //!   experiment driver and `Evaluator::evaluate_many` fan out through;
+//! * [`validate`] — the differential validation path: compile a model, run
+//!   it on the simulated fabric via `fpsa_sim::exec` and diff the outputs
+//!   against the golden-model reference (float tolerance + integer
+//!   bit-exactness);
 //! * [`experiments`] — one driver per table and figure of the paper's
 //!   evaluation section, each returning structured records that the
 //!   benchmarks, examples and EXPERIMENTS.md regenerate.
@@ -36,7 +40,9 @@ pub mod experiments;
 pub mod pipeline;
 pub mod report;
 pub mod sweep;
+pub mod validate;
 
 pub use compiler::{CompiledModel, Compiler};
 pub use evaluator::{Evaluator, ModelEvaluation};
 pub use sweep::{Sweep, SweepPoint};
+pub use validate::{validate, ValidationConfig, ValidationReport};

@@ -318,6 +318,8 @@ mod tests {
             kind: CoreOpKind::Vmm,
             rows: 256,
             cols: 128,
+            row_offset: 0,
+            col_offset: 0,
             reuse_degree: reuse,
             relu: true,
             layer_depth: depth,

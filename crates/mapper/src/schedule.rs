@@ -168,24 +168,84 @@ impl Scheduler {
         }
 
         // BC: consumers of the same buffered producer must be separated by at
-        // least one sampling window. Apply a simple serialization pass.
+        // least one sampling window, and any BC shift must propagate to the
+        // shifted group's own consumers (their NBD/BD starts were computed
+        // against the pre-shift position). Alternate the BC serialization
+        // pass with a dependency relaxation pass until a fixpoint: both
+        // passes only move entries later, so the loop converges, and an
+        // already-consistent schedule passes through unchanged.
+        let buffered_set: std::collections::HashSet<(GroupId, GroupId)> =
+            buffered_edges.iter().copied().collect();
         let mut by_source: HashMap<GroupId, Vec<GroupId>> = HashMap::new();
         for &(u, v) in &buffered_edges {
             by_source.entry(u).or_default().push(v);
         }
-        for consumers in by_source.values() {
-            let mut sorted: Vec<GroupId> = consumers.clone();
-            sorted.sort_unstable_by_key(|&v| entries[v].map(|e| e.start_cycle).unwrap_or(0));
-            for pair in sorted.windows(2) {
-                let first_end = entries[pair[0]].map(|e| e.end_cycle).unwrap_or(0);
-                if let Some(e) = entries[pair[1]].as_mut() {
-                    if e.end_cycle <= first_end + self.sampling_window && e.start_cycle <= first_end
-                    {
-                        let shift = first_end + 1 - e.start_cycle;
-                        e.start_cycle += shift;
-                        e.end_cycle += shift;
+        // The cap is a safety net far above what any real schedule needs
+        // (every pass moves at least one entry strictly later or stops);
+        // any residual violation would still be rejected by the execution
+        // engine's bind-time schedule verification.
+        for _ in 0..10_000 {
+            let mut changed = false;
+            // BC serialization.
+            for consumers in by_source.values() {
+                let mut sorted: Vec<GroupId> = consumers.clone();
+                sorted.sort_unstable_by_key(|&v| entries[v].map(|e| e.start_cycle).unwrap_or(0));
+                for pair in sorted.windows(2) {
+                    let first_end = entries[pair[0]].map(|e| e.end_cycle).unwrap_or(0);
+                    if let Some(e) = entries[pair[1]].as_mut() {
+                        if e.end_cycle <= first_end + self.sampling_window
+                            && e.start_cycle <= first_end
+                        {
+                            let shift = first_end + 1 - e.start_cycle;
+                            e.start_cycle += shift;
+                            e.end_cycle += shift;
+                            changed = true;
+                        }
                     }
                 }
+            }
+            // Dependency relaxation in topological order: re-enforce the
+            // NBD/BD start constraints and the NBD end-cover condition.
+            for &v in &order {
+                let empty = Vec::new();
+                let my_preds = preds.get(&v).unwrap_or(&empty);
+                let Some(current) = entries[v] else { continue };
+                let mut start = current.start_cycle;
+                let mut end = current.end_cycle;
+                for &u in my_preds {
+                    let pu = entries[u].expect("topological order schedules predecessors");
+                    let required = if buffered_set.contains(&(u, v)) {
+                        pu.end_cycle + 1
+                    } else {
+                        pu.start_cycle + 1
+                    };
+                    if start < required {
+                        end += required - start;
+                        start = required;
+                    }
+                }
+                for &u in my_preds {
+                    let pu = entries[u].expect("scheduled predecessor");
+                    // NBD end cover: an unbuffered consumer must finish
+                    // after its producer. The edge was classified
+                    // unbuffered because the consumer's base duration
+                    // covers the producer's, so the cover is always
+                    // required here — testing current (possibly inflated)
+                    // durations instead would silently skip it.
+                    if !buffered_set.contains(&(u, v)) && end <= pu.end_cycle {
+                        end = pu.end_cycle + 1;
+                    }
+                }
+                if (start, end) != (current.start_cycle, current.end_cycle) {
+                    changed = true;
+                    if let Some(e) = entries[v].as_mut() {
+                        e.start_cycle = start;
+                        e.end_cycle = end;
+                    }
+                }
+            }
+            if !changed {
+                break;
             }
         }
 
@@ -259,6 +319,8 @@ mod tests {
             kind: CoreOpKind::Vmm,
             rows: 256,
             cols: 256,
+            row_offset: 0,
+            col_offset: 0,
             reuse_degree: reuse,
             relu: true,
             layer_depth: depth,
@@ -339,6 +401,37 @@ mod tests {
         let (ea, eb) = (s.entries[a], s.entries[b]);
         let separated = ea.end_cycle + 64 <= eb.end_cycle || eb.end_cycle + 64 <= ea.end_cycle;
         assert!(separated, "BC violated: {ea:?} vs {eb:?}");
+    }
+
+    #[test]
+    fn bc_shifts_propagate_to_downstream_consumers() {
+        // A heavy producer feeding two light buffered consumers, both of
+        // which feed a join group: the BC pass serializes the second
+        // consumer *after* the join was scheduled against its old position,
+        // so the shift must propagate or the join runs before its producer.
+        let mut g = CoreOpGraph::new("bc-prop", 256, 256);
+        let p = g.add_group(group(100, 0));
+        let a = g.add_group(group(1, 1));
+        let b = g.add_group(group(1, 1));
+        let join = g.add_group(group(1, 2));
+        g.add_edge(p, a);
+        g.add_edge(p, b);
+        g.add_edge(a, join);
+        g.add_edge(b, join);
+        let alloc = Allocation::allocate(&g, AllocationPolicy::DuplicationDegree(1));
+        let s = Scheduler::new(64).schedule(&g, &alloc);
+        let buffered: std::collections::HashSet<_> = s.buffered_edges.iter().copied().collect();
+        for &(u, v) in g.edges() {
+            let (pu, pv) = (s.entries[u], s.entries[v]);
+            if buffered.contains(&(u, v)) {
+                assert!(pv.start_cycle > pu.end_cycle, "BD violated for ({u},{v})");
+            } else {
+                assert!(
+                    pv.start_cycle > pu.start_cycle,
+                    "NBD violated for ({u},{v})"
+                );
+            }
+        }
     }
 
     #[test]

@@ -15,7 +15,11 @@
 //! * a tiny, dependency-free training and inference engine ([`mlp`],
 //!   [`dataset`]) used by the Figure 9 device-variation accuracy experiment;
 //! * quantization helpers ([`quant`]) for the 8-bit weights / 6-bit
-//!   activations used on the accelerator.
+//!   activations used on the accelerator;
+//! * numeric graph parameters ([`params`]) and the golden-model reference
+//!   executor ([`reference`]) — float and integer-exact forward passes that
+//!   the compiled-model execution engine is differentially tested against;
+//! * the repository-wide seeded-RNG convention ([`seeds`]).
 //!
 //! # Example
 //!
@@ -34,7 +38,10 @@ pub mod error;
 pub mod graph;
 pub mod mlp;
 pub mod ops;
+pub mod params;
 pub mod quant;
+pub mod reference;
+pub mod seeds;
 pub mod shape;
 pub mod stats;
 pub mod zoo;
@@ -42,5 +49,7 @@ pub mod zoo;
 pub use error::NnError;
 pub use graph::{ComputationalGraph, Node, NodeId};
 pub use ops::Operator;
+pub use params::{mlp_graph, GraphParameters};
+pub use reference::{QuantizationPlan, Reference};
 pub use shape::TensorShape;
 pub use stats::{LayerStats, WorkloadStats};

@@ -143,17 +143,36 @@ impl Mlp {
 
     /// Train with SGD + softmax cross-entropy.
     pub fn train(&mut self, data: &Dataset, config: TrainConfig) {
+        self.train_impl(data, config, true);
+    }
+
+    /// Train with SGD while keeping every bias frozen at zero.
+    ///
+    /// Layers initialize their biases to zero, so the result is a pure
+    /// weight-matrix network — the form [`crate::params::GraphParameters::from_mlp`]
+    /// can import into a computational graph (the graph IR, like the ReRAM
+    /// crossbar, has no bias term).
+    pub fn train_without_bias(&mut self, data: &Dataset, config: TrainConfig) {
+        self.train_impl(data, config, false);
+    }
+
+    fn train_impl(&mut self, data: &Dataset, config: TrainConfig, update_bias: bool) {
         let mut rng = StdRng::seed_from_u64(config.seed);
         let n = data.len();
         for _ in 0..config.epochs {
             for _ in 0..n {
                 let idx = rng.gen_range(0..n);
-                self.sgd_step(&data.samples[idx], data.labels[idx], config.learning_rate);
+                self.sgd_step(
+                    &data.samples[idx],
+                    data.labels[idx],
+                    config.learning_rate,
+                    update_bias,
+                );
             }
         }
     }
 
-    fn sgd_step(&mut self, x: &[f32], label: usize, lr: f32) {
+    fn sgd_step(&mut self, x: &[f32], label: usize, lr: f32, update_bias: bool) {
         // Forward, keeping pre-activation inputs per layer.
         let mut inputs: Vec<Vec<f32>> = Vec::with_capacity(self.layers.len());
         let mut current = x.to_vec();
@@ -190,7 +209,9 @@ impl Mlp {
                 for (j, w) in row.iter_mut().enumerate() {
                     *w -= lr * delta[o] * input[j];
                 }
-                layer.bias[o] -= lr * delta[o];
+                if update_bias {
+                    layer.bias[o] -= lr * delta[o];
+                }
             }
             if i > 0 {
                 for (j, d) in next_delta.iter_mut().enumerate() {
@@ -346,6 +367,23 @@ mod tests {
             .flat_map(|l| l.weights.iter().flatten())
             .all(|&w| w.abs() <= m));
         assert!(m > 0.0);
+    }
+
+    #[test]
+    fn bias_free_training_learns_and_keeps_biases_zero() {
+        let data = Dataset::gaussian_blobs(3, 80, 6, 0.25, 13);
+        let (train, test) = data.split(0.8);
+        let mut mlp = Mlp::new(&[6, 24, 3], 5);
+        mlp.train_without_bias(
+            &train,
+            TrainConfig {
+                learning_rate: 0.05,
+                epochs: 40,
+                seed: 3,
+            },
+        );
+        assert!(mlp.layers.iter().all(|l| l.bias.iter().all(|&b| b == 0.0)));
+        assert!(mlp.accuracy(&test) > 0.85, "bias-free blobs stay separable");
     }
 
     #[test]

@@ -67,9 +67,53 @@ impl Quantizer {
     }
 }
 
+/// Quantize a real value onto a symmetric integer-code grid: `round(value /
+/// step)` (half away from zero), clamped to `[-levels, levels]`.
+///
+/// This is the single rounding rule of the integer execution domain: the
+/// golden-model reference (`fpsa_nn::reference`) and the compiled-model
+/// executor (`fpsa_sim::exec`) both requantize through this function, which
+/// is what makes their integer results comparable bit for bit.
+pub fn quantize_code(value: f64, step: f64, levels: i64) -> i64 {
+    let code = (value / step).round();
+    let bound = levels as f64;
+    code.clamp(-bound, bound) as i64
+}
+
+/// Rescale an integer code from one step size to another (identity when the
+/// steps are equal, so rescaling to a code's own grid is always lossless).
+pub fn rescale_code(code: i64, step_from: f64, step_to: f64, levels: i64) -> i64 {
+    if step_from == step_to {
+        return code.clamp(-levels, levels);
+    }
+    quantize_code(code as f64 * step_from, step_to, levels)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn quantize_code_rounds_half_away_and_clamps() {
+        assert_eq!(quantize_code(0.5, 1.0, 31), 1);
+        assert_eq!(quantize_code(-0.5, 1.0, 31), -1);
+        assert_eq!(quantize_code(0.49, 1.0, 31), 0);
+        assert_eq!(quantize_code(100.0, 1.0, 31), 31);
+        assert_eq!(quantize_code(-100.0, 1.0, 31), -31);
+    }
+
+    #[test]
+    fn rescale_to_same_step_is_identity() {
+        for code in -31i64..=31 {
+            assert_eq!(rescale_code(code, 0.1, 0.1, 31), code);
+        }
+    }
+
+    #[test]
+    fn rescale_halving_step_doubles_codes() {
+        assert_eq!(rescale_code(3, 0.2, 0.1, 127), 6);
+        assert_eq!(rescale_code(-3, 0.2, 0.1, 127), -6);
+    }
 
     #[test]
     fn codes_cover_the_symmetric_range() {

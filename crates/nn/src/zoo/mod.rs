@@ -10,11 +10,16 @@ mod classic;
 mod googlenet;
 mod resnet;
 mod small;
+mod tiny;
 
 pub use classic::{alexnet, vgg16};
 pub use googlenet::googlenet;
 pub use resnet::resnet152;
 pub use small::{cifar_vgg17, lenet, mlp_500_100};
+pub use tiny::{
+    differential_suite, tiny_avgpool_cnn, tiny_cnn, tiny_concat, tiny_mlp, tiny_resnet,
+    tiny_wide_mlp,
+};
 
 use crate::graph::ComputationalGraph;
 use serde::{Deserialize, Serialize};

@@ -1,0 +1,202 @@
+//! Tiny benchmark variants for the differential golden-model suite.
+//!
+//! The paper's seven benchmarks validate the *performance* stack, but
+//! numerically executing a compiled model needs networks small enough to run
+//! through both the golden-model reference and the tile-level executor in a
+//! test suite. Each variant here is deliberately shaped to exercise one
+//! corner of the synthesizer's lowering rules:
+//!
+//! | model                | exercises                                        |
+//! |----------------------|--------------------------------------------------|
+//! | [`tiny_mlp`]         | single-tile dense layers, fused ReLU             |
+//! | [`tiny_wide_mlp`]    | row/column tiling + partial-sum reduction tiles  |
+//! | [`tiny_cnn`]         | convolution reuse, two-stage max-pool construct  |
+//! | [`tiny_avgpool_cnn`] | average pooling, global average pooling          |
+//! | [`tiny_resnet`]      | residual element-wise add with fused ReLU        |
+//! | [`tiny_concat`]      | multi-segment input views through `Concat`       |
+
+use super::builder::{conv_relu, fc_relu, maxpool};
+use crate::graph::ComputationalGraph;
+use crate::ops::Operator;
+use crate::shape::TensorShape;
+
+/// 16 → 32 → 8 → 4 MLP: every layer fits one crossbar tile.
+pub fn tiny_mlp() -> ComputationalGraph {
+    let mut g = ComputationalGraph::new("Tiny-MLP");
+    let input = g.add_input("input", TensorShape::Features(16));
+    let h1 = fc_relu(&mut g, "fc1", input, 16, 32);
+    let h2 = fc_relu(&mut g, "fc2", h1, 32, 8);
+    g.add_node(
+        "fc3",
+        Operator::Linear {
+            in_features: 8,
+            out_features: 4,
+        },
+        vec![h2],
+    );
+    g
+}
+
+/// 600 → 300 → 10 MLP: the first layer needs three row tiles and two column
+/// tiles, forcing partial-sum reduction tiles into the core-op graph.
+pub fn tiny_wide_mlp() -> ComputationalGraph {
+    let mut g = ComputationalGraph::new("Tiny-WideMLP");
+    let input = g.add_input("input", TensorShape::Features(600));
+    let h1 = fc_relu(&mut g, "fc1", input, 600, 300);
+    g.add_node(
+        "fc2",
+        Operator::Linear {
+            in_features: 300,
+            out_features: 10,
+        },
+        vec![h1],
+    );
+    g
+}
+
+/// A miniature LeNet: conv → maxpool → conv → fc on a 12×12 input.
+pub fn tiny_cnn() -> ComputationalGraph {
+    let mut g = ComputationalGraph::new("Tiny-CNN");
+    let input = g.add_input("input", TensorShape::chw(3, 12, 12));
+    let c1 = conv_relu(&mut g, "conv1", input, 3, 8, 3, 1, 1, 1);
+    let p1 = maxpool(&mut g, "pool1", c1, 2, 2);
+    let c2 = conv_relu(&mut g, "conv2", p1, 8, 12, 3, 1, 0, 1);
+    let flat = g.add_node("flatten", Operator::Flatten, vec![c2]);
+    g.add_node(
+        "fc",
+        Operator::Linear {
+            in_features: 12 * 4 * 4,
+            out_features: 10,
+        },
+        vec![flat],
+    );
+    g
+}
+
+/// Conv → average pool → conv → global average pool → fc on an 8×8 input.
+pub fn tiny_avgpool_cnn() -> ComputationalGraph {
+    let mut g = ComputationalGraph::new("Tiny-AvgPoolCNN");
+    let input = g.add_input("input", TensorShape::chw(4, 8, 8));
+    let c1 = conv_relu(&mut g, "conv1", input, 4, 8, 3, 1, 1, 1);
+    let p1 = g.add_node(
+        "avgpool",
+        Operator::AvgPool2d {
+            kernel: 2,
+            stride: 2,
+        },
+        vec![c1],
+    );
+    let c2 = conv_relu(&mut g, "conv2", p1, 8, 8, 3, 1, 1, 1);
+    let gap = g.add_node("gap", Operator::GlobalAvgPool, vec![c2]);
+    g.add_node(
+        "fc",
+        Operator::Linear {
+            in_features: 8,
+            out_features: 5,
+        },
+        vec![gap],
+    );
+    g
+}
+
+/// One residual block: conv1 → conv2 + skip → relu → gap → fc.
+pub fn tiny_resnet() -> ComputationalGraph {
+    let mut g = ComputationalGraph::new("Tiny-ResNet");
+    let input = g.add_input("input", TensorShape::chw(4, 8, 8));
+    let c1 = conv_relu(&mut g, "conv1", input, 4, 8, 3, 1, 1, 1);
+    let c2 = g.add_node(
+        "conv2",
+        Operator::Conv2d {
+            in_channels: 8,
+            out_channels: 8,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+            groups: 1,
+        },
+        vec![c1],
+    );
+    let add = g.add_node("res_add", Operator::Add, vec![c2, c1]);
+    let relu = g.add_node("res_relu", Operator::Relu, vec![add]);
+    let gap = g.add_node("gap", Operator::GlobalAvgPool, vec![relu]);
+    g.add_node(
+        "fc",
+        Operator::Linear {
+            in_features: 8,
+            out_features: 4,
+        },
+        vec![gap],
+    );
+    g
+}
+
+/// Two convolutional branches concatenated channel-wise, then pooled and
+/// classified — consumers downstream of the concat read multi-segment views.
+pub fn tiny_concat() -> ComputationalGraph {
+    let mut g = ComputationalGraph::new("Tiny-Concat");
+    let input = g.add_input("input", TensorShape::chw(2, 6, 6));
+    let a = conv_relu(&mut g, "branch_a", input, 2, 4, 3, 1, 1, 1);
+    let b = conv_relu(&mut g, "branch_b", input, 2, 6, 1, 1, 0, 1);
+    let cat = g.add_node("concat", Operator::Concat, vec![a, b]);
+    let pool = maxpool(&mut g, "pool", cat, 2, 2);
+    let flat = g.add_node("flatten", Operator::Flatten, vec![pool]);
+    g.add_node(
+        "fc",
+        Operator::Linear {
+            in_features: 10 * 3 * 3,
+            out_features: 6,
+        },
+        vec![flat],
+    );
+    g
+}
+
+/// All tiny differential-suite variants, in documentation order.
+pub fn differential_suite() -> Vec<ComputationalGraph> {
+    vec![
+        tiny_mlp(),
+        tiny_wide_mlp(),
+        tiny_cnn(),
+        tiny_avgpool_cnn(),
+        tiny_resnet(),
+        tiny_concat(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_at_least_five_well_formed_models() {
+        let suite = differential_suite();
+        assert!(suite.len() >= 5);
+        for g in &suite {
+            assert!(g.infer_shapes().is_ok(), "{} fails shape inference", g.name);
+            assert_eq!(g.outputs().len(), 1, "{} must have one output", g.name);
+        }
+    }
+
+    #[test]
+    fn wide_mlp_exceeds_one_crossbar_row_tile() {
+        let g = tiny_wide_mlp();
+        let stats = g.statistics();
+        assert_eq!(stats.total_weights, 600 * 300 + 300 * 10);
+    }
+
+    #[test]
+    fn concat_output_channels_add_up() {
+        let g = tiny_concat();
+        let shapes = g.infer_shapes().unwrap();
+        let cat = g.nodes().iter().find(|n| n.name == "concat").unwrap().id;
+        assert_eq!(shapes[&cat], TensorShape::chw(10, 6, 6));
+    }
+
+    #[test]
+    fn resnet_block_keeps_shape_through_the_skip() {
+        let g = tiny_resnet();
+        let shapes = g.infer_shapes().unwrap();
+        let add = g.nodes().iter().find(|n| n.name == "res_add").unwrap().id;
+        assert_eq!(shapes[&add], TensorShape::chw(8, 8, 8));
+    }
+}

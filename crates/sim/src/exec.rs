@@ -1,0 +1,1595 @@
+//! The compiled-model execution engine.
+//!
+//! Everything upstream of this module validates the compile pipeline
+//! *structurally* — schedules satisfy their constraints, netlists connect,
+//! routes converge. This engine closes the numeric loop: it takes the
+//! artifacts of a compiled model (synthesized core-op graph, mapped
+//! allocation + schedule + netlist) and actually *computes the network's
+//! outputs on the simulated fabric*, so compilation can be differentially
+//! tested against the golden-model reference of `fpsa_nn::reference`.
+//!
+//! # How a sample executes
+//!
+//! 1. [`Executor::bind`] resolves every core-op group into a `TileProgram`:
+//!    its crossbar weight matrix (sliced by `fpsa_synthesis::weights`, then
+//!    realized exactly / quantized / programmed onto noisy simulated cells —
+//!    one realization **per PE duplicate**, because every physical crossbar
+//!    is programmed separately), its gather geometry (dense rows, im2col
+//!    convolution windows, pooling stencils) and its scatter target.
+//!    Binding also *verifies the physical artifacts*: schedule entries must
+//!    start strictly after every producer (buffered edges strictly after the
+//!    producer finishes), and every core-graph edge must be backed by nets
+//!    in the mapper's netlist (producer PE → consumer PE duplicates, or
+//!    producer → SMB → consumer for buffered edges).
+//! 2. [`Executor::run`] interprets the schedule entries in start-cycle
+//!    order. Each entry executes its group's core-ops (one per reuse
+//!    instance) on the group's PE blocks, round-robin over duplicates
+//!    (`instance % duplicates` — the same convention the netlist wires).
+//!    Output-carrying tiles scatter into their source node's activation
+//!    buffer; partial tiles (VMM tiles awaiting a reduction, max-pool
+//!    stage-1 tiles) hand their raw accumulations to the consuming tile
+//!    along the corresponding nets.
+//! 3. Batches fan out sample-parallel over rayon ([`Executor::run_batch`]).
+//!    All weight realization (including noise) happens at bind time, so
+//!    execution is pure and results are bit-identical for any thread count
+//!    or batch chunking.
+//!
+//! # Numeric domains ([`Precision`])
+//!
+//! * [`Precision::Float`] — f32 tile weights straight from the parameters,
+//!   f64 accumulation, f32 at node boundaries: matches the float reference
+//!   within summation-order tolerance (see DESIGN.md for the bound).
+//! * [`Precision::QuantizedWeights`] — weights round-tripped through the
+//!   8-bit [`Quantizer`] per layer; bit-for-bit the quantizer's reference
+//!   values, float math otherwise.
+//! * [`Precision::Integer`] — full integer-code execution on a calibrated
+//!   [`QuantizationPlan`]: 8-bit weight codes, 6-bit activation codes, i64
+//!   accumulation. Integer addition is associative, so tiling and transport
+//!   cannot perturb results: outputs match
+//!   `Reference::quantized_forward` **bit for bit**.
+//! * [`Precision::Noisy`] — quantized weights programmed onto simulated
+//!   ReRAM cells ([`WeightScheme`] + [`CellVariation`]), seeded per PE by
+//!   the repository convention (`seeds::derive(seed, STREAM_PE_NOISE,
+//!   pe_index(group, duplicate))`).
+
+use fpsa_device::variation::{CellVariation, WeightScheme};
+use fpsa_mapper::{Mapping, NetlistBlock};
+use fpsa_nn::quant::{quantize_code, rescale_code, Quantizer};
+use fpsa_nn::reference::{self, pooled_window_real, requantize_mac, InputView, QuantizationPlan};
+use fpsa_nn::seeds;
+use fpsa_nn::{ComputationalGraph, GraphParameters, NnError, NodeId, Operator, TensorShape};
+use fpsa_synthesis::{weights, CoreOpGraph, CoreOpKind, GroupId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// The numeric domain a bound executor computes in.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Precision {
+    /// Full-precision f32 weights, f64 accumulation.
+    Float,
+    /// Weights round-tripped through the per-layer 8-bit quantizer
+    /// (`Quantizer::weights_8bit(layer range)`), float math otherwise.
+    QuantizedWeights,
+    /// Integer-code execution on a calibrated plan; bit-for-bit against the
+    /// quantized golden reference.
+    Integer(QuantizationPlan),
+    /// Quantized weights programmed onto simulated noisy cells, one
+    /// independent realization per PE duplicate.
+    Noisy {
+        /// Cell composition scheme (splice or add).
+        scheme: WeightScheme,
+        /// Per-cell programming variation.
+        variation: CellVariation,
+        /// Base seed; per-PE RNGs derive from it via
+        /// `seeds::derive(seed, STREAM_PE_NOISE, pe_index(group, dup))`.
+        seed: u64,
+    },
+}
+
+/// Why binding or execution failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// The source graph is malformed (propagated from `fpsa_nn`).
+    Graph(NnError),
+    /// The model uses a construct the engine cannot evaluate numerically.
+    Unsupported {
+        /// What was encountered.
+        reason: String,
+    },
+    /// Compiled artifacts disagree with the graph/parameters they are bound
+    /// against.
+    ModelMismatch {
+        /// What disagreed.
+        reason: String,
+    },
+    /// The schedule executes a consumer no later than one of its producers.
+    ScheduleOrder {
+        /// Producing group.
+        producer: GroupId,
+        /// Consuming group.
+        consumer: GroupId,
+    },
+    /// A core-graph edge has no backing nets in the netlist.
+    MissingTransport {
+        /// Producing group.
+        from: GroupId,
+        /// Consuming group.
+        to: GroupId,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Graph(e) => write!(f, "graph error: {e}"),
+            ExecError::Unsupported { reason } => write!(f, "unsupported construct: {reason}"),
+            ExecError::ModelMismatch { reason } => write!(f, "model mismatch: {reason}"),
+            ExecError::ScheduleOrder { producer, consumer } => write!(
+                f,
+                "schedule orders consumer group {consumer} no later than its producer {producer}"
+            ),
+            ExecError::MissingTransport { from, to } => write!(
+                f,
+                "netlist carries no nets for core-graph edge {from} -> {to}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<NnError> for ExecError {
+    fn from(e: NnError) -> Self {
+        ExecError::Graph(e)
+    }
+}
+
+fn mismatch(reason: impl Into<String>) -> ExecError {
+    ExecError::ModelMismatch {
+        reason: reason.into(),
+    }
+}
+
+/// Geometry of a convolution gather.
+#[derive(Debug, Clone, Copy)]
+struct ConvGeom {
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    ih: usize,
+    iw: usize,
+}
+
+/// Geometry of a pooling gather.
+#[derive(Debug, Clone, Copy)]
+struct PoolGeom {
+    kernel: usize,
+    stride: usize,
+    ih: usize,
+    iw: usize,
+}
+
+/// How one tile computes.
+#[derive(Debug, Clone)]
+enum ProgramKind {
+    /// Dense VMM tile: rows `[row_offset, row_offset + rows)` of the node's
+    /// flat input, one weight column per output.
+    Dense,
+    /// Convolution VMM tile: rows gathered through im2col windows.
+    Conv(ConvGeom),
+    /// Partial-sum reduction: sums slices of its predecessor tiles' raw
+    /// accumulations. `(pred, pred_cols, slice_offset)` per source.
+    Reduce(Vec<(GroupId, usize, usize)>),
+    /// Average pooling over `kernel × kernel` windows for the tile's channel
+    /// block.
+    AvgPool(PoolGeom),
+    /// Global average pooling over the full spatial extent.
+    GlobalAvgPool {
+        /// Spatial window (h · w).
+        window: usize,
+    },
+    /// Max-pool construct stage 1: window maxima, handed to stage 2.
+    MaxStage1(PoolGeom),
+    /// Max-pool construct stage 2: forwards its stage-1 tile's values.
+    MaxStage2 {
+        /// The paired stage-1 group.
+        source: GroupId,
+    },
+    /// Element-wise addition across the node's inputs; one resolved view per
+    /// input (kept separate because, in integer mode, each side rescales
+    /// from its own gather step exactly like the reference).
+    Eltwise(Vec<InputView>),
+}
+
+/// One bound, executable tile.
+#[derive(Debug, Clone)]
+struct TileProgram {
+    group: GroupId,
+    node: NodeId,
+    kind: ProgramKind,
+    relu: bool,
+    /// Whether this tile scatters into its node's activation buffer
+    /// (otherwise it produces partial values consumed by another tile).
+    writes_output: bool,
+    /// Output positions of the node (spatial size, 1 for feature vectors);
+    /// equals the group's reuse degree.
+    positions: usize,
+    /// Tile output width (`cols`) and channel/feature offset (`col_offset`).
+    cols: usize,
+    col_offset: usize,
+    /// Dense/conv row span within the node's logical input.
+    rows: usize,
+    row_offset: usize,
+    /// Float weight realizations, one per PE duplicate (length 1 when all
+    /// duplicates share the exact same matrix).
+    weights_f: Vec<Vec<f32>>,
+    /// Integer weight codes (Integer precision only; always shared).
+    weights_q: Vec<i64>,
+    duplicates: u64,
+}
+
+impl TileProgram {
+    /// The float weight matrix instance `i` executes on.
+    fn weights_for(&self, instance: usize) -> &[f32] {
+        let dup = (instance as u64 % self.duplicates) as usize;
+        &self.weights_f[dup % self.weights_f.len()]
+    }
+}
+
+/// Per-node geometry shared by the node's tiles.
+#[derive(Debug, Clone)]
+struct NodeInfo {
+    view: InputView,
+    elements: usize,
+    positions: usize,
+    /// Integer-mode steps (1.0 placeholders outside Integer precision).
+    gather_step: f64,
+    out_step: f64,
+    weight_step: f64,
+}
+
+/// The compiled-model executor: bound tile programs in schedule order.
+#[derive(Debug)]
+pub struct Executor {
+    programs: Vec<TileProgram>,
+    nodes: Vec<Option<NodeInfo>>,
+    graph_len: usize,
+    group_count: usize,
+    input: Option<(NodeId, usize)>,
+    output_view: InputView,
+    output_steps: Vec<f64>,
+    precision_integer: bool,
+    activation_levels: i64,
+    node_steps: Vec<f64>,
+}
+
+impl Executor {
+    /// Bind compiled artifacts to numeric parameters, realizing tile weights
+    /// in the chosen precision and verifying schedule order and net
+    /// transport.
+    ///
+    /// # Errors
+    ///
+    /// * [`ExecError::Graph`] — malformed source graph;
+    /// * [`ExecError::Unsupported`] — constructs without numeric semantics
+    ///   (grouped convolutions share one weight tile across channel groups);
+    /// * [`ExecError::ModelMismatch`] — artifacts disagree with the graph or
+    ///   parameters;
+    /// * [`ExecError::ScheduleOrder`] / [`ExecError::MissingTransport`] —
+    ///   invalid compiled artifacts.
+    pub fn bind(
+        graph: &ComputationalGraph,
+        params: &GraphParameters,
+        core: &CoreOpGraph,
+        mapping: &Mapping,
+        precision: &Precision,
+    ) -> Result<Executor, ExecError> {
+        let shapes = graph.infer_shapes()?;
+        verify_schedule_order(core, mapping)?;
+        verify_transport(core, mapping)?;
+
+        let plan = match precision {
+            Precision::Integer(plan) => {
+                if plan.weight_range.len() != graph.len()
+                    || plan.activation_range.len() != graph.len()
+                {
+                    return Err(mismatch("quantization plan covers a different graph"));
+                }
+                Some(plan)
+            }
+            _ => None,
+        };
+
+        // Per-node geometry for every node that produced groups.
+        let mut nodes: Vec<Option<NodeInfo>> = vec![None; graph.len()];
+        let mut node_kinds: HashMap<NodeId, HashSet<CoreOpKind>> = HashMap::new();
+        for g in core.groups() {
+            node_kinds.entry(g.source_node).or_default().insert(g.kind);
+        }
+        for (&node_id, _) in node_kinds.iter() {
+            let node = graph.node(node_id)?;
+            let out_shape = *shapes
+                .get(&node_id)
+                .ok_or_else(|| mismatch("missing shape"))?;
+            let view = reference::resolve_view(graph, &shapes, &node.inputs)?;
+            let (h, w) = out_shape.spatial();
+            let positions = match out_shape {
+                TensorShape::Features(_) => 1,
+                TensorShape::Chw { .. } => h * w,
+            };
+            let (gather_step, out_step, weight_step) = match plan {
+                Some(p) => (
+                    p.gather_step(&view),
+                    p.activation_step(node_id),
+                    p.weight_step(node_id),
+                ),
+                None => (1.0, 1.0, 1.0),
+            };
+            nodes[node_id] = Some(NodeInfo {
+                view,
+                elements: out_shape.elements(),
+                positions,
+                gather_step,
+                out_step,
+                weight_step,
+            });
+        }
+
+        // Which nodes keep their VMM tiles as partials (a reduction follows).
+        let reduced_nodes: HashSet<NodeId> = core
+            .groups()
+            .iter()
+            .filter(|g| g.kind == CoreOpKind::Reduction)
+            .map(|g| g.source_node)
+            .collect();
+
+        let wlevels = Quantizer::weights_8bit(1.0).positive_levels();
+        let mut programs = Vec::with_capacity(core.len());
+        let order = schedule_order(mapping);
+        for &gid in &order {
+            let g = &core.groups()[gid];
+            let node = graph.node(g.source_node)?;
+            let info = nodes[g.source_node]
+                .as_ref()
+                .ok_or_else(|| mismatch(format!("group {} has no node info", g.name)))?;
+            if g.reuse_degree != info.positions as u64 {
+                return Err(mismatch(format!(
+                    "group {} reuse degree {} != node output positions {}",
+                    g.name, g.reuse_degree, info.positions
+                )));
+            }
+            let duplicates = mapping.allocation.per_group.get(gid).copied().unwrap_or(1);
+            // Functional output width when it differs from the structural
+            // tile width (max-pool stage-1 constructs).
+            let mut functional_cols: Option<usize> = None;
+
+            let (kind, writes_output, has_weights) = match (g.kind, &node.op) {
+                (CoreOpKind::Vmm, Operator::Linear { .. }) => (
+                    ProgramKind::Dense,
+                    !reduced_nodes.contains(&g.source_node),
+                    true,
+                ),
+                (
+                    CoreOpKind::Vmm,
+                    Operator::Conv2d {
+                        groups,
+                        kernel,
+                        stride,
+                        padding,
+                        ..
+                    },
+                ) => {
+                    if *groups != 1 {
+                        return Err(ExecError::Unsupported {
+                            reason: format!(
+                                "grouped convolution {} shares one weight tile across {} channel groups",
+                                node.name, groups
+                            ),
+                        });
+                    }
+                    let in_node = node
+                        .inputs
+                        .first()
+                        .ok_or_else(|| mismatch("convolution without input"))?;
+                    let (ih, iw) = shapes[in_node].spatial();
+                    (
+                        ProgramKind::Conv(ConvGeom {
+                            kernel: *kernel,
+                            stride: *stride,
+                            padding: *padding,
+                            ih,
+                            iw,
+                        }),
+                        !reduced_nodes.contains(&g.source_node),
+                        true,
+                    )
+                }
+                (CoreOpKind::Reduction, _) => {
+                    let mut sources = Vec::new();
+                    for pred in core.predecessors(gid) {
+                        let p = &core.groups()[pred];
+                        if p.source_node != g.source_node {
+                            return Err(mismatch(format!(
+                                "reduction {} fed by foreign group {}",
+                                g.name, p.name
+                            )));
+                        }
+                        let slice = g
+                            .col_offset
+                            .checked_sub(p.col_offset)
+                            .filter(|s| s + g.cols <= p.cols)
+                            .ok_or_else(|| {
+                                mismatch(format!(
+                                    "reduction {} does not slice its partial tile {}",
+                                    g.name, p.name
+                                ))
+                            })?;
+                        sources.push((pred, p.cols, slice));
+                    }
+                    if sources.is_empty() {
+                        return Err(mismatch(format!("reduction {} has no sources", g.name)));
+                    }
+                    (ProgramKind::Reduce(sources), true, false)
+                }
+                (CoreOpKind::Pooling, Operator::AvgPool2d { kernel, stride }) => {
+                    let in_node = node.inputs.first().ok_or_else(|| mismatch("pool input"))?;
+                    let (ih, iw) = shapes[in_node].spatial();
+                    (
+                        ProgramKind::AvgPool(PoolGeom {
+                            kernel: *kernel,
+                            stride: *stride,
+                            ih,
+                            iw,
+                        }),
+                        true,
+                        false,
+                    )
+                }
+                (CoreOpKind::Pooling, Operator::GlobalAvgPool) => {
+                    let in_node = node.inputs.first().ok_or_else(|| mismatch("gap input"))?;
+                    let (ih, iw) = shapes[in_node].spatial();
+                    (ProgramKind::GlobalAvgPool { window: ih * iw }, true, false)
+                }
+                (CoreOpKind::Pooling, Operator::MaxPool2d { kernel, stride }) => {
+                    // Stage 2 tiles have a same-node pooling predecessor.
+                    let stage1 = core
+                        .predecessors(gid)
+                        .into_iter()
+                        .find(|&p| core.groups()[p].source_node == g.source_node);
+                    match stage1 {
+                        Some(source) => (ProgramKind::MaxStage2 { source }, true, false),
+                        None => {
+                            // The construct's structural width is 2·block
+                            // (the approximation MLP), but its functional
+                            // output is the paired stage-2 tile's block of
+                            // window maxima.
+                            let stage2 = core
+                                .successors(gid)
+                                .into_iter()
+                                .find(|&s| core.groups()[s].source_node == g.source_node)
+                                .ok_or_else(|| {
+                                    mismatch(format!(
+                                        "max-pool stage-1 tile {} has no stage-2 consumer",
+                                        g.name
+                                    ))
+                                })?;
+                            functional_cols = Some(core.groups()[stage2].cols);
+                            let in_node =
+                                node.inputs.first().ok_or_else(|| mismatch("pool input"))?;
+                            let (ih, iw) = shapes[in_node].spatial();
+                            (
+                                ProgramKind::MaxStage1(PoolGeom {
+                                    kernel: *kernel,
+                                    stride: *stride,
+                                    ih,
+                                    iw,
+                                }),
+                                false,
+                                false,
+                            )
+                        }
+                    }
+                }
+                (CoreOpKind::Eltwise, Operator::Add) => {
+                    let mut views = Vec::new();
+                    for &input in &node.inputs {
+                        views.push(reference::resolve_view(graph, &shapes, &[input])?);
+                    }
+                    (ProgramKind::Eltwise(views), true, false)
+                }
+                (kind, op) => {
+                    return Err(mismatch(format!(
+                        "group {} of kind {:?} does not match operator {}",
+                        g.name,
+                        kind,
+                        op.mnemonic()
+                    )));
+                }
+            };
+
+            // Realize the tile's weight matrix per precision.
+            let (weights_f, weights_q) = if has_weights {
+                let layer = params
+                    .weights(g.source_node)
+                    .ok_or_else(|| mismatch(format!("node {} has no parameters", node.name)))?;
+                let input_dim = weights::weight_input_dim(&node.op)
+                    .ok_or_else(|| mismatch("weighted group on weight-free operator"))?;
+                if !weights::tile_fits(g, layer, input_dim) {
+                    return Err(mismatch(format!(
+                        "tile {} exceeds the parameters of node {}",
+                        g.name, node.name
+                    )));
+                }
+                let exact = weights::vmm_tile_matrix(g, layer, input_dim);
+                let range = params.max_abs_weight(g.source_node).max(1e-6);
+                match precision {
+                    Precision::Float => (vec![exact], Vec::new()),
+                    Precision::QuantizedWeights => {
+                        let q = Quantizer::weights_8bit(range);
+                        (
+                            vec![exact.iter().map(|&w| q.round_trip(w)).collect()],
+                            Vec::new(),
+                        )
+                    }
+                    Precision::Integer(plan) => {
+                        let wstep = plan.weight_step(g.source_node);
+                        let codes = exact
+                            .iter()
+                            .map(|&w| quantize_code(f64::from(w), wstep, wlevels))
+                            .collect();
+                        // Integer execution reads only the codes; keeping
+                        // the float tiles too would double the bound
+                        // model's weight memory for nothing.
+                        (vec![Vec::new()], codes)
+                    }
+                    Precision::Noisy {
+                        scheme,
+                        variation,
+                        seed,
+                    } => {
+                        let q = Quantizer::weights_8bit(range);
+                        let per_dup = (0..duplicates)
+                            .map(|dup| {
+                                let mut rng = StdRng::seed_from_u64(seeds::derive(
+                                    *seed,
+                                    seeds::STREAM_PE_NOISE,
+                                    seeds::pe_index(gid, dup),
+                                ));
+                                exact
+                                    .iter()
+                                    .map(|&w| {
+                                        let rt = q.round_trip(w);
+                                        let normalized = f64::from(rt) / f64::from(range);
+                                        let realized = scheme.realize_signed_weight(
+                                            normalized, *variation, &mut rng,
+                                        );
+                                        (realized * f64::from(range)) as f32
+                                    })
+                                    .collect()
+                            })
+                            .collect();
+                        (per_dup, Vec::new())
+                    }
+                }
+            } else {
+                (vec![Vec::new()], Vec::new())
+            };
+
+            programs.push(TileProgram {
+                group: gid,
+                node: g.source_node,
+                kind,
+                relu: g.relu,
+                writes_output,
+                positions: info.positions,
+                cols: functional_cols.unwrap_or(g.cols),
+                col_offset: g.col_offset,
+                rows: g.rows,
+                row_offset: g.row_offset,
+                weights_f,
+                weights_q,
+                duplicates: duplicates.max(1),
+            });
+        }
+
+        let outputs = graph.outputs();
+        let [output] = outputs[..] else {
+            return Err(mismatch(format!(
+                "execution needs one output node, got {outputs:?}"
+            )));
+        };
+        let output_view = reference::resolve_view(graph, &shapes, &[output])?;
+        let input_nodes: Vec<(NodeId, usize)> = graph
+            .nodes()
+            .iter()
+            .filter_map(|n| match n.op {
+                Operator::Input { shape } => Some((n.id, shape.elements())),
+                _ => None,
+            })
+            .collect();
+        let [input] = input_nodes[..] else {
+            return Err(mismatch(format!(
+                "execution needs one input node, got {}",
+                input_nodes.len()
+            )));
+        };
+        let (output_steps, node_steps, activation_levels) = match plan {
+            Some(p) => (
+                output_view
+                    .iter()
+                    .map(|s| p.activation_step(s.source))
+                    .collect(),
+                (0..graph.len()).map(|n| p.activation_step(n)).collect(),
+                p.activation_levels(),
+            ),
+            None => (vec![1.0; output_view.len()], vec![1.0; graph.len()], 0),
+        };
+
+        Ok(Executor {
+            programs,
+            nodes,
+            graph_len: graph.len(),
+            group_count: core.len(),
+            input: Some(input),
+            output_view,
+            output_steps,
+            precision_integer: plan.is_some(),
+            activation_levels,
+            node_steps,
+        })
+    }
+
+    /// Whether the executor runs in the integer-code domain.
+    pub fn is_integer(&self) -> bool {
+        self.precision_integer
+    }
+
+    /// The realized float weight matrix of a group's duplicate (`None` for
+    /// weight-free tiles, and in [`Precision::Integer`] where only the
+    /// codes are kept) — lets tests pin the realization bit for bit.
+    pub fn tile_weights(&self, group: GroupId, duplicate: u64) -> Option<&[f32]> {
+        self.programs
+            .iter()
+            .find(|p| p.group == group)
+            .map(|p| &p.weights_f[(duplicate as usize) % p.weights_f.len()][..])
+            .filter(|w| !w.is_empty())
+    }
+
+    /// Execute one sample, returning the network logits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::ModelMismatch`] when the input length is wrong.
+    pub fn run(&self, input: &[f32]) -> Result<Vec<f32>, ExecError> {
+        if self.precision_integer {
+            let buffers = self.run_integer(input)?;
+            let mut out = Vec::new();
+            for (segment, &step) in self.output_view.iter().zip(&self.output_steps) {
+                let codes = buffers[segment.source]
+                    .as_deref()
+                    .ok_or_else(|| mismatch("output node never executed"))?;
+                out.extend(codes.iter().map(|&c| (c as f64 * step) as f32));
+            }
+            Ok(out)
+        } else {
+            let buffers = self.run_float(input)?;
+            let mut out = Vec::new();
+            for segment in &self.output_view {
+                out.extend_from_slice(
+                    buffers[segment.source]
+                        .as_deref()
+                        .ok_or_else(|| mismatch("output node never executed"))?,
+                );
+            }
+            Ok(out)
+        }
+    }
+
+    /// Execute one sample in the integer domain, returning the output codes
+    /// (for bit-for-bit comparison with the quantized reference).
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::Unsupported`] outside [`Precision::Integer`].
+    pub fn run_codes(&self, input: &[f32]) -> Result<Vec<i64>, ExecError> {
+        if !self.precision_integer {
+            return Err(ExecError::Unsupported {
+                reason: "run_codes requires Precision::Integer".into(),
+            });
+        }
+        let buffers = self.run_integer(input)?;
+        let mut out = Vec::new();
+        for segment in &self.output_view {
+            out.extend_from_slice(
+                buffers[segment.source]
+                    .as_deref()
+                    .ok_or_else(|| mismatch("output node never executed"))?,
+            );
+        }
+        Ok(out)
+    }
+
+    /// Execute one sample and return per-node activation buffers (dequantized
+    /// in integer mode) — the hook for per-layer differential comparison.
+    ///
+    /// # Errors
+    ///
+    /// Mirrors [`Executor::run`].
+    pub fn run_nodes(&self, input: &[f32]) -> Result<Vec<Option<Vec<f32>>>, ExecError> {
+        if self.precision_integer {
+            let buffers = self.run_integer(input)?;
+            Ok(buffers
+                .into_iter()
+                .enumerate()
+                .map(|(node, b)| {
+                    b.map(|codes| {
+                        codes
+                            .iter()
+                            .map(|&c| (c as f64 * self.node_steps[node]) as f32)
+                            .collect()
+                    })
+                })
+                .collect())
+        } else {
+            self.run_float(input)
+        }
+    }
+
+    /// Execute a batch of samples in parallel (rayon), preserving order.
+    /// Weight noise is realized at bind time and per-sample execution is
+    /// pure, so results are bit-identical to running samples sequentially,
+    /// for any thread count or chunking.
+    ///
+    /// # Errors
+    ///
+    /// The first per-sample error, if any.
+    pub fn run_batch(&self, inputs: &[Vec<f32>]) -> Result<Vec<Vec<f32>>, ExecError> {
+        let results: Vec<Result<Vec<f32>, ExecError>> =
+            inputs.par_iter().map(|x| self.run(x)).collect();
+        results.into_iter().collect()
+    }
+
+    /// Classification accuracy over a labelled sample set (argmax of logits).
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-sample execution errors.
+    pub fn accuracy(&self, samples: &[Vec<f32>], labels: &[usize]) -> Result<f64, ExecError> {
+        if samples.is_empty() {
+            return Ok(0.0);
+        }
+        let outputs = self.run_batch(samples)?;
+        let correct = outputs
+            .iter()
+            .zip(labels)
+            .filter(|(logits, &label)| fpsa_nn::mlp::argmax(logits) == label)
+            .count();
+        Ok(correct as f64 / samples.len() as f64)
+    }
+
+    /// Gather a node's logical float input (concatenated segment buffers).
+    fn gather_float(view: &InputView, buffers: &[Option<Vec<f32>>]) -> Result<Vec<f32>, ExecError> {
+        let mut out = Vec::with_capacity(view.iter().map(|s| s.elements).sum());
+        for segment in view {
+            out.extend_from_slice(
+                buffers[segment.source]
+                    .as_deref()
+                    .ok_or_else(|| mismatch("producer executed after consumer"))?,
+            );
+        }
+        Ok(out)
+    }
+
+    /// Gather a node's logical input codes at the view's gather step —
+    /// exactly the reference's rule.
+    fn gather_codes(
+        &self,
+        view: &InputView,
+        gather_step: f64,
+        buffers: &[Option<Vec<i64>>],
+    ) -> Result<Vec<i64>, ExecError> {
+        let mut out = Vec::with_capacity(view.iter().map(|s| s.elements).sum());
+        for segment in view {
+            let step = self.node_steps[segment.source];
+            let codes = buffers[segment.source]
+                .as_deref()
+                .ok_or_else(|| mismatch("producer executed after consumer"))?;
+            out.extend(
+                codes
+                    .iter()
+                    .map(|&c| rescale_code(c, step, gather_step, self.activation_levels)),
+            );
+        }
+        Ok(out)
+    }
+
+    /// Float-domain execution of all tile programs in schedule order.
+    fn run_float(&self, input: &[f32]) -> Result<Vec<Option<Vec<f32>>>, ExecError> {
+        let mut buffers: Vec<Option<Vec<f32>>> = vec![None; self.graph_len];
+        let mut partials: Vec<Option<Vec<f64>>> = vec![None; self.group_count];
+        let mut gathered: Vec<Option<Vec<f32>>> = vec![None; self.graph_len];
+        self.seed_input_float(input, &mut buffers)?;
+
+        for prog in &self.programs {
+            let info = self.nodes[prog.node].as_ref().expect("bound node info");
+            if gathered[prog.node].is_none() && needs_gather(&prog.kind) {
+                gathered[prog.node] = Some(Self::gather_float(&info.view, &buffers)?);
+            }
+            let positions = prog.positions;
+            let mut out_partial: Vec<f64> = Vec::new();
+            if !prog.writes_output {
+                out_partial = vec![0.0; positions * prog.cols];
+            }
+            if prog.writes_output && buffers[prog.node].is_none() {
+                buffers[prog.node] = Some(vec![0.0; info.elements]);
+            }
+            // Element-wise tiles read each Add side once per program.
+            let eltwise_sides: Vec<Vec<f32>> = match &prog.kind {
+                ProgramKind::Eltwise(views) => views
+                    .iter()
+                    .map(|v| Self::gather_float(v, &buffers))
+                    .collect::<Result<_, _>>()?,
+                _ => Vec::new(),
+            };
+
+            for p in 0..positions {
+                match &prog.kind {
+                    ProgramKind::Dense => {
+                        let x = gathered[prog.node].as_deref().expect("gathered input");
+                        let w = prog.weights_for(p);
+                        for c in 0..prog.cols {
+                            let mut acc = 0.0f64;
+                            for r in 0..prog.rows {
+                                acc += f64::from(w[r * prog.cols + c])
+                                    * f64::from(x[prog.row_offset + r]);
+                            }
+                            self.store_float(prog, p, c, acc, &mut buffers, &mut out_partial);
+                        }
+                    }
+                    ProgramKind::Conv(geom) => {
+                        let x = gathered[prog.node].as_deref().expect("gathered input");
+                        let w = prog.weights_for(p);
+                        let (oy, ox) = (p / out_w(geom), p % out_w(geom));
+                        for c in 0..prog.cols {
+                            let mut acc = 0.0f64;
+                            for r in 0..prog.rows {
+                                if let Some(idx) =
+                                    conv_input_index(geom, prog.row_offset + r, oy, ox)
+                                {
+                                    acc += f64::from(w[r * prog.cols + c]) * f64::from(x[idx]);
+                                }
+                            }
+                            self.store_float(prog, p, c, acc, &mut buffers, &mut out_partial);
+                        }
+                    }
+                    ProgramKind::Reduce(sources) => {
+                        for c in 0..prog.cols {
+                            let mut acc = 0.0f64;
+                            for &(pred, pred_cols, slice) in sources {
+                                acc += partials[pred].as_deref().ok_or_else(|| {
+                                    mismatch("reduction ran before its partial tiles")
+                                })?[p * pred_cols + slice + c];
+                            }
+                            self.store_float(prog, p, c, acc, &mut buffers, &mut out_partial);
+                        }
+                    }
+                    ProgramKind::AvgPool(geom) => {
+                        let x = gathered[prog.node].as_deref().expect("gathered input");
+                        let ow = out_w_pool(geom);
+                        let (oy, ox) = (p / ow, p % ow);
+                        for c in 0..prog.cols {
+                            let channel = prog.col_offset + c;
+                            let mut sum = 0.0f64;
+                            for ky in 0..geom.kernel {
+                                for kx in 0..geom.kernel {
+                                    sum += f64::from(
+                                        x[channel * geom.ih * geom.iw
+                                            + (oy * geom.stride + ky) * geom.iw
+                                            + ox * geom.stride
+                                            + kx],
+                                    );
+                                }
+                            }
+                            let acc = sum / (geom.kernel * geom.kernel) as f64;
+                            self.store_float(prog, p, c, acc, &mut buffers, &mut out_partial);
+                        }
+                    }
+                    ProgramKind::GlobalAvgPool { window } => {
+                        let x = gathered[prog.node].as_deref().expect("gathered input");
+                        for c in 0..prog.cols {
+                            let channel = prog.col_offset + c;
+                            let sum: f64 = (0..*window)
+                                .map(|i| f64::from(x[channel * window + i]))
+                                .sum();
+                            let acc = sum / *window as f64;
+                            self.store_float(prog, p, c, acc, &mut buffers, &mut out_partial);
+                        }
+                    }
+                    ProgramKind::MaxStage1(geom) => {
+                        let x = gathered[prog.node].as_deref().expect("gathered input");
+                        let ow = out_w_pool(geom);
+                        let (oy, ox) = (p / ow, p % ow);
+                        for c in 0..prog.cols {
+                            let channel = prog.col_offset + c;
+                            let mut max = f64::NEG_INFINITY;
+                            for ky in 0..geom.kernel {
+                                for kx in 0..geom.kernel {
+                                    max = max.max(f64::from(
+                                        x[channel * geom.ih * geom.iw
+                                            + (oy * geom.stride + ky) * geom.iw
+                                            + ox * geom.stride
+                                            + kx],
+                                    ));
+                                }
+                            }
+                            self.store_float(prog, p, c, max, &mut buffers, &mut out_partial);
+                        }
+                    }
+                    ProgramKind::MaxStage2 { source } => {
+                        for c in 0..prog.cols {
+                            let acc = partials[*source]
+                                .as_deref()
+                                .ok_or_else(|| mismatch("max-pool stage 2 ran before stage 1"))?
+                                [p * prog.cols + c];
+                            self.store_float(prog, p, c, acc, &mut buffers, &mut out_partial);
+                        }
+                    }
+                    ProgramKind::Eltwise(_) => {
+                        for c in 0..prog.cols {
+                            let channel = prog.col_offset + c;
+                            let mut acc = 0.0f64;
+                            for x in &eltwise_sides {
+                                acc += f64::from(x[channel * positions + p]);
+                            }
+                            self.store_float(prog, p, c, acc, &mut buffers, &mut out_partial);
+                        }
+                    }
+                }
+            }
+            if !prog.writes_output {
+                partials[prog.group] = Some(out_partial);
+            }
+        }
+        Ok(buffers)
+    }
+
+    /// Scatter one float value (applying fused ReLU at output boundaries).
+    fn store_float(
+        &self,
+        prog: &TileProgram,
+        p: usize,
+        c: usize,
+        acc: f64,
+        buffers: &mut [Option<Vec<f32>>],
+        out_partial: &mut [f64],
+    ) {
+        if prog.writes_output {
+            let acc = if prog.relu { acc.max(0.0) } else { acc };
+            let buf = buffers[prog.node].as_mut().expect("allocated output");
+            buf[(prog.col_offset + c) * prog.positions + p] = acc as f32;
+        } else {
+            out_partial[p * prog.cols + c] = acc;
+        }
+    }
+
+    /// Integer-domain execution (see module docs; bit-for-bit against the
+    /// quantized reference).
+    fn run_integer(&self, input: &[f32]) -> Result<Vec<Option<Vec<i64>>>, ExecError> {
+        let alevels = self.activation_levels;
+        let mut buffers: Vec<Option<Vec<i64>>> = vec![None; self.graph_len];
+        let mut partials: Vec<Option<Vec<i64>>> = vec![None; self.group_count];
+        let mut gathered: Vec<Option<Vec<i64>>> = vec![None; self.graph_len];
+        self.seed_input_integer(input, &mut buffers)?;
+
+        for prog in &self.programs {
+            let info = self.nodes[prog.node].as_ref().expect("bound node info");
+            if gathered[prog.node].is_none() && needs_gather(&prog.kind) {
+                gathered[prog.node] =
+                    Some(self.gather_codes(&info.view, info.gather_step, &buffers)?);
+            }
+            let positions = prog.positions;
+            let mut out_partial: Vec<i64> = Vec::new();
+            if !prog.writes_output {
+                out_partial = vec![0; positions * prog.cols];
+            }
+            if prog.writes_output && buffers[prog.node].is_none() {
+                buffers[prog.node] = Some(vec![0; info.elements]);
+            }
+            // Element-wise tiles: gather each Add side once, already
+            // rescaled from the side's own gather step to the node's —
+            // the reference's exact double-rescale composition.
+            let eltwise_sides: Vec<Vec<i64>> = match &prog.kind {
+                ProgramKind::Eltwise(views) => views
+                    .iter()
+                    .map(|view| {
+                        let sstep = side_gather_step(&self.node_steps, view);
+                        let side = self.gather_codes(view, sstep, &buffers)?;
+                        Ok(side
+                            .iter()
+                            .map(|&c| rescale_code(c, sstep, info.gather_step, alevels))
+                            .collect())
+                    })
+                    .collect::<Result<_, ExecError>>()?,
+                _ => Vec::new(),
+            };
+
+            for p in 0..positions {
+                match &prog.kind {
+                    ProgramKind::Dense => {
+                        let x = gathered[prog.node].as_deref().expect("gathered input");
+                        for c in 0..prog.cols {
+                            let mut acc = 0i64;
+                            for r in 0..prog.rows {
+                                acc += prog.weights_q[r * prog.cols + c] * x[prog.row_offset + r];
+                            }
+                            self.store_mac(prog, info, p, c, acc, &mut buffers, &mut out_partial);
+                        }
+                    }
+                    ProgramKind::Conv(geom) => {
+                        let x = gathered[prog.node].as_deref().expect("gathered input");
+                        let (oy, ox) = (p / out_w(geom), p % out_w(geom));
+                        for c in 0..prog.cols {
+                            let mut acc = 0i64;
+                            for r in 0..prog.rows {
+                                if let Some(idx) =
+                                    conv_input_index(geom, prog.row_offset + r, oy, ox)
+                                {
+                                    acc += prog.weights_q[r * prog.cols + c] * x[idx];
+                                }
+                            }
+                            self.store_mac(prog, info, p, c, acc, &mut buffers, &mut out_partial);
+                        }
+                    }
+                    ProgramKind::Reduce(sources) => {
+                        for c in 0..prog.cols {
+                            let mut acc = 0i64;
+                            for &(pred, pred_cols, slice) in sources {
+                                acc += partials[pred].as_deref().ok_or_else(|| {
+                                    mismatch("reduction ran before its partial tiles")
+                                })?[p * pred_cols + slice + c];
+                            }
+                            self.store_mac(prog, info, p, c, acc, &mut buffers, &mut out_partial);
+                        }
+                    }
+                    ProgramKind::AvgPool(geom) => {
+                        let x = gathered[prog.node].as_deref().expect("gathered input");
+                        let ow = out_w_pool(geom);
+                        let (oy, ox) = (p / ow, p % ow);
+                        let buf = buffers[prog.node].as_mut().expect("allocated output");
+                        for c in 0..prog.cols {
+                            let channel = prog.col_offset + c;
+                            let real = pooled_window_real(
+                                x,
+                                channel,
+                                oy,
+                                ox,
+                                geom.kernel,
+                                geom.stride,
+                                geom.ih,
+                                geom.iw,
+                                info.gather_step,
+                                false,
+                            );
+                            buf[channel * positions + p] =
+                                quantize_code(real, info.out_step, alevels);
+                        }
+                    }
+                    ProgramKind::GlobalAvgPool { window } => {
+                        let x = gathered[prog.node].as_deref().expect("gathered input");
+                        let buf = buffers[prog.node].as_mut().expect("allocated output");
+                        for c in 0..prog.cols {
+                            let channel = prog.col_offset + c;
+                            let sum: i64 = (0..*window).map(|i| x[channel * window + i]).sum();
+                            let real = sum as f64 * info.gather_step / *window as f64;
+                            buf[channel * positions + p] =
+                                quantize_code(real, info.out_step, alevels);
+                        }
+                    }
+                    ProgramKind::MaxStage1(geom) => {
+                        let x = gathered[prog.node].as_deref().expect("gathered input");
+                        let ow = out_w_pool(geom);
+                        let (oy, ox) = (p / ow, p % ow);
+                        for c in 0..prog.cols {
+                            let channel = prog.col_offset + c;
+                            let mut max = i64::MIN;
+                            for ky in 0..geom.kernel {
+                                for kx in 0..geom.kernel {
+                                    max = max.max(
+                                        x[channel * geom.ih * geom.iw
+                                            + (oy * geom.stride + ky) * geom.iw
+                                            + ox * geom.stride
+                                            + kx],
+                                    );
+                                }
+                            }
+                            out_partial[p * prog.cols + c] = max;
+                        }
+                    }
+                    ProgramKind::MaxStage2 { source } => {
+                        let buf = buffers[prog.node].as_mut().expect("allocated output");
+                        for c in 0..prog.cols {
+                            let max = partials[*source]
+                                .as_deref()
+                                .ok_or_else(|| mismatch("max-pool stage 2 ran before stage 1"))?
+                                [p * prog.cols + c];
+                            // Identical composition to the reference's
+                            // max-pool path: real value, then requantize.
+                            let real = max as f64 * info.gather_step;
+                            buf[(prog.col_offset + c) * positions + p] =
+                                quantize_code(real, info.out_step, alevels);
+                        }
+                    }
+                    ProgramKind::Eltwise(_) => {
+                        let buf = buffers[prog.node].as_mut().expect("allocated output");
+                        for c in 0..prog.cols {
+                            let channel = prog.col_offset + c;
+                            let mut acc = 0i64;
+                            for x in &eltwise_sides {
+                                acc += x[channel * positions + p];
+                            }
+                            let acc = if prog.relu { acc.max(0) } else { acc };
+                            buf[channel * positions + p] =
+                                rescale_code(acc, info.gather_step, info.out_step, alevels);
+                        }
+                    }
+                }
+            }
+            if !prog.writes_output {
+                partials[prog.group] = Some(out_partial);
+            }
+        }
+        Ok(buffers)
+    }
+
+    /// Scatter one integer MAC accumulation: partial tiles keep the raw
+    /// `i64`; output tiles requantize through the shared reference helper.
+    #[allow(clippy::too_many_arguments)]
+    fn store_mac(
+        &self,
+        prog: &TileProgram,
+        info: &NodeInfo,
+        p: usize,
+        c: usize,
+        acc: i64,
+        buffers: &mut [Option<Vec<i64>>],
+        out_partial: &mut [i64],
+    ) {
+        if prog.writes_output {
+            let code = requantize_mac(
+                acc,
+                info.weight_step,
+                info.gather_step,
+                prog.relu,
+                info.out_step,
+                self.activation_levels,
+            );
+            let buf = buffers[prog.node].as_mut().expect("allocated output");
+            buf[(prog.col_offset + c) * prog.positions + p] = code;
+        } else {
+            out_partial[p * prog.cols + c] = acc;
+        }
+    }
+
+    /// Locate the graph's input node and seed its float buffer.
+    fn seed_input_float(
+        &self,
+        input: &[f32],
+        buffers: &mut [Option<Vec<f32>>],
+    ) -> Result<(), ExecError> {
+        let node = self.input_node()?;
+        if input.len() != node.1 {
+            return Err(mismatch(format!(
+                "input has {} elements, graph expects {}",
+                input.len(),
+                node.1
+            )));
+        }
+        buffers[node.0] = Some(input.to_vec());
+        Ok(())
+    }
+
+    /// Seed the input node's code buffer (integer mode).
+    fn seed_input_integer(
+        &self,
+        input: &[f32],
+        buffers: &mut [Option<Vec<i64>>],
+    ) -> Result<(), ExecError> {
+        let node = self.input_node()?;
+        if input.len() != node.1 {
+            return Err(mismatch(format!(
+                "input has {} elements, graph expects {}",
+                input.len(),
+                node.1
+            )));
+        }
+        let step = self.node_steps[node.0];
+        buffers[node.0] = Some(
+            input
+                .iter()
+                .map(|&v| quantize_code(f64::from(v), step, self.activation_levels))
+                .collect(),
+        );
+        Ok(())
+    }
+
+    /// `(node id, element count)` of the graph's single input node: every
+    /// tile view ultimately reads from it, and the executor records it as
+    /// the node every view segment may reference without a producing tile.
+    fn input_node(&self) -> Result<(NodeId, usize), ExecError> {
+        self.input
+            .ok_or_else(|| mismatch("graph has no input node"))
+    }
+}
+
+/// Views gather the node's logical input for these kinds.
+fn needs_gather(kind: &ProgramKind) -> bool {
+    matches!(
+        kind,
+        ProgramKind::Dense
+            | ProgramKind::Conv(_)
+            | ProgramKind::AvgPool(_)
+            | ProgramKind::GlobalAvgPool { .. }
+            | ProgramKind::MaxStage1(_)
+    )
+}
+
+/// Output width of a convolution node (positions are row-major `oy * ow + ox`).
+fn out_w(geom: &ConvGeom) -> usize {
+    (geom.iw + 2 * geom.padding - geom.kernel) / geom.stride + 1
+}
+
+/// Output width of a pooling node.
+fn out_w_pool(geom: &PoolGeom) -> usize {
+    (geom.iw - geom.kernel) / geom.stride + 1
+}
+
+/// The im2col input index of one (absolute row, output position), or `None`
+/// for zero padding. Rows are `(channel * k + ky) * k + kx`.
+fn conv_input_index(geom: &ConvGeom, row: usize, oy: usize, ox: usize) -> Option<usize> {
+    let k = geom.kernel;
+    let channel = row / (k * k);
+    let rem = row % (k * k);
+    let (ky, kx) = (rem / k, rem % k);
+    let y = (oy * geom.stride + ky) as isize - geom.padding as isize;
+    let x = (ox * geom.stride + kx) as isize - geom.padding as isize;
+    if y < 0 || x < 0 || y >= geom.ih as isize || x >= geom.iw as isize {
+        return None;
+    }
+    Some(channel * geom.ih * geom.iw + y as usize * geom.iw + x as usize)
+}
+
+/// The gather step of one Add side's view — mirrors
+/// `QuantizationPlan::gather_step` using the executor's cached steps.
+fn side_gather_step(node_steps: &[f64], view: &InputView) -> f64 {
+    view.iter()
+        .map(|s| node_steps[s.source])
+        .fold(f64::MIN_POSITIVE, f64::max)
+}
+
+/// Tile execution order: schedule entries sorted by start cycle (ties broken
+/// by group id, though a valid schedule has none across dependencies).
+fn schedule_order(mapping: &Mapping) -> Vec<GroupId> {
+    let mut order: Vec<GroupId> = mapping.schedule.entries.iter().map(|e| e.group).collect();
+    order.sort_by_key(|&g| {
+        (
+            mapping
+                .schedule
+                .entry(g)
+                .map(|e| e.start_cycle)
+                .unwrap_or(0),
+            g,
+        )
+    });
+    order
+}
+
+/// Every dependency must execute strictly before its consumer under the
+/// start-cycle interpretation the executor uses, and buffered edges must not
+/// overlap their producer at all.
+fn verify_schedule_order(core: &CoreOpGraph, mapping: &Mapping) -> Result<(), ExecError> {
+    let schedule = &mapping.schedule;
+    let buffered: HashSet<(GroupId, GroupId)> = schedule.buffered_edges.iter().copied().collect();
+    for &(u, v) in core.edges() {
+        let (Some(pu), Some(pv)) = (schedule.entry(u), schedule.entry(v)) else {
+            return Err(mismatch(format!(
+                "schedule misses entries for edge {u}->{v}"
+            )));
+        };
+        let ordered = if buffered.contains(&(u, v)) {
+            pv.start_cycle > pu.end_cycle
+        } else {
+            pv.start_cycle > pu.start_cycle
+        };
+        if !ordered {
+            return Err(ExecError::ScheduleOrder {
+                producer: u,
+                consumer: v,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Every core-graph edge must be carried by netlist nets: direct PE→PE nets
+/// covering every consumer duplicate (round-robin over producer duplicates),
+/// or producer→SMB→consumer nets for buffered edges.
+fn verify_transport(core: &CoreOpGraph, mapping: &Mapping) -> Result<(), ExecError> {
+    let netlist = &mapping.netlist;
+    let mut pe_block: HashMap<(GroupId, u64), usize> = HashMap::new();
+    let mut smb_block: HashMap<(GroupId, GroupId), usize> = HashMap::new();
+    for (i, block) in netlist.blocks().iter().enumerate() {
+        match *block {
+            NetlistBlock::Pe { group, duplicate } => {
+                pe_block.insert((group, duplicate), i);
+            }
+            NetlistBlock::Smb { from, to } => {
+                smb_block.insert((from, to), i);
+            }
+            NetlistBlock::Clb { .. } => {}
+        }
+    }
+    let connections: HashSet<(usize, usize)> = netlist
+        .nets()
+        .iter()
+        .flat_map(|net| net.sinks.iter().map(move |&s| (net.source, s)))
+        .collect();
+    let buffered: HashSet<(GroupId, GroupId)> =
+        mapping.schedule.buffered_edges.iter().copied().collect();
+
+    for &(u, v) in core.edges() {
+        let du = mapping.allocation.per_group.get(u).copied().unwrap_or(1);
+        let dv = mapping.allocation.per_group.get(v).copied().unwrap_or(1);
+        let missing = || ExecError::MissingTransport { from: u, to: v };
+        if buffered.contains(&(u, v)) {
+            let &smb = smb_block.get(&(u, v)).ok_or_else(missing)?;
+            for d in 0..du {
+                let &pe = pe_block.get(&(u, d)).ok_or_else(missing)?;
+                if !connections.contains(&(pe, smb)) {
+                    return Err(missing());
+                }
+            }
+            for d in 0..dv {
+                let &pe = pe_block.get(&(v, d)).ok_or_else(missing)?;
+                if !connections.contains(&(smb, pe)) {
+                    return Err(missing());
+                }
+            }
+        } else {
+            for d in 0..dv {
+                let &src = pe_block.get(&(u, d % du)).ok_or_else(missing)?;
+                let &dst = pe_block.get(&(v, d)).ok_or_else(missing)?;
+                if !connections.contains(&(src, dst)) {
+                    return Err(missing());
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpsa_mapper::{AllocationPolicy, Mapper};
+    use fpsa_nn::reference::Reference;
+    use fpsa_nn::zoo;
+    use fpsa_synthesis::{NeuralSynthesizer, SynthesisConfig};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn compile(graph: &ComputationalGraph, duplication: u64) -> (CoreOpGraph, Mapping) {
+        let core = NeuralSynthesizer::new(SynthesisConfig::fpsa_default())
+            .synthesize(graph)
+            .expect("zoo models synthesize");
+        let mapping = Mapper::new(64, AllocationPolicy::DuplicationDegree(duplication)).map(&core);
+        (core, mapping)
+    }
+
+    fn samples(graph: &ComputationalGraph, n: usize) -> Vec<Vec<f32>> {
+        let len = graph
+            .nodes()
+            .iter()
+            .find_map(|node| match node.op {
+                Operator::Input { shape } => Some(shape.elements()),
+                _ => None,
+            })
+            .expect("graph has an input");
+        (0..n)
+            .map(|i| {
+                let mut rng =
+                    StdRng::seed_from_u64(seeds::derive(42, seeds::STREAM_SAMPLES, i as u64));
+                (0..len).map(|_| rng.gen_range(0.0f32..1.0)).collect()
+            })
+            .collect()
+    }
+
+    fn max_abs_diff(a: &[f32], b: &[f32]) -> f64 {
+        assert_eq!(a.len(), b.len(), "output lengths differ");
+        a.iter()
+            .zip(b)
+            .map(|(&x, &y)| (f64::from(x) - f64::from(y)).abs())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn float_execution_matches_reference_on_every_tiny_model() {
+        for graph in zoo::differential_suite() {
+            let params = GraphParameters::seeded(&graph, 7);
+            let (core, mapping) = compile(&graph, 1);
+            let exec = Executor::bind(&graph, &params, &core, &mapping, &Precision::Float)
+                .unwrap_or_else(|e| panic!("{}: {e}", graph.name));
+            let reference = Reference::new(&graph, &params).unwrap();
+            for x in samples(&graph, 3) {
+                let got = exec.run(&x).unwrap();
+                let want = reference.logits(&x).unwrap();
+                let diff = max_abs_diff(&got, &want);
+                assert!(diff < 1e-4, "{}: max abs diff {diff}", graph.name);
+            }
+        }
+    }
+
+    #[test]
+    fn duplicated_mappings_compute_the_same_function() {
+        let graph = zoo::tiny_cnn();
+        let params = GraphParameters::seeded(&graph, 3);
+        let (core, mapping) = compile(&graph, 8);
+        assert!(mapping.allocation.total_pes() > core.len());
+        let exec = Executor::bind(&graph, &params, &core, &mapping, &Precision::Float).unwrap();
+        let reference = Reference::new(&graph, &params).unwrap();
+        let x = &samples(&graph, 1)[0];
+        let diff = max_abs_diff(&exec.run(x).unwrap(), &reference.logits(x).unwrap());
+        assert!(diff < 1e-4, "max abs diff {diff}");
+    }
+
+    #[test]
+    fn integer_execution_is_bit_identical_to_the_quantized_reference() {
+        for graph in zoo::differential_suite() {
+            let params = GraphParameters::seeded(&graph, 11);
+            let inputs = samples(&graph, 3);
+            let plan = QuantizationPlan::calibrate(&graph, &params, &inputs).unwrap();
+            let (core, mapping) = compile(&graph, 1);
+            let exec = Executor::bind(
+                &graph,
+                &params,
+                &core,
+                &mapping,
+                &Precision::Integer(plan.clone()),
+            )
+            .unwrap_or_else(|e| panic!("{}: {e}", graph.name));
+            let reference = Reference::new(&graph, &params).unwrap();
+            for x in &inputs {
+                let got = exec.run_codes(x).unwrap();
+                let want = reference.quantized_logits(&plan, x).unwrap();
+                assert_eq!(got, want, "{}: integer codes diverged", graph.name);
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_weights_match_the_quantizer_reference_bit_for_bit() {
+        let graph = zoo::tiny_wide_mlp();
+        let params = GraphParameters::seeded(&graph, 5);
+        let (core, mapping) = compile(&graph, 1);
+        let exec = Executor::bind(
+            &graph,
+            &params,
+            &core,
+            &mapping,
+            &Precision::QuantizedWeights,
+        )
+        .unwrap();
+        for g in core.groups().iter().filter(|g| g.kind == CoreOpKind::Vmm) {
+            let bound = exec.tile_weights(g.id, 0).expect("VMM tiles carry weights");
+            let layer = params.weights(g.source_node).unwrap();
+            let input_dim =
+                weights::weight_input_dim(&graph.node(g.source_node).unwrap().op).unwrap();
+            let exact = weights::vmm_tile_matrix(g, layer, input_dim);
+            let q = Quantizer::weights_8bit(params.max_abs_weight(g.source_node).max(1e-6));
+            for (b, e) in bound.iter().zip(&exact) {
+                assert_eq!(*b, q.round_trip(*e), "weight realization diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_execution_is_bit_identical_to_sequential() {
+        let graph = zoo::tiny_cnn();
+        let params = GraphParameters::seeded(&graph, 1);
+        let (core, mapping) = compile(&graph, 2);
+        let exec = Executor::bind(&graph, &params, &core, &mapping, &Precision::Float).unwrap();
+        let inputs = samples(&graph, 8);
+        let batched = exec.run_batch(&inputs).unwrap();
+        let sequential: Vec<Vec<f32>> = inputs.iter().map(|x| exec.run(x).unwrap()).collect();
+        assert_eq!(batched, sequential);
+        // And chunked halves agree with the full batch (thread-count proxy).
+        let (a, b) = inputs.split_at(3);
+        let mut chunked = exec.run_batch(a).unwrap();
+        chunked.extend(exec.run_batch(b).unwrap());
+        assert_eq!(batched, chunked);
+    }
+
+    #[test]
+    fn noisy_execution_is_seed_deterministic_and_ideal_noise_is_exact() {
+        let graph = zoo::tiny_mlp();
+        let params = GraphParameters::seeded(&graph, 2);
+        let (core, mapping) = compile(&graph, 1);
+        let noisy = |seed: u64, variation: CellVariation| {
+            Executor::bind(
+                &graph,
+                &params,
+                &core,
+                &mapping,
+                &Precision::Noisy {
+                    scheme: WeightScheme::fpsa_add(),
+                    variation,
+                    seed,
+                },
+            )
+            .unwrap()
+        };
+        let x = &samples(&graph, 1)[0];
+        let a = noisy(9, CellVariation::measured()).run(x).unwrap();
+        let b = noisy(9, CellVariation::measured()).run(x).unwrap();
+        let c = noisy(10, CellVariation::measured()).run(x).unwrap();
+        assert_eq!(a, b, "same seed must reproduce the same realization");
+        assert_ne!(a, c, "different seeds must program different cells");
+        // Ideal devices realize the scheme's noiseless decode: outputs stay
+        // within the quantization-error envelope of the float reference.
+        let ideal = noisy(0, CellVariation::ideal()).run(x).unwrap();
+        let reference = Reference::new(&graph, &params).unwrap();
+        let diff = max_abs_diff(&ideal, &reference.logits(x).unwrap());
+        assert!(diff < 0.05, "ideal-noise diff {diff} too large");
+    }
+
+    #[test]
+    fn tampered_netlist_is_rejected_as_missing_transport() {
+        let graph = zoo::tiny_mlp();
+        let params = GraphParameters::seeded(&graph, 0);
+        let (core, mut mapping) = compile(&graph, 1);
+        // Drop the last PE→PE net.
+        let blocks = mapping.netlist.blocks().to_vec();
+        let mut nets = mapping.netlist.nets().to_vec();
+        let dropped = nets
+            .iter()
+            .rposition(|n| {
+                mapping.netlist.blocks()[n.source].is_pe()
+                    && n.sinks.iter().all(|&s| mapping.netlist.blocks()[s].is_pe())
+            })
+            .expect("tiny MLP has PE→PE nets");
+        nets.remove(dropped);
+        mapping.netlist = fpsa_mapper::Netlist::from_parts("tampered", blocks, nets);
+        let err = Executor::bind(&graph, &params, &core, &mapping, &Precision::Float).unwrap_err();
+        assert!(matches!(err, ExecError::MissingTransport { .. }), "{err}");
+    }
+
+    #[test]
+    fn tampered_schedule_is_rejected_as_order_violation() {
+        let graph = zoo::tiny_mlp();
+        let params = GraphParameters::seeded(&graph, 0);
+        let (core, mut mapping) = compile(&graph, 1);
+        // Force a consumer to start at cycle 0, tied with its producer.
+        let consumer = core.edges()[0].1;
+        mapping.schedule.entries[consumer].start_cycle = 0;
+        let err = Executor::bind(&graph, &params, &core, &mapping, &Precision::Float).unwrap_err();
+        assert!(matches!(err, ExecError::ScheduleOrder { .. }), "{err}");
+    }
+
+    #[test]
+    fn accuracy_counts_argmax_agreement() {
+        let graph = zoo::tiny_mlp();
+        let params = GraphParameters::seeded(&graph, 4);
+        let (core, mapping) = compile(&graph, 1);
+        let exec = Executor::bind(&graph, &params, &core, &mapping, &Precision::Float).unwrap();
+        let inputs = samples(&graph, 4);
+        let reference = Reference::new(&graph, &params).unwrap();
+        let labels: Vec<usize> = inputs
+            .iter()
+            .map(|x| fpsa_nn::mlp::argmax(&reference.logits(x).unwrap()))
+            .collect();
+        let acc = exec.accuracy(&inputs, &labels).unwrap();
+        assert_eq!(acc, 1.0, "float executor must agree with its own labels");
+    }
+}

@@ -16,6 +16,7 @@ use fpsa_device::variation::{CellVariation, WeightScheme};
 use fpsa_nn::dataset::Dataset;
 use fpsa_nn::mlp::Mlp;
 use fpsa_nn::quant::Quantizer;
+use fpsa_nn::seeds;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -139,6 +140,18 @@ impl SpikingMlpRunner {
 
 /// The Figure 9 experiment: accuracy of a quantized network whose weights are
 /// realized on noisy ReRAM cells with a given representation scheme.
+///
+/// # Seeded-RNG convention
+///
+/// All randomness follows the repository convention of `fpsa_nn::seeds`:
+/// trial `t` programs its cells from
+/// `StdRng(seeds::derive(self.seed, STREAM_TRIAL, t))`, so trials are
+/// independent streams — reordering, parallelizing or adding draws to one
+/// trial never perturbs another, and `mean_accuracy` /
+/// `mean_logit_distortion` see identical per-trial noise. The compiled-model
+/// executor's noise injection (`crate::exec`) derives per-PE streams the
+/// same way (`STREAM_PE_NOISE`). [`SpikingMlpRunner`] draws no randomness at
+/// all: rate coding and the spiking PE are fully deterministic.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct VariationStudy {
     /// The weight representation under test.
@@ -147,7 +160,7 @@ pub struct VariationStudy {
     pub variation: CellVariation,
     /// Monte-Carlo trials (independent programming runs) to average over.
     pub trials: usize,
-    /// RNG seed.
+    /// Base RNG seed (per-trial streams derive from it).
     pub seed: u64,
 }
 
@@ -162,21 +175,28 @@ impl VariationStudy {
         }
     }
 
+    /// The noisy network of one Monte-Carlo trial, programmed from the
+    /// trial's derived RNG stream.
+    fn trial_network(&self, mlp: &Mlp, quantizer: &Quantizer, trial: u64) -> Mlp {
+        let mut rng = StdRng::seed_from_u64(seeds::derive(self.seed, seeds::STREAM_TRIAL, trial));
+        mlp.map_weights(|w| {
+            let q = quantizer.round_trip(w);
+            let normalized = f64::from(q) / f64::from(quantizer.range);
+            let realized = self
+                .scheme
+                .realize_signed_weight(normalized, self.variation, &mut rng);
+            (realized * f64::from(quantizer.range)) as f32
+        })
+    }
+
     /// Mean classification accuracy over the Monte-Carlo trials.
     pub fn mean_accuracy(&self, mlp: &Mlp, data: &Dataset) -> f64 {
-        let mut rng = StdRng::seed_from_u64(self.seed);
         let quantizer = Quantizer::weights_8bit(mlp.max_abs_weight().max(1e-6));
         let mut total = 0.0;
-        for _ in 0..self.trials.max(1) {
-            let noisy = mlp.map_weights(|w| {
-                let q = quantizer.round_trip(w);
-                let normalized = f64::from(q) / f64::from(quantizer.range);
-                let realized =
-                    self.scheme
-                        .realize_signed_weight(normalized, self.variation, &mut rng);
-                (realized * f64::from(quantizer.range)) as f32
-            });
-            total += noisy.accuracy(data);
+        for trial in 0..self.trials.max(1) {
+            total += self
+                .trial_network(mlp, &quantizer, trial as u64)
+                .accuracy(data);
         }
         total / self.trials.max(1) as f64
     }
@@ -196,19 +216,11 @@ impl VariationStudy {
         if data.is_empty() {
             return 0.0;
         }
-        let mut rng = StdRng::seed_from_u64(self.seed);
         let quantizer = Quantizer::weights_8bit(mlp.max_abs_weight().max(1e-6));
         let mut total = 0.0;
         let mut count = 0usize;
-        for _ in 0..self.trials.max(1) {
-            let noisy = mlp.map_weights(|w| {
-                let q = quantizer.round_trip(w);
-                let normalized = f64::from(q) / f64::from(quantizer.range);
-                let realized =
-                    self.scheme
-                        .realize_signed_weight(normalized, self.variation, &mut rng);
-                (realized * f64::from(quantizer.range)) as f32
-            });
+        for trial in 0..self.trials.max(1) {
+            let noisy = self.trial_network(mlp, &quantizer, trial as u64);
             for x in &data.samples {
                 let reference = mlp.forward(x);
                 let perturbed = noisy.forward(x);
@@ -274,6 +286,67 @@ mod tests {
         );
     }
 
+    /// Regression pin for the Figure 9 machinery: the per-trial derived-seed
+    /// convention makes these values a pure function of (scheme, variation,
+    /// trials, seed), so any refactor that silently shifts the RNG streams —
+    /// and with them the published Figure 9 curve — fails here. The loose
+    /// epsilon only absorbs libm ulp differences across platforms (the
+    /// Box-Muller sampler calls `ln`/`cos`).
+    #[test]
+    fn variation_study_values_are_pinned_for_a_fixed_seed() {
+        let (mlp, test) = trained_network();
+        let add = VariationStudy::new(
+            WeightScheme::fpsa_add(),
+            CellVariation::measured(),
+            3,
+            0xF95A,
+        );
+        assert_eq!(add.mean_accuracy(&mlp, &test), 1.0);
+        let add_distortion = add.mean_logit_distortion(&mlp, &test);
+        assert!(
+            (add_distortion - 0.019_031_270_453_510_77).abs() < 1e-9,
+            "add distortion drifted: {add_distortion:.17}"
+        );
+        let splice = VariationStudy::new(
+            WeightScheme::prime_splice(),
+            CellVariation::measured(),
+            3,
+            0xF95A,
+        );
+        let splice_distortion = splice.mean_logit_distortion(&mlp, &test);
+        assert!(
+            (splice_distortion - 0.133_480_126_264_599_96).abs() < 1e-9,
+            "splice distortion drifted: {splice_distortion:.17}"
+        );
+    }
+
+    /// Trials are independent derived streams: trial networks are
+    /// deterministic and distinct per trial index, and a one-trial study's
+    /// mean equals trial 0's accuracy exactly — so `mean_accuracy` really
+    /// consumes the per-trial streams (a refactor that reintroduced one
+    /// shared RNG across trials, or skipped trial 0, fails here).
+    #[test]
+    fn trial_streams_are_independent_derived_streams() {
+        let (mlp, test) = trained_network();
+        let quantizer = Quantizer::weights_8bit(mlp.max_abs_weight().max(1e-6));
+        let study = VariationStudy::new(WeightScheme::fpsa_add(), CellVariation::measured(), 1, 42);
+        assert_eq!(
+            study.trial_network(&mlp, &quantizer, 0),
+            study.trial_network(&mlp, &quantizer, 0),
+            "trial networks are deterministic"
+        );
+        assert_ne!(
+            study.trial_network(&mlp, &quantizer, 0),
+            study.trial_network(&mlp, &quantizer, 1),
+            "distinct trials program distinct cells"
+        );
+        let trial0_accuracy = study.trial_network(&mlp, &quantizer, 0).accuracy(&test);
+        assert_eq!(
+            study.mean_accuracy(&mlp, &test),
+            trial0_accuracy,
+            "a one-trial mean is exactly trial 0's accuracy"
+        );
+    }
     #[test]
     fn ideal_devices_preserve_accuracy() {
         let (mlp, test) = trained_network();

@@ -12,16 +12,22 @@
 //!   running a trained MLP through cycle-accurate spiking PEs to confirm the
 //!   spiking schema computes the right function, and the device-variation
 //!   accuracy study behind Figure 9 (splice vs add weight representation).
+//! * [`exec`] — the compiled-model execution engine: interprets a compiled
+//!   model's schedule entries on their PE blocks, moving activations along
+//!   the mapper's nets, in float, integer-exact or noisy-device precision —
+//!   the numeric proof that compilation preserves semantics.
 //!
 //! The [`trace`] module carries compile-stage instrumentation: the compiler
 //! in `fpsa-core` fills a [`StageTrace`] per compilation and attaches it to
 //! the [`PerformanceReport`], so consumers see both runtime performance and
 //! where compile time went.
 
+pub mod exec;
 pub mod functional;
 pub mod perf;
 pub mod trace;
 
+pub use exec::{ExecError, Executor, Precision};
 pub use functional::{SpikingMlpRunner, VariationStudy};
 pub use perf::{CommunicationEstimate, PerformanceReport, PerformanceSimulator};
 pub use trace::{StageKind, StageQuality, StageRecord, StageTrace};

@@ -53,6 +53,17 @@ pub struct CoreOpGroup {
     pub rows: usize,
     /// Columns of the weight tile (crossbar outputs used), ≤ crossbar columns.
     pub cols: usize,
+    /// Row offset of the tile within its source construct: the first input
+    /// index of the layer's logical input vector this tile consumes. Gives
+    /// the tile *numeric* semantics — `fpsa_synthesis::weights` slices the
+    /// layer's weight matrix at `[row_offset.., col_offset..]`. Zero for
+    /// constructs without a row dimension (reductions, poolings).
+    pub row_offset: usize,
+    /// Column offset of the tile within its source construct's output
+    /// vector: the first output feature (dense layers), output channel
+    /// (convolutions) or channel-block start (poolings, element-wise adds)
+    /// this tile produces.
+    pub col_offset: usize,
     /// Number of core-ops that share this tile (1 for fully connected
     /// layers, `output_h x output_w` for convolutions).
     pub reuse_degree: u64,
@@ -269,6 +280,8 @@ mod tests {
             kind,
             rows,
             cols,
+            row_offset: 0,
+            col_offset: 0,
             reuse_degree: reuse,
             relu: true,
             layer_depth: depth,

@@ -17,12 +17,17 @@
 //!
 //! The synthesizer keeps the result in the compact *group* form: one
 //! [`CoreOpGroup`] per distinct weight tile, annotated with its reuse degree
-//! (how many per-position core-ops share those weights). The
-//! spatial-to-temporal mapper consumes exactly this information.
+//! (how many per-position core-ops share those weights) and its
+//! `row_offset`/`col_offset` coordinate inside the source layer. The
+//! spatial-to-temporal mapper consumes the structure; the [`weights`] module
+//! turns the coordinates into the actual crossbar matrices, giving core-ops
+//! numeric evaluation semantics for the compiled-model execution engine.
 
 pub mod coreop;
 pub mod lower;
 pub mod synthesizer;
+pub mod weights;
 
 pub use coreop::{CoreOp, CoreOpGraph, CoreOpGroup, CoreOpKind, GroupId};
 pub use synthesizer::{NeuralSynthesizer, SynthesisConfig};
+pub use weights::{vmm_tile_matrix, weight_input_dim};

@@ -43,6 +43,21 @@ pub fn tile_sizes(total: usize, tile: usize) -> Vec<usize> {
     out
 }
 
+/// Split `total` into `(offset, size)` tiles of at most `tile` — the sizes
+/// of [`tile_sizes`] paired with their running start offsets, which become
+/// the tiles' [`CoreOpGroup::row_offset`]/[`CoreOpGroup::col_offset`].
+pub fn tile_spans(total: usize, tile: usize) -> Vec<(usize, usize)> {
+    let mut offset = 0;
+    tile_sizes(total, tile)
+        .into_iter()
+        .map(|size| {
+            let span = (offset, size);
+            offset += size;
+            span
+        })
+        .collect()
+}
+
 /// The result of lowering one computational-graph node.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct LoweredNode {
@@ -110,11 +125,11 @@ pub fn lower_dense(spec: DenseSpec<'_>, constraints: TileConstraints) -> Lowered
         relu,
         kind,
     } = spec;
-    let row_tiles = tile_sizes(input_dim, constraints.rows);
-    let col_tiles = tile_sizes(output_dim, constraints.cols);
+    let row_tiles = tile_spans(input_dim, constraints.rows);
+    let col_tiles = tile_spans(output_dim, constraints.cols);
     let mut groups = Vec::new();
-    for (ci, &cols) in col_tiles.iter().enumerate() {
-        for (ri, &rows) in row_tiles.iter().enumerate() {
+    for (ci, &(col_offset, cols)) in col_tiles.iter().enumerate() {
+        for (ri, &(row_offset, rows)) in row_tiles.iter().enumerate() {
             groups.push(CoreOpGroup {
                 id: 0,
                 name: format!("{name}_t{ri}_{ci}"),
@@ -122,6 +137,8 @@ pub fn lower_dense(spec: DenseSpec<'_>, constraints: TileConstraints) -> Lowered
                 kind,
                 rows,
                 cols,
+                row_offset,
+                col_offset,
                 reuse_degree: reuse,
                 // ReLU can only be fused when no reduction follows.
                 relu: relu && row_tiles.len() == 1,
@@ -135,8 +152,10 @@ pub fn lower_dense(spec: DenseSpec<'_>, constraints: TileConstraints) -> Lowered
         let partials = row_tiles.len();
         let outputs_per_tile = (constraints.rows / partials).max(1).min(constraints.cols);
         let mut intra_edges = Vec::new();
-        for (ci, &cols) in col_tiles.iter().enumerate() {
-            for (bi, &block) in tile_sizes(cols, outputs_per_tile).iter().enumerate() {
+        for (ci, &(col_offset, cols)) in col_tiles.iter().enumerate() {
+            for (bi, &(block_offset, block)) in
+                tile_spans(cols, outputs_per_tile).iter().enumerate()
+            {
                 let reduction_index = groups.len();
                 groups.push(CoreOpGroup {
                     id: 0,
@@ -145,6 +164,8 @@ pub fn lower_dense(spec: DenseSpec<'_>, constraints: TileConstraints) -> Lowered
                     kind: CoreOpKind::Reduction,
                     rows: (partials * block).min(constraints.rows),
                     cols: block,
+                    row_offset: 0,
+                    col_offset: col_offset + block_offset,
                     reuse_degree: reuse,
                     relu,
                     layer_depth: 0,
@@ -153,7 +174,6 @@ pub fn lower_dense(spec: DenseSpec<'_>, constraints: TileConstraints) -> Lowered
                 for ri in 0..row_tiles.len() {
                     intra_edges.push((ci * row_tiles.len() + ri, reduction_index));
                 }
-                let _ = bi;
             }
         }
         LoweredNode {
@@ -267,7 +287,7 @@ pub fn lower_node(
             let (h, w) = output_shape.spatial();
             let per_tile = (constraints.rows / 2).min(constraints.cols).max(1);
             let mut groups = Vec::new();
-            for (i, &block) in tile_sizes(channels, per_tile).iter().enumerate() {
+            for (i, &(block_offset, block)) in tile_spans(channels, per_tile).iter().enumerate() {
                 groups.push(CoreOpGroup {
                     id: 0,
                     name: format!("{name}_add{i}"),
@@ -275,6 +295,8 @@ pub fn lower_node(
                     kind: CoreOpKind::Eltwise,
                     rows: 2 * block,
                     cols: block,
+                    row_offset: 0,
+                    col_offset: block_offset,
                     reuse_degree: (h * w) as u64,
                     relu: fuse_relu,
                     layer_depth: 0,
@@ -314,9 +336,9 @@ fn lower_pooling(
     let per_tile = (constraints.rows / window.max(1))
         .max(1)
         .min(constraints.cols);
-    let blocks = tile_sizes(channels, per_tile);
+    let blocks = tile_spans(channels, per_tile);
     let mut groups = Vec::new();
-    for (i, &block) in blocks.iter().enumerate() {
+    for (i, &(block_offset, block)) in blocks.iter().enumerate() {
         groups.push(CoreOpGroup {
             id: 0,
             name: format!("{name}_p{i}"),
@@ -328,6 +350,8 @@ fn lower_pooling(
             } else {
                 block
             },
+            row_offset: 0,
+            col_offset: block_offset,
             reuse_degree: reuse,
             relu: false,
             layer_depth: 0,
@@ -335,7 +359,7 @@ fn lower_pooling(
     }
     if two_stage {
         let mut intra_edges = Vec::new();
-        for (i, &block) in blocks.iter().enumerate() {
+        for (i, &(block_offset, block)) in blocks.iter().enumerate() {
             let stage2_index = groups.len();
             groups.push(CoreOpGroup {
                 id: 0,
@@ -344,6 +368,8 @@ fn lower_pooling(
                 kind: CoreOpKind::Pooling,
                 rows: (2 * block).min(constraints.rows),
                 cols: block,
+                row_offset: 0,
+                col_offset: block_offset,
                 reuse_degree: reuse,
                 relu: false,
                 layer_depth: 0,
@@ -383,6 +409,45 @@ mod tests {
     #[should_panic(expected = "tile size must be positive")]
     fn tile_sizes_rejects_zero_tile() {
         let _ = tile_sizes(10, 0);
+    }
+
+    #[test]
+    fn tile_spans_pair_offsets_with_sizes() {
+        assert_eq!(tile_spans(600, 256), vec![(0, 256), (256, 256), (512, 88)]);
+        assert_eq!(tile_spans(0, 256), Vec::<(usize, usize)>::new());
+    }
+
+    #[test]
+    fn dense_tiles_carry_their_layer_coordinates() {
+        let lowered = lower_dense(
+            DenseSpec {
+                name: "fc1",
+                source_node: 0,
+                input_dim: 784,
+                output_dim: 500,
+                reuse: 1,
+                relu: true,
+                kind: CoreOpKind::Vmm,
+            },
+            TileConstraints::fpsa_256(),
+        );
+        // VMM tile spans partition the 784 x 500 weight matrix.
+        let mut covered = 0usize;
+        for g in lowered.groups.iter().filter(|g| g.kind == CoreOpKind::Vmm) {
+            assert!(g.row_offset + g.rows <= 784);
+            assert!(g.col_offset + g.cols <= 500);
+            covered += g.rows * g.cols;
+        }
+        assert_eq!(covered, 784 * 500);
+        // Reduction tiles partition the 500 outputs exactly once.
+        let mut out_covered = vec![false; 500];
+        for g in &lowered.groups[lowered.outputs.clone()] {
+            for c in 0..g.cols {
+                assert!(!out_covered[g.col_offset + c]);
+                out_covered[g.col_offset + c] = true;
+            }
+        }
+        assert!(out_covered.iter().all(|&c| c));
     }
 
     #[test]

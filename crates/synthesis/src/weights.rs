@@ -1,0 +1,182 @@
+//! Numeric weight materialization for core-op tiles.
+//!
+//! Lowering records *where* every VMM tile sits inside its source layer
+//! ([`CoreOpGroup::row_offset`] / [`CoreOpGroup::col_offset`]); this module
+//! turns that coordinate into the actual `rows × cols` weight matrix the PE's
+//! crossbar is programmed with, sliced out of the layer's
+//! [`fpsa_nn::GraphParameters`] tensor.
+//!
+//! Both dense layers and convolutions store their weights as an
+//! `[output][input_dim]` matrix (`input_dim = in_features` for dense,
+//! `(in_channels/groups)·k²` for convolutions, flattened channel-major), so
+//! one slicing rule covers every VMM tile:
+//!
+//! ```text
+//! tile[r][c] = layer_weights[(col_offset + c) * input_dim + row_offset + r]
+//! ```
+//!
+//! Reduction, pooling and element-wise tiles hold fixed matrices (partial-sum
+//! adders, `1/window` averaging stencils, max-approximation MLPs); the
+//! execution engine interprets those constructs functionally, so they need no
+//! materialized weights here.
+
+use crate::coreop::{CoreOpGroup, CoreOpKind};
+use fpsa_nn::Operator;
+
+/// The logical input dimension of a weighted operator's weight matrix
+/// (`None` for operators without a VMM weight matrix).
+pub fn weight_input_dim(op: &Operator) -> Option<usize> {
+    match *op {
+        Operator::Linear { in_features, .. } => Some(in_features),
+        Operator::Conv2d {
+            in_channels,
+            kernel,
+            groups,
+            ..
+        } => Some((in_channels / groups) * kernel * kernel),
+        _ => None,
+    }
+}
+
+/// Slice the `rows × cols` crossbar matrix of a VMM tile out of its layer's
+/// weight tensor (row-major `tile[r * cols + c]`).
+///
+/// # Panics
+///
+/// Panics if the group is not a VMM tile or its span exceeds the tensor —
+/// both indicate a mismatch between the core-op graph and the parameters it
+/// is being bound against (callers validate with [`tile_fits`]).
+pub fn vmm_tile_matrix(group: &CoreOpGroup, layer_weights: &[f32], input_dim: usize) -> Vec<f32> {
+    assert_eq!(
+        group.kind,
+        CoreOpKind::Vmm,
+        "only VMM tiles carry layer weights"
+    );
+    assert!(
+        tile_fits(group, layer_weights, input_dim),
+        "tile {} [{}+{} x {}+{}] exceeds a {} x {} weight tensor",
+        group.name,
+        group.row_offset,
+        group.rows,
+        group.col_offset,
+        group.cols,
+        input_dim,
+        layer_weights.len() / input_dim.max(1),
+    );
+    let mut tile = Vec::with_capacity(group.rows * group.cols);
+    for r in 0..group.rows {
+        for c in 0..group.cols {
+            tile.push(layer_weights[(group.col_offset + c) * input_dim + group.row_offset + r]);
+        }
+    }
+    tile
+}
+
+/// Whether a tile's span lies inside the layer's weight tensor.
+pub fn tile_fits(group: &CoreOpGroup, layer_weights: &[f32], input_dim: usize) -> bool {
+    if input_dim == 0 || !layer_weights.len().is_multiple_of(input_dim) {
+        return false;
+    }
+    let output_dim = layer_weights.len() / input_dim;
+    group.row_offset + group.rows <= input_dim && group.col_offset + group.cols <= output_dim
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::{lower_dense, DenseSpec, TileConstraints};
+
+    fn lowered_tiles(input_dim: usize, output_dim: usize) -> Vec<CoreOpGroup> {
+        lower_dense(
+            DenseSpec {
+                name: "fc",
+                source_node: 0,
+                input_dim,
+                output_dim,
+                reuse: 1,
+                relu: false,
+                kind: CoreOpKind::Vmm,
+            },
+            TileConstraints::fpsa_256(),
+        )
+        .groups
+    }
+
+    /// A synthetic weight tensor whose value encodes its own coordinates.
+    fn coordinate_weights(input_dim: usize, output_dim: usize) -> Vec<f32> {
+        (0..output_dim)
+            .flat_map(|o| (0..input_dim).map(move |i| (o * input_dim + i) as f32))
+            .collect()
+    }
+
+    #[test]
+    fn tiles_reassemble_the_full_weight_matrix() {
+        let (input_dim, output_dim) = (600, 300);
+        let w = coordinate_weights(input_dim, output_dim);
+        let tiles = lowered_tiles(input_dim, output_dim);
+        let mut seen = vec![false; w.len()];
+        for g in tiles.iter().filter(|g| g.kind == CoreOpKind::Vmm) {
+            let tile = vmm_tile_matrix(g, &w, input_dim);
+            for r in 0..g.rows {
+                for c in 0..g.cols {
+                    let o = g.col_offset + c;
+                    let i = g.row_offset + r;
+                    assert_eq!(tile[r * g.cols + c], w[o * input_dim + i]);
+                    assert!(!seen[o * input_dim + i], "weight ({o},{i}) covered twice");
+                    seen[o * input_dim + i] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every weight covered exactly once");
+    }
+
+    #[test]
+    fn single_tile_layer_is_the_transposed_tensor() {
+        let w = coordinate_weights(4, 3);
+        let tiles = lowered_tiles(4, 3);
+        assert_eq!(tiles.len(), 1);
+        let tile = vmm_tile_matrix(&tiles[0], &w, 4);
+        // tile[r * cols + c] = w[c * 4 + r]
+        assert_eq!(tile[1], w[4]);
+        assert_eq!(tile[2 * 3 + 2], w[2 * 4 + 2]);
+    }
+
+    #[test]
+    fn conv_input_dim_folds_kernel_and_channels() {
+        let conv = Operator::Conv2d {
+            in_channels: 8,
+            out_channels: 4,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+            groups: 1,
+        };
+        assert_eq!(weight_input_dim(&conv), Some(72));
+        assert_eq!(
+            weight_input_dim(&Operator::Linear {
+                in_features: 10,
+                out_features: 2
+            }),
+            Some(10)
+        );
+        assert_eq!(weight_input_dim(&Operator::Relu), None);
+    }
+
+    #[test]
+    fn tile_fits_rejects_out_of_range_spans() {
+        let w = coordinate_weights(10, 4);
+        let mut g = lowered_tiles(10, 4).remove(0);
+        assert!(tile_fits(&g, &w, 10));
+        g.row_offset = 5;
+        assert!(!tile_fits(&g, &w, 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "only VMM tiles carry layer weights")]
+    fn non_vmm_tiles_are_rejected() {
+        let mut g = lowered_tiles(4, 3).remove(0);
+        g.kind = CoreOpKind::Pooling;
+        let w = coordinate_weights(4, 3);
+        let _ = vmm_tile_matrix(&g, &w, 4);
+    }
+}

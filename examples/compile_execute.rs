@@ -1,0 +1,48 @@
+//! Compile a network, execute it on the simulated fabric, and diff it
+//! against the golden-model reference — the end-to-end numeric proof that
+//! compilation preserves semantics.
+//!
+//! ```sh
+//! cargo run --release --example compile_execute
+//! ```
+
+use fpsa::core::experiments::fig9_compiled;
+use fpsa::core::validate::{validate, ValidationConfig};
+use fpsa::core::Compiler;
+use fpsa::nn::{zoo, GraphParameters};
+
+fn main() {
+    let compiler = Compiler::fpsa();
+    let config = ValidationConfig::default();
+
+    println!("differential validation (compiled execution vs golden reference)");
+    println!("model            float max|Δ|   integer   verdict");
+    for graph in zoo::differential_suite() {
+        let params = GraphParameters::seeded(&graph, 0xD1FF);
+        let report = validate(&compiler, &graph, &params, &config).expect("validation runs");
+        println!(
+            "{:<16} {:>12.3e}   {}   {}",
+            report.model,
+            report.float_max_abs,
+            if report.integer_bit_exact {
+                "bit-exact"
+            } else {
+                "DIVERGED "
+            },
+            if report.passed() { "ok" } else { "FAIL" },
+        );
+    }
+
+    println!();
+    println!("Figure 9 on a compiled model (accuracy under per-PE programming noise):");
+    let fig = fig9_compiled::run_with(
+        fpsa::device::variation::CellVariation::measured(),
+        &[1, 2, 8],
+        2,
+    );
+    println!(
+        "compiled accuracy {:.3} (reference {:.3})",
+        fig.compiled_accuracy, fig.reference_accuracy
+    );
+    println!("{}", fig9_compiled::to_table(&fig));
+}

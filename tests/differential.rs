@@ -1,0 +1,160 @@
+//! The differential golden-model suite.
+//!
+//! Every small model-zoo benchmark is compiled through the full
+//! `Synthesize → Map → PlaceRoute` pipeline and *executed* on the simulated
+//! fabric (`fpsa_sim::exec`), then diffed against the layer-granularity
+//! golden reference (`fpsa_nn::reference`) in three regimes:
+//!
+//! * **float, noise disabled** — must match within the documented tolerance
+//!   (`ValidationConfig::default().tolerance = 1e-4`: both sides accumulate
+//!   in f64 and round to f32 at node boundaries, so only summation order
+//!   inside tiled layers may differ);
+//! * **exact quantization, noise disabled** — integer-code execution must
+//!   match the quantized reference **bit for bit** (integer accumulation is
+//!   associative; any divergence is a compilation bug);
+//! * **noise enabled** — per-PE programming noise at the paper's measured
+//!   variation must stay within a loose envelope of the float reference
+//!   (the 8-cell add representation keeps the normalized weight deviation
+//!   under 2%, so logits on these O(1)-scaled networks stay within ±0.5).
+//!
+//! Debug builds shrink the batch and skip CIFAR-VGG17 (333M MACs per
+//! forward pass); the dedicated `differential` CI job runs the full suite
+//! in `--release`.
+
+use fpsa::core::validate::{sample_inputs, validate, ValidationConfig};
+use fpsa::core::Compiler;
+use fpsa::device::variation::{CellVariation, WeightScheme};
+use fpsa::nn::reference::Reference;
+use fpsa::nn::{zoo, ComputationalGraph, GraphParameters};
+use fpsa::sim::exec::Precision;
+
+fn config() -> ValidationConfig {
+    ValidationConfig {
+        batch: if cfg!(debug_assertions) { 2 } else { 4 },
+        ..ValidationConfig::default()
+    }
+}
+
+/// Every model the suite executes: the six tiny differential variants plus
+/// the paper's two small MNIST benchmarks (and CIFAR-VGG17 in release).
+fn suite() -> Vec<ComputationalGraph> {
+    let mut models = zoo::differential_suite();
+    models.push(zoo::mlp_500_100());
+    models.push(zoo::lenet());
+    if !cfg!(debug_assertions) {
+        models.push(zoo::cifar_vgg17());
+    }
+    models
+}
+
+#[test]
+fn compiled_execution_matches_the_golden_reference_on_every_small_model() {
+    let compiler = Compiler::fpsa();
+    let config = config();
+    let mut validated = 0;
+    for graph in suite() {
+        let params = GraphParameters::seeded(&graph, 0xD1FF);
+        let report = validate(&compiler, &graph, &params, &config)
+            .unwrap_or_else(|e| panic!("{}: {e}", graph.name));
+        assert!(
+            report.float_max_abs <= report.tolerance,
+            "{}: float divergence {} exceeds tolerance {} (worst node: {:?})",
+            report.model,
+            report.float_max_abs,
+            report.tolerance,
+            report.worst_node()
+        );
+        assert!(
+            report.integer_bit_exact,
+            "{}: exact-quantization execution diverged from the quantizer's reference",
+            report.model
+        );
+        assert!(report.passed());
+        validated += 1;
+    }
+    assert!(validated >= 5, "the suite must cover at least 5 benchmarks");
+}
+
+#[test]
+fn noisy_execution_stays_within_the_device_envelope() {
+    let compiler = Compiler::fpsa();
+    for graph in zoo::differential_suite() {
+        let params = GraphParameters::seeded(&graph, 0xD1FF);
+        let compiled = compiler.compile(&graph).unwrap();
+        let reference = Reference::new(&graph, &params).unwrap();
+        let exec = compiled
+            .executor(
+                &graph,
+                &params,
+                &Precision::Noisy {
+                    scheme: WeightScheme::fpsa_add(),
+                    variation: CellVariation::measured(),
+                    seed: 0xA11CE,
+                },
+            )
+            .unwrap_or_else(|e| panic!("{}: {e}", graph.name));
+        for x in sample_inputs(&graph, 2, 3) {
+            let noisy = exec.run(&x).unwrap();
+            let clean = reference.logits(&x).unwrap();
+            for (n, c) in noisy.iter().zip(&clean) {
+                assert!(n.is_finite());
+                assert!(
+                    (n - c).abs() < 0.5,
+                    "{}: noisy logit {n} too far from reference {c}",
+                    graph.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn batched_execution_is_bit_identical_across_chunkings() {
+    // The executor realizes all randomness at bind time and runs samples
+    // pure, so rayon scheduling (thread count, chunk boundaries) cannot
+    // perturb results: a full batch, two half batches and one-at-a-time
+    // execution must agree bit for bit.
+    let graph = zoo::tiny_cnn();
+    let params = GraphParameters::seeded(&graph, 9);
+    let compiled = Compiler::fpsa().compile(&graph).unwrap();
+    let exec = compiled
+        .executor(
+            &graph,
+            &params,
+            &Precision::Noisy {
+                scheme: WeightScheme::fpsa_add(),
+                variation: CellVariation::measured(),
+                seed: 7,
+            },
+        )
+        .unwrap();
+    let inputs = sample_inputs(&graph, 8, 1);
+    let full = exec.run_batch(&inputs).unwrap();
+    let (a, b) = inputs.split_at(5);
+    let mut halves = exec.run_batch(a).unwrap();
+    halves.extend(exec.run_batch(b).unwrap());
+    let singles: Vec<Vec<f32>> = inputs.iter().map(|x| exec.run(x).unwrap()).collect();
+    assert_eq!(full, halves);
+    assert_eq!(full, singles);
+}
+
+#[test]
+fn per_layer_report_documents_where_divergence_lives() {
+    let compiler = Compiler::fpsa();
+    let graph = zoo::lenet();
+    let params = GraphParameters::seeded(&graph, 0xD1FF);
+    let report = validate(&compiler, &graph, &params, &config()).unwrap();
+    // Every compute node of LeNet shows up in the per-layer table, and all
+    // of them sit inside the tolerance individually.
+    let names: Vec<&str> = report.per_node.iter().map(|n| n.name.as_str()).collect();
+    for expected in ["conv1", "pool1", "conv2", "pool2", "fc1", "fc2"] {
+        assert!(
+            names.contains(&expected),
+            "missing per-layer row {expected}"
+        );
+    }
+    assert!(report
+        .per_node
+        .iter()
+        .all(|n| n.max_abs <= report.tolerance));
+}

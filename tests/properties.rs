@@ -37,6 +37,8 @@ fn chain_graph(reuses: &[u64]) -> CoreOpGraph {
             kind: CoreOpKind::Vmm,
             rows: 256,
             cols: 256,
+            row_offset: 0,
+            col_offset: 0,
             reuse_degree: r,
             relu: true,
             layer_depth: i,
