@@ -1,0 +1,27 @@
+//! Serving throughput of the `fpsa_serve` engine: dynamic batching ×
+//! replica sharding vs the bind-per-request direct path, on the MNIST-scale
+//! zoo benchmarks. Emits `BENCH_serving.json` next to Criterion's output.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fpsa_bench::{print_experiment, save_json};
+use fpsa_core::experiments::serving;
+use fpsa_nn::zoo::Benchmark;
+
+fn bench(c: &mut Criterion) {
+    let reports = serving::run();
+    print_experiment(
+        "Serving throughput: fpsa_serve vs bind-per-request direct path",
+        &serving::to_table(&reports),
+    );
+    save_json("BENCH_serving", &reports);
+
+    let mut group = c.benchmark_group("serving");
+    group.sample_size(10);
+    group.bench_function("mlp_500_100_4x8_sweep_small", |b| {
+        b.iter(|| serving::run_with(&[Benchmark::Mlp500x100], &[4], &[(8, 200)], 64))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -16,6 +16,7 @@ use crate::pipeline::{
 use fpsa_arch::{ArchitectureConfig, Bitstream, SectionKind};
 use fpsa_mapper::Mapping;
 use fpsa_nn::{ComputationalGraph, NnError};
+use fpsa_serve::{ServeConfig, ServeEngine};
 use fpsa_sim::{
     CommunicationEstimate, ExecError, Executor, PerformanceReport, PerformanceSimulator, Precision,
     StageTrace,
@@ -151,6 +152,26 @@ impl CompiledModel {
         precision: &Precision,
     ) -> Result<Executor, ExecError> {
         Executor::bind(graph, params, &self.core_graph, &self.mapping, precision)
+    }
+
+    /// Bind this compiled model once and put it behind a throughput engine:
+    /// `config.replicas` worker threads share the pre-bound executor and
+    /// coalesce queued requests into dynamic batches (see `fpsa_serve`).
+    /// Engine outputs are bit-identical to [`CompiledModel::executor`] +
+    /// `run` per request.
+    ///
+    /// # Errors
+    ///
+    /// Propagates binding errors, exactly like [`CompiledModel::executor`].
+    pub fn serve(
+        &self,
+        graph: &ComputationalGraph,
+        params: &fpsa_nn::GraphParameters,
+        precision: &Precision,
+        config: ServeConfig,
+    ) -> Result<ServeEngine, ExecError> {
+        let executor = self.executor(graph, params, precision)?;
+        Ok(ServeEngine::start(executor, config))
     }
 
     /// Evaluate the performance of the compiled model. The report carries

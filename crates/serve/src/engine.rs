@@ -1,0 +1,548 @@
+//! The throughput engine: pre-bound executor replicas draining a shared
+//! dynamic-batch queue.
+//!
+//! # Replica lifecycle
+//!
+//! [`ServeEngine::start`] takes a bound [`Executor`] — the expensive step
+//! (weight realization, artifact verification) already paid exactly once —
+//! and shares it read-only (`Arc`) across `replicas` worker threads. Each
+//! worker owns the only mutable state it needs: one [`fpsa_sim::ExecArena`]
+//! of recycled scratch buffers plus a reusable output table, so the
+//! steady-state request path performs no scratch allocation. Workers block
+//! on a condvar over the shared [`DynamicBatcher`], pop ready batches FIFO
+//! under the queue lock, and execute them *outside* the lock — which is what
+//! pipelines consecutive batches across replicas: while one replica computes
+//! a batch, the next batch fills and is claimed by another.
+//!
+//! # Shutdown
+//!
+//! Dropping the engine (or calling [`ServeEngine::shutdown`]) flips the
+//! shutdown flag and wakes every worker; workers then drain the queue
+//! without waiting out the batch window and exit once it is empty. Requests
+//! are therefore never dropped: every ticket resolves to an output or an
+//! error.
+//!
+//! # Determinism
+//!
+//! Execution is pure (all randomness is realized when the executor binds),
+//! every request is executed by [`Executor::run_into`] — bit-identical to
+//! [`Executor::run`] by construction — and each response travels a
+//! per-request channel, so neither batch composition, replica count, window
+//! length, nor thread scheduling can change *what* a request computes or
+//! *which* client receives it. The determinism suite
+//! (`tests/determinism.rs`) pins this across all three precisions.
+
+use crate::batcher::{BatchPolicy, DynamicBatcher};
+use fpsa_sim::exec::{ExecError, Executor};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// How an engine batches and shards incoming requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServeConfig {
+    /// Worker threads sharing the pre-bound executor (clamped to ≥ 1).
+    pub replicas: usize,
+    /// Largest batch one replica executes in one go (clamped to ≥ 1).
+    pub max_batch: usize,
+    /// How long a part-full batch may wait for stragglers, in microseconds
+    /// (0 = serve immediately, batch only under backlog).
+    pub batch_window_us: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            replicas: 2,
+            max_batch: 8,
+            batch_window_us: 200,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The no-coalescing configuration: one replica, batch size 1, no wait —
+    /// the engine-shaped equivalent of calling `Executor::run` per request.
+    pub fn direct() -> Self {
+        ServeConfig {
+            replicas: 1,
+            max_batch: 1,
+            batch_window_us: 0,
+        }
+    }
+
+    /// Set the replica count.
+    pub fn with_replicas(mut self, replicas: usize) -> Self {
+        self.replicas = replicas;
+        self
+    }
+
+    /// Set the maximum batch size.
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch;
+        self
+    }
+
+    /// Set the batch window in microseconds.
+    pub fn with_batch_window_us(mut self, window_us: u64) -> Self {
+        self.batch_window_us = window_us;
+        self
+    }
+}
+
+/// Why a request failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The engine is shutting down and no longer admits requests.
+    ShutDown,
+    /// The input does not match the model's input width.
+    InputLength {
+        /// Elements submitted.
+        got: usize,
+        /// Elements the graph expects.
+        want: usize,
+    },
+    /// The executor rejected the batch (propagated per request).
+    Exec(ExecError),
+    /// The serving thread disappeared before answering (engine panic).
+    Canceled,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::ShutDown => write!(f, "serving engine is shut down"),
+            ServeError::InputLength { got, want } => {
+                write!(f, "input has {got} elements, model expects {want}")
+            }
+            ServeError::Exec(e) => write!(f, "execution failed: {e}"),
+            ServeError::Canceled => write!(f, "request canceled before completion"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Aggregate counters over an engine's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServeStats {
+    /// Requests admitted into the queue.
+    pub submitted: u64,
+    /// Requests answered with an output.
+    pub completed: u64,
+    /// Requests answered with an error after admission.
+    pub failed: u64,
+    /// Requests rejected at submission (bad input length, shutdown).
+    pub rejected: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Largest batch observed.
+    pub largest_batch: usize,
+}
+
+impl ServeStats {
+    /// Mean executed batch size (0 when no batch ran yet).
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            (self.completed + self.failed) as f64 / self.batches as f64
+        }
+    }
+}
+
+/// One response: the logits plus the request's queue-to-completion latency
+/// in microseconds (stamped by the worker, not by the waiter).
+type Response = Result<(Vec<f32>, u64), ServeError>;
+
+/// A pending request inside the queue.
+struct Request {
+    input: Vec<f32>,
+    submitted_us: u64,
+    tx: mpsc::Sender<Response>,
+}
+
+/// The handle [`ServeEngine::submit`] returns: redeem it for the output.
+/// Each ticket is answered exactly once; responses cannot cross between
+/// requests because every ticket owns its own channel.
+pub struct Ticket {
+    rx: mpsc::Receiver<Response>,
+}
+
+impl Ticket {
+    /// Block until the output is ready.
+    ///
+    /// # Errors
+    ///
+    /// The request's [`ServeError`], if it failed.
+    pub fn wait(self) -> Result<Vec<f32>, ServeError> {
+        self.wait_timed().map(|(out, _)| out)
+    }
+
+    /// Block until the output is ready, also returning the request's
+    /// submit-to-completion latency in microseconds.
+    ///
+    /// # Errors
+    ///
+    /// The request's [`ServeError`], if it failed.
+    pub fn wait_timed(self) -> Result<(Vec<f32>, u64), ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::Canceled))
+    }
+}
+
+/// Queue state behind the engine's mutex.
+struct QueueState {
+    batcher: DynamicBatcher<Request>,
+    shutdown: bool,
+    stats: ServeStats,
+}
+
+/// Everything the worker threads share (itself behind one `Arc`).
+struct Shared {
+    exec: Executor,
+    input_len: Option<usize>,
+    state: Mutex<QueueState>,
+    work: Condvar,
+    started: Instant,
+}
+
+impl Shared {
+    /// Microseconds since the engine started (the batcher's clock).
+    fn now_us(&self) -> u64 {
+        self.started.elapsed().as_micros() as u64
+    }
+}
+
+/// An in-process serving engine over one pre-bound executor: dynamic
+/// batching in front, replica sharding behind (see the module docs).
+pub struct ServeEngine {
+    shared: Arc<Shared>,
+    workers: Vec<thread::JoinHandle<()>>,
+    config: ServeConfig,
+}
+
+impl fmt::Debug for ServeEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServeEngine")
+            .field("config", &self.config)
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl ServeEngine {
+    /// Start serving: bind-once executor in, worker pool out.
+    pub fn start(executor: Executor, config: ServeConfig) -> ServeEngine {
+        let config = ServeConfig {
+            replicas: config.replicas.max(1),
+            max_batch: config.max_batch.max(1),
+            batch_window_us: config.batch_window_us,
+        };
+        let input_len = executor.input_len();
+        let shared = Arc::new(Shared {
+            exec: executor,
+            input_len,
+            state: Mutex::new(QueueState {
+                batcher: DynamicBatcher::new(BatchPolicy::new(
+                    config.max_batch,
+                    config.batch_window_us,
+                )),
+                shutdown: false,
+                stats: ServeStats::default(),
+            }),
+            work: Condvar::new(),
+            started: Instant::now(),
+        });
+        let workers = (0..config.replicas)
+            .map(|replica| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("fpsa-serve-{replica}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("serving worker threads spawn")
+            })
+            .collect();
+        ServeEngine {
+            shared,
+            workers,
+            config,
+        }
+    }
+
+    /// The (clamped) configuration the engine runs with.
+    pub fn config(&self) -> ServeConfig {
+        self.config
+    }
+
+    /// Enqueue one request; never blocks on the model. Invalid inputs and
+    /// post-shutdown submissions resolve the ticket immediately with an
+    /// error instead of poisoning a batch.
+    pub fn submit(&self, input: Vec<f32>) -> Ticket {
+        let (tx, rx) = mpsc::channel();
+        let ticket = Ticket { rx };
+        let rejection = match self.shared.input_len {
+            Some(want) if input.len() != want => Some(ServeError::InputLength {
+                got: input.len(),
+                want,
+            }),
+            _ => None,
+        };
+        {
+            let mut state = self.shared.state.lock().expect("queue lock");
+            if let Some(err) = rejection {
+                state.stats.rejected += 1;
+                let _ = tx.send(Err(err));
+                return ticket;
+            }
+            if state.shutdown {
+                state.stats.rejected += 1;
+                let _ = tx.send(Err(ServeError::ShutDown));
+                return ticket;
+            }
+            // Stamped under the lock, so batcher timestamps are monotone
+            // and the oldest entry is always the queue front.
+            let now = self.shared.now_us();
+            state.stats.submitted += 1;
+            state.batcher.push(
+                Request {
+                    input,
+                    submitted_us: now,
+                    tx,
+                },
+                now,
+            );
+        }
+        self.shared.work.notify_one();
+        ticket
+    }
+
+    /// Submit one request and block for its output.
+    ///
+    /// # Errors
+    ///
+    /// The request's [`ServeError`], if it failed.
+    pub fn infer(&self, input: Vec<f32>) -> Result<Vec<f32>, ServeError> {
+        self.submit(input).wait()
+    }
+
+    /// Submit a whole batch and collect the outputs in submission order.
+    ///
+    /// # Errors
+    ///
+    /// The first failing request's [`ServeError`].
+    pub fn serve_batch(&self, inputs: &[Vec<f32>]) -> Result<Vec<Vec<f32>>, ServeError> {
+        let tickets: Vec<Ticket> = inputs.iter().map(|x| self.submit(x.clone())).collect();
+        tickets.into_iter().map(Ticket::wait).collect()
+    }
+
+    /// A snapshot of the lifetime counters.
+    pub fn stats(&self) -> ServeStats {
+        self.shared.state.lock().expect("queue lock").stats
+    }
+
+    /// Stop admitting requests, drain the queue, join the workers and
+    /// return the final counters.
+    pub fn shutdown(mut self) -> ServeStats {
+        self.shutdown_and_join();
+        self.stats()
+    }
+
+    fn shutdown_and_join(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("queue lock");
+            state.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for ServeEngine {
+    fn drop(&mut self) {
+        self.shutdown_and_join();
+    }
+}
+
+/// One replica: claim ready batches FIFO, execute them outside the lock on
+/// this replica's arena, answer every ticket, repeat until drained shutdown.
+fn worker_loop(shared: &Shared) {
+    let mut arena = shared.exec.arena();
+    let mut inputs: Vec<Vec<f32>> = Vec::new();
+    let mut outputs: Vec<Vec<f32>> = Vec::new();
+    while let Some(mut batch) = next_batch(shared) {
+        inputs.clear();
+        inputs.extend(batch.iter_mut().map(|req| std::mem::take(&mut req.input)));
+        let result = shared
+            .exec
+            .run_batch_into(&inputs, &mut arena, &mut outputs);
+        let done_us = shared.now_us();
+        {
+            // Count the batch before answering its tickets, so a client that
+            // just received its output always observes itself in the stats.
+            let mut state = shared.state.lock().expect("queue lock");
+            state.stats.batches += 1;
+            state.stats.largest_batch = state.stats.largest_batch.max(batch.len());
+            match &result {
+                Ok(()) => state.stats.completed += batch.len() as u64,
+                Err(_) => state.stats.failed += batch.len() as u64,
+            }
+        }
+        match &result {
+            Ok(()) => {
+                for (req, out) in batch.iter().zip(outputs.iter_mut()) {
+                    let latency = done_us.saturating_sub(req.submitted_us);
+                    let _ = req.tx.send(Ok((std::mem::take(out), latency)));
+                }
+            }
+            Err(e) => {
+                // Inputs are validated at submission, so this is an internal
+                // failure; every member of the batch learns about it.
+                for req in &batch {
+                    let _ = req.tx.send(Err(ServeError::Exec(e.clone())));
+                }
+            }
+        }
+    }
+}
+
+/// Block until a batch is ready (or the engine drained out). Wakes on new
+/// work and on the oldest request's deadline; after a pop, hands any
+/// leftover queue to another replica via `notify_one` — that hand-off is
+/// the batch pipeline.
+fn next_batch(shared: &Shared) -> Option<Vec<Request>> {
+    let mut state = shared.state.lock().expect("queue lock");
+    loop {
+        let now = shared.now_us();
+        if let Some(batch) = state.batcher.pop_ready(now) {
+            if !state.batcher.is_empty() {
+                shared.work.notify_one();
+            }
+            return Some(batch);
+        }
+        if state.shutdown {
+            // Drain without waiting out the window; None ends the worker.
+            return state.batcher.pop_now();
+        }
+        state = match state.batcher.next_deadline_us() {
+            Some(deadline) => {
+                let wait = Duration::from_micros(deadline.saturating_sub(now).max(1));
+                shared.work.wait_timeout(state, wait).expect("queue lock").0
+            }
+            None => shared.work.wait(state).expect("queue lock"),
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpsa_core::Compiler;
+    use fpsa_nn::{zoo, GraphParameters};
+    use fpsa_sim::Precision;
+
+    fn mlp_executor() -> Executor {
+        let graph = zoo::tiny_mlp();
+        let params = GraphParameters::seeded(&graph, 7);
+        let compiled = Compiler::fpsa().compile(&graph).unwrap();
+        compiled
+            .executor(&graph, &params, &Precision::Float)
+            .unwrap()
+    }
+
+    fn sample(seed: u64) -> Vec<f32> {
+        (0..16).map(|i| ((seed + i) % 10) as f32 * 0.1).collect()
+    }
+
+    #[test]
+    fn served_outputs_match_direct_execution() {
+        let exec = mlp_executor();
+        let direct: Vec<Vec<f32>> = (0..6).map(|i| exec.run(&sample(i)).unwrap()).collect();
+        let engine = ServeEngine::start(mlp_executor(), ServeConfig::default());
+        let inputs: Vec<Vec<f32>> = (0..6).map(sample).collect();
+        let served = engine.serve_batch(&inputs).unwrap();
+        assert_eq!(served, direct);
+        let stats = engine.shutdown();
+        assert_eq!(stats.submitted, 6);
+        assert_eq!(stats.completed, 6);
+        assert_eq!(stats.failed + stats.rejected, 0);
+    }
+
+    #[test]
+    fn bad_input_lengths_are_rejected_without_poisoning_the_queue() {
+        let engine = ServeEngine::start(mlp_executor(), ServeConfig::direct());
+        let err = engine.infer(vec![0.0; 3]).unwrap_err();
+        assert_eq!(err, ServeError::InputLength { got: 3, want: 16 });
+        // A well-formed request right after still serves.
+        assert_eq!(engine.infer(sample(1)).unwrap().len(), 4);
+        let stats = engine.stats();
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn a_full_batch_flushes_before_its_window_expires() {
+        // Window far beyond the test's patience: the only way these four
+        // requests complete promptly is the size trigger.
+        let config = ServeConfig {
+            replicas: 1,
+            max_batch: 4,
+            batch_window_us: 30_000_000,
+        };
+        let engine = ServeEngine::start(mlp_executor(), config);
+        let tickets: Vec<Ticket> = (0..4).map(|i| engine.submit(sample(i))).collect();
+        for ticket in tickets {
+            ticket.wait().unwrap();
+        }
+        let stats = engine.shutdown();
+        assert_eq!(stats.batches, 1, "four submissions must coalesce");
+        assert_eq!(stats.largest_batch, 4);
+    }
+
+    #[test]
+    fn shutdown_drains_pending_requests_instead_of_dropping_them() {
+        let config = ServeConfig {
+            replicas: 2,
+            max_batch: 8,
+            batch_window_us: 30_000_000,
+        };
+        let engine = ServeEngine::start(mlp_executor(), config);
+        // Three stragglers that would otherwise wait out a 30 s window.
+        let tickets: Vec<Ticket> = (0..3).map(|i| engine.submit(sample(i))).collect();
+        let stats = engine.shutdown();
+        assert_eq!(stats.completed, 3);
+        for ticket in tickets {
+            assert_eq!(ticket.wait().unwrap().len(), 4);
+        }
+    }
+
+    #[test]
+    fn config_clamps_to_at_least_one_replica_and_batch() {
+        let engine = ServeEngine::start(
+            mlp_executor(),
+            ServeConfig {
+                replicas: 0,
+                max_batch: 0,
+                batch_window_us: 0,
+            },
+        );
+        assert_eq!(engine.config().replicas, 1);
+        assert_eq!(engine.config().max_batch, 1);
+        assert_eq!(engine.infer(sample(0)).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn stats_mean_batch_is_well_defined() {
+        assert_eq!(ServeStats::default().mean_batch(), 0.0);
+        let stats = ServeStats {
+            completed: 6,
+            batches: 2,
+            ..ServeStats::default()
+        };
+        assert!((stats.mean_batch() - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,215 @@
+//! The serving determinism suite.
+//!
+//! The engine's contract: for *any* interleaving of batch window, replica
+//! count and request arrival order, served outputs are **bit-identical** to
+//! a direct single-threaded `Executor::run` on the same inputs — in all
+//! three numeric regimes (Float, Integer, Noisy). Throughput machinery may
+//! only change when work happens, never what is computed or who receives
+//! it.
+
+use fpsa_core::Compiler;
+use fpsa_device::variation::{CellVariation, WeightScheme};
+use fpsa_nn::reference::QuantizationPlan;
+use fpsa_nn::{seeds, zoo, ComputationalGraph, GraphParameters, Operator};
+use fpsa_serve::{ServeConfig, ServeEngine, Ticket};
+use fpsa_sim::{Executor, Precision};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+fn samples(graph: &ComputationalGraph, n: usize) -> Vec<Vec<f32>> {
+    let len = graph
+        .nodes()
+        .iter()
+        .find_map(|node| match node.op {
+            Operator::Input { shape } => Some(shape.elements()),
+            _ => None,
+        })
+        .expect("graph has an input");
+    (0..n)
+        .map(|i| {
+            let mut rng = StdRng::seed_from_u64(seeds::derive(77, seeds::STREAM_SAMPLES, i as u64));
+            (0..len).map(|_| rng.gen_range(0.0f32..1.0)).collect()
+        })
+        .collect()
+}
+
+/// The three numeric regimes, bound from the same compiled model.
+fn precisions(
+    graph: &ComputationalGraph,
+    params: &GraphParameters,
+    inputs: &[Vec<f32>],
+) -> Vec<Precision> {
+    let plan = QuantizationPlan::calibrate(graph, params, inputs).expect("calibration succeeds");
+    vec![
+        Precision::Float,
+        Precision::Integer(plan),
+        Precision::Noisy {
+            scheme: WeightScheme::fpsa_add(),
+            variation: CellVariation::measured(),
+            seed: 0xD07,
+        },
+    ]
+}
+
+fn bind(
+    compiled: &fpsa_core::CompiledModel,
+    graph: &ComputationalGraph,
+    params: &GraphParameters,
+    precision: &Precision,
+) -> Executor {
+    compiled
+        .executor(graph, params, precision)
+        .expect("compiled zoo models bind")
+}
+
+#[test]
+fn served_outputs_are_bit_identical_across_windows_replicas_and_arrival_orders() {
+    let graph = zoo::tiny_cnn();
+    let params = GraphParameters::seeded(&graph, 0x5EED);
+    let compiled = Compiler::fpsa().compile(&graph).expect("tiny CNN compiles");
+    let inputs = samples(&graph, 10);
+
+    for precision in precisions(&graph, &params, &inputs) {
+        // The single-threaded ground truth, computed once per precision.
+        let direct_exec = bind(&compiled, &graph, &params, &precision);
+        let direct: Vec<Vec<f32>> = inputs
+            .iter()
+            .map(|x| direct_exec.run(x).expect("direct run succeeds"))
+            .collect();
+
+        for replicas in [1, 2, 4] {
+            for (max_batch, window_us) in [(1, 0), (3, 0), (4, 400), (16, 1_500)] {
+                let engine = ServeEngine::start(
+                    bind(&compiled, &graph, &params, &precision),
+                    ServeConfig {
+                        replicas,
+                        max_batch,
+                        batch_window_us: window_us,
+                    },
+                );
+
+                // Arrival order 1: the whole stream at once (max coalescing).
+                let tickets: Vec<Ticket> =
+                    inputs.iter().map(|x| engine.submit(x.clone())).collect();
+                for (i, ticket) in tickets.into_iter().enumerate() {
+                    assert_eq!(
+                        ticket.wait().expect("request served"),
+                        direct[i],
+                        "burst arrival diverged ({precision:?}, {replicas} replicas, batch {max_batch}/{window_us}us)"
+                    );
+                }
+
+                // Arrival order 2: reversed, in dribbled chunks with gaps
+                // (windows expire mid-stream, batches straddle chunks).
+                let mut tickets: Vec<(usize, Ticket)> = Vec::new();
+                for (n, chunk) in inputs
+                    .iter()
+                    .enumerate()
+                    .rev()
+                    .collect::<Vec<_>>()
+                    .chunks(3)
+                    .enumerate()
+                {
+                    for &(i, x) in chunk {
+                        tickets.push((i, engine.submit(x.clone())));
+                    }
+                    if n % 2 == 0 {
+                        std::thread::sleep(Duration::from_micros(600));
+                    }
+                }
+                for (i, ticket) in tickets {
+                    assert_eq!(
+                        ticket.wait().expect("request served"),
+                        direct[i],
+                        "dribbled arrival diverged ({precision:?}, {replicas} replicas, batch {max_batch}/{window_us}us)"
+                    );
+                }
+
+                let stats = engine.shutdown();
+                assert_eq!(stats.submitted, 2 * inputs.len() as u64);
+                assert_eq!(stats.completed, 2 * inputs.len() as u64);
+                assert_eq!(stats.failed + stats.rejected, 0);
+            }
+        }
+    }
+}
+
+#[test]
+fn concurrent_client_streams_each_see_their_own_outputs_in_order() {
+    // Several client threads hammer one engine with distinct streams; every
+    // client must receive exactly its own results, in its own submission
+    // order, bit-identical to direct execution.
+    let graph = zoo::tiny_mlp();
+    let params = GraphParameters::seeded(&graph, 0xC11E);
+    let compiled = Compiler::fpsa().compile(&graph).expect("tiny MLP compiles");
+    let direct_exec = bind(&compiled, &graph, &params, &Precision::Float);
+    let engine = ServeEngine::start(
+        bind(&compiled, &graph, &params, &Precision::Float),
+        ServeConfig {
+            replicas: 3,
+            max_batch: 4,
+            batch_window_us: 300,
+        },
+    );
+
+    let clients = 4;
+    let per_client = 12;
+    std::thread::scope(|scope| {
+        for client in 0..clients {
+            let engine = &engine;
+            let direct_exec = &direct_exec;
+            let graph = &graph;
+            scope.spawn(move || {
+                let stream: Vec<Vec<f32>> = samples(graph, clients * per_client)
+                    [client * per_client..(client + 1) * per_client]
+                    .to_vec();
+                let want: Vec<Vec<f32>> = stream
+                    .iter()
+                    .map(|x| direct_exec.run(x).expect("direct run"))
+                    .collect();
+                // Submit the whole stream, then redeem tickets in submission
+                // order: responses must arrive for the right requests.
+                let tickets: Vec<Ticket> =
+                    stream.iter().map(|x| engine.submit(x.clone())).collect();
+                for (i, ticket) in tickets.into_iter().enumerate() {
+                    assert_eq!(
+                        ticket.wait().expect("request served"),
+                        want[i],
+                        "client {client} request {i} got the wrong output"
+                    );
+                }
+            });
+        }
+    });
+
+    let stats = engine.shutdown();
+    assert_eq!(stats.completed, (clients * per_client) as u64);
+    assert!(stats.largest_batch <= 4, "configured max batch exceeded");
+}
+
+#[test]
+fn integer_precision_stays_bit_exact_through_the_engine_on_mlp_500_100() {
+    // The paper-scale MNIST MLP in the exactly-reproducible regime: integer
+    // codes are associative, so any divergence through the serving path is
+    // an engine bug, full stop. (Small request count: this test also runs
+    // in debug CI.)
+    let graph = zoo::mlp_500_100();
+    let params = GraphParameters::seeded(&graph, 0x500_100);
+    let compiled = Compiler::fpsa().compile(&graph).expect("MLP compiles");
+    let inputs = samples(&graph, 4);
+    let plan = QuantizationPlan::calibrate(&graph, &params, &inputs).expect("calibrates");
+    let precision = Precision::Integer(plan);
+    let direct_exec = bind(&compiled, &graph, &params, &precision);
+    let direct: Vec<Vec<f32>> = inputs.iter().map(|x| direct_exec.run(x).unwrap()).collect();
+    let engine = ServeEngine::start(
+        bind(&compiled, &graph, &params, &precision),
+        ServeConfig {
+            replicas: 2,
+            max_batch: 4,
+            batch_window_us: 500,
+        },
+    );
+    let served = engine.serve_batch(&inputs).expect("batch served");
+    assert_eq!(served, direct);
+}

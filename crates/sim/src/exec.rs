@@ -33,6 +33,12 @@
 //!    All weight realization (including noise) happens at bind time, so
 //!    execution is pure and results are bit-identical for any thread count
 //!    or batch chunking.
+//! 4. Long-lived callers (the serving engine of `fpsa_serve`) bind once and
+//!    keep an [`ExecArena`] per replica: [`Executor::run_into`] and
+//!    [`Executor::run_batch_into`] recycle every intermediate buffer through
+//!    the arena's epoch-stamped slabs, so the steady-state hot path performs
+//!    no scratch allocation — and, because execution is pure, stays
+//!    bit-identical to fresh [`Executor::run`] calls.
 //!
 //! # Numeric domains ([`Precision`])
 //!
@@ -251,6 +257,88 @@ struct NodeInfo {
     weight_step: f64,
 }
 
+/// An epoch-stamped buffer pool: one growable buffer per slot, with validity
+/// tracked per execution epoch. Invalidating every slot is a single counter
+/// increment, so a run never pays for clearing and the buffers' capacity is
+/// recycled across runs.
+#[derive(Debug, Default)]
+struct Slab<T> {
+    bufs: Vec<Vec<T>>,
+    stamp: Vec<u64>,
+}
+
+impl<T: Copy + Default> Slab<T> {
+    fn ensure(&mut self, slots: usize) {
+        if self.bufs.len() < slots {
+            self.bufs.resize_with(slots, Vec::new);
+            self.stamp.resize(slots, 0);
+        }
+    }
+
+    /// Claim a slot for `epoch` as an empty buffer (capacity retained).
+    fn claim(&mut self, slot: usize, epoch: u64) -> &mut Vec<T> {
+        self.stamp[slot] = epoch;
+        let buf = &mut self.bufs[slot];
+        buf.clear();
+        buf
+    }
+
+    /// Claim a slot for `epoch`, zero-filled to `len`.
+    fn claim_zeroed(&mut self, slot: usize, len: usize, epoch: u64) {
+        let buf = self.claim(slot, epoch);
+        buf.resize(len, T::default());
+    }
+
+    /// Whether the slot was written during `epoch`.
+    fn live(&self, slot: usize, epoch: u64) -> bool {
+        self.stamp.get(slot).copied() == Some(epoch)
+    }
+
+    fn get(&self, slot: usize, epoch: u64) -> Option<&[T]> {
+        self.live(slot, epoch).then(|| self.bufs[slot].as_slice())
+    }
+
+    fn get_mut(&mut self, slot: usize, epoch: u64) -> Option<&mut [T]> {
+        self.live(slot, epoch)
+            .then(|| self.bufs[slot].as_mut_slice())
+    }
+}
+
+/// Reusable execution scratch for one executor replica.
+///
+/// Every intermediate the interpreter needs — node activation buffers, gather
+/// views, partial-sum tiles, the per-tile accumulator row and element-wise
+/// side buffers — lives here and is recycled across runs, so the steady-state
+/// hot path ([`Executor::run_into`] / [`Executor::run_batch_into`]) performs
+/// no scratch allocation. This is the "bind once, serve forever" contract the
+/// serving engine builds on: one arena per replica, reused for every batch.
+///
+/// Buffer validity is tracked with an epoch stamp instead of clearing, which
+/// makes a run start O(1) and also makes it safe (if pointless) to reuse one
+/// arena across *different* executors: each run invalidates all previous
+/// state wholesale, so nothing can leak between models or batches.
+#[derive(Debug, Default)]
+pub struct ExecArena {
+    epoch: u64,
+    node_f: Slab<f32>,
+    gather_f: Slab<f32>,
+    partial_f: Slab<f64>,
+    node_i: Slab<i64>,
+    gather_i: Slab<i64>,
+    partial_i: Slab<i64>,
+    acc_f: Vec<f64>,
+    acc_i: Vec<i64>,
+    eltwise_f: Vec<Vec<f32>>,
+    eltwise_i: Vec<Vec<i64>>,
+}
+
+impl ExecArena {
+    /// A fresh, empty arena; buffers grow on first use and are kept after.
+    pub fn new() -> Self {
+        ExecArena::default()
+    }
+}
+
 /// The compiled-model executor: bound tile programs in schedule order.
 #[derive(Debug)]
 pub struct Executor {
@@ -264,6 +352,8 @@ pub struct Executor {
     precision_integer: bool,
     activation_levels: i64,
     node_steps: Vec<f64>,
+    /// Widest tile output row (sizes the arena's accumulator scratch).
+    max_cols: usize,
 }
 
 impl Executor {
@@ -347,6 +437,10 @@ impl Executor {
             .collect();
 
         let wlevels = Quantizer::weights_8bit(1.0).positive_levels();
+        // Per-node |w|max cache: scanning a layer's weights once per *tile*
+        // is quadratic (VGG16's fc6 alone is 25k tiles × 102M weights), and
+        // only the quantizing precisions need the range at all.
+        let mut weight_ranges: HashMap<NodeId, f32> = HashMap::new();
         let mut programs = Vec::with_capacity(core.len());
         let order = schedule_order(mapping);
         for &gid in &order {
@@ -355,6 +449,19 @@ impl Executor {
             let info = nodes[g.source_node]
                 .as_ref()
                 .ok_or_else(|| mismatch(format!("group {} has no node info", g.name)))?;
+            // Report grouped convolutions as the documented unsupported
+            // construct before any structural cross-check can trip over
+            // their doubled reuse degree with a less actionable error.
+            if let Operator::Conv2d { groups, .. } = &node.op {
+                if *groups != 1 && g.kind == CoreOpKind::Vmm {
+                    return Err(ExecError::Unsupported {
+                        reason: format!(
+                            "grouped convolution {} shares one weight tile across {} channel groups",
+                            node.name, groups
+                        ),
+                    });
+                }
+            }
             if g.reuse_degree != info.positions as u64 {
                 return Err(mismatch(format!(
                     "group {} reuse degree {} != node output positions {}",
@@ -524,11 +631,15 @@ impl Executor {
                     )));
                 }
                 let exact = weights::vmm_tile_matrix(g, layer, input_dim);
-                let range = params.max_abs_weight(g.source_node).max(1e-6);
+                let mut range = || {
+                    *weight_ranges
+                        .entry(g.source_node)
+                        .or_insert_with(|| params.max_abs_weight(g.source_node).max(1e-6))
+                };
                 match precision {
                     Precision::Float => (vec![exact], Vec::new()),
                     Precision::QuantizedWeights => {
-                        let q = Quantizer::weights_8bit(range);
+                        let q = Quantizer::weights_8bit(range());
                         (
                             vec![exact.iter().map(|&w| q.round_trip(w)).collect()],
                             Vec::new(),
@@ -550,6 +661,7 @@ impl Executor {
                         variation,
                         seed,
                     } => {
+                        let range = range();
                         let q = Quantizer::weights_8bit(range);
                         let per_dup = (0..duplicates)
                             .map(|dup| {
@@ -628,6 +740,7 @@ impl Executor {
             None => (vec![1.0; output_view.len()], vec![1.0; graph.len()], 0),
         };
 
+        let max_cols = programs.iter().map(|p| p.cols).max().unwrap_or(0);
         Ok(Executor {
             programs,
             nodes,
@@ -639,6 +752,7 @@ impl Executor {
             precision_integer: plan.is_some(),
             activation_levels,
             node_steps,
+            max_cols,
         })
     }
 
@@ -658,34 +772,96 @@ impl Executor {
             .filter(|w| !w.is_empty())
     }
 
+    /// A fresh scratch arena sized for this executor (see [`ExecArena`]).
+    pub fn arena(&self) -> ExecArena {
+        ExecArena::new()
+    }
+
+    /// The element count the graph's input node expects.
+    pub fn input_len(&self) -> Option<usize> {
+        self.input.map(|(_, len)| len)
+    }
+
     /// Execute one sample, returning the network logits.
     ///
     /// # Errors
     ///
     /// Returns [`ExecError::ModelMismatch`] when the input length is wrong.
     pub fn run(&self, input: &[f32]) -> Result<Vec<f32>, ExecError> {
+        let mut arena = ExecArena::new();
+        let mut out = Vec::new();
+        self.run_into(input, &mut arena, &mut out)?;
+        Ok(out)
+    }
+
+    /// Execute one sample into `out`, reusing `arena` for all scratch.
+    ///
+    /// Bit-identical to [`Executor::run`] (which is this call on a throwaway
+    /// arena); the arena only changes where the intermediates live, never the
+    /// arithmetic. `out` is cleared and refilled, retaining its capacity.
+    ///
+    /// # Errors
+    ///
+    /// Mirrors [`Executor::run`].
+    pub fn run_into(
+        &self,
+        input: &[f32],
+        arena: &mut ExecArena,
+        out: &mut Vec<f32>,
+    ) -> Result<(), ExecError> {
+        out.clear();
         if self.precision_integer {
-            let buffers = self.run_integer(input)?;
-            let mut out = Vec::new();
+            self.run_integer_arena(input, arena)?;
             for (segment, &step) in self.output_view.iter().zip(&self.output_steps) {
-                let codes = buffers[segment.source]
-                    .as_deref()
+                let codes = arena
+                    .node_i
+                    .get(segment.source, arena.epoch)
                     .ok_or_else(|| mismatch("output node never executed"))?;
                 out.extend(codes.iter().map(|&c| (c as f64 * step) as f32));
             }
-            Ok(out)
         } else {
-            let buffers = self.run_float(input)?;
-            let mut out = Vec::new();
+            self.run_float_arena(input, arena)?;
             for segment in &self.output_view {
                 out.extend_from_slice(
-                    buffers[segment.source]
-                        .as_deref()
+                    arena
+                        .node_f
+                        .get(segment.source, arena.epoch)
                         .ok_or_else(|| mismatch("output node never executed"))?,
                 );
             }
-            Ok(out)
         }
+        Ok(())
+    }
+
+    /// Execute a batch of samples sequentially on one replica's arena,
+    /// writing into `outputs` (resized to the batch, element capacity
+    /// recycled). This is the serving engine's hot path: after warm-up the
+    /// call performs zero scratch allocation, and results are bit-identical
+    /// to per-sample [`Executor::run`] calls.
+    ///
+    /// Parallelism is deliberately left to the caller (one arena serves one
+    /// thread); the rayon-backed [`Executor::run_batch`] fans out
+    /// sample-parallel instead.
+    ///
+    /// # Errors
+    ///
+    /// The first per-sample error, if any; `outputs` is then truncated to
+    /// the samples that completed, so it can never expose stale results
+    /// from a previous batch.
+    pub fn run_batch_into(
+        &self,
+        inputs: &[Vec<f32>],
+        arena: &mut ExecArena,
+        outputs: &mut Vec<Vec<f32>>,
+    ) -> Result<(), ExecError> {
+        outputs.resize_with(inputs.len(), Vec::new);
+        for (i, input) in inputs.iter().enumerate() {
+            if let Err(e) = self.run_into(input, arena, &mut outputs[i]) {
+                outputs.truncate(i);
+                return Err(e);
+            }
+        }
+        Ok(())
     }
 
     /// Execute one sample in the integer domain, returning the output codes
@@ -700,12 +876,14 @@ impl Executor {
                 reason: "run_codes requires Precision::Integer".into(),
             });
         }
-        let buffers = self.run_integer(input)?;
+        let mut arena = ExecArena::new();
+        self.run_integer_arena(input, &mut arena)?;
         let mut out = Vec::new();
         for segment in &self.output_view {
             out.extend_from_slice(
-                buffers[segment.source]
-                    .as_deref()
+                arena
+                    .node_i
+                    .get(segment.source, arena.epoch)
                     .ok_or_else(|| mismatch("output node never executed"))?,
             );
         }
@@ -719,13 +897,12 @@ impl Executor {
     ///
     /// Mirrors [`Executor::run`].
     pub fn run_nodes(&self, input: &[f32]) -> Result<Vec<Option<Vec<f32>>>, ExecError> {
+        let mut arena = ExecArena::new();
         if self.precision_integer {
-            let buffers = self.run_integer(input)?;
-            Ok(buffers
-                .into_iter()
-                .enumerate()
-                .map(|(node, b)| {
-                    b.map(|codes| {
+            self.run_integer_arena(input, &mut arena)?;
+            Ok((0..self.graph_len)
+                .map(|node| {
+                    arena.node_i.get(node, arena.epoch).map(|codes| {
                         codes
                             .iter()
                             .map(|&c| (c as f64 * self.node_steps[node]) as f32)
@@ -734,7 +911,10 @@ impl Executor {
                 })
                 .collect())
         } else {
-            self.run_float(input)
+            self.run_float_arena(input, &mut arena)?;
+            Ok((0..self.graph_len)
+                .map(|node| arena.node_f.get(node, arena.epoch).map(<[f32]>::to_vec))
+                .collect())
         }
     }
 
@@ -770,117 +950,118 @@ impl Executor {
         Ok(correct as f64 / samples.len() as f64)
     }
 
-    /// Gather a node's logical float input (concatenated segment buffers).
-    fn gather_float(view: &InputView, buffers: &[Option<Vec<f32>>]) -> Result<Vec<f32>, ExecError> {
-        let mut out = Vec::with_capacity(view.iter().map(|s| s.elements).sum());
-        for segment in view {
-            out.extend_from_slice(
-                buffers[segment.source]
-                    .as_deref()
-                    .ok_or_else(|| mismatch("producer executed after consumer"))?,
-            );
-        }
-        Ok(out)
-    }
+    /// Float-domain execution of all tile programs in schedule order, into
+    /// the arena's epoch-stamped buffers.
+    ///
+    /// The Dense/Conv inner loops run column-major over the accumulator row
+    /// (`for r { for c { acc[c] += w[r][c] * x[r] } }`): each output's f64
+    /// accumulator still receives its terms in exactly the same `r` order as
+    /// the classic `for c { for r { .. } }` nesting, so results are
+    /// bit-identical — but the weight matrix is now read contiguously, which
+    /// is what makes the serving hot path fast.
+    fn run_float_arena(&self, input: &[f32], arena: &mut ExecArena) -> Result<(), ExecError> {
+        arena.epoch += 1;
+        let epoch = arena.epoch;
+        let ExecArena {
+            node_f,
+            gather_f,
+            partial_f,
+            acc_f,
+            eltwise_f,
+            ..
+        } = arena;
+        node_f.ensure(self.graph_len);
+        gather_f.ensure(self.graph_len);
+        partial_f.ensure(self.group_count);
+        acc_f.resize(self.max_cols, 0.0);
 
-    /// Gather a node's logical input codes at the view's gather step —
-    /// exactly the reference's rule.
-    fn gather_codes(
-        &self,
-        view: &InputView,
-        gather_step: f64,
-        buffers: &[Option<Vec<i64>>],
-    ) -> Result<Vec<i64>, ExecError> {
-        let mut out = Vec::with_capacity(view.iter().map(|s| s.elements).sum());
-        for segment in view {
-            let step = self.node_steps[segment.source];
-            let codes = buffers[segment.source]
-                .as_deref()
-                .ok_or_else(|| mismatch("producer executed after consumer"))?;
-            out.extend(
-                codes
-                    .iter()
-                    .map(|&c| rescale_code(c, step, gather_step, self.activation_levels)),
-            );
-        }
-        Ok(out)
-    }
-
-    /// Float-domain execution of all tile programs in schedule order.
-    fn run_float(&self, input: &[f32]) -> Result<Vec<Option<Vec<f32>>>, ExecError> {
-        let mut buffers: Vec<Option<Vec<f32>>> = vec![None; self.graph_len];
-        let mut partials: Vec<Option<Vec<f64>>> = vec![None; self.group_count];
-        let mut gathered: Vec<Option<Vec<f32>>> = vec![None; self.graph_len];
-        self.seed_input_float(input, &mut buffers)?;
+        let in_node = self.checked_input_node(input)?;
+        node_f.claim(in_node, epoch).extend_from_slice(input);
 
         for prog in &self.programs {
             let info = self.nodes[prog.node].as_ref().expect("bound node info");
-            if gathered[prog.node].is_none() && needs_gather(&prog.kind) {
-                gathered[prog.node] = Some(Self::gather_float(&info.view, &buffers)?);
+            if needs_gather(&prog.kind) && !gather_f.live(prog.node, epoch) {
+                let dst = gather_f.claim(prog.node, epoch);
+                dst.reserve(info.view.iter().map(|s| s.elements).sum());
+                for segment in &info.view {
+                    dst.extend_from_slice(
+                        node_f
+                            .get(segment.source, epoch)
+                            .ok_or_else(|| mismatch("producer executed after consumer"))?,
+                    );
+                }
             }
             let positions = prog.positions;
-            let mut out_partial: Vec<f64> = Vec::new();
-            if !prog.writes_output {
-                out_partial = vec![0.0; positions * prog.cols];
-            }
-            if prog.writes_output && buffers[prog.node].is_none() {
-                buffers[prog.node] = Some(vec![0.0; info.elements]);
+            if prog.writes_output {
+                if !node_f.live(prog.node, epoch) {
+                    node_f.claim_zeroed(prog.node, info.elements, epoch);
+                }
+            } else {
+                partial_f.claim_zeroed(prog.group, positions * prog.cols, epoch);
             }
             // Element-wise tiles read each Add side once per program.
-            let eltwise_sides: Vec<Vec<f32>> = match &prog.kind {
-                ProgramKind::Eltwise(views) => views
-                    .iter()
-                    .map(|v| Self::gather_float(v, &buffers))
-                    .collect::<Result<_, _>>()?,
-                _ => Vec::new(),
-            };
+            if let ProgramKind::Eltwise(views) = &prog.kind {
+                if eltwise_f.len() < views.len() {
+                    eltwise_f.resize_with(views.len(), Vec::new);
+                }
+                for (side, view) in eltwise_f.iter_mut().zip(views) {
+                    side.clear();
+                    for segment in view {
+                        side.extend_from_slice(
+                            node_f
+                                .get(segment.source, epoch)
+                                .ok_or_else(|| mismatch("producer executed after consumer"))?,
+                        );
+                    }
+                }
+            }
 
+            let acc = &mut acc_f[..prog.cols];
             for p in 0..positions {
                 match &prog.kind {
                     ProgramKind::Dense => {
-                        let x = gathered[prog.node].as_deref().expect("gathered input");
+                        let x = gather_f.get(prog.node, epoch).expect("gathered input");
                         let w = prog.weights_for(p);
-                        for c in 0..prog.cols {
-                            let mut acc = 0.0f64;
-                            for r in 0..prog.rows {
-                                acc += f64::from(w[r * prog.cols + c])
-                                    * f64::from(x[prog.row_offset + r]);
+                        acc.fill(0.0);
+                        for r in 0..prog.rows {
+                            let xv = f64::from(x[prog.row_offset + r]);
+                            let row = &w[r * prog.cols..(r + 1) * prog.cols];
+                            for (a, &wv) in acc.iter_mut().zip(row) {
+                                *a += f64::from(wv) * xv;
                             }
-                            self.store_float(prog, p, c, acc, &mut buffers, &mut out_partial);
                         }
                     }
                     ProgramKind::Conv(geom) => {
-                        let x = gathered[prog.node].as_deref().expect("gathered input");
+                        let x = gather_f.get(prog.node, epoch).expect("gathered input");
                         let w = prog.weights_for(p);
                         let (oy, ox) = (p / out_w(geom), p % out_w(geom));
-                        for c in 0..prog.cols {
-                            let mut acc = 0.0f64;
-                            for r in 0..prog.rows {
-                                if let Some(idx) =
-                                    conv_input_index(geom, prog.row_offset + r, oy, ox)
-                                {
-                                    acc += f64::from(w[r * prog.cols + c]) * f64::from(x[idx]);
+                        acc.fill(0.0);
+                        for r in 0..prog.rows {
+                            if let Some(idx) = conv_input_index(geom, prog.row_offset + r, oy, ox) {
+                                let xv = f64::from(x[idx]);
+                                let row = &w[r * prog.cols..(r + 1) * prog.cols];
+                                for (a, &wv) in acc.iter_mut().zip(row) {
+                                    *a += f64::from(wv) * xv;
                                 }
                             }
-                            self.store_float(prog, p, c, acc, &mut buffers, &mut out_partial);
                         }
                     }
                     ProgramKind::Reduce(sources) => {
-                        for c in 0..prog.cols {
-                            let mut acc = 0.0f64;
+                        for (c, a) in acc.iter_mut().enumerate() {
+                            let mut sum = 0.0f64;
                             for &(pred, pred_cols, slice) in sources {
-                                acc += partials[pred].as_deref().ok_or_else(|| {
+                                sum += partial_f.get(pred, epoch).ok_or_else(|| {
                                     mismatch("reduction ran before its partial tiles")
                                 })?[p * pred_cols + slice + c];
                             }
-                            self.store_float(prog, p, c, acc, &mut buffers, &mut out_partial);
+                            *a = sum;
                         }
                     }
                     ProgramKind::AvgPool(geom) => {
-                        let x = gathered[prog.node].as_deref().expect("gathered input");
+                        let x = gather_f.get(prog.node, epoch).expect("gathered input");
                         let ow = out_w_pool(geom);
                         let (oy, ox) = (p / ow, p % ow);
-                        for c in 0..prog.cols {
+                        for (c, a) in acc.iter_mut().enumerate() {
                             let channel = prog.col_offset + c;
                             let mut sum = 0.0f64;
                             for ky in 0..geom.kernel {
@@ -893,26 +1074,24 @@ impl Executor {
                                     );
                                 }
                             }
-                            let acc = sum / (geom.kernel * geom.kernel) as f64;
-                            self.store_float(prog, p, c, acc, &mut buffers, &mut out_partial);
+                            *a = sum / (geom.kernel * geom.kernel) as f64;
                         }
                     }
                     ProgramKind::GlobalAvgPool { window } => {
-                        let x = gathered[prog.node].as_deref().expect("gathered input");
-                        for c in 0..prog.cols {
+                        let x = gather_f.get(prog.node, epoch).expect("gathered input");
+                        for (c, a) in acc.iter_mut().enumerate() {
                             let channel = prog.col_offset + c;
                             let sum: f64 = (0..*window)
                                 .map(|i| f64::from(x[channel * window + i]))
                                 .sum();
-                            let acc = sum / *window as f64;
-                            self.store_float(prog, p, c, acc, &mut buffers, &mut out_partial);
+                            *a = sum / *window as f64;
                         }
                     }
                     ProgramKind::MaxStage1(geom) => {
-                        let x = gathered[prog.node].as_deref().expect("gathered input");
+                        let x = gather_f.get(prog.node, epoch).expect("gathered input");
                         let ow = out_w_pool(geom);
                         let (oy, ox) = (p / ow, p % ow);
-                        for c in 0..prog.cols {
+                        for (c, a) in acc.iter_mut().enumerate() {
                             let channel = prog.col_offset + c;
                             let mut max = f64::NEG_INFINITY;
                             for ky in 0..geom.kernel {
@@ -925,141 +1104,176 @@ impl Executor {
                                     ));
                                 }
                             }
-                            self.store_float(prog, p, c, max, &mut buffers, &mut out_partial);
+                            *a = max;
                         }
                     }
                     ProgramKind::MaxStage2 { source } => {
-                        for c in 0..prog.cols {
-                            let acc = partials[*source]
-                                .as_deref()
-                                .ok_or_else(|| mismatch("max-pool stage 2 ran before stage 1"))?
-                                [p * prog.cols + c];
-                            self.store_float(prog, p, c, acc, &mut buffers, &mut out_partial);
+                        let stage1 = partial_f
+                            .get(*source, epoch)
+                            .ok_or_else(|| mismatch("max-pool stage 2 ran before stage 1"))?;
+                        for (c, a) in acc.iter_mut().enumerate() {
+                            *a = stage1[p * prog.cols + c];
                         }
                     }
-                    ProgramKind::Eltwise(_) => {
-                        for c in 0..prog.cols {
+                    ProgramKind::Eltwise(views) => {
+                        for (c, a) in acc.iter_mut().enumerate() {
                             let channel = prog.col_offset + c;
-                            let mut acc = 0.0f64;
-                            for x in &eltwise_sides {
-                                acc += f64::from(x[channel * positions + p]);
+                            let mut sum = 0.0f64;
+                            for x in &eltwise_f[..views.len()] {
+                                sum += f64::from(x[channel * positions + p]);
                             }
-                            self.store_float(prog, p, c, acc, &mut buffers, &mut out_partial);
+                            *a = sum;
                         }
                     }
                 }
-            }
-            if !prog.writes_output {
-                partials[prog.group] = Some(out_partial);
+                // Scatter the accumulator row (fused ReLU at output
+                // boundaries), exactly like the pre-arena store path.
+                if prog.writes_output {
+                    let buf = node_f.get_mut(prog.node, epoch).expect("allocated output");
+                    for (c, &a) in acc.iter().enumerate() {
+                        let a = if prog.relu { a.max(0.0) } else { a };
+                        buf[(prog.col_offset + c) * positions + p] = a as f32;
+                    }
+                } else {
+                    let out = partial_f
+                        .get_mut(prog.group, epoch)
+                        .expect("allocated partial");
+                    for (c, &a) in acc.iter().enumerate() {
+                        out[p * prog.cols + c] = a;
+                    }
+                }
             }
         }
-        Ok(buffers)
-    }
-
-    /// Scatter one float value (applying fused ReLU at output boundaries).
-    fn store_float(
-        &self,
-        prog: &TileProgram,
-        p: usize,
-        c: usize,
-        acc: f64,
-        buffers: &mut [Option<Vec<f32>>],
-        out_partial: &mut [f64],
-    ) {
-        if prog.writes_output {
-            let acc = if prog.relu { acc.max(0.0) } else { acc };
-            let buf = buffers[prog.node].as_mut().expect("allocated output");
-            buf[(prog.col_offset + c) * prog.positions + p] = acc as f32;
-        } else {
-            out_partial[p * prog.cols + c] = acc;
-        }
+        Ok(())
     }
 
     /// Integer-domain execution (see module docs; bit-for-bit against the
-    /// quantized reference).
-    fn run_integer(&self, input: &[f32]) -> Result<Vec<Option<Vec<i64>>>, ExecError> {
+    /// quantized reference), into the arena's epoch-stamped buffers.
+    fn run_integer_arena(&self, input: &[f32], arena: &mut ExecArena) -> Result<(), ExecError> {
         let alevels = self.activation_levels;
-        let mut buffers: Vec<Option<Vec<i64>>> = vec![None; self.graph_len];
-        let mut partials: Vec<Option<Vec<i64>>> = vec![None; self.group_count];
-        let mut gathered: Vec<Option<Vec<i64>>> = vec![None; self.graph_len];
-        self.seed_input_integer(input, &mut buffers)?;
+        arena.epoch += 1;
+        let epoch = arena.epoch;
+        let ExecArena {
+            node_i,
+            gather_i,
+            partial_i,
+            acc_i,
+            eltwise_i,
+            ..
+        } = arena;
+        node_i.ensure(self.graph_len);
+        gather_i.ensure(self.graph_len);
+        partial_i.ensure(self.group_count);
+        acc_i.resize(self.max_cols, 0);
+
+        let in_node = self.checked_input_node(input)?;
+        let step = self.node_steps[in_node];
+        let buf = node_i.claim(in_node, epoch);
+        buf.extend(
+            input
+                .iter()
+                .map(|&v| quantize_code(f64::from(v), step, alevels)),
+        );
 
         for prog in &self.programs {
             let info = self.nodes[prog.node].as_ref().expect("bound node info");
-            if gathered[prog.node].is_none() && needs_gather(&prog.kind) {
-                gathered[prog.node] =
-                    Some(self.gather_codes(&info.view, info.gather_step, &buffers)?);
+            if needs_gather(&prog.kind) && !gather_i.live(prog.node, epoch) {
+                // Gather the node's logical input codes at the view's gather
+                // step — exactly the reference's rule.
+                let dst = gather_i.claim(prog.node, epoch);
+                for segment in &info.view {
+                    let step = self.node_steps[segment.source];
+                    let codes = node_i
+                        .get(segment.source, epoch)
+                        .ok_or_else(|| mismatch("producer executed after consumer"))?;
+                    dst.extend(
+                        codes
+                            .iter()
+                            .map(|&c| rescale_code(c, step, info.gather_step, alevels)),
+                    );
+                }
             }
             let positions = prog.positions;
-            let mut out_partial: Vec<i64> = Vec::new();
-            if !prog.writes_output {
-                out_partial = vec![0; positions * prog.cols];
-            }
-            if prog.writes_output && buffers[prog.node].is_none() {
-                buffers[prog.node] = Some(vec![0; info.elements]);
+            if prog.writes_output {
+                if !node_i.live(prog.node, epoch) {
+                    node_i.claim_zeroed(prog.node, info.elements, epoch);
+                }
+            } else {
+                partial_i.claim_zeroed(prog.group, positions * prog.cols, epoch);
             }
             // Element-wise tiles: gather each Add side once, already
             // rescaled from the side's own gather step to the node's —
             // the reference's exact double-rescale composition.
-            let eltwise_sides: Vec<Vec<i64>> = match &prog.kind {
-                ProgramKind::Eltwise(views) => views
-                    .iter()
-                    .map(|view| {
-                        let sstep = side_gather_step(&self.node_steps, view);
-                        let side = self.gather_codes(view, sstep, &buffers)?;
-                        Ok(side
-                            .iter()
-                            .map(|&c| rescale_code(c, sstep, info.gather_step, alevels))
-                            .collect())
-                    })
-                    .collect::<Result<_, ExecError>>()?,
-                _ => Vec::new(),
-            };
+            if let ProgramKind::Eltwise(views) = &prog.kind {
+                if eltwise_i.len() < views.len() {
+                    eltwise_i.resize_with(views.len(), Vec::new);
+                }
+                for (side, view) in eltwise_i.iter_mut().zip(views) {
+                    side.clear();
+                    let sstep = side_gather_step(&self.node_steps, view);
+                    for segment in view {
+                        let step = self.node_steps[segment.source];
+                        let codes = node_i
+                            .get(segment.source, epoch)
+                            .ok_or_else(|| mismatch("producer executed after consumer"))?;
+                        side.extend(codes.iter().map(|&c| {
+                            let gathered = rescale_code(c, step, sstep, alevels);
+                            rescale_code(gathered, sstep, info.gather_step, alevels)
+                        }));
+                    }
+                }
+            }
 
+            // MAC-producing tiles requantize on store; the other kinds
+            // compute their final code (or raw partial value) directly.
+            let mac_store = matches!(
+                prog.kind,
+                ProgramKind::Dense | ProgramKind::Conv(_) | ProgramKind::Reduce(_)
+            );
+            let acc = &mut acc_i[..prog.cols];
             for p in 0..positions {
                 match &prog.kind {
                     ProgramKind::Dense => {
-                        let x = gathered[prog.node].as_deref().expect("gathered input");
-                        for c in 0..prog.cols {
-                            let mut acc = 0i64;
-                            for r in 0..prog.rows {
-                                acc += prog.weights_q[r * prog.cols + c] * x[prog.row_offset + r];
+                        let x = gather_i.get(prog.node, epoch).expect("gathered input");
+                        acc.fill(0);
+                        for r in 0..prog.rows {
+                            let xv = x[prog.row_offset + r];
+                            let row = &prog.weights_q[r * prog.cols..(r + 1) * prog.cols];
+                            for (a, &wv) in acc.iter_mut().zip(row) {
+                                *a += wv * xv;
                             }
-                            self.store_mac(prog, info, p, c, acc, &mut buffers, &mut out_partial);
                         }
                     }
                     ProgramKind::Conv(geom) => {
-                        let x = gathered[prog.node].as_deref().expect("gathered input");
+                        let x = gather_i.get(prog.node, epoch).expect("gathered input");
                         let (oy, ox) = (p / out_w(geom), p % out_w(geom));
-                        for c in 0..prog.cols {
-                            let mut acc = 0i64;
-                            for r in 0..prog.rows {
-                                if let Some(idx) =
-                                    conv_input_index(geom, prog.row_offset + r, oy, ox)
-                                {
-                                    acc += prog.weights_q[r * prog.cols + c] * x[idx];
+                        acc.fill(0);
+                        for r in 0..prog.rows {
+                            if let Some(idx) = conv_input_index(geom, prog.row_offset + r, oy, ox) {
+                                let xv = x[idx];
+                                let row = &prog.weights_q[r * prog.cols..(r + 1) * prog.cols];
+                                for (a, &wv) in acc.iter_mut().zip(row) {
+                                    *a += wv * xv;
                                 }
                             }
-                            self.store_mac(prog, info, p, c, acc, &mut buffers, &mut out_partial);
                         }
                     }
                     ProgramKind::Reduce(sources) => {
-                        for c in 0..prog.cols {
-                            let mut acc = 0i64;
+                        for (c, a) in acc.iter_mut().enumerate() {
+                            let mut sum = 0i64;
                             for &(pred, pred_cols, slice) in sources {
-                                acc += partials[pred].as_deref().ok_or_else(|| {
+                                sum += partial_i.get(pred, epoch).ok_or_else(|| {
                                     mismatch("reduction ran before its partial tiles")
                                 })?[p * pred_cols + slice + c];
                             }
-                            self.store_mac(prog, info, p, c, acc, &mut buffers, &mut out_partial);
+                            *a = sum;
                         }
                     }
                     ProgramKind::AvgPool(geom) => {
-                        let x = gathered[prog.node].as_deref().expect("gathered input");
+                        let x = gather_i.get(prog.node, epoch).expect("gathered input");
                         let ow = out_w_pool(geom);
                         let (oy, ox) = (p / ow, p % ow);
-                        let buf = buffers[prog.node].as_mut().expect("allocated output");
-                        for c in 0..prog.cols {
+                        for (c, a) in acc.iter_mut().enumerate() {
                             let channel = prog.col_offset + c;
                             let real = pooled_window_real(
                                 x,
@@ -1073,26 +1287,23 @@ impl Executor {
                                 info.gather_step,
                                 false,
                             );
-                            buf[channel * positions + p] =
-                                quantize_code(real, info.out_step, alevels);
+                            *a = quantize_code(real, info.out_step, alevels);
                         }
                     }
                     ProgramKind::GlobalAvgPool { window } => {
-                        let x = gathered[prog.node].as_deref().expect("gathered input");
-                        let buf = buffers[prog.node].as_mut().expect("allocated output");
-                        for c in 0..prog.cols {
+                        let x = gather_i.get(prog.node, epoch).expect("gathered input");
+                        for (c, a) in acc.iter_mut().enumerate() {
                             let channel = prog.col_offset + c;
                             let sum: i64 = (0..*window).map(|i| x[channel * window + i]).sum();
                             let real = sum as f64 * info.gather_step / *window as f64;
-                            buf[channel * positions + p] =
-                                quantize_code(real, info.out_step, alevels);
+                            *a = quantize_code(real, info.out_step, alevels);
                         }
                     }
                     ProgramKind::MaxStage1(geom) => {
-                        let x = gathered[prog.node].as_deref().expect("gathered input");
+                        let x = gather_i.get(prog.node, epoch).expect("gathered input");
                         let ow = out_w_pool(geom);
                         let (oy, ox) = (p / ow, p % ow);
-                        for c in 0..prog.cols {
+                        for (c, a) in acc.iter_mut().enumerate() {
                             let channel = prog.col_offset + c;
                             let mut max = i64::MIN;
                             for ky in 0..geom.kernel {
@@ -1105,114 +1316,75 @@ impl Executor {
                                     );
                                 }
                             }
-                            out_partial[p * prog.cols + c] = max;
+                            *a = max;
                         }
                     }
                     ProgramKind::MaxStage2 { source } => {
-                        let buf = buffers[prog.node].as_mut().expect("allocated output");
-                        for c in 0..prog.cols {
-                            let max = partials[*source]
-                                .as_deref()
-                                .ok_or_else(|| mismatch("max-pool stage 2 ran before stage 1"))?
-                                [p * prog.cols + c];
+                        let stage1 = partial_i
+                            .get(*source, epoch)
+                            .ok_or_else(|| mismatch("max-pool stage 2 ran before stage 1"))?;
+                        for (c, a) in acc.iter_mut().enumerate() {
                             // Identical composition to the reference's
                             // max-pool path: real value, then requantize.
-                            let real = max as f64 * info.gather_step;
-                            buf[(prog.col_offset + c) * positions + p] =
-                                quantize_code(real, info.out_step, alevels);
+                            let real = stage1[p * prog.cols + c] as f64 * info.gather_step;
+                            *a = quantize_code(real, info.out_step, alevels);
                         }
                     }
-                    ProgramKind::Eltwise(_) => {
-                        let buf = buffers[prog.node].as_mut().expect("allocated output");
-                        for c in 0..prog.cols {
+                    ProgramKind::Eltwise(views) => {
+                        for (c, a) in acc.iter_mut().enumerate() {
                             let channel = prog.col_offset + c;
-                            let mut acc = 0i64;
-                            for x in &eltwise_sides {
-                                acc += x[channel * positions + p];
+                            let mut sum = 0i64;
+                            for x in &eltwise_i[..views.len()] {
+                                sum += x[channel * positions + p];
                             }
-                            let acc = if prog.relu { acc.max(0) } else { acc };
-                            buf[channel * positions + p] =
-                                rescale_code(acc, info.gather_step, info.out_step, alevels);
+                            let sum = if prog.relu { sum.max(0) } else { sum };
+                            *a = rescale_code(sum, info.gather_step, info.out_step, alevels);
                         }
                     }
                 }
+                if prog.writes_output {
+                    let buf = node_i.get_mut(prog.node, epoch).expect("allocated output");
+                    for (c, &a) in acc.iter().enumerate() {
+                        let code = if mac_store {
+                            requantize_mac(
+                                a,
+                                info.weight_step,
+                                info.gather_step,
+                                prog.relu,
+                                info.out_step,
+                                alevels,
+                            )
+                        } else {
+                            a
+                        };
+                        buf[(prog.col_offset + c) * positions + p] = code;
+                    }
+                } else {
+                    // Partial tiles keep the raw accumulation (MAC partials
+                    // awaiting a reduction, stage-1 window maxima).
+                    let out = partial_i
+                        .get_mut(prog.group, epoch)
+                        .expect("allocated partial");
+                    for (c, &a) in acc.iter().enumerate() {
+                        out[p * prog.cols + c] = a;
+                    }
+                }
             }
-            if !prog.writes_output {
-                partials[prog.group] = Some(out_partial);
-            }
         }
-        Ok(buffers)
-    }
-
-    /// Scatter one integer MAC accumulation: partial tiles keep the raw
-    /// `i64`; output tiles requantize through the shared reference helper.
-    #[allow(clippy::too_many_arguments)]
-    fn store_mac(
-        &self,
-        prog: &TileProgram,
-        info: &NodeInfo,
-        p: usize,
-        c: usize,
-        acc: i64,
-        buffers: &mut [Option<Vec<i64>>],
-        out_partial: &mut [i64],
-    ) {
-        if prog.writes_output {
-            let code = requantize_mac(
-                acc,
-                info.weight_step,
-                info.gather_step,
-                prog.relu,
-                info.out_step,
-                self.activation_levels,
-            );
-            let buf = buffers[prog.node].as_mut().expect("allocated output");
-            buf[(prog.col_offset + c) * prog.positions + p] = code;
-        } else {
-            out_partial[p * prog.cols + c] = acc;
-        }
-    }
-
-    /// Locate the graph's input node and seed its float buffer.
-    fn seed_input_float(
-        &self,
-        input: &[f32],
-        buffers: &mut [Option<Vec<f32>>],
-    ) -> Result<(), ExecError> {
-        let node = self.input_node()?;
-        if input.len() != node.1 {
-            return Err(mismatch(format!(
-                "input has {} elements, graph expects {}",
-                input.len(),
-                node.1
-            )));
-        }
-        buffers[node.0] = Some(input.to_vec());
         Ok(())
     }
 
-    /// Seed the input node's code buffer (integer mode).
-    fn seed_input_integer(
-        &self,
-        input: &[f32],
-        buffers: &mut [Option<Vec<i64>>],
-    ) -> Result<(), ExecError> {
-        let node = self.input_node()?;
-        if input.len() != node.1 {
+    /// The graph's single input node, after validating the sample length.
+    fn checked_input_node(&self, input: &[f32]) -> Result<NodeId, ExecError> {
+        let (node, len) = self.input_node()?;
+        if input.len() != len {
             return Err(mismatch(format!(
                 "input has {} elements, graph expects {}",
                 input.len(),
-                node.1
+                len
             )));
         }
-        let step = self.node_steps[node.0];
-        buffers[node.0] = Some(
-            input
-                .iter()
-                .map(|&v| quantize_code(f64::from(v), step, self.activation_levels))
-                .collect(),
-        );
-        Ok(())
+        Ok(node)
     }
 
     /// `(node id, element count)` of the graph's single input node: every
@@ -1575,6 +1747,118 @@ mod tests {
         mapping.schedule.entries[consumer].start_cycle = 0;
         let err = Executor::bind(&graph, &params, &core, &mapping, &Precision::Float).unwrap_err();
         assert!(matches!(err, ExecError::ScheduleOrder { .. }), "{err}");
+    }
+
+    /// The three numeric regimes the reuse tests cycle through.
+    fn reuse_precisions(graph: &ComputationalGraph, inputs: &[Vec<f32>]) -> Vec<Precision> {
+        let params = GraphParameters::seeded(graph, 13);
+        let plan = QuantizationPlan::calibrate(graph, &params, inputs).unwrap();
+        vec![
+            Precision::Float,
+            Precision::Integer(plan),
+            Precision::Noisy {
+                scheme: WeightScheme::fpsa_add(),
+                variation: CellVariation::measured(),
+                seed: 0xBEEF,
+            },
+        ]
+    }
+
+    #[test]
+    fn arena_reuse_across_many_batches_matches_fresh_binds() {
+        // Binding once and serving many batches through one arena must be
+        // bit-identical to a fresh bind per sample: nothing may leak between
+        // batches through the recycled buffers.
+        let graph = zoo::tiny_cnn();
+        let params = GraphParameters::seeded(&graph, 13);
+        let (core, mapping) = compile(&graph, 2);
+        let inputs = samples(&graph, 6);
+        for precision in reuse_precisions(&graph, &inputs) {
+            let bound_once = Executor::bind(&graph, &params, &core, &mapping, &precision).unwrap();
+            let mut arena = bound_once.arena();
+            let mut outputs = Vec::new();
+            // Batches of varying size and content, revisiting samples so a
+            // stale buffer from a previous batch would be caught.
+            let batches: [&[Vec<f32>]; 4] =
+                [&inputs[0..1], &inputs[1..4], &inputs[0..6], &inputs[2..3]];
+            for batch in batches {
+                bound_once
+                    .run_batch_into(batch, &mut arena, &mut outputs)
+                    .unwrap();
+                assert_eq!(outputs.len(), batch.len());
+                for (x, got) in batch.iter().zip(&outputs) {
+                    let fresh = Executor::bind(&graph, &params, &core, &mapping, &precision)
+                        .unwrap()
+                        .run(x)
+                        .unwrap();
+                    assert_eq!(got, &fresh, "arena reuse diverged from a fresh bind");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn one_arena_can_serve_different_executors() {
+        // Epoch stamping invalidates the whole arena per run, so even
+        // migrating an arena between models cannot leak state.
+        let mlp = zoo::tiny_mlp();
+        let cnn = zoo::tiny_cnn();
+        let mlp_params = GraphParameters::seeded(&mlp, 1);
+        let cnn_params = GraphParameters::seeded(&cnn, 2);
+        let (mlp_core, mlp_map) = compile(&mlp, 1);
+        let (cnn_core, cnn_map) = compile(&cnn, 1);
+        let a = Executor::bind(&mlp, &mlp_params, &mlp_core, &mlp_map, &Precision::Float).unwrap();
+        let b = Executor::bind(&cnn, &cnn_params, &cnn_core, &cnn_map, &Precision::Float).unwrap();
+        let xa = &samples(&mlp, 1)[0];
+        let xb = &samples(&cnn, 1)[0];
+        let mut arena = ExecArena::new();
+        let mut out = Vec::new();
+        for _ in 0..3 {
+            a.run_into(xa, &mut arena, &mut out).unwrap();
+            assert_eq!(out, a.run(xa).unwrap());
+            b.run_into(xb, &mut arena, &mut out).unwrap();
+            assert_eq!(out, b.run(xb).unwrap());
+        }
+    }
+
+    #[test]
+    fn failed_batches_truncate_outputs_instead_of_exposing_stale_results() {
+        let graph = zoo::tiny_mlp();
+        let params = GraphParameters::seeded(&graph, 5);
+        let (core, mapping) = compile(&graph, 1);
+        let exec = Executor::bind(&graph, &params, &core, &mapping, &Precision::Float).unwrap();
+        let mut arena = exec.arena();
+        let mut outputs = Vec::new();
+        let good = samples(&graph, 3);
+        exec.run_batch_into(&good, &mut arena, &mut outputs)
+            .unwrap();
+        assert_eq!(outputs.len(), 3);
+        // Second batch fails on its middle sample: the outputs must shrink
+        // to the completed prefix, not keep batch 1's results in the tail.
+        let mixed = vec![good[0].clone(), vec![0.0; 2], good[2].clone()];
+        let err = exec
+            .run_batch_into(&mixed, &mut arena, &mut outputs)
+            .unwrap_err();
+        assert!(matches!(err, ExecError::ModelMismatch { .. }), "{err}");
+        assert_eq!(outputs.len(), 1, "only the completed prefix survives");
+        assert_eq!(outputs[0], exec.run(&good[0]).unwrap());
+    }
+
+    #[test]
+    fn run_into_reports_wrong_input_lengths_and_leaves_out_cleared() {
+        let graph = zoo::tiny_mlp();
+        let params = GraphParameters::seeded(&graph, 5);
+        let (core, mapping) = compile(&graph, 1);
+        let exec = Executor::bind(&graph, &params, &core, &mapping, &Precision::Float).unwrap();
+        let mut arena = exec.arena();
+        let mut out = vec![1.0f32];
+        let err = exec.run_into(&[0.0; 3], &mut arena, &mut out).unwrap_err();
+        assert!(matches!(err, ExecError::ModelMismatch { .. }), "{err}");
+        assert!(out.is_empty(), "failed runs must not leave stale outputs");
+        // And the arena stays usable afterwards.
+        let x = &samples(&graph, 1)[0];
+        exec.run_into(x, &mut arena, &mut out).unwrap();
+        assert_eq!(out, exec.run(x).unwrap());
     }
 
     #[test]

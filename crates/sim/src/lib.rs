@@ -27,7 +27,7 @@ pub mod functional;
 pub mod perf;
 pub mod trace;
 
-pub use exec::{ExecError, Executor, Precision};
+pub use exec::{ExecArena, ExecError, Executor, Precision};
 pub use functional::{SpikingMlpRunner, VariationStudy};
 pub use perf::{CommunicationEstimate, PerformanceReport, PerformanceSimulator};
 pub use trace::{StageKind, StageQuality, StageRecord, StageTrace};

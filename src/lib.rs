@@ -14,6 +14,8 @@
 //! * [`sim`] — performance and functional simulators
 //! * [`prime`] — the PRIME baseline and the performance-bound model
 //! * [`core`] — the compiler, evaluator and per-figure experiment drivers
+//! * [`serve`] — the high-throughput serving engine (dynamic batching +
+//!   replica sharding over pre-bound executors)
 //!
 //! # Quick start
 //!
@@ -35,5 +37,6 @@ pub use fpsa_mapper as mapper;
 pub use fpsa_nn as nn;
 pub use fpsa_placeroute as placeroute;
 pub use fpsa_prime as prime;
+pub use fpsa_serve as serve;
 pub use fpsa_sim as sim;
 pub use fpsa_synthesis as synthesis;

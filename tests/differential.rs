@@ -25,8 +25,10 @@ use fpsa::core::validate::{sample_inputs, validate, ValidationConfig};
 use fpsa::core::Compiler;
 use fpsa::device::variation::{CellVariation, WeightScheme};
 use fpsa::nn::reference::Reference;
+use fpsa::nn::zoo::Benchmark;
 use fpsa::nn::{zoo, ComputationalGraph, GraphParameters};
-use fpsa::sim::exec::Precision;
+use fpsa::serve::{ServeConfig, ServeEngine};
+use fpsa::sim::exec::{ExecError, Precision};
 
 fn config() -> ValidationConfig {
     ValidationConfig {
@@ -136,6 +138,73 @@ fn batched_execution_is_bit_identical_across_chunkings() {
     let singles: Vec<Vec<f32>> = inputs.iter().map(|x| exec.run(x).unwrap()).collect();
     assert_eq!(full, halves);
     assert_eq!(full, singles);
+}
+
+#[test]
+fn every_zoo_benchmark_compiles_and_serves_one_batch() {
+    // The serving smoke: each `Benchmark::all()` entry goes through the full
+    // compile pipeline and one dynamic batch on the serving engine, with the
+    // served outputs checked bit-for-bit against direct execution. Debug
+    // builds cover the MNIST-scale models; the release differential CI job
+    // serves the whole zoo (the ImageNet models on one sample each — VGG16
+    // alone is ~31G MACs per forward pass).
+    let benchmarks: Vec<Benchmark> = if cfg!(debug_assertions) {
+        vec![Benchmark::Mlp500x100, Benchmark::LeNet]
+    } else {
+        Benchmark::all().to_vec()
+    };
+    for benchmark in benchmarks {
+        let graph = benchmark.build();
+        let params = GraphParameters::seeded(&graph, 0x5E4E);
+        let compiled = Compiler::fpsa()
+            .compile(&graph)
+            .unwrap_or_else(|e| panic!("{}: compilation failed: {e}", benchmark.name()));
+        let batch = if benchmark.published_ops() < 1e9 {
+            2
+        } else {
+            1
+        };
+        let inputs = sample_inputs(&graph, batch, 11);
+        match compiled.executor(&graph, &params, &Precision::Float) {
+            Ok(exec) => {
+                let direct: Vec<Vec<f32>> = inputs
+                    .iter()
+                    .map(|x| exec.run(x).expect("direct execution succeeds"))
+                    .collect();
+                let engine = ServeEngine::start(
+                    exec,
+                    ServeConfig {
+                        replicas: 2,
+                        max_batch: inputs.len(),
+                        batch_window_us: 2_000,
+                    },
+                );
+                let served = engine
+                    .serve_batch(&inputs)
+                    .unwrap_or_else(|e| panic!("{}: serving failed: {e}", benchmark.name()));
+                assert_eq!(
+                    served,
+                    direct,
+                    "{}: served batch diverged from direct execution",
+                    benchmark.name()
+                );
+                let stats = engine.shutdown();
+                assert_eq!(stats.completed, inputs.len() as u64);
+            }
+            Err(ExecError::Unsupported { reason }) => {
+                // AlexNet's grouped convolutions are the one zoo construct
+                // the execution engine documents as having no numeric
+                // semantics; everything else must bind.
+                assert_eq!(
+                    benchmark,
+                    Benchmark::AlexNet,
+                    "only AlexNet may be unsupported, got: {reason}"
+                );
+                assert!(reason.contains("grouped convolution"), "{reason}");
+            }
+            Err(e) => panic!("{}: binding failed: {e}", benchmark.name()),
+        }
+    }
 }
 
 #[test]
