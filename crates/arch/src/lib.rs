@@ -16,12 +16,14 @@
 
 pub mod bitstream;
 pub mod blocks;
+pub mod capacity;
 pub mod config;
 pub mod fabric;
 pub mod routing;
 
 pub use bitstream::{Bitstream, Section, SectionKind};
 pub use blocks::{BlockKind, FunctionBlock};
+pub use capacity::FabricCapacity;
 pub use config::{ArchitectureConfig, ArchitectureKind, CommunicationStyle, PeModel};
 pub use fabric::{Fabric, FabricDimensions};
 pub use routing::RoutingArchitecture;

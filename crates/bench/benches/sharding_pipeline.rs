@@ -1,0 +1,29 @@
+//! Multi-fabric sharding sweep: stage count × batch window versus the
+//! single-fabric baseline (modeled pipeline throughput with chip-to-chip
+//! transport, plus measured pipeline-parallel serving on the same stream).
+//! Emits `BENCH_sharding.json` next to Criterion's output.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fpsa_bench::{print_experiment, save_json};
+use fpsa_nn::params::mlp_graph;
+use fpsa_shard::experiments::sharding;
+
+fn bench(c: &mut Criterion) {
+    let reports = sharding::run();
+    print_experiment(
+        "Multi-fabric sharding: pipeline stages vs the single fabric",
+        &sharding::to_table(&reports),
+    );
+    save_json("BENCH_sharding", &reports);
+
+    let mut group = c.benchmark_group("sharding");
+    group.sample_size(10);
+    group.bench_function("mlp_300_280_260_10_2stage_sweep_small", |b| {
+        let graph = mlp_graph("MLP-300-280-260-10", &[300, 280, 260, 10]);
+        b.iter(|| sharding::run_with(&graph, &[2], &[(8, 200)], 32))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -15,13 +15,31 @@ pub fn print_experiment(title: &str, table: &str) {
     println!("{table}");
 }
 
+/// The workspace-level `target/experiment-data` directory. Cargo runs bench
+/// binaries with the *package* directory as CWD, so a bare relative
+/// `target/` would scatter artifacts under `crates/bench/target/` where the
+/// CI artifact checks never look; walking up to the directory holding
+/// `Cargo.lock` anchors them at the workspace root instead.
+fn experiment_dir() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    for _ in 0..4 {
+        if dir.join("Cargo.lock").exists() {
+            break;
+        }
+        if !dir.pop() {
+            break;
+        }
+    }
+    dir.join("target").join("experiment-data")
+}
+
 /// Persist an experiment's structured records next to Criterion's output so
 /// the numbers that produced a table can be inspected later.
 ///
 /// Errors are reported but not fatal: benches still run on read-only file
 /// systems.
 pub fn save_json<T: serde::Serialize>(name: &str, value: &T) {
-    let dir = PathBuf::from("target").join("experiment-data");
+    let dir = experiment_dir();
     if let Err(e) = std::fs::create_dir_all(&dir) {
         eprintln!("note: could not create {}: {e}", dir.display());
         return;
@@ -49,5 +67,27 @@ mod tests {
     #[test]
     fn save_json_accepts_serializable_values() {
         save_json("bench-selftest", &vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn experiment_dir_anchors_at_the_workspace_root() {
+        // Test binaries also run with the package as CWD, so the resolved
+        // directory must sit next to the workspace's Cargo.lock — not
+        // inside this crate's own directory.
+        let dir = experiment_dir();
+        let root = dir
+            .parent()
+            .and_then(std::path::Path::parent)
+            .expect("<root>/target/experiment-data has two ancestors");
+        assert!(
+            root.join("Cargo.lock").exists(),
+            "artifacts must land at the workspace root, got {}",
+            dir.display()
+        );
+        assert_ne!(
+            root,
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")),
+            "artifacts must not land inside the bench crate"
+        );
     }
 }

@@ -13,7 +13,7 @@
 use crate::pipeline::{
     EstimateStage, InstrumentedPipeline, MapStage, PlaceRouteStage, SynthesizeStage,
 };
-use fpsa_arch::{ArchitectureConfig, Bitstream, SectionKind};
+use fpsa_arch::{ArchitectureConfig, Bitstream, FabricCapacity, SectionKind};
 use fpsa_mapper::Mapping;
 use fpsa_nn::{ComputationalGraph, NnError};
 use fpsa_serve::{ServeConfig, ServeEngine};
@@ -23,8 +23,73 @@ use fpsa_sim::{
 };
 use fpsa_synthesis::CoreOpGraph;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
-pub use crate::pipeline::{ChannelWidthMode, PhysicalDesign, PlaceRouteConfig};
+pub use crate::pipeline::{ChannelWidthMode, OverLimitPolicy, PhysicalDesign, PlaceRouteConfig};
+
+/// Why compilation failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// The source model is malformed (graph or shape errors from synthesis).
+    Model(NnError),
+    /// The mapped netlist does not fit the physical-design capacity the
+    /// compiler targets. This is the signal the auto-sharder in `fpsa_shard`
+    /// consumes: the carried PE/SMB demand tells it how many fabrics the
+    /// model needs. The pre-PR-5 behavior — silently falling back to the
+    /// analytic wire model — is available as the explicit
+    /// [`OverLimitPolicy::AnalyticFallback`] opt-in
+    /// ([`Compiler::with_analytic_fallback`]).
+    CapacityExceeded {
+        /// Function blocks the mapped netlist demands.
+        required: FabricCapacity,
+        /// Function blocks a fabric at the block limit offers.
+        available: FabricCapacity,
+        /// Total netlist blocks.
+        blocks: usize,
+        /// The configured block limit that was exceeded.
+        block_limit: usize,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Model(e) => write!(f, "model error: {e}"),
+            CompileError::CapacityExceeded {
+                required,
+                available,
+                blocks,
+                block_limit,
+            } => write!(
+                f,
+                "netlist needs {required} ({blocks} blocks) but physical design caps at \
+                 {available} ({block_limit} blocks); shard the model (fpsa_shard) or opt in \
+                 to the analytic fallback"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<NnError> for CompileError {
+    fn from(e: NnError) -> Self {
+        CompileError::Model(e)
+    }
+}
+
+impl CompileError {
+    /// Adapt into the executor's error space (for callers like
+    /// `fpsa_core::validate` whose public error type is [`ExecError`]).
+    pub fn into_exec(self) -> ExecError {
+        match self {
+            CompileError::Model(e) => ExecError::Graph(e),
+            other @ CompileError::CapacityExceeded { .. } => ExecError::Unsupported {
+                reason: other.to_string(),
+            },
+        }
+    }
+}
 
 /// Above this many netlist blocks the compiler skips full placement &
 /// routing and uses the analytic wire model instead (documented in
@@ -80,13 +145,25 @@ impl Compiler {
         self
     }
 
+    /// Opt in to the pre-sharding behavior for over-limit netlists: instead
+    /// of the typed [`CompileError::CapacityExceeded`], silently skip
+    /// physical design and fall back to the analytic wire model.
+    pub fn with_analytic_fallback(mut self) -> Self {
+        self.place_route.over_limit = OverLimitPolicy::AnalyticFallback;
+        self
+    }
+
     /// Compile a computational graph through the instrumented stage pipeline
     /// `Synthesize → Map → PlaceRoute → Estimate`.
     ///
     /// # Errors
     ///
-    /// Propagates graph and shape errors from the synthesis stage.
-    pub fn compile(&self, graph: &ComputationalGraph) -> Result<CompiledModel, NnError> {
+    /// * [`CompileError::Model`] — graph and shape errors from synthesis;
+    /// * [`CompileError::CapacityExceeded`] — the mapped netlist exceeds the
+    ///   physical-design block limit and the compiler was not told to fall
+    ///   back ([`Compiler::with_analytic_fallback`]) or to skip physical
+    ///   design ([`Compiler::without_place_and_route`]).
+    pub fn compile(&self, graph: &ComputationalGraph) -> Result<CompiledModel, CompileError> {
         let mut pipeline = InstrumentedPipeline::new();
         let core_graph =
             pipeline.run_stage(&SynthesizeStage::for_architecture(&self.arch), graph)?;
@@ -267,9 +344,35 @@ mod tests {
     }
 
     #[test]
-    fn large_models_skip_physical_design() {
+    fn over_limit_models_raise_the_typed_capacity_error_by_default() {
+        let err = Compiler::fpsa()
+            .with_duplication(1)
+            .compile(&zoo::alexnet())
+            .unwrap_err();
+        match err {
+            CompileError::CapacityExceeded {
+                required,
+                available,
+                blocks,
+                block_limit,
+            } => {
+                assert_eq!(block_limit, PLACE_AND_ROUTE_BLOCK_LIMIT);
+                assert!(blocks > block_limit);
+                assert_eq!(required.total_blocks(), blocks);
+                assert!(!available.fits(&required), "{required} vs {available}");
+                assert!(available.total_blocks() <= block_limit);
+            }
+            other => panic!("expected CapacityExceeded, got {other:?}"),
+        }
+        // The error renders the actionable guidance.
+        assert!(err.to_string().contains("shard the model"));
+    }
+
+    #[test]
+    fn large_models_skip_physical_design_behind_the_explicit_fallback() {
         let compiled = Compiler::fpsa()
             .with_duplication(1)
+            .with_analytic_fallback()
             .compile(&zoo::alexnet())
             .unwrap();
         assert!(compiled.physical.is_none());

@@ -90,11 +90,16 @@ impl Figure8 {
 
 /// The minimum-channel-width search over the physically designable models:
 /// each model compiles once with the PlaceRoute stage in `Minimize` mode.
-/// Models whose netlists exceed the block limit drop out.
+/// Models whose netlists exceed the block limit drop out (the explicit
+/// analytic fallback leaves them with no physical design to report).
 pub fn channel_width_search() -> Vec<ChannelWidthPoint> {
     parallel_map(&CHANNEL_WIDTH_MODELS, |benchmark| {
         let compiled = Compiler::fpsa()
-            .with_place_route(PlaceRouteConfig::fast().minimize_channel_width())
+            .with_place_route(
+                PlaceRouteConfig::fast()
+                    .minimize_channel_width()
+                    .with_analytic_fallback(),
+            )
             .compile(&benchmark.build())
             .expect("zoo models are well formed");
         compiled

@@ -31,7 +31,7 @@
 //! let compiled = Compiler::fpsa().with_duplication(4).compile(&zoo::lenet())?;
 //! let report = compiled.performance();
 //! assert!(report.throughput_samples_per_s > 1_000.0);
-//! # Ok::<(), fpsa_nn::NnError>(())
+//! # Ok::<(), fpsa_core::compiler::CompileError>(())
 //! ```
 
 pub mod compiler;
@@ -42,7 +42,7 @@ pub mod report;
 pub mod sweep;
 pub mod validate;
 
-pub use compiler::{CompiledModel, Compiler};
+pub use compiler::{CompileError, CompiledModel, Compiler};
 pub use evaluator::{Evaluator, ModelEvaluation};
 pub use sweep::{Sweep, SweepPoint};
 pub use validate::{validate, ValidationConfig, ValidationReport};

@@ -13,9 +13,10 @@
 //! The stage types are public: benchmarks (the compiler-stage ablation) and
 //! tools can run any stage in isolation against its typed artifact.
 
-use fpsa_arch::ArchitectureConfig;
+use crate::compiler::CompileError;
+use fpsa_arch::{ArchitectureConfig, FabricCapacity};
 use fpsa_mapper::{AllocationPolicy, Mapper, Mapping};
-use fpsa_nn::{ComputationalGraph, NnError};
+use fpsa_nn::ComputationalGraph;
 use fpsa_placeroute::{
     Placement, Placer, PlacerConfig, Router, RouterConfig, RoutingResult, TimingReport,
 };
@@ -43,10 +44,10 @@ pub trait CompileStage {
     ///
     /// # Errors
     ///
-    /// Stages propagate graph and shape errors from synthesis; the later
-    /// stages are infallible today but share the signature so the pipeline
-    /// composes uniformly.
-    fn run(&self, input: Self::Input<'_>) -> Result<Self::Output, NnError>;
+    /// Synthesis propagates graph and shape errors; PlaceRoute raises the
+    /// typed [`CompileError::CapacityExceeded`] when the netlist exceeds the
+    /// block limit without an explicit fallback opt-in.
+    fn run(&self, input: Self::Input<'_>) -> Result<Self::Output, CompileError>;
 
     /// Size of the input artifact, in the stage's natural unit.
     fn items_in(input: &Self::Input<'_>) -> usize;
@@ -68,14 +69,22 @@ pub struct SynthesizeStage {
     synthesizer: NeuralSynthesizer,
 }
 
+/// The synthesis configuration an architecture implies (its crossbar
+/// geometry). The single source of truth shared by [`SynthesizeStage`] and
+/// the sharding compiler's full-model synthesis, so the per-stage and
+/// whole-model syntheses can never tile differently.
+pub fn synthesis_config_for(arch: &ArchitectureConfig) -> SynthesisConfig {
+    SynthesisConfig {
+        crossbar_rows: arch.pe.rows,
+        crossbar_cols: arch.pe.cols,
+    }
+}
+
 impl SynthesizeStage {
     /// A synthesis stage tiling for the architecture's crossbar geometry.
     pub fn for_architecture(arch: &ArchitectureConfig) -> Self {
         SynthesizeStage {
-            synthesizer: NeuralSynthesizer::new(SynthesisConfig {
-                crossbar_rows: arch.pe.rows,
-                crossbar_cols: arch.pe.cols,
-            }),
+            synthesizer: NeuralSynthesizer::new(synthesis_config_for(arch)),
         }
     }
 }
@@ -88,8 +97,8 @@ impl CompileStage for SynthesizeStage {
         StageKind::Synthesize
     }
 
-    fn run(&self, input: &ComputationalGraph) -> Result<CoreOpGraph, NnError> {
-        self.synthesizer.synthesize(input)
+    fn run(&self, input: &ComputationalGraph) -> Result<CoreOpGraph, CompileError> {
+        Ok(self.synthesizer.synthesize(input)?)
     }
 
     fn items_in(input: &&ComputationalGraph) -> usize {
@@ -128,7 +137,7 @@ impl CompileStage for MapStage {
         StageKind::Map
     }
 
-    fn run(&self, input: &CoreOpGraph) -> Result<Mapping, NnError> {
+    fn run(&self, input: &CoreOpGraph) -> Result<Mapping, CompileError> {
         Ok(self.mapper.map(input))
     }
 
@@ -162,6 +171,19 @@ pub enum ChannelWidthMode {
     Minimize,
 }
 
+/// What the PlaceRoute stage does when the netlist exceeds its block limit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OverLimitPolicy {
+    /// Fail compilation with the typed
+    /// [`CompileError::CapacityExceeded`] carrying the required vs available
+    /// PE/SMB counts — the signal the multi-fabric auto-sharder consumes.
+    Error,
+    /// The pre-sharding behavior: silently skip physical design and let the
+    /// Estimate stage fall back to the analytic wire model. Kept as an
+    /// explicit opt-in for whole-model sweeps of ImageNet-scale netlists.
+    AnalyticFallback,
+}
+
 /// Configuration of the physical-design stage: effort presets for placement
 /// and routing, the channel-width mode, and the skip policy.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -172,9 +194,12 @@ pub struct PlaceRouteConfig {
     pub router: RouterConfig,
     /// Fixed-width routing or minimum-channel-width search.
     pub channel_width: ChannelWidthMode,
-    /// Above this many netlist blocks the stage skips physical design and
-    /// the pipeline falls back to the analytic wire model.
+    /// Above this many netlist blocks the stage refuses physical design
+    /// (see `over_limit` for what happens then).
     pub block_limit: usize,
+    /// Whether an over-limit netlist is a typed error or an analytic-model
+    /// fallback.
+    pub over_limit: OverLimitPolicy,
     /// Force-skip physical design regardless of netlist size.
     pub skip: bool,
 }
@@ -187,6 +212,7 @@ impl PlaceRouteConfig {
             router: RouterConfig::negotiated(),
             channel_width: ChannelWidthMode::Architecture,
             block_limit: crate::compiler::PLACE_AND_ROUTE_BLOCK_LIMIT,
+            over_limit: OverLimitPolicy::Error,
             skip: false,
         }
     }
@@ -208,6 +234,12 @@ impl PlaceRouteConfig {
     /// Force-skip physical design.
     pub fn skipped(mut self) -> Self {
         self.skip = true;
+        self
+    }
+
+    /// Opt in to the silent analytic-model fallback for over-limit netlists.
+    pub fn with_analytic_fallback(mut self) -> Self {
+        self.over_limit = OverLimitPolicy::AnalyticFallback;
         self
     }
 }
@@ -250,8 +282,24 @@ impl CompileStage for PlaceRouteStage {
         StageKind::PlaceRoute
     }
 
-    fn run(&self, input: &Mapping) -> Result<Option<PhysicalDesign>, NnError> {
+    fn run(&self, input: &Mapping) -> Result<Option<PhysicalDesign>, CompileError> {
         if !self.would_run(input.netlist.len()) {
+            let blocks = input.netlist.len();
+            if !self.config.skip
+                && blocks > self.config.block_limit
+                && self.config.over_limit == OverLimitPolicy::Error
+            {
+                let (pes, smbs, clbs) = input.block_demand();
+                return Err(CompileError::CapacityExceeded {
+                    required: FabricCapacity::new(pes, smbs, clbs),
+                    available: FabricCapacity::within_block_budget(
+                        &self.arch,
+                        self.config.block_limit,
+                    ),
+                    blocks,
+                    block_limit: self.config.block_limit,
+                });
+            }
             return Ok(None);
         }
         let netlist = &input.netlist;
@@ -317,7 +365,10 @@ impl CompileStage for EstimateStage {
         StageKind::Estimate
     }
 
-    fn run(&self, input: (&Mapping, Option<&PhysicalDesign>)) -> Result<Self::Output, NnError> {
+    fn run(
+        &self,
+        input: (&Mapping, Option<&PhysicalDesign>),
+    ) -> Result<Self::Output, CompileError> {
         let (mapping, physical) = input;
         Ok(match (physical, &self.arch.communication) {
             (Some(p), fpsa_arch::CommunicationStyle::Routed { .. }) => {
@@ -357,7 +408,7 @@ impl InstrumentedPipeline {
         &mut self,
         stage: &S,
         input: S::Input<'a>,
-    ) -> Result<S::Output, NnError> {
+    ) -> Result<S::Output, CompileError> {
         let items_in = S::items_in(&input);
         let start = Instant::now();
         let output = stage.run(input)?;

@@ -36,6 +36,18 @@ pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     out
 }
 
+/// The `q`-quantile of an ascending-sorted sample, nearest-rank convention
+/// (0 when empty). The shared percentile rule of the serving and sharding
+/// experiment drivers — one definition, so their latency columns can never
+/// silently diverge.
+pub fn nearest_rank_percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
 /// Format a floating point value with engineering-style suffixes (K, M, G, T).
 pub fn engineering(value: f64) -> String {
     let abs = value.abs();

@@ -17,7 +17,7 @@
 //! This is the `Compiler`/`Evaluator` "validate path": tests and the
 //! differential CI suite call it per zoo model.
 
-use crate::compiler::Compiler;
+use crate::compiler::{CompileError, Compiler};
 use fpsa_nn::reference::{QuantizationPlan, Reference};
 use fpsa_nn::{seeds, ComputationalGraph, GraphParameters, NodeId};
 use fpsa_sim::exec::{ExecError, Precision};
@@ -125,7 +125,7 @@ pub fn validate(
     params: &GraphParameters,
     config: &ValidationConfig,
 ) -> Result<ValidationReport, ExecError> {
-    let compiled = compiler.compile(graph)?;
+    let compiled = compiler.compile(graph).map_err(CompileError::into_exec)?;
     let inputs = sample_inputs(graph, config.batch.max(1), config.seed);
     let reference = Reference::new(graph, params)?;
 

@@ -43,6 +43,16 @@ pub struct Mapping {
     pub netlist: Netlist,
 }
 
+impl Mapping {
+    /// Per-kind block demand of the mapped design as `(pes, smbs, clbs)` —
+    /// the numbers a fabric (or a sharding capacity budget) must offer for
+    /// this mapping to fit.
+    pub fn block_demand(&self) -> (usize, usize, usize) {
+        let stats = self.netlist.stats();
+        (stats.pe_count, stats.smb_count, stats.clb_count)
+    }
+}
+
 /// The spatial-to-temporal mapper.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Mapper {

@@ -133,6 +133,14 @@ impl GraphParameters {
         Ok(GraphParameters { tensors })
     }
 
+    /// Assemble parameters directly from per-node tensors (`None` for
+    /// weight-free nodes), indexed by node id. This is the hook the
+    /// multi-fabric sharder uses to slice one model's parameters into
+    /// per-stage parameter sets without retraining or reseeding.
+    pub fn from_parts(tensors: Vec<Option<Vec<f32>>>) -> Self {
+        GraphParameters { tensors }
+    }
+
     /// The weight tensor of a node, if it has one.
     pub fn weights(&self, node: NodeId) -> Option<&[f32]> {
         self.tensors.get(node).and_then(|t| t.as_deref())

@@ -126,7 +126,51 @@ impl fmt::Display for ServeError {
 
 impl std::error::Error for ServeError {}
 
+/// Number of power-of-two buckets in each [`ServeStats`] histogram.
+pub const STATS_BUCKETS: usize = 32;
+
+/// The histogram bucket a value lands in: bucket 0 holds zeros, bucket `i`
+/// (`i ≥ 1`) holds values in `[2^(i-1), 2^i)`. Log-spaced buckets keep the
+/// stats O(1) per request while spanning nanosecond batches to multi-second
+/// tail latencies.
+fn stats_bucket(value: u64) -> usize {
+    ((u64::BITS - value.leading_zeros()) as usize).min(STATS_BUCKETS - 1)
+}
+
+/// The inclusive upper bound of a histogram bucket (`2^i - 1`), used as the
+/// conservative representative when reading percentiles back out.
+fn bucket_upper(bucket: usize) -> u64 {
+    if bucket >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << bucket) - 1
+    }
+}
+
+/// Nearest-rank percentile over a bucketed histogram: the upper bound of the
+/// first bucket whose cumulative count reaches rank `q`. Zero when empty.
+fn hist_percentile(hist: &[u64; STATS_BUCKETS], q: f64) -> u64 {
+    let total: u64 = hist.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let rank = ((total as f64 * q).ceil() as u64).clamp(1, total);
+    let mut seen = 0u64;
+    for (i, &count) in hist.iter().enumerate() {
+        seen += count;
+        if seen >= rank {
+            return bucket_upper(i);
+        }
+    }
+    bucket_upper(STATS_BUCKETS - 1)
+}
+
 /// Aggregate counters over an engine's lifetime.
+///
+/// Besides the plain counters, the stats carry three power-of-two-bucketed
+/// histograms (executed batch sizes, queue depth observed at submission,
+/// request latency) whose percentiles are exact up to bucket granularity —
+/// an answer is never *under*-reported by more than one bucket (2×).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ServeStats {
     /// Requests admitted into the queue.
@@ -141,6 +185,15 @@ pub struct ServeStats {
     pub batches: u64,
     /// Largest batch observed.
     pub largest_batch: usize,
+    /// Executed batch sizes: bucket `i ≥ 1` counts batches of size in
+    /// `[2^(i-1), 2^i)`.
+    pub batch_hist: [u64; STATS_BUCKETS],
+    /// Queue depth seen at each submission (after the request joined), same
+    /// bucketing.
+    pub queue_depth_hist: [u64; STATS_BUCKETS],
+    /// Submit-to-completion latency of every completed request in
+    /// microseconds, same bucketing.
+    pub latency_hist: [u64; STATS_BUCKETS],
 }
 
 impl ServeStats {
@@ -152,11 +205,61 @@ impl ServeStats {
             (self.completed + self.failed) as f64 / self.batches as f64
         }
     }
+
+    /// The `q`-quantile of completed-request latency in microseconds
+    /// (bucket upper bound; 0 when nothing completed).
+    pub fn latency_percentile_us(&self, q: f64) -> u64 {
+        hist_percentile(&self.latency_hist, q)
+    }
+
+    /// Median request latency in microseconds (see
+    /// [`ServeStats::latency_percentile_us`]).
+    pub fn p50_latency_us(&self) -> u64 {
+        self.latency_percentile_us(0.50)
+    }
+
+    /// 99th-percentile request latency in microseconds.
+    pub fn p99_latency_us(&self) -> u64 {
+        self.latency_percentile_us(0.99)
+    }
+
+    /// The `q`-quantile of executed batch sizes.
+    pub fn batch_size_percentile(&self, q: f64) -> u64 {
+        hist_percentile(&self.batch_hist, q)
+    }
+
+    /// The `q`-quantile of the queue depth observed at submission.
+    pub fn queue_depth_percentile(&self, q: f64) -> u64 {
+        hist_percentile(&self.queue_depth_hist, q)
+    }
+
+    /// Count one executed batch (size, largest, histogram, and the member
+    /// requests as completed or failed).
+    pub(crate) fn record_batch(&mut self, size: usize, ok: bool) {
+        self.batches += 1;
+        self.largest_batch = self.largest_batch.max(size);
+        self.batch_hist[stats_bucket(size as u64)] += 1;
+        if ok {
+            self.completed += size as u64;
+        } else {
+            self.failed += size as u64;
+        }
+    }
+
+    /// Record the queue depth a submission observed.
+    pub(crate) fn record_queue_depth(&mut self, depth: usize) {
+        self.queue_depth_hist[stats_bucket(depth as u64)] += 1;
+    }
+
+    /// Record one completed request's latency.
+    pub(crate) fn record_latency(&mut self, us: u64) {
+        self.latency_hist[stats_bucket(us)] += 1;
+    }
 }
 
 /// One response: the logits plus the request's queue-to-completion latency
 /// in microseconds (stamped by the worker, not by the waiter).
-type Response = Result<(Vec<f32>, u64), ServeError>;
+pub(crate) type Response = Result<(Vec<f32>, u64), ServeError>;
 
 /// A pending request inside the queue.
 struct Request {
@@ -169,7 +272,7 @@ struct Request {
 /// Each ticket is answered exactly once; responses cannot cross between
 /// requests because every ticket owns its own channel.
 pub struct Ticket {
-    rx: mpsc::Receiver<Response>,
+    pub(crate) rx: mpsc::Receiver<Response>,
 }
 
 impl Ticket {
@@ -314,6 +417,8 @@ impl ServeEngine {
                 },
                 now,
             );
+            let depth = state.batcher.len();
+            state.stats.record_queue_depth(depth);
         }
         self.shared.work.notify_one();
         ticket
@@ -385,11 +490,13 @@ fn worker_loop(shared: &Shared) {
             // Count the batch before answering its tickets, so a client that
             // just received its output always observes itself in the stats.
             let mut state = shared.state.lock().expect("queue lock");
-            state.stats.batches += 1;
-            state.stats.largest_batch = state.stats.largest_batch.max(batch.len());
-            match &result {
-                Ok(()) => state.stats.completed += batch.len() as u64,
-                Err(_) => state.stats.failed += batch.len() as u64,
+            state.stats.record_batch(batch.len(), result.is_ok());
+            if result.is_ok() {
+                for req in &batch {
+                    state
+                        .stats
+                        .record_latency(done_us.saturating_sub(req.submitted_us));
+                }
             }
         }
         match &result {
@@ -533,6 +640,45 @@ mod tests {
         assert_eq!(engine.config().replicas, 1);
         assert_eq!(engine.config().max_batch, 1);
         assert_eq!(engine.infer(sample(0)).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn histograms_account_for_every_request_and_batch() {
+        let engine = ServeEngine::start(mlp_executor(), ServeConfig::direct());
+        for i in 0..5 {
+            engine.infer(sample(i)).unwrap();
+        }
+        let stats = engine.shutdown();
+        assert_eq!(stats.batch_hist.iter().sum::<u64>(), stats.batches);
+        assert_eq!(stats.latency_hist.iter().sum::<u64>(), stats.completed);
+        assert_eq!(
+            stats.queue_depth_hist.iter().sum::<u64>(),
+            stats.submitted,
+            "every admitted request records the depth it observed"
+        );
+        // Direct mode executes batches of exactly one.
+        assert_eq!(stats.batch_size_percentile(0.5), 1);
+        assert_eq!(stats.batch_size_percentile(0.99), 1);
+        assert!(stats.p50_latency_us() <= stats.p99_latency_us());
+        assert!(stats.queue_depth_percentile(0.5) >= 1);
+    }
+
+    #[test]
+    fn histogram_percentiles_use_bucket_upper_bounds() {
+        let mut stats = ServeStats::default();
+        // 99 fast requests at 3 us (bucket [2,3]), one straggler at 1000 us.
+        for _ in 0..99 {
+            stats.record_latency(3);
+        }
+        stats.record_latency(1_000);
+        assert_eq!(stats.p50_latency_us(), 3);
+        assert_eq!(stats.p99_latency_us(), 3);
+        assert_eq!(stats.latency_percentile_us(1.0), 1_023);
+        assert_eq!(ServeStats::default().p99_latency_us(), 0);
+        // Zero values land in bucket zero.
+        let mut zeros = ServeStats::default();
+        zeros.record_queue_depth(0);
+        assert_eq!(zeros.queue_depth_percentile(0.5), 0);
     }
 
     #[test]

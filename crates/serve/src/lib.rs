@@ -43,6 +43,8 @@
 
 pub mod batcher;
 pub mod engine;
+pub mod sharded;
 
 pub use batcher::{BatchPolicy, DynamicBatcher};
-pub use engine::{ServeConfig, ServeEngine, ServeError, ServeStats, Ticket};
+pub use engine::{ServeConfig, ServeEngine, ServeError, ServeStats, Ticket, STATS_BUCKETS};
+pub use sharded::ShardedEngine;

@@ -1,0 +1,7 @@
+//! Evaluation drivers for the sharding subsystem — beyond the paper.
+//!
+//! | driver | artifact |
+//! |--------|----------|
+//! | [`sharding`] | stage count × batch window vs the single fabric (`BENCH_sharding.json`) |
+
+pub mod sharding;

@@ -1,0 +1,310 @@
+//! The sharding evaluation sweep — beyond the paper.
+//!
+//! For each model the driver compares the single-fabric compilation against
+//! pipeline-sharded compilations at increasing stage counts, reporting both
+//! domains:
+//!
+//! * **modeled fabric performance** — the aggregated
+//!   [`crate::ShardedPerformanceReport`]: per-chip pipeline periods from
+//!   each stage's own place & route (smaller per-chip netlists route
+//!   shorter critical paths), with the chip-to-chip [`crate::ChipLink`]
+//!   transport charged between stages. This is where pipeline-parallel
+//!   sharding beats the single fabric: the pipeline clocks on the slowest
+//!   chip or link instead of the whole die's critical path.
+//! * **measured serving** — a `fpsa_serve::ShardedEngine` over the bound
+//!   stage executors serves a real request stream (requests/s, p50/p99),
+//!   with the leading outputs asserted **bit-identical** to the unsharded
+//!   direct executor, so the speedups can never come from changed
+//!   arithmetic. (On a single host the measured numbers share one CPU; the
+//!   per-chip concurrency is real only in the modeled domain.)
+//!
+//! The `sharding_pipeline` bench target persists the records as
+//! `BENCH_sharding.json`.
+
+use crate::{ChipLink, FabricBudget, ShardCompiler};
+use fpsa_core::report::{format_table, nearest_rank_percentile};
+use fpsa_core::validate::sample_inputs;
+use fpsa_nn::params::mlp_graph;
+use fpsa_nn::zoo;
+use fpsa_nn::{ComputationalGraph, GraphParameters};
+use fpsa_serve::{ServeConfig, Ticket};
+use fpsa_sim::Precision;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Seed for parameters and the request stream.
+const SEED: u64 = 0x54A8D;
+
+/// How many leading outputs are cross-checked bit-for-bit against the
+/// unsharded direct executor.
+const CHECKED_OUTPUTS: usize = 16;
+
+/// One (stage count × batch config) measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardingPoint {
+    /// Model served.
+    pub model: String,
+    /// Pipeline stages (chips).
+    pub stages: usize,
+    /// Maximum dynamic batch at the entry stage.
+    pub max_batch: usize,
+    /// Batch window in microseconds.
+    pub window_us: u64,
+    /// Requests served during the timed phase.
+    pub requests: usize,
+    /// Measured engine throughput (one host; see module docs).
+    pub requests_per_s: f64,
+    /// Median submit-to-completion latency, microseconds.
+    pub p50_latency_us: f64,
+    /// 99th-percentile submit-to-completion latency, microseconds.
+    pub p99_latency_us: f64,
+    /// Modeled pipeline throughput on the sharded fabrics, samples/s.
+    pub modeled_throughput_samples_per_s: f64,
+    /// Modeled end-to-end latency (chips + links), microseconds.
+    pub modeled_latency_us: f64,
+    /// Modeled throughput over the single-fabric modeled throughput.
+    pub modeled_speedup_vs_single_fabric: f64,
+    /// PEs mapped per chip.
+    pub per_chip_pes: Vec<usize>,
+    /// Per-chip PE utilization against the fabric budget.
+    pub per_chip_utilization: Vec<f64>,
+    /// Transport time per boundary, nanoseconds.
+    pub transport_ns: Vec<f64>,
+}
+
+/// The sharding sweep for one model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardingReport {
+    /// Model evaluated.
+    pub model: String,
+    /// Modeled single-fabric throughput (the baseline), samples/s.
+    pub single_modeled_throughput_samples_per_s: f64,
+    /// Modeled single-fabric latency, microseconds.
+    pub single_modeled_latency_us: f64,
+    /// Measured single-fabric `ServeEngine` throughput on the same stream.
+    pub single_requests_per_s: f64,
+    /// One point per (stage count × batch config).
+    pub points: Vec<ShardingPoint>,
+}
+
+/// Regenerate the default sweep: the paper's MLP-500-100 at 1/2/3 stages
+/// (whose bottleneck layer keeps the pipeline period flat — an honest null
+/// result the table shows) and a three-layer MLP whose balanced split
+/// genuinely shrinks every chip's routed critical path.
+pub fn run() -> Vec<ShardingReport> {
+    let balanced = mlp_graph("MLP-300-280-260-10", &[300, 280, 260, 10]);
+    vec![
+        run_with(&zoo::mlp_500_100(), &[1, 2, 3], &[(8, 200)], 96),
+        run_with(&balanced, &[1, 2, 3], &[(8, 200)], 96),
+    ]
+}
+
+/// Regenerate for one model over arbitrary stage counts, `(max_batch,
+/// window_us)` policies and request count. Every sharded point serves the
+/// same stream; the leading [`CHECKED_OUTPUTS`] outputs are asserted
+/// bit-identical to the unsharded direct executor.
+pub fn run_with(
+    graph: &ComputationalGraph,
+    stage_counts: &[usize],
+    batch_configs: &[(usize, u64)],
+    requests: usize,
+) -> ShardingReport {
+    let requests = requests.max(1);
+    let params = GraphParameters::seeded(graph, SEED);
+    let sharder = ShardCompiler::fpsa(FabricBudget::with_pes(1)).with_link(ChipLink::default());
+
+    // The unsharded single-fabric compilation: the modeled baseline, the
+    // measured serving baseline, and the bit-identity reference.
+    let single = sharder
+        .compile_into_stages(graph, 1)
+        .expect("sweep models compile on one fabric");
+    let single_perf = single.performance();
+    let direct = single
+        .executor(&params, &Precision::Float)
+        .expect("sweep models bind");
+
+    let pool = sample_inputs(graph, 16.min(requests), SEED);
+    let stream: Vec<&Vec<f32>> = (0..requests).map(|i| &pool[i % pool.len()]).collect();
+    let reference_outputs: Vec<Vec<f32>> = stream
+        .iter()
+        .take(CHECKED_OUTPUTS)
+        .map(|x| direct.run(x).expect("direct execution succeeds"))
+        .collect();
+
+    // Measured single-fabric serving on the same stream (default policy).
+    let single_requests_per_s = {
+        let engine = single
+            .serve(&params, &Precision::Float, ServeConfig::default())
+            .expect("single-fabric model serves");
+        let timed = Instant::now();
+        let tickets: Vec<Ticket> = stream.iter().map(|x| engine.submit((*x).clone())).collect();
+        for ticket in tickets {
+            ticket.wait().expect("request is served");
+        }
+        let elapsed = timed.elapsed().as_secs_f64();
+        drop(engine);
+        stream.len() as f64 / elapsed.max(1e-9)
+    };
+
+    let mut points = Vec::new();
+    for &stages in stage_counts {
+        // The 1-stage point IS the baseline compilation; don't redo its
+        // place & route (the dominant cost on the 1-core bench container).
+        let sharded = if stages == 1 {
+            single.clone()
+        } else {
+            sharder
+                .compile_into_stages(graph, stages)
+                .expect("sweep models shard")
+        };
+        let perf = sharded.performance();
+        for &(max_batch, window_us) in batch_configs {
+            let config = ServeConfig {
+                replicas: 1,
+                max_batch,
+                batch_window_us: window_us,
+            };
+            let engine = sharded
+                .serve(&params, &Precision::Float, config)
+                .expect("sharded models serve");
+            let timed = Instant::now();
+            let tickets: Vec<Ticket> = stream.iter().map(|x| engine.submit((*x).clone())).collect();
+            let mut latencies = Vec::with_capacity(stream.len());
+            for (i, ticket) in tickets.into_iter().enumerate() {
+                let (out, latency_us) = ticket.wait_timed().expect("request is served");
+                latencies.push(latency_us as f64);
+                if let Some(want) = reference_outputs.get(i) {
+                    assert_eq!(
+                        &out, want,
+                        "{}: sharded output {i} diverged from the unsharded run",
+                        graph.name
+                    );
+                }
+            }
+            let elapsed = timed.elapsed().as_secs_f64();
+            drop(engine);
+            latencies.sort_by(f64::total_cmp);
+            points.push(ShardingPoint {
+                model: graph.name.clone(),
+                stages: sharded.stage_count(),
+                max_batch,
+                window_us,
+                requests: stream.len(),
+                requests_per_s: stream.len() as f64 / elapsed.max(1e-9),
+                p50_latency_us: nearest_rank_percentile(&latencies, 0.50),
+                p99_latency_us: nearest_rank_percentile(&latencies, 0.99),
+                modeled_throughput_samples_per_s: perf.throughput_samples_per_s,
+                modeled_latency_us: perf.latency_us,
+                modeled_speedup_vs_single_fabric: perf.throughput_samples_per_s
+                    / single_perf.throughput_samples_per_s.max(1e-9),
+                per_chip_pes: perf.stages.iter().map(|r| r.pe_count).collect(),
+                per_chip_utilization: perf.per_chip_utilization.clone(),
+                transport_ns: perf.transports.iter().map(|t| t.transfer_ns).collect(),
+            });
+        }
+    }
+
+    ShardingReport {
+        model: graph.name.clone(),
+        single_modeled_throughput_samples_per_s: single_perf.throughput_samples_per_s,
+        single_modeled_latency_us: single_perf.latency_us,
+        single_requests_per_s,
+        points,
+    }
+}
+
+/// Render the sweep as text.
+pub fn to_table(reports: &[ShardingReport]) -> String {
+    let mut rows = Vec::new();
+    for report in reports {
+        rows.push(vec![
+            report.model.clone(),
+            "1 (single fabric)".to_string(),
+            "-".to_string(),
+            format!("{:.0}", report.single_requests_per_s),
+            "-".to_string(),
+            format!("{:.0}", report.single_modeled_throughput_samples_per_s),
+            format!("{:.2}", report.single_modeled_latency_us),
+            "1.00".to_string(),
+        ]);
+        for p in &report.points {
+            rows.push(vec![
+                p.model.clone(),
+                p.stages.to_string(),
+                format!("{}x{}us", p.max_batch, p.window_us),
+                format!("{:.0}", p.requests_per_s),
+                format!("{:.0}/{:.0}", p.p50_latency_us, p.p99_latency_us),
+                format!("{:.0}", p.modeled_throughput_samples_per_s),
+                format!("{:.2}", p.modeled_latency_us),
+                format!("{:.2}", p.modeled_speedup_vs_single_fabric),
+            ]);
+        }
+    }
+    format_table(
+        &[
+            "model",
+            "chips",
+            "batch",
+            "req/s",
+            "p50/p99 us",
+            "modeled samples/s",
+            "modeled lat us",
+            "modeled speedup",
+        ],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_the_grid_and_outputs_stay_bit_identical() {
+        // Bit-identity to the unsharded run is asserted inside the driver
+        // for every compared request.
+        let graph = mlp_graph("sweep", &[64, 48, 32, 4]);
+        let report = run_with(&graph, &[1, 3], &[(4, 100)], 6);
+        assert_eq!(report.points.len(), 2);
+        assert!(report.single_modeled_throughput_samples_per_s > 0.0);
+        assert!(report.single_requests_per_s > 0.0);
+        // The 1-stage point is the baseline itself.
+        assert_eq!(report.points[0].stages, 1);
+        assert!((report.points[0].modeled_speedup_vs_single_fabric - 1.0).abs() < 1e-9);
+        assert!(report.points[0].transport_ns.is_empty());
+        // The 3-stage point splits the chips and pays the links.
+        let p3 = &report.points[1];
+        assert_eq!(p3.stages, 3);
+        assert_eq!(p3.per_chip_pes.len(), 3);
+        assert_eq!(p3.transport_ns.len(), 2);
+        assert!(p3.p50_latency_us <= p3.p99_latency_us);
+        let table = to_table(&[report]);
+        assert!(table.contains("single fabric"));
+        assert!(table.contains("modeled speedup"));
+    }
+
+    /// The PR's acceptance criterion: on a ≥2-stage MLP sweep,
+    /// pipeline-parallel sharded serving beats the single fabric in modeled
+    /// pipeline throughput — each chip's smaller netlist routes a shorter
+    /// critical path than the whole die, and the link does not erase the
+    /// gain — with bit-identical outputs (asserted inside the driver).
+    /// Release-only: debug-build wall-clock would dominate the measured
+    /// columns, not the modeled ones, but the P&R runs are slow in debug.
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn sharded_serving_beats_the_single_fabric_on_the_mlp_sweep() {
+        let graph = mlp_graph("MLP-300-280-260-10", &[300, 280, 260, 10]);
+        let report = run_with(&graph, &[2, 3], &[(8, 200)], 64);
+        for point in &report.points {
+            assert!(point.stages >= 2);
+            assert!(
+                point.modeled_speedup_vs_single_fabric > 1.0,
+                "{} chips: modeled speedup {:.3} <= 1.0 (sharded {:.0} vs single {:.0})",
+                point.stages,
+                point.modeled_speedup_vs_single_fabric,
+                point.modeled_throughput_samples_per_s,
+                report.single_modeled_throughput_samples_per_s
+            );
+        }
+    }
+}

@@ -1,0 +1,655 @@
+//! The pipeline partitioner: contiguous stages under a per-fabric budget.
+//!
+//! A partition cuts the model at *compute-node boundaries* where exactly one
+//! live tensor crosses: every data dependency that spans the cut must
+//! resolve (through ReLU/Flatten/Concat pass-through wiring) to the cut
+//! node's activation buffer. That single-tensor rule is what lets each stage
+//! become an ordinary single-input/single-output `ComputationalGraph` that
+//! the existing compiler and executor handle unchanged — and what makes the
+//! chained stage executors bit-identical to the unsharded run (each stage's
+//! input buffer *is* the previous stage's output buffer).
+//!
+//! Cut legality is decided on the resolved data-flow views (the same
+//! `fpsa_nn::reference::resolve_view` collapse the executor gathers with):
+//! a cut after compute node `c` is legal iff every view edge `(s, v)` with
+//! `s ≤ c < v` has `s == c`. Residual blocks and inception fan-outs are
+//! therefore atomic — a boundary there would need to carry several tensors,
+//! which a pipeline link does not.
+//!
+//! PE demand is estimated from the *full-model* synthesis (groups per source
+//! node × allocated duplicates), so auto mode packs stages against exactly
+//! the demand the unsharded compilation realizes.
+
+use crate::ShardError;
+use fpsa_mapper::{Allocation, AllocationPolicy};
+use fpsa_nn::reference::{self, is_compute_node};
+use fpsa_nn::{ComputationalGraph, NodeId, Operator, TensorShape};
+use fpsa_synthesis::CoreOpGraph;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The capacity budget of one fabric (chip) in the sharded system.
+///
+/// The PE budget is the binding constraint — weight tiles must live
+/// somewhere — while the SMB allowance bounds the buffer blocks the mapped
+/// schedule may insert. [`FabricBudget::with_pes`] grants one SMB slot per
+/// PE slot, a deliberately generous allowance: SMBs are an order of
+/// magnitude smaller than PEs, so the PE budget is what sizes the chip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FabricBudget {
+    /// Processing elements per fabric.
+    pub pes: usize,
+    /// Spiking memory blocks per fabric.
+    pub smbs: usize,
+}
+
+impl FabricBudget {
+    /// A budget of `pes` processing elements with a matching SMB allowance.
+    pub fn with_pes(pes: usize) -> Self {
+        let pes = pes.max(1);
+        FabricBudget { pes, smbs: pes }
+    }
+}
+
+impl std::fmt::Display for FabricBudget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} PEs / {} SMBs", self.pes, self.smbs)
+    }
+}
+
+/// One pipeline stage of a partition: the original node ids it owns and the
+/// self-contained subgraph built from them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StagePlan {
+    /// Original node ids assigned to this stage, ascending.
+    pub nodes: Vec<NodeId>,
+    /// The stage as an ordinary computational graph: stage 0 keeps the
+    /// model's input node, later stages get a fresh input node (local id 0)
+    /// shaped like the previous stage's boundary tensor.
+    pub graph: ComputationalGraph,
+    /// `(original id, local id)` for every original node in the stage.
+    pub node_map: Vec<(NodeId, NodeId)>,
+    /// The boundary compute node whose activation buffer leaves this stage
+    /// (`None` for the final stage, whose output is the model output).
+    pub boundary: Option<NodeId>,
+    /// Elements crossing the outgoing boundary (the final stage reports its
+    /// logits width).
+    pub boundary_elements: usize,
+    /// Estimated PE demand (full-model groups × duplicates of this stage's
+    /// nodes).
+    pub pe_demand: u64,
+}
+
+/// A full partition of one model into contiguous pipeline stages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartitionPlan {
+    /// Per-stage plans, in pipeline order.
+    pub stages: Vec<StagePlan>,
+    /// Stage index of every original node.
+    pub stage_of_node: Vec<usize>,
+    /// The boundary compute nodes, one per cut (`stages.len() - 1` of them).
+    pub cuts: Vec<NodeId>,
+}
+
+impl PartitionPlan {
+    /// Number of stages.
+    pub fn stage_count(&self) -> usize {
+        self.stages.len()
+    }
+}
+
+/// Everything the partitioner precomputes about one model.
+pub struct Partitioner<'g> {
+    graph: &'g ComputationalGraph,
+    shapes: HashMap<NodeId, TensorShape>,
+    /// Resolved view edges `(source compute node, consumer compute node)`.
+    view_edges: Vec<(NodeId, NodeId)>,
+    /// Non-input compute nodes, ascending by id.
+    compute: Vec<NodeId>,
+    /// Estimated PE demand per original node (0 for pass-throughs).
+    node_demand: Vec<u64>,
+}
+
+impl<'g> Partitioner<'g> {
+    /// Analyze a model against its full synthesis: resolve the data-flow
+    /// views that decide cut legality and attribute the allocated PE demand
+    /// to source nodes.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError::Model`] for malformed graphs.
+    pub fn new(
+        graph: &'g ComputationalGraph,
+        core: &CoreOpGraph,
+        policy: AllocationPolicy,
+    ) -> Result<Self, ShardError> {
+        let shapes = graph.infer_shapes().map_err(ShardError::Model)?;
+        let mut view_edges = Vec::new();
+        let mut compute = Vec::new();
+        for node in graph.nodes() {
+            if !is_compute_node(&node.op) {
+                continue;
+            }
+            if matches!(node.op, Operator::Input { .. }) {
+                continue;
+            }
+            compute.push(node.id);
+            let view =
+                reference::resolve_view(graph, &shapes, &node.inputs).map_err(ShardError::Model)?;
+            for segment in &view {
+                view_edges.push((segment.source, node.id));
+            }
+        }
+        // Attribute the full-model allocation to source nodes: this is the
+        // PE count each node's tiles occupy in the unsharded compilation.
+        let allocation = Allocation::allocate(core, policy);
+        let mut node_demand = vec![0u64; graph.len()];
+        for group in core.groups() {
+            if let Some(slot) = node_demand.get_mut(group.source_node) {
+                *slot += allocation.per_group.get(group.id).copied().unwrap_or(1);
+            }
+        }
+        Ok(Partitioner {
+            graph,
+            shapes,
+            view_edges,
+            compute,
+            node_demand,
+        })
+    }
+
+    /// The non-input compute nodes, in pipeline order.
+    pub fn compute_nodes(&self) -> &[NodeId] {
+        &self.compute
+    }
+
+    /// Estimated PE demand of one node.
+    pub fn demand_of(&self, node: NodeId) -> u64 {
+        self.node_demand.get(node).copied().unwrap_or(0)
+    }
+
+    /// Whether a cut directly after compute node `c` is legal: exactly one
+    /// live tensor (c's buffer) crosses it.
+    pub fn cut_is_legal(&self, c: NodeId) -> bool {
+        if !self.compute.contains(&c) || self.compute.last() == Some(&c) {
+            return false;
+        }
+        self.view_edges
+            .iter()
+            .all(|&(s, v)| !(s <= c && c < v) || s == c)
+    }
+
+    /// All legal cut nodes, in pipeline order.
+    pub fn legal_cuts(&self) -> Vec<NodeId> {
+        self.compute
+            .iter()
+            .copied()
+            .filter(|&c| self.cut_is_legal(c))
+            .collect()
+    }
+
+    /// Auto mode: the minimum number of contiguous stages such that every
+    /// stage's estimated PE demand fits `budget`, found greedily (fill the
+    /// current fabric as far as the last legal cut permits, then start the
+    /// next one — latest-legal-cut greed is optimal for contiguous packing).
+    ///
+    /// # Errors
+    ///
+    /// * [`ShardError::NodeExceedsFabric`] — one node's tiles alone outgrow
+    ///   a fabric: no partition can help, the budget must grow;
+    /// * [`ShardError::NoLegalCut`] — an atomic span (e.g. a residual block)
+    ///   exceeds the budget but has no legal cut inside.
+    pub fn partition_auto(&self, budget: FabricBudget) -> Result<PartitionPlan, ShardError> {
+        let n = self.compute.len();
+        if n == 0 {
+            return Err(ShardError::Unshardable {
+                reason: "model has no compute nodes".into(),
+            });
+        }
+        let budget_pes = budget.pes as u64;
+        let mut cuts: Vec<NodeId> = Vec::new();
+        let mut seg_start = 0usize;
+        let mut seg_demand = 0u64;
+        let mut last_legal: Option<(usize, u64)> = None; // (index, demand up to and incl.)
+        for idx in 0..n {
+            let node = self.compute[idx];
+            let demand = self.demand_of(node);
+            if demand > budget_pes {
+                let node_ref = self.graph.node(node).map_err(ShardError::Model)?;
+                return Err(ShardError::NodeExceedsFabric {
+                    node,
+                    name: node_ref.name.clone(),
+                    required_pes: demand,
+                    budget_pes: budget.pes,
+                });
+            }
+            seg_demand += demand;
+            if seg_demand > budget_pes {
+                let Some((cut_idx, cut_demand)) = last_legal else {
+                    return Err(ShardError::NoLegalCut {
+                        from: self.compute[seg_start],
+                        to: node,
+                        required_pes: seg_demand,
+                        budget_pes: budget.pes,
+                    });
+                };
+                cuts.push(self.compute[cut_idx]);
+                seg_start = cut_idx + 1;
+                seg_demand -= cut_demand;
+                last_legal = None;
+                if seg_demand > budget_pes {
+                    // The only legal cut sat too far back: the remainder is
+                    // an atomic over-budget span.
+                    return Err(ShardError::NoLegalCut {
+                        from: self.compute[seg_start],
+                        to: node,
+                        required_pes: seg_demand,
+                        budget_pes: budget.pes,
+                    });
+                }
+            }
+            if idx + 1 < n && self.cut_is_legal(node) {
+                last_legal = Some((idx, seg_demand));
+            }
+        }
+        self.plan_for_cuts(&cuts)
+    }
+
+    /// Explicit mode: partition at user-given cut nodes.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError::IllegalCut`] when a cut is not a legal single-tensor
+    /// boundary (or the cuts are unordered / duplicated).
+    pub fn partition_at(&self, cuts: &[NodeId]) -> Result<PartitionPlan, ShardError> {
+        let mut previous: Option<NodeId> = None;
+        for &cut in cuts {
+            if previous.is_some_and(|p| cut <= p) {
+                return Err(ShardError::IllegalCut {
+                    at: cut,
+                    reason: "cut nodes must be strictly ascending".into(),
+                });
+            }
+            if !self.cut_is_legal(cut) {
+                return Err(ShardError::IllegalCut {
+                    at: cut,
+                    reason: "more than one live tensor crosses this boundary \
+                             (or the node is not an interior compute node)"
+                        .into(),
+                });
+            }
+            previous = Some(cut);
+        }
+        self.plan_for_cuts(cuts)
+    }
+
+    /// Cut nodes splitting the model into (up to) `stages` demand-balanced
+    /// stages: the `k`-th cut is placed at the legal boundary whose
+    /// cumulative PE demand lies closest to the `k/stages` demand quantile.
+    /// Returns fewer cuts when the model has fewer legal boundaries than
+    /// requested.
+    pub fn balanced_cuts(&self, stages: usize) -> Vec<NodeId> {
+        let stages = stages.max(1);
+        let n = self.compute.len();
+        if stages == 1 || n < 2 {
+            return Vec::new();
+        }
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0u64;
+        for &c in &self.compute {
+            total += self.demand_of(c);
+            cumulative.push(total);
+        }
+        let total = total.max(1) as f64;
+        let mut cuts = Vec::new();
+        let mut next_index = 0usize;
+        for k in 1..stages {
+            let ideal = k as f64 * total / stages as f64;
+            let mut best: Option<(f64, usize)> = None;
+            for (i, &cum) in cumulative.iter().enumerate().take(n - 1).skip(next_index) {
+                if !self.cut_is_legal(self.compute[i]) {
+                    continue;
+                }
+                let diff = (cum as f64 - ideal).abs();
+                if best.is_none_or(|(bd, _)| diff < bd) {
+                    best = Some((diff, i));
+                }
+            }
+            let Some((_, index)) = best else { break };
+            cuts.push(self.compute[index]);
+            next_index = index + 1;
+        }
+        cuts
+    }
+
+    /// Build the full plan for a validated cut list: assign every node to a
+    /// stage, construct the per-stage graphs, and verify each stage is the
+    /// single-input / single-output pipeline segment the executor needs.
+    fn plan_for_cuts(&self, cuts: &[NodeId]) -> Result<PartitionPlan, ShardError> {
+        let stage_of_node = self.assign_stages(cuts)?;
+        let stage_count = cuts.len() + 1;
+        let mut stages = Vec::with_capacity(stage_count);
+        for s in 0..stage_count {
+            stages.push(self.build_stage(s, cuts, &stage_of_node)?);
+        }
+        Ok(PartitionPlan {
+            stages,
+            stage_of_node,
+            cuts: cuts.to_vec(),
+        })
+    }
+
+    /// Stage assignment: compute nodes by cut position; ReLU with its
+    /// producer (so synthesis fuses it exactly like the unsharded compile);
+    /// other pass-throughs (Flatten, Concat, folded norms, …) with their
+    /// first consumer (so stage-graph shape inference sees them applied).
+    fn assign_stages(&self, cuts: &[NodeId]) -> Result<Vec<usize>, ShardError> {
+        let len = self.graph.len();
+        let mut stage_of = vec![0usize; len];
+        for &c in &self.compute {
+            stage_of[c] = cuts.iter().filter(|&&cut| cut < c).count();
+        }
+        let order = self.graph.topological_order().map_err(ShardError::Model)?;
+        // Forward: provisional producer-side assignment for pass-throughs.
+        for &id in &order {
+            let node = self.graph.node(id).map_err(ShardError::Model)?;
+            if is_compute_node(&node.op) {
+                continue;
+            }
+            stage_of[id] = node.inputs.iter().map(|&u| stage_of[u]).max().unwrap_or(0);
+        }
+        // Backward: non-ReLU pass-throughs move to their first consumer's
+        // stage (ReLU must stay with its producer, whose tiles fuse it).
+        for &id in order.iter().rev() {
+            let node = self.graph.node(id).map_err(ShardError::Model)?;
+            if is_compute_node(&node.op) || matches!(node.op, Operator::Relu) {
+                continue;
+            }
+            let consumer_min = self.graph.consumers(id).iter().map(|&c| stage_of[c]).min();
+            if let Some(stage) = consumer_min {
+                stage_of[id] = stage;
+            }
+        }
+        Ok(stage_of)
+    }
+
+    /// Materialize one stage as a self-contained graph.
+    fn build_stage(
+        &self,
+        stage: usize,
+        cuts: &[NodeId],
+        stage_of_node: &[usize],
+    ) -> Result<StagePlan, ShardError> {
+        let model = &self.graph.name;
+        let mut graph = ComputationalGraph::new(format!("{model}::stage{stage}"));
+        let mut node_map: Vec<(NodeId, NodeId)> = Vec::new();
+        let mut local_of: HashMap<NodeId, NodeId> = HashMap::new();
+        let mut nodes: Vec<NodeId> = Vec::new();
+        if stage > 0 {
+            let boundary_in = cuts[stage - 1];
+            let local = graph.add_input("shard_in", self.shapes[&boundary_in]);
+            debug_assert_eq!(local, 0);
+        }
+        for node in self.graph.nodes() {
+            if stage_of_node[node.id] != stage {
+                continue;
+            }
+            let mut inputs = Vec::with_capacity(node.inputs.len());
+            for &u in &node.inputs {
+                if stage_of_node[u] == stage {
+                    let &local = local_of.get(&u).ok_or_else(|| ShardError::IllegalCut {
+                        at: node.id,
+                        reason: format!(
+                            "node {} consumes same-stage node {u} that is not ordered before it",
+                            node.name
+                        ),
+                    })?;
+                    inputs.push(local);
+                } else if stage_of_node[u] < stage && stage > 0 {
+                    inputs.push(0); // the stage's boundary input
+                } else {
+                    return Err(ShardError::IllegalCut {
+                        at: node.id,
+                        reason: format!(
+                            "edge {u} -> {} crosses stages backwards or into stage 0",
+                            node.id
+                        ),
+                    });
+                }
+            }
+            let local = graph.add_node(node.name.clone(), node.op.clone(), inputs);
+            local_of.insert(node.id, local);
+            node_map.push((node.id, local));
+            nodes.push(node.id);
+        }
+        // Every stage must be the shape the executor binds: one input node,
+        // one output node, and (except for the last stage) an output that
+        // resolves to exactly the boundary compute node.
+        let input_count = graph
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op, Operator::Input { .. }))
+            .count();
+        if input_count != 1 {
+            return Err(ShardError::IllegalCut {
+                at: *nodes.first().unwrap_or(&0),
+                reason: format!("stage {stage} has {input_count} input nodes, needs exactly 1"),
+            });
+        }
+        let outputs = graph.outputs();
+        if outputs.len() != 1 {
+            return Err(ShardError::IllegalCut {
+                at: *nodes.first().unwrap_or(&0),
+                reason: format!(
+                    "stage {stage} has {} output nodes, needs exactly 1 \
+                     (a mid-stage value escapes the pipeline)",
+                    outputs.len()
+                ),
+            });
+        }
+        let boundary = cuts.get(stage).copied();
+        if let Some(boundary_node) = boundary {
+            let stage_shapes = graph.infer_shapes().map_err(ShardError::Model)?;
+            let view = reference::resolve_view(&graph, &stage_shapes, &outputs)
+                .map_err(ShardError::Model)?;
+            let expected = local_of.get(&boundary_node).copied();
+            if view.len() != 1 || Some(view[0].source) != expected {
+                return Err(ShardError::IllegalCut {
+                    at: boundary_node,
+                    reason: format!("stage {stage}'s output does not resolve to its boundary node"),
+                });
+            }
+        }
+        let boundary_elements = match boundary {
+            Some(node) => self.shapes[&node].elements(),
+            None => outputs
+                .first()
+                .and_then(|local| {
+                    node_map
+                        .iter()
+                        .find(|&&(_, l)| l == *local)
+                        .map(|&(orig, _)| self.shapes[&orig].elements())
+                })
+                .unwrap_or(0),
+        };
+        let pe_demand = nodes.iter().map(|&n| self.demand_of(n)).sum();
+        Ok(StagePlan {
+            nodes,
+            graph,
+            node_map,
+            boundary,
+            boundary_elements,
+            pe_demand,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpsa_nn::params::mlp_graph;
+    use fpsa_nn::zoo;
+    use fpsa_synthesis::{NeuralSynthesizer, SynthesisConfig};
+
+    fn analyzed(graph: &ComputationalGraph) -> (CoreOpGraph, HashMap<NodeId, TensorShape>) {
+        let core = NeuralSynthesizer::new(SynthesisConfig::fpsa_default())
+            .synthesize(graph)
+            .unwrap();
+        let shapes = graph.infer_shapes().unwrap();
+        (core, shapes)
+    }
+
+    fn partitioner<'g>(graph: &'g ComputationalGraph, core: &CoreOpGraph) -> Partitioner<'g> {
+        Partitioner::new(graph, core, AllocationPolicy::DuplicationDegree(1)).unwrap()
+    }
+
+    #[test]
+    fn every_linear_boundary_of_an_mlp_is_a_legal_cut() {
+        let graph = mlp_graph("deep", &[32, 24, 16, 8, 4]);
+        let (core, _) = analyzed(&graph);
+        let p = partitioner(&graph, &core);
+        // Four Linear nodes; all but the last are legal cuts.
+        assert_eq!(p.compute_nodes().len(), 4);
+        assert_eq!(p.legal_cuts().len(), 3);
+    }
+
+    #[test]
+    fn residual_blocks_are_atomic() {
+        let graph = zoo::tiny_resnet();
+        let (core, _) = analyzed(&graph);
+        let p = partitioner(&graph, &core);
+        // No cut may fall between a residual source and its Add.
+        for cut in p.legal_cuts() {
+            let plan = p.partition_at(&[cut]).unwrap();
+            assert_eq!(plan.stage_count(), 2);
+        }
+        // And the branchy interior rejects at least one compute boundary.
+        let interior_illegal = p
+            .compute_nodes()
+            .iter()
+            .any(|&c| !p.cut_is_legal(c) && Some(&c) != p.compute_nodes().last());
+        assert!(interior_illegal, "tiny_resnet must have an atomic span");
+    }
+
+    #[test]
+    fn auto_partition_minimizes_stages_under_the_budget() {
+        let graph = mlp_graph("deep", &[300, 280, 260, 240, 10]);
+        let (core, _) = analyzed(&graph);
+        let p = partitioner(&graph, &core);
+        let total: u64 = p.compute_nodes().iter().map(|&c| p.demand_of(c)).sum();
+        // A budget covering everything → one stage.
+        let one = p
+            .partition_auto(FabricBudget::with_pes(total as usize))
+            .unwrap();
+        assert_eq!(one.stage_count(), 1);
+        // A budget of roughly half → two stages, each within budget.
+        let half = total.div_ceil(2) as usize + 1;
+        let two = p.partition_auto(FabricBudget::with_pes(half)).unwrap();
+        assert!(two.stage_count() >= 2);
+        for stage in &two.stages {
+            assert!(stage.pe_demand <= half as u64);
+        }
+    }
+
+    #[test]
+    fn a_single_oversized_node_is_a_typed_error() {
+        let graph = mlp_graph("wide", &[600, 600, 4]);
+        let (core, _) = analyzed(&graph);
+        let p = partitioner(&graph, &core);
+        let err = p.partition_auto(FabricBudget::with_pes(2)).unwrap_err();
+        match err {
+            ShardError::NodeExceedsFabric {
+                name,
+                required_pes,
+                budget_pes,
+                ..
+            } => {
+                assert_eq!(name, "fc1");
+                assert!(required_pes > 2);
+                assert_eq!(budget_pes, 2);
+            }
+            other => panic!("expected NodeExceedsFabric, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn explicit_cuts_are_validated() {
+        let graph = mlp_graph("deep", &[32, 24, 16, 4]);
+        let (core, _) = analyzed(&graph);
+        let p = partitioner(&graph, &core);
+        // fc1 is node 1, fc2 node 3 (relu between); both legal.
+        let plan = p.partition_at(&[1, 3]).unwrap();
+        assert_eq!(plan.stage_count(), 3);
+        // The relu node (2) is not a compute node.
+        assert!(matches!(
+            p.partition_at(&[2]),
+            Err(ShardError::IllegalCut { at: 2, .. })
+        ));
+        // Unordered cuts are rejected.
+        assert!(matches!(
+            p.partition_at(&[3, 1]),
+            Err(ShardError::IllegalCut { .. })
+        ));
+    }
+
+    #[test]
+    fn stage_graphs_are_self_contained_pipeline_segments() {
+        let graph = mlp_graph("deep", &[32, 24, 16, 4]);
+        let (core, shapes) = analyzed(&graph);
+        let p = partitioner(&graph, &core);
+        let plan = p.partition_at(&[1, 3]).unwrap();
+        // ReLUs ride with their producing Linear (fusion), so stage 0 is
+        // [fc1, fc1_relu] and stage 1 is [fc2, fc2_relu].
+        assert_eq!(plan.stages[0].nodes, vec![0, 1, 2]); // input, fc1, relu
+        assert_eq!(plan.stages[1].nodes, vec![3, 4]);
+        assert_eq!(plan.stages[2].nodes, vec![5]);
+        // Boundary tensors carry the hidden widths.
+        assert_eq!(plan.stages[0].boundary_elements, 24);
+        assert_eq!(plan.stages[1].boundary_elements, 16);
+        assert_eq!(plan.stages[2].boundary_elements, 4);
+        // Later stages open with the boundary-shaped input node.
+        let s1 = &plan.stages[1].graph;
+        assert!(matches!(
+            s1.nodes()[0].op,
+            Operator::Input {
+                shape: TensorShape::Features(24)
+            }
+        ));
+        assert_eq!(s1.outputs().len(), 1);
+        // The full node set is partitioned exactly.
+        let assigned: usize = plan.stages.iter().map(|s| s.nodes.len()).sum();
+        assert_eq!(assigned, graph.len());
+        let _ = shapes;
+    }
+
+    #[test]
+    fn flatten_joins_its_consumer_stage_so_shapes_still_infer() {
+        // conv (Chw) | cut | flatten -> fc: the flatten must move into the
+        // fc's stage or the Linear would see a Chw input node.
+        let graph = zoo::lenet();
+        let (core, _) = analyzed(&graph);
+        let p = partitioner(&graph, &core);
+        for cut in p.legal_cuts() {
+            let plan = p.partition_at(&[cut]).unwrap();
+            for stage in &plan.stages {
+                stage
+                    .graph
+                    .infer_shapes()
+                    .unwrap_or_else(|e| panic!("cut at {cut}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_cuts_hit_the_requested_stage_count_on_chains() {
+        let graph = mlp_graph("deep", &[64, 56, 48, 40, 32, 4]);
+        let (core, _) = analyzed(&graph);
+        let p = partitioner(&graph, &core);
+        for stages in 1..=4 {
+            let cuts = p.balanced_cuts(stages);
+            assert_eq!(cuts.len(), stages - 1, "stages={stages}");
+            let plan = p.partition_at(&cuts).unwrap();
+            assert_eq!(plan.stage_count(), stages);
+        }
+    }
+}

@@ -377,6 +377,33 @@ impl Executor {
         mapping: &Mapping,
         precision: &Precision,
     ) -> Result<Executor, ExecError> {
+        Self::bind_with_noise_offset(graph, params, core, mapping, precision, 0)
+    }
+
+    /// [`Executor::bind`] with the group index of [`Precision::Noisy`]'s
+    /// per-PE seed derivation shifted by `noise_group_offset`.
+    ///
+    /// This is the executor-chaining hook of the multi-fabric sharder: each
+    /// pipeline stage re-synthesizes its subgraph, so its group ids restart
+    /// at zero, but the physical crossbars it models are the *same* ones the
+    /// unsharded compilation would program. Binding stage `k` with the
+    /// number of groups synthesized for earlier stages as the offset makes
+    /// every PE draw exactly the noise realization it draws in the unsharded
+    /// bind (`seeds::pe_index(offset + local_gid, dup)`), which is what lets
+    /// the sharded determinism suite demand bit-identical Noisy outputs.
+    /// The offset is ignored by the noise-free precisions.
+    ///
+    /// # Errors
+    ///
+    /// Mirrors [`Executor::bind`].
+    pub fn bind_with_noise_offset(
+        graph: &ComputationalGraph,
+        params: &GraphParameters,
+        core: &CoreOpGraph,
+        mapping: &Mapping,
+        precision: &Precision,
+        noise_group_offset: usize,
+    ) -> Result<Executor, ExecError> {
         let shapes = graph.infer_shapes()?;
         verify_schedule_order(core, mapping)?;
         verify_transport(core, mapping)?;
@@ -668,7 +695,7 @@ impl Executor {
                                 let mut rng = StdRng::seed_from_u64(seeds::derive(
                                     *seed,
                                     seeds::STREAM_PE_NOISE,
-                                    seeds::pe_index(gid, dup),
+                                    seeds::pe_index(noise_group_offset + gid, dup),
                                 ));
                                 exact
                                     .iter()

@@ -15,7 +15,10 @@
 //! * [`prime`] — the PRIME baseline and the performance-bound model
 //! * [`core`] — the compiler, evaluator and per-figure experiment drivers
 //! * [`serve`] — the high-throughput serving engine (dynamic batching +
-//!   replica sharding over pre-bound executors)
+//!   replica sharding over pre-bound executors, plus the pipeline-parallel
+//!   sharded engine)
+//! * [`shard`] — multi-fabric model parallelism: partition, compile and
+//!   pipeline-serve models across chips
 //!
 //! # Quick start
 //!
@@ -27,7 +30,7 @@
 //! let perf = compiled.performance();
 //! println!("LeNet on FPSA: {:.0} samples/s on {:.2} mm^2",
 //!          perf.throughput_samples_per_s, perf.area_mm2);
-//! # Ok::<(), fpsa::nn::NnError>(())
+//! # Ok::<(), fpsa::core::CompileError>(())
 //! ```
 
 pub use fpsa_arch as arch;
@@ -38,5 +41,6 @@ pub use fpsa_nn as nn;
 pub use fpsa_placeroute as placeroute;
 pub use fpsa_prime as prime;
 pub use fpsa_serve as serve;
+pub use fpsa_shard as shard;
 pub use fpsa_sim as sim;
 pub use fpsa_synthesis as synthesis;
