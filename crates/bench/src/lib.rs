@@ -21,6 +21,11 @@ pub fn print_experiment(title: &str, table: &str) {
 /// CI artifact checks never look; walking up to the directory holding
 /// `Cargo.lock` anchors them at the workspace root instead.
 fn experiment_dir() -> PathBuf {
+    workspace_root().join("target").join("experiment-data")
+}
+
+/// The workspace root: the nearest ancestor of the CWD holding `Cargo.lock`.
+fn workspace_root() -> PathBuf {
     let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
     for _ in 0..4 {
         if dir.join("Cargo.lock").exists() {
@@ -30,7 +35,7 @@ fn experiment_dir() -> PathBuf {
             break;
         }
     }
-    dir.join("target").join("experiment-data")
+    dir
 }
 
 /// Persist an experiment's structured records next to Criterion's output so
@@ -52,6 +57,19 @@ pub fn save_json<T: serde::Serialize>(name: &str, value: &T) {
             }
         }
         Err(e) => eprintln!("note: could not serialize {name}: {e}"),
+    }
+}
+
+/// Persist a benchmark artifact at the **workspace root** (not under
+/// `target/`) — for the artifacts CI pins by path, like `BENCH_exec.json`.
+/// The caller supplies the exact file contents (pre-rendered JSON), so the
+/// artifact stays machine-parseable regardless of serializer behavior.
+///
+/// Errors are reported but not fatal, like [`save_json`].
+pub fn save_text_at_root(file_name: &str, contents: &str) {
+    let path = workspace_root().join(file_name);
+    if let Err(e) = std::fs::write(&path, contents) {
+        eprintln!("note: could not write {}: {e}", path.display());
     }
 }
 

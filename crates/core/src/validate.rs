@@ -143,7 +143,10 @@ pub fn validate(
                 *entry = entry.max(diff);
             }
         }
-        let got = float_exec.run(x)?;
+        // `run_checked` shadows the bytecode stream with the retired
+        // interpreter and asserts bit-identical node activations — the
+        // cross-check that keeps exactly one production executor honest.
+        let got = float_exec.run_checked(x)?;
         let want = reference.logits(x)?;
         float_max_abs = float_max_abs.max(max_abs_diff(&got, &want));
     }
@@ -153,6 +156,7 @@ pub fn validate(
     let int_exec = compiled.executor(graph, params, &Precision::Integer(plan.clone()))?;
     let mut integer_bit_exact = true;
     for x in &inputs {
+        int_exec.run_checked(x)?;
         let got = int_exec.run_codes(x)?;
         let want = reference.quantized_logits(&plan, x)?;
         if got != want {
@@ -180,6 +184,78 @@ pub fn validate(
         per_node,
         integer_bit_exact,
         tolerance: config.tolerance,
+    })
+}
+
+/// One measured-vs-modeled execution-cost observation: the wall-clock cost
+/// of pushing a sample through the bytecode executor next to the
+/// performance model's steady-state per-sample cost for the same compiled
+/// model.
+///
+/// The two numbers describe different machines — a host CPU interpreting
+/// the fabric versus the modeled fabric itself — so their ratio
+/// ([`CostProbe::slowdown`]) is a *simulation slowdown*, not an error. The
+/// release suite pins it to a generous band: a slowdown that leaves the
+/// band means either the bytecode executor regressed by orders of
+/// magnitude or the performance model's per-sample cost came unmoored.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostProbe {
+    /// Model name.
+    pub model: String,
+    /// Measured bytecode cost per sample, bind-amortized with a reused
+    /// arena: minimum over repetitions of (batch wall time / batch size).
+    pub measured_ns_per_sample: f64,
+    /// The performance model's per-sample cost, `1e9 /`
+    /// [`throughput_samples_per_s`](fpsa_sim::PerformanceReport::throughput_samples_per_s).
+    pub modeled_ns_per_sample: f64,
+}
+
+impl CostProbe {
+    /// How much slower the host-side functional simulation is than the
+    /// modeled fabric (measured / modeled).
+    pub fn slowdown(&self) -> f64 {
+        self.measured_ns_per_sample / self.modeled_ns_per_sample
+    }
+}
+
+/// Compile `graph`, bind the float bytecode executor and measure its
+/// per-sample forward cost against the performance model's.
+///
+/// Measurement protocol: one warm-up batch grows the arena and output
+/// buffers, then `reps` timed batches of `samples` inputs run with zero
+/// steady-state allocation; the fastest batch is reported.
+///
+/// # Errors
+///
+/// Propagates compilation and executor-binding errors.
+pub fn probe_execution_cost(
+    compiler: &Compiler,
+    graph: &ComputationalGraph,
+    params: &GraphParameters,
+    samples: usize,
+    reps: usize,
+) -> Result<CostProbe, ExecError> {
+    let compiled = compiler.compile(graph).map_err(CompileError::into_exec)?;
+    let modeled_ns_per_sample = 1e9 / compiled.performance().throughput_samples_per_s;
+    let exec = compiled.executor(graph, params, &Precision::Float)?;
+    let inputs = sample_inputs(graph, samples.max(1), 0xC057);
+
+    let mut arena = fpsa_sim::ExecArena::default();
+    let mut outputs = Vec::new();
+    exec.run_batch_into(&inputs, &mut arena, &mut outputs)?;
+
+    let mut best_ns = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let start = std::time::Instant::now();
+        exec.run_batch_into(&inputs, &mut arena, &mut outputs)?;
+        let ns = start.elapsed().as_nanos() as f64 / inputs.len() as f64;
+        best_ns = best_ns.min(ns);
+    }
+
+    Ok(CostProbe {
+        model: graph.name.clone(),
+        measured_ns_per_sample: best_ns,
+        modeled_ns_per_sample,
     })
 }
 

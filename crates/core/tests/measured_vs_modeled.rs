@@ -1,0 +1,60 @@
+//! Release-only probe: the performance model's per-sample cost must stay
+//! within a (generous) band of the bytecode executor's measured wall-clock
+//! cost on two deterministic paper models.
+//!
+//! The modeled number describes the FPSA fabric, the measured number a host
+//! CPU simulating it, so the ratio is a *simulation slowdown* — what the
+//! band pins is its order of magnitude. A bytecode regression (interpreter
+//! slowness creeping back) or a performance-model blow-up both walk the
+//! ratio out of the band. Debug builds skip this: unoptimized measurement
+//! says nothing about either side.
+
+#![cfg(not(debug_assertions))]
+
+use fpsa_core::validate::probe_execution_cost;
+use fpsa_core::Compiler;
+use fpsa_nn::{zoo, GraphParameters};
+
+#[test]
+fn modeled_per_sample_cost_tracks_the_measured_bytecode_cost() {
+    let compiler = Compiler::fpsa();
+    let mut slowdowns = Vec::new();
+    for graph in [zoo::mlp_500_100(), zoo::lenet()] {
+        let params = GraphParameters::seeded(&graph, 0xC057);
+        let probe = probe_execution_cost(&compiler, &graph, &params, 8, 5)
+            .unwrap_or_else(|e| panic!("{}: probe failed: {e}", graph.name));
+        assert!(
+            probe.measured_ns_per_sample.is_finite() && probe.measured_ns_per_sample > 0.0,
+            "{}: bad measurement {probe:?}",
+            probe.model
+        );
+        assert!(
+            probe.modeled_ns_per_sample.is_finite() && probe.modeled_ns_per_sample > 0.0,
+            "{}: bad model cost {probe:?}",
+            probe.model
+        );
+        let slowdown = probe.slowdown();
+        // A host core simulating hundreds of thousands of MACs sits a few
+        // orders of magnitude above the modeled pipelined fabric; leaving
+        // [1e-2, 1e6] means one of the two sides broke by orders of
+        // magnitude, which no machine-speed wobble explains.
+        assert!(
+            (1e-2..1e6).contains(&slowdown),
+            "{}: simulation slowdown {slowdown:.1}x left the sanity band \
+             (measured {:.0} ns/sample, modeled {:.0} ns/sample)",
+            probe.model,
+            probe.measured_ns_per_sample,
+            probe.modeled_ns_per_sample
+        );
+        slowdowns.push((probe.model.clone(), slowdown));
+    }
+    // The two models run on the same host against the same performance
+    // model, so their slowdowns must agree within three orders of
+    // magnitude — a per-model drift wider than that is a modeling bug.
+    let (a, b) = (&slowdowns[0], &slowdowns[1]);
+    let spread = if a.1 > b.1 { a.1 / b.1 } else { b.1 / a.1 };
+    assert!(
+        spread < 1e3,
+        "slowdowns diverged across models: {a:?} vs {b:?}"
+    );
+}

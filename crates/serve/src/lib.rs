@@ -3,8 +3,9 @@
 //! Everything below `fpsa_serve` computes one sample at a time:
 //! `fpsa_sim::exec::Executor` binds a compiled model's artifacts to weights
 //! (the expensive step — weight realization, schedule/transport
-//! verification) and then runs samples purely. This crate turns that into a
-//! *request path* shaped like production inference serving:
+//! verification, lowering the tile programs to flat bytecode) and then runs
+//! samples purely over the compiled instruction stream. This crate turns
+//! that into a *request path* shaped like production inference serving:
 //!
 //! * **bind once, serve forever** — a [`ServeEngine`] owns one pre-bound
 //!   executor shared read-only across a pool of replica worker threads, so

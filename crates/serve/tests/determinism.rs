@@ -71,11 +71,13 @@ fn served_outputs_are_bit_identical_across_windows_replicas_and_arrival_orders()
     let inputs = samples(&graph, 10);
 
     for precision in precisions(&graph, &params, &inputs) {
-        // The single-threaded ground truth, computed once per precision.
+        // The single-threaded ground truth, computed once per precision —
+        // `run_checked` also shadows the bytecode stream with the retired
+        // interpreter, asserting bit-identity per node in every regime.
         let direct_exec = bind(&compiled, &graph, &params, &precision);
         let direct: Vec<Vec<f32>> = inputs
             .iter()
-            .map(|x| direct_exec.run(x).expect("direct run succeeds"))
+            .map(|x| direct_exec.run_checked(x).expect("direct run succeeds"))
             .collect();
 
         for replicas in [1, 2, 4] {

@@ -5,8 +5,9 @@
 //! is split into contiguous pipeline stages, each stage is compiled through
 //! the existing `Synthesize → Map → PlaceRoute → Estimate` pipeline onto its
 //! own fabric, and inference chains (or pipeline-parallel-serves) the stage
-//! executors with an explicit chip-to-chip transport cost in the
-//! performance model.
+//! executors — each a bound `fpsa_sim` executor running its stage's
+//! compiled bytecode stream — with an explicit chip-to-chip transport cost
+//! in the performance model.
 //!
 //! ```text
 //!  ComputationalGraph ── Partitioner ──► PartitionPlan (contiguous stages,

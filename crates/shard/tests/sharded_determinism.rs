@@ -64,9 +64,12 @@ fn sharded_execution_is_bit_identical_across_precisions_and_stage_counts() {
     let inputs = sample_inputs(&graph, 5, SEED);
     for (name, precision) in precisions(&graph, &params) {
         let reference = unsharded(&graph, &params, &precision);
+        // `run_checked` shadows the bytecode executor with the retired
+        // interpreter per node, so the unsharded ground truth is itself
+        // cross-checked in every precision regime.
         let want: Vec<Vec<f32>> = inputs
             .iter()
-            .map(|x| reference.run(x).expect("unsharded run succeeds"))
+            .map(|x| reference.run_checked(x).expect("unsharded run succeeds"))
             .collect();
         for stages in 1..=4 {
             let sharded = sharded_into(&graph, stages);

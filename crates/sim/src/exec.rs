@@ -8,37 +8,40 @@
 //! outputs on the simulated fabric*, so compilation can be differentially
 //! tested against the golden-model reference of `fpsa_nn::reference`.
 //!
-//! # How a sample executes
+//! # How a sample executes: bind → lower → execute
 //!
 //! 1. [`Executor::bind`] resolves every core-op group into a `TileProgram`:
 //!    its crossbar weight matrix (sliced by `fpsa_synthesis::weights`, then
 //!    realized exactly / quantized / programmed onto noisy simulated cells —
 //!    one realization **per PE duplicate**, because every physical crossbar
-//!    is programmed separately), its gather geometry (dense rows, im2col
-//!    convolution windows, pooling stencils) and its scatter target.
+//!    is programmed separately, all packed row-major into one shared weight
+//!    slab), its gather geometry (dense rows, im2col convolution windows,
+//!    pooling stencils) and its scatter target.
 //!    Binding also *verifies the physical artifacts*: schedule entries must
 //!    start strictly after every producer (buffered edges strictly after the
 //!    producer finishes), and every core-graph edge must be backed by nets
 //!    in the mapper's netlist (producer PE → consumer PE duplicates, or
 //!    producer → SMB → consumer for buffered edges).
-//! 2. [`Executor::run`] interprets the schedule entries in start-cycle
-//!    order. Each entry executes its group's core-ops (one per reuse
-//!    instance) on the group's PE blocks, round-robin over duplicates
-//!    (`instance % duplicates` — the same convention the netlist wires).
-//!    Output-carrying tiles scatter into their source node's activation
-//!    buffer; partial tiles (VMM tiles awaiting a reduction, max-pool
-//!    stage-1 tiles) hand their raw accumulations to the consuming tile
-//!    along the corresponding nets.
-//! 3. Batches fan out sample-parallel over rayon ([`Executor::run_batch`]).
+//! 2. Binding then **lowers** the programs ([`crate::lower`]) into a flat
+//!    bytecode stream ([`crate::bytecode`]): every buffer becomes a fixed
+//!    region of two flat arena slabs, every instruction carries preresolved
+//!    absolute offsets, and structurally-zero crossbar rows are dropped.
+//! 3. [`Executor::run`] is a single dispatch loop over that stream — no
+//!    per-element op dispatch, no hash lookups, no shape math — with
+//!    run-time skipping of exactly-zero activations. Outputs are
+//!    bit-identical to the retired interpreter (kept behind the
+//!    `shadow-interp` feature purely as the differential cross-check —
+//!    see [`Executor::run_checked`]): per-accumulator f64/i64 term order is
+//!    preserved, and sparsity only removes terms that are exactly zero.
+//! 4. Batches fan out sample-parallel over rayon ([`Executor::run_batch`]).
 //!    All weight realization (including noise) happens at bind time, so
 //!    execution is pure and results are bit-identical for any thread count
 //!    or batch chunking.
-//! 4. Long-lived callers (the serving engine of `fpsa_serve`) bind once and
+//! 5. Long-lived callers (the serving engine of `fpsa_serve`) bind once and
 //!    keep an [`ExecArena`] per replica: [`Executor::run_into`] and
-//!    [`Executor::run_batch_into`] recycle every intermediate buffer through
-//!    the arena's epoch-stamped slabs, so the steady-state hot path performs
-//!    no scratch allocation — and, because execution is pure, stays
-//!    bit-identical to fresh [`Executor::run`] calls.
+//!    [`Executor::run_batch_into`] reuse the arena's two flat slabs, whose
+//!    peak demand is precomputed by lowering — reservation is O(1) per run
+//!    and the steady-state hot path performs no scratch allocation.
 //!
 //! # Numeric domains ([`Precision`])
 //!
@@ -58,10 +61,16 @@
 //!   the repository convention (`seeds::derive(seed, STREAM_PE_NOISE,
 //!   pe_index(group, duplicate))`).
 
+use crate::bytecode::{LowerStats, Lowered, Region};
+use crate::lower::{self, LowerCtx};
 use fpsa_device::variation::{CellVariation, WeightScheme};
 use fpsa_mapper::{Mapping, NetlistBlock};
-use fpsa_nn::quant::{quantize_code, rescale_code, Quantizer};
-use fpsa_nn::reference::{self, pooled_window_real, requantize_mac, InputView, QuantizationPlan};
+#[cfg(feature = "shadow-interp")]
+use fpsa_nn::quant::rescale_code;
+use fpsa_nn::quant::{quantize_code, Quantizer};
+use fpsa_nn::reference::{self, InputView, QuantizationPlan};
+#[cfg(feature = "shadow-interp")]
+use fpsa_nn::reference::{pooled_window_real, requantize_mac};
 use fpsa_nn::seeds;
 use fpsa_nn::{ComputationalGraph, GraphParameters, NnError, NodeId, Operator, TensorShape};
 use fpsa_synthesis::{weights, CoreOpGraph, CoreOpKind, GroupId};
@@ -161,26 +170,26 @@ fn mismatch(reason: impl Into<String>) -> ExecError {
 
 /// Geometry of a convolution gather.
 #[derive(Debug, Clone, Copy)]
-struct ConvGeom {
-    kernel: usize,
-    stride: usize,
-    padding: usize,
-    ih: usize,
-    iw: usize,
+pub(crate) struct ConvGeom {
+    pub kernel: usize,
+    pub stride: usize,
+    pub padding: usize,
+    pub ih: usize,
+    pub iw: usize,
 }
 
 /// Geometry of a pooling gather.
 #[derive(Debug, Clone, Copy)]
-struct PoolGeom {
-    kernel: usize,
-    stride: usize,
-    ih: usize,
-    iw: usize,
+pub(crate) struct PoolGeom {
+    pub kernel: usize,
+    pub stride: usize,
+    pub ih: usize,
+    pub iw: usize,
 }
 
 /// How one tile computes.
 #[derive(Debug, Clone)]
-enum ProgramKind {
+pub(crate) enum ProgramKind {
     /// Dense VMM tile: rows `[row_offset, row_offset + rows)` of the node's
     /// flat input, one weight column per output.
     Dense,
@@ -212,61 +221,55 @@ enum ProgramKind {
 
 /// One bound, executable tile.
 #[derive(Debug, Clone)]
-struct TileProgram {
-    group: GroupId,
-    node: NodeId,
-    kind: ProgramKind,
-    relu: bool,
+pub(crate) struct TileProgram {
+    pub group: GroupId,
+    pub node: NodeId,
+    pub kind: ProgramKind,
+    pub relu: bool,
     /// Whether this tile scatters into its node's activation buffer
     /// (otherwise it produces partial values consumed by another tile).
-    writes_output: bool,
+    pub writes_output: bool,
     /// Output positions of the node (spatial size, 1 for feature vectors);
     /// equals the group's reuse degree.
-    positions: usize,
+    pub positions: usize,
     /// Tile output width (`cols`) and channel/feature offset (`col_offset`).
-    cols: usize,
-    col_offset: usize,
+    pub cols: usize,
+    pub col_offset: usize,
     /// Dense/conv row span within the node's logical input.
-    rows: usize,
-    row_offset: usize,
-    /// Float weight realizations, one per PE duplicate (length 1 when all
-    /// duplicates share the exact same matrix).
-    weights_f: Vec<Vec<f32>>,
-    /// Integer weight codes (Integer precision only; always shared).
-    weights_q: Vec<i64>,
-    duplicates: u64,
-}
-
-impl TileProgram {
-    /// The float weight matrix instance `i` executes on.
-    fn weights_for(&self, instance: usize) -> &[f32] {
-        let dup = (instance as u64 % self.duplicates) as usize;
-        &self.weights_f[dup % self.weights_f.len()]
-    }
+    pub rows: usize,
+    pub row_offset: usize,
+    /// Float weight realizations as `(offset, len)` spans of the lowered
+    /// weight slab, one per PE duplicate (length 1 when all duplicates share
+    /// the exact same matrix; empty spans in Integer precision).
+    pub w_f: Vec<(u32, u32)>,
+    /// Integer weight code span (Integer precision only; always shared).
+    pub w_q: (u32, u32),
+    pub duplicates: u64,
 }
 
 /// Per-node geometry shared by the node's tiles.
 #[derive(Debug, Clone)]
-struct NodeInfo {
-    view: InputView,
-    elements: usize,
-    positions: usize,
+pub(crate) struct NodeInfo {
+    pub view: InputView,
+    pub elements: usize,
+    pub positions: usize,
     /// Integer-mode steps (1.0 placeholders outside Integer precision).
-    gather_step: f64,
-    out_step: f64,
-    weight_step: f64,
+    pub gather_step: f64,
+    pub out_step: f64,
+    pub weight_step: f64,
 }
 
 /// An epoch-stamped buffer pool: one growable buffer per slot, with validity
-/// tracked per execution epoch. Invalidating every slot is a single counter
-/// increment, so a run never pays for clearing and the buffers' capacity is
-/// recycled across runs.
+/// tracked per execution epoch. Interpreter-only — the bytecode path replaced
+/// per-buffer bookkeeping with two flat slabs whose layout lowering fixed.
+#[cfg(feature = "shadow-interp")]
 #[derive(Debug, Default)]
 struct Slab<T> {
     bufs: Vec<Vec<T>>,
     stamp: Vec<u64>,
 }
 
+#[cfg(feature = "shadow-interp")]
 impl<T: Copy + Default> Slab<T> {
     fn ensure(&mut self, slots: usize) {
         if self.bufs.len() < slots {
@@ -306,29 +309,52 @@ impl<T: Copy + Default> Slab<T> {
 
 /// Reusable execution scratch for one executor replica.
 ///
-/// Every intermediate the interpreter needs — node activation buffers, gather
-/// views, partial-sum tiles, the per-tile accumulator row and element-wise
-/// side buffers — lives here and is recycled across runs, so the steady-state
-/// hot path ([`Executor::run_into`] / [`Executor::run_batch_into`]) performs
-/// no scratch allocation. This is the "bind once, serve forever" contract the
+/// The bytecode executor needs exactly two flat slabs per numeric domain —
+/// the value slab (node activations, gathers, element-wise sides) and the
+/// partial slab (raw tile accumulations) — whose peak demand lowering
+/// precomputed ([`crate::bytecode`]). Reserving them is therefore O(1) per
+/// run: one length check against the lowered `val_len`/`part_len`, then a
+/// memset. After warm-up the steady-state hot path
+/// ([`Executor::run_into`] / [`Executor::run_batch_into`]) performs **zero
+/// scratch allocation** — the "bind once, serve forever" contract the
 /// serving engine builds on: one arena per replica, reused for every batch.
 ///
-/// Buffer validity is tracked with an epoch stamp instead of clearing, which
-/// makes a run start O(1) and also makes it safe (if pointless) to reuse one
-/// arena across *different* executors: each run invalidates all previous
-/// state wholesale, so nothing can leak between models or batches.
+/// An arena can even be reused across *different* executors: every run
+/// re-reserves and re-zeroes the slab prefix it needs, so nothing can leak
+/// between models or batches.
 #[derive(Debug, Default)]
 pub struct ExecArena {
+    /// Bytecode value slab, float domains.
+    val_f: Vec<f32>,
+    /// Bytecode partial slab, float domains.
+    part_f: Vec<f64>,
+    /// Bytecode value slab, integer domain.
+    val_i: Vec<i64>,
+    /// Bytecode partial slab, integer domain.
+    part_i: Vec<i64>,
+    /// Kernel scratch: per-position row lists + output accumulator rows.
+    mac: crate::bytecode::MacScratch,
+    #[cfg(feature = "shadow-interp")]
     epoch: u64,
+    #[cfg(feature = "shadow-interp")]
     node_f: Slab<f32>,
+    #[cfg(feature = "shadow-interp")]
     gather_f: Slab<f32>,
+    #[cfg(feature = "shadow-interp")]
     partial_f: Slab<f64>,
+    #[cfg(feature = "shadow-interp")]
     node_i: Slab<i64>,
+    #[cfg(feature = "shadow-interp")]
     gather_i: Slab<i64>,
+    #[cfg(feature = "shadow-interp")]
     partial_i: Slab<i64>,
+    #[cfg(feature = "shadow-interp")]
     acc_f: Vec<f64>,
+    #[cfg(feature = "shadow-interp")]
     acc_i: Vec<i64>,
+    #[cfg(feature = "shadow-interp")]
     eltwise_f: Vec<Vec<f32>>,
+    #[cfg(feature = "shadow-interp")]
     eltwise_i: Vec<Vec<i64>>,
 }
 
@@ -339,21 +365,43 @@ impl ExecArena {
     }
 }
 
-/// The compiled-model executor: bound tile programs in schedule order.
+/// Reserve a bytecode slab at `len` elements, zero-filled. Capacity is
+/// retained across runs, so the steady state is a pure memset: no allocation.
+/// Whole-slab zeroing is what gives scatter targets their zeroed baseline
+/// (the interpreter's `claim_zeroed`) before any instruction writes them.
+fn grab<T: Copy + Default>(buf: &mut Vec<T>, len: usize) -> &mut [T] {
+    if buf.len() < len {
+        buf.resize(len, T::default());
+    }
+    let s = &mut buf[..len];
+    s.fill(T::default());
+    s
+}
+
+/// The compiled-model executor: bound tile programs lowered to bytecode.
 #[derive(Debug)]
 pub struct Executor {
     programs: Vec<TileProgram>,
+    #[cfg(feature = "shadow-interp")]
     nodes: Vec<Option<NodeInfo>>,
     graph_len: usize,
+    #[cfg(feature = "shadow-interp")]
     group_count: usize,
     input: Option<(NodeId, usize)>,
+    #[cfg(feature = "shadow-interp")]
     output_view: InputView,
+    #[cfg(feature = "shadow-interp")]
     output_steps: Vec<f64>,
     precision_integer: bool,
     activation_levels: i64,
     node_steps: Vec<f64>,
-    /// Widest tile output row (sizes the arena's accumulator scratch).
+    /// Widest tile output row (sizes the shadow arena's accumulator row).
+    #[cfg(feature = "shadow-interp")]
     max_cols: usize,
+    /// The lowered bytecode artifact every run dispatches over.
+    lowered: Lowered,
+    /// Output segments: value-slab region + integer dequantization step.
+    out_regions: Vec<(Region, f64)>,
 }
 
 impl Executor {
@@ -468,6 +516,8 @@ impl Executor {
         // is quadratic (VGG16's fc6 alone is 25k tiles × 102M weights), and
         // only the quantizing precisions need the range at all.
         let mut weight_ranges: HashMap<NodeId, f32> = HashMap::new();
+        let mut wslab_f: Vec<f32> = Vec::new();
+        let mut wslab_q: Vec<i64> = Vec::new();
         let mut programs = Vec::with_capacity(core.len());
         let order = schedule_order(mapping);
         for &gid in &order {
@@ -717,6 +767,26 @@ impl Executor {
                 (vec![Vec::new()], Vec::new())
             };
 
+            // Pack the realizations into the shared weight slabs; the program
+            // keeps only `(offset, len)` spans.
+            let mut w_f = Vec::with_capacity(weights_f.len());
+            for m in weights_f {
+                let off = u32::try_from(wslab_f.len())
+                    .map_err(|_| mismatch("float weight slab exceeds u32 range"))?;
+                let len = u32::try_from(m.len())
+                    .map_err(|_| mismatch("weight tile exceeds u32 range"))?;
+                wslab_f.extend_from_slice(&m);
+                w_f.push((off, len));
+            }
+            let w_q = {
+                let off = u32::try_from(wslab_q.len())
+                    .map_err(|_| mismatch("integer weight slab exceeds u32 range"))?;
+                let len = u32::try_from(weights_q.len())
+                    .map_err(|_| mismatch("weight tile exceeds u32 range"))?;
+                wslab_q.extend_from_slice(&weights_q);
+                (off, len)
+            };
+
             programs.push(TileProgram {
                 group: gid,
                 node: g.source_node,
@@ -728,8 +798,8 @@ impl Executor {
                 col_offset: g.col_offset,
                 rows: g.rows,
                 row_offset: g.row_offset,
-                weights_f,
-                weights_q,
+                w_f,
+                w_q,
                 duplicates: duplicates.max(1),
             });
         }
@@ -767,19 +837,52 @@ impl Executor {
             None => (vec![1.0; output_view.len()], vec![1.0; graph.len()], 0),
         };
 
+        #[cfg(feature = "shadow-interp")]
         let max_cols = programs.iter().map(|p| p.cols).max().unwrap_or(0);
+        // Lower the bound programs into the bytecode stream the runs
+        // dispatch over (see `crate::lower`); the weight slabs move into the
+        // lowered artifact.
+        let mut lowered = lower::lower(LowerCtx {
+            programs: &programs,
+            nodes: &nodes,
+            graph_len: graph.len(),
+            input,
+            node_steps: &node_steps,
+            integer: plan.is_some(),
+            wslab_f,
+            wslab_q,
+        })?;
+        // Pick the MAC kernel family once per bind; the dispatch loops just
+        // match on the stored selector.
+        lowered.simd = crate::kernels::Simd::detect();
+        let out_regions = output_view
+            .iter()
+            .zip(&output_steps)
+            .map(|(segment, &step)| {
+                lowered.node_regions[segment.source]
+                    .map(|region| (region, step))
+                    .ok_or_else(|| mismatch("output node never executed"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
         Ok(Executor {
             programs,
+            #[cfg(feature = "shadow-interp")]
             nodes,
             graph_len: graph.len(),
+            #[cfg(feature = "shadow-interp")]
             group_count: core.len(),
             input: Some(input),
+            #[cfg(feature = "shadow-interp")]
             output_view,
+            #[cfg(feature = "shadow-interp")]
             output_steps,
             precision_integer: plan.is_some(),
             activation_levels,
             node_steps,
+            #[cfg(feature = "shadow-interp")]
             max_cols,
+            lowered,
+            out_regions,
         })
     }
 
@@ -795,8 +898,23 @@ impl Executor {
         self.programs
             .iter()
             .find(|p| p.group == group)
-            .map(|p| &p.weights_f[(duplicate as usize) % p.weights_f.len()][..])
+            .map(|p| {
+                let (off, len) = p.w_f[(duplicate as usize) % p.w_f.len()];
+                &self.lowered.wslab_f[off as usize..(off + len) as usize]
+            })
             .filter(|w| !w.is_empty())
+    }
+
+    /// Human-readable disassembly of the first `limit` lowered bytecode
+    /// instructions — the debug window into what [`Executor::bind`] compiled.
+    pub fn disassemble(&self, limit: usize) -> String {
+        self.lowered.disassemble(limit)
+    }
+
+    /// What lowering did to this model: instruction and row-run counts,
+    /// structural sparsity skips, view aliasing, and flat slab sizes.
+    pub fn lowering_stats(&self) -> &LowerStats {
+        &self.lowered.stats
     }
 
     /// A fresh scratch arena sized for this executor (see [`ExecArena`]).
@@ -838,25 +956,69 @@ impl Executor {
     ) -> Result<(), ExecError> {
         out.clear();
         if self.precision_integer {
-            self.run_integer_arena(input, arena)?;
-            for (segment, &step) in self.output_view.iter().zip(&self.output_steps) {
-                let codes = arena
-                    .node_i
-                    .get(segment.source, arena.epoch)
-                    .ok_or_else(|| mismatch("output node never executed"))?;
-                out.extend(codes.iter().map(|&c| (c as f64 * step) as f32));
-            }
+            self.run_integer_bc(input, arena)?;
         } else {
-            self.run_float_arena(input, arena)?;
-            for segment in &self.output_view {
-                out.extend_from_slice(
-                    arena
-                        .node_f
-                        .get(segment.source, arena.epoch)
-                        .ok_or_else(|| mismatch("output node never executed"))?,
-                );
-            }
+            self.run_float_bc(input, arena)?;
         }
+        self.extract_output(arena, out);
+        Ok(())
+    }
+
+    /// Copy the output nodes' lowered regions into `out` (dequantizing codes
+    /// in the integer domain).
+    fn extract_output(&self, arena: &ExecArena, out: &mut Vec<f32>) {
+        if self.precision_integer {
+            self.output_from_i(&arena.val_i, out);
+        } else {
+            self.output_from_f(&arena.val_f, out);
+        }
+    }
+
+    /// Extract the float output segments from one value slab.
+    fn output_from_f(&self, vals: &[f32], out: &mut Vec<f32>) {
+        out.clear();
+        for &(region, _) in &self.out_regions {
+            out.extend_from_slice(&vals[region.range()]);
+        }
+    }
+
+    /// Extract + dequantize the integer output segments from one value slab.
+    fn output_from_i(&self, vals: &[i64], out: &mut Vec<f32>) {
+        out.clear();
+        for &(region, step) in &self.out_regions {
+            out.extend(
+                vals[region.range()]
+                    .iter()
+                    .map(|&c| (c as f64 * step) as f32),
+            );
+        }
+    }
+
+    /// Dispatch the float bytecode stream over the arena's flat slabs.
+    fn run_float_bc(&self, input: &[f32], arena: &mut ExecArena) -> Result<(), ExecError> {
+        let in_node = self.checked_input_node(input)?;
+        let region = self.lowered.node_regions[in_node].expect("input region is lowered");
+        let vals = grab(&mut arena.val_f, self.lowered.val_len);
+        let parts = grab(&mut arena.part_f, self.lowered.part_len);
+        vals[region.range()].copy_from_slice(input);
+        self.lowered.exec_float(vals, parts, &mut arena.mac);
+        Ok(())
+    }
+
+    /// Dispatch the integer bytecode stream: quantize the sample into the
+    /// input node's region, then run the code-domain stream.
+    fn run_integer_bc(&self, input: &[f32], arena: &mut ExecArena) -> Result<(), ExecError> {
+        let in_node = self.checked_input_node(input)?;
+        let region = self.lowered.node_regions[in_node].expect("input region is lowered");
+        let step = self.node_steps[in_node];
+        let alevels = self.activation_levels;
+        let vals = grab(&mut arena.val_i, self.lowered.val_len);
+        let parts = grab(&mut arena.part_i, self.lowered.part_len);
+        for (dst, &v) in vals[region.range()].iter_mut().zip(input) {
+            *dst = quantize_code(f64::from(v), step, alevels);
+        }
+        self.lowered
+            .exec_integer(vals, parts, alevels, &mut arena.mac);
         Ok(())
     }
 
@@ -881,11 +1043,59 @@ impl Executor {
         arena: &mut ExecArena,
         outputs: &mut Vec<Vec<f32>>,
     ) -> Result<(), ExecError> {
-        outputs.resize_with(inputs.len(), Vec::new);
-        for (i, input) in inputs.iter().enumerate() {
-            if let Err(e) = self.run_into(input, arena, &mut outputs[i]) {
-                outputs.truncate(i);
-                return Err(e);
+        // The instruction-major fast path needs every sample validated up
+        // front; a batch with a malformed sample (or a single sample) takes
+        // the sequential path, which preserves the documented truncation
+        // contract exactly.
+        let all_valid = inputs.iter().all(|i| self.checked_input_node(i).is_ok());
+        if inputs.len() < 2 || !all_valid {
+            outputs.resize_with(inputs.len(), Vec::new);
+            for (i, input) in inputs.iter().enumerate() {
+                if let Err(e) = self.run_into(input, arena, &mut outputs[i]) {
+                    outputs.truncate(i);
+                    return Err(e);
+                }
+            }
+            return Ok(());
+        }
+
+        // Weight-stationary batch execution: all samples' slabs are laid out
+        // back to back and the stream runs instruction-major, so each weight
+        // tile streams from memory once per batch instead of once per
+        // sample. Per-sample arithmetic and ordering are untouched —
+        // bit-identical to sequential `run_into` calls.
+        let b = inputs.len();
+        let in_node = self.checked_input_node(&inputs[0])?;
+        let region = self.lowered.node_regions[in_node].expect("input region is lowered");
+        let (val_len, part_len) = (self.lowered.val_len, self.lowered.part_len);
+        outputs.resize_with(b, Vec::new);
+        if self.precision_integer {
+            let step = self.node_steps[in_node];
+            let alevels = self.activation_levels;
+            let vals = grab(&mut arena.val_i, b * val_len);
+            let parts = grab(&mut arena.part_i, b * part_len);
+            for (s, input) in inputs.iter().enumerate() {
+                let dst = s * val_len + region.off as usize;
+                for (dst, &v) in vals[dst..dst + region.len as usize].iter_mut().zip(input) {
+                    *dst = quantize_code(f64::from(v), step, alevels);
+                }
+            }
+            self.lowered
+                .exec_integer_batch(vals, parts, b, alevels, &mut arena.mac);
+            for (s, out) in outputs.iter_mut().enumerate() {
+                self.output_from_i(&arena.val_i[s * val_len..(s + 1) * val_len], out);
+            }
+        } else {
+            let vals = grab(&mut arena.val_f, b * val_len);
+            let parts = grab(&mut arena.part_f, b * part_len);
+            for (s, input) in inputs.iter().enumerate() {
+                let dst = s * val_len + region.off as usize;
+                vals[dst..dst + region.len as usize].copy_from_slice(input);
+            }
+            self.lowered
+                .exec_float_batch(vals, parts, b, &mut arena.mac);
+            for (s, out) in outputs.iter_mut().enumerate() {
+                self.output_from_f(&arena.val_f[s * val_len..(s + 1) * val_len], out);
             }
         }
         Ok(())
@@ -904,15 +1114,10 @@ impl Executor {
             });
         }
         let mut arena = ExecArena::new();
-        self.run_integer_arena(input, &mut arena)?;
+        self.run_integer_bc(input, &mut arena)?;
         let mut out = Vec::new();
-        for segment in &self.output_view {
-            out.extend_from_slice(
-                arena
-                    .node_i
-                    .get(segment.source, arena.epoch)
-                    .ok_or_else(|| mismatch("output node never executed"))?,
-            );
+        for &(region, _) in &self.out_regions {
+            out.extend_from_slice(&arena.val_i[region.range()]);
         }
         Ok(out)
     }
@@ -926,11 +1131,11 @@ impl Executor {
     pub fn run_nodes(&self, input: &[f32]) -> Result<Vec<Option<Vec<f32>>>, ExecError> {
         let mut arena = ExecArena::new();
         if self.precision_integer {
-            self.run_integer_arena(input, &mut arena)?;
+            self.run_integer_bc(input, &mut arena)?;
             Ok((0..self.graph_len)
                 .map(|node| {
-                    arena.node_i.get(node, arena.epoch).map(|codes| {
-                        codes
+                    self.lowered.node_regions[node].map(|region| {
+                        arena.val_i[region.range()]
                             .iter()
                             .map(|&c| (c as f64 * self.node_steps[node]) as f32)
                             .collect()
@@ -938,11 +1143,145 @@ impl Executor {
                 })
                 .collect())
         } else {
-            self.run_float_arena(input, &mut arena)?;
+            self.run_float_bc(input, &mut arena)?;
             Ok((0..self.graph_len)
-                .map(|node| arena.node_f.get(node, arena.epoch).map(<[f32]>::to_vec))
+                .map(|node| {
+                    self.lowered.node_regions[node]
+                        .map(|region| arena.val_f[region.range()].to_vec())
+                })
                 .collect())
         }
+    }
+
+    /// Execute one sample on the retired interpreter (the shadow reference
+    /// the bytecode stream is differentially checked against).
+    ///
+    /// # Errors
+    ///
+    /// Mirrors [`Executor::run`].
+    #[cfg(feature = "shadow-interp")]
+    pub fn run_interpreted(&self, input: &[f32]) -> Result<Vec<f32>, ExecError> {
+        let mut out = Vec::new();
+        self.run_interpreted_into(input, &mut ExecArena::new(), &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Executor::run_interpreted`] with a caller-owned arena: the
+    /// interpreter exactly as the pre-bytecode `run_into` hot path ran it,
+    /// bind- and allocation-amortized. This is the baseline the forward-pass
+    /// speedup bench measures the bytecode stream against.
+    ///
+    /// # Errors
+    ///
+    /// Same surface as [`Executor::run_into`].
+    #[cfg(feature = "shadow-interp")]
+    pub fn run_interpreted_into(
+        &self,
+        input: &[f32],
+        arena: &mut ExecArena,
+        out: &mut Vec<f32>,
+    ) -> Result<(), ExecError> {
+        out.clear();
+        if self.precision_integer {
+            self.run_integer_arena(input, arena)?;
+        } else {
+            self.run_float_arena(input, arena)?;
+        }
+        out.extend_from_slice(&self.interpreted_output(arena)?);
+        Ok(())
+    }
+
+    /// Gather the interpreter arena's output nodes (dequantized in the
+    /// integer domain) — the pre-bytecode `run_into` extraction.
+    #[cfg(feature = "shadow-interp")]
+    fn interpreted_output(&self, arena: &ExecArena) -> Result<Vec<f32>, ExecError> {
+        let mut out = Vec::new();
+        if self.precision_integer {
+            for (segment, &step) in self.output_view.iter().zip(&self.output_steps) {
+                let codes = arena
+                    .node_i
+                    .get(segment.source, arena.epoch)
+                    .ok_or_else(|| mismatch("output node never executed"))?;
+                out.extend(codes.iter().map(|&c| (c as f64 * step) as f32));
+            }
+        } else {
+            for segment in &self.output_view {
+                out.extend_from_slice(
+                    arena
+                        .node_f
+                        .get(segment.source, arena.epoch)
+                        .ok_or_else(|| mismatch("output node never executed"))?,
+                );
+            }
+        }
+        Ok(out)
+    }
+
+    /// Execute one sample on **both** the bytecode stream and the shadow
+    /// interpreter, asserting bit-identical activations for every lowered
+    /// node (`f32` bit patterns / `i64` codes) and bit-identical outputs,
+    /// then return the bytecode output. This is the differential suite's
+    /// cross-check: it is what lets the repo keep exactly one production
+    /// executor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any node buffer or output diverges — a lowering bug.
+    ///
+    /// # Errors
+    ///
+    /// Mirrors [`Executor::run`].
+    #[cfg(feature = "shadow-interp")]
+    pub fn run_checked(&self, input: &[f32]) -> Result<Vec<f32>, ExecError> {
+        let mut bc = ExecArena::new();
+        let mut shadow = ExecArena::new();
+        if self.precision_integer {
+            self.run_integer_bc(input, &mut bc)?;
+            self.run_integer_arena(input, &mut shadow)?;
+            for node in 0..self.graph_len {
+                let Some(region) = self.lowered.node_regions[node] else {
+                    continue;
+                };
+                let got = &bc.val_i[region.range()];
+                let want = shadow
+                    .node_i
+                    .get(node, shadow.epoch)
+                    .ok_or_else(|| mismatch("interpreter skipped a lowered node"))?;
+                assert_eq!(
+                    got, want,
+                    "bytecode diverged from the interpreter at node {node}"
+                );
+            }
+        } else {
+            self.run_float_bc(input, &mut bc)?;
+            self.run_float_arena(input, &mut shadow)?;
+            for node in 0..self.graph_len {
+                let Some(region) = self.lowered.node_regions[node] else {
+                    continue;
+                };
+                let got = &bc.val_f[region.range()];
+                let want = shadow
+                    .node_f
+                    .get(node, shadow.epoch)
+                    .ok_or_else(|| mismatch("interpreter skipped a lowered node"))?;
+                assert_eq!(got.len(), want.len(), "node {node} length diverged");
+                for (i, (g, w)) in got.iter().zip(want).enumerate() {
+                    assert_eq!(
+                        g.to_bits(),
+                        w.to_bits(),
+                        "bytecode diverged from the interpreter at node {node}[{i}]: {g} vs {w}"
+                    );
+                }
+            }
+        }
+        let mut out = Vec::new();
+        self.extract_output(&bc, &mut out);
+        let interpreted = self.interpreted_output(&shadow)?;
+        assert_eq!(out.len(), interpreted.len(), "output length diverged");
+        for (i, (g, w)) in out.iter().zip(&interpreted).enumerate() {
+            assert_eq!(g.to_bits(), w.to_bits(), "output[{i}] diverged: {g} vs {w}");
+        }
+        Ok(out)
     }
 
     /// Execute a batch of samples in parallel (rayon), preserving order.
@@ -986,6 +1325,7 @@ impl Executor {
     /// the classic `for c { for r { .. } }` nesting, so results are
     /// bit-identical — but the weight matrix is now read contiguously, which
     /// is what makes the serving hot path fast.
+    #[cfg(feature = "shadow-interp")]
     fn run_float_arena(&self, input: &[f32], arena: &mut ExecArena) -> Result<(), ExecError> {
         arena.epoch += 1;
         let epoch = arena.epoch;
@@ -1048,7 +1388,7 @@ impl Executor {
                 match &prog.kind {
                     ProgramKind::Dense => {
                         let x = gather_f.get(prog.node, epoch).expect("gathered input");
-                        let w = prog.weights_for(p);
+                        let w = self.interp_weights(prog, p);
                         acc.fill(0.0);
                         for r in 0..prog.rows {
                             let xv = f64::from(x[prog.row_offset + r]);
@@ -1060,7 +1400,7 @@ impl Executor {
                     }
                     ProgramKind::Conv(geom) => {
                         let x = gather_f.get(prog.node, epoch).expect("gathered input");
-                        let w = prog.weights_for(p);
+                        let w = self.interp_weights(prog, p);
                         let (oy, ox) = (p / out_w(geom), p % out_w(geom));
                         acc.fill(0.0);
                         for r in 0..prog.rows {
@@ -1176,6 +1516,7 @@ impl Executor {
 
     /// Integer-domain execution (see module docs; bit-for-bit against the
     /// quantized reference), into the arena's epoch-stamped buffers.
+    #[cfg(feature = "shadow-interp")]
     fn run_integer_arena(&self, input: &[f32], arena: &mut ExecArena) -> Result<(), ExecError> {
         let alevels = self.activation_levels;
         arena.epoch += 1;
@@ -1262,10 +1603,11 @@ impl Executor {
                 match &prog.kind {
                     ProgramKind::Dense => {
                         let x = gather_i.get(prog.node, epoch).expect("gathered input");
+                        let wq = self.interp_weights_q(prog);
                         acc.fill(0);
                         for r in 0..prog.rows {
                             let xv = x[prog.row_offset + r];
-                            let row = &prog.weights_q[r * prog.cols..(r + 1) * prog.cols];
+                            let row = &wq[r * prog.cols..(r + 1) * prog.cols];
                             for (a, &wv) in acc.iter_mut().zip(row) {
                                 *a += wv * xv;
                             }
@@ -1273,12 +1615,13 @@ impl Executor {
                     }
                     ProgramKind::Conv(geom) => {
                         let x = gather_i.get(prog.node, epoch).expect("gathered input");
+                        let wq = self.interp_weights_q(prog);
                         let (oy, ox) = (p / out_w(geom), p % out_w(geom));
                         acc.fill(0);
                         for r in 0..prog.rows {
                             if let Some(idx) = conv_input_index(geom, prog.row_offset + r, oy, ox) {
                                 let xv = x[idx];
-                                let row = &prog.weights_q[r * prog.cols..(r + 1) * prog.cols];
+                                let row = &wq[r * prog.cols..(r + 1) * prog.cols];
                                 for (a, &wv) in acc.iter_mut().zip(row) {
                                     *a += wv * xv;
                                 }
@@ -1401,6 +1744,22 @@ impl Executor {
         Ok(())
     }
 
+    /// The float weight matrix instance `i` of a tile executes on (the
+    /// interpreter's per-position duplicate selection, reading the slab).
+    #[cfg(feature = "shadow-interp")]
+    fn interp_weights(&self, prog: &TileProgram, instance: usize) -> &[f32] {
+        let dup = (instance as u64 % prog.duplicates) as usize;
+        let (off, len) = prog.w_f[dup % prog.w_f.len()];
+        &self.lowered.wslab_f[off as usize..(off + len) as usize]
+    }
+
+    /// A tile's integer weight codes (shared across duplicates).
+    #[cfg(feature = "shadow-interp")]
+    fn interp_weights_q(&self, prog: &TileProgram) -> &[i64] {
+        let (off, len) = prog.w_q;
+        &self.lowered.wslab_q[off as usize..(off + len) as usize]
+    }
+
     /// The graph's single input node, after validating the sample length.
     fn checked_input_node(&self, input: &[f32]) -> Result<NodeId, ExecError> {
         let (node, len) = self.input_node()?;
@@ -1424,6 +1783,7 @@ impl Executor {
 }
 
 /// Views gather the node's logical input for these kinds.
+#[cfg(feature = "shadow-interp")]
 fn needs_gather(kind: &ProgramKind) -> bool {
     matches!(
         kind,
@@ -1436,17 +1796,20 @@ fn needs_gather(kind: &ProgramKind) -> bool {
 }
 
 /// Output width of a convolution node (positions are row-major `oy * ow + ox`).
+#[cfg(feature = "shadow-interp")]
 fn out_w(geom: &ConvGeom) -> usize {
     (geom.iw + 2 * geom.padding - geom.kernel) / geom.stride + 1
 }
 
 /// Output width of a pooling node.
+#[cfg(feature = "shadow-interp")]
 fn out_w_pool(geom: &PoolGeom) -> usize {
     (geom.iw - geom.kernel) / geom.stride + 1
 }
 
 /// The im2col input index of one (absolute row, output position), or `None`
 /// for zero padding. Rows are `(channel * k + ky) * k + kx`.
+#[cfg(feature = "shadow-interp")]
 fn conv_input_index(geom: &ConvGeom, row: usize, oy: usize, ox: usize) -> Option<usize> {
     let k = geom.kernel;
     let channel = row / (k * k);
@@ -1462,7 +1825,7 @@ fn conv_input_index(geom: &ConvGeom, row: usize, oy: usize, ox: usize) -> Option
 
 /// The gather step of one Add side's view — mirrors
 /// `QuantizationPlan::gather_step` using the executor's cached steps.
-fn side_gather_step(node_steps: &[f64], view: &InputView) -> f64 {
+pub(crate) fn side_gather_step(node_steps: &[f64], view: &InputView) -> f64 {
     view.iter()
         .map(|s| node_steps[s.source])
         .fold(f64::MIN_POSITIVE, f64::max)

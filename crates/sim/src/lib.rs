@@ -12,21 +12,30 @@
 //!   running a trained MLP through cycle-accurate spiking PEs to confirm the
 //!   spiking schema computes the right function, and the device-variation
 //!   accuracy study behind Figure 9 (splice vs add weight representation).
-//! * [`exec`] — the compiled-model execution engine: interprets a compiled
-//!   model's schedule entries on their PE blocks, moving activations along
-//!   the mapper's nets, in float, integer-exact or noisy-device precision —
-//!   the numeric proof that compilation preserves semantics.
+//! * [`exec`] — the compiled-model execution engine: at bind time it lowers
+//!   every scheduled tile program into a flat bytecode stream ([`bytecode`],
+//!   built by [`lower`]) with preresolved buffer offsets, structural
+//!   sparsity skipping and precomputed arena demand, then executes samples
+//!   with a single dispatch loop in float, integer-exact or noisy-device
+//!   precision — the numeric proof that compilation preserves semantics,
+//!   fast enough to sit under the serving and sharding engines. The retired
+//!   interpreter survives behind the default `shadow-interp` feature purely
+//!   as the differential cross-check (`Executor::run_checked`).
 //!
 //! The [`trace`] module carries compile-stage instrumentation: the compiler
 //! in `fpsa-core` fills a [`StageTrace`] per compilation and attaches it to
 //! the [`PerformanceReport`], so consumers see both runtime performance and
 //! where compile time went.
 
+mod bytecode;
 pub mod exec;
 pub mod functional;
+mod kernels;
+mod lower;
 pub mod perf;
 pub mod trace;
 
+pub use bytecode::LowerStats;
 pub use exec::{ExecArena, ExecError, Executor, Precision};
 pub use functional::{SpikingMlpRunner, VariationStudy};
 pub use perf::{CommunicationEstimate, PerformanceReport, PerformanceSimulator};

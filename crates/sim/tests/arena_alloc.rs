@@ -1,0 +1,108 @@
+//! Steady-state serving makes **zero heap allocations**.
+//!
+//! The lowering pass hoists each program's peak arena demand into the
+//! compiled artifact (`val_len`/`part_len`), so `run_into` reserves slabs
+//! in O(1) and — once the arena and output vectors have grown to capacity —
+//! never touches the allocator again. This test installs a counting
+//! `#[global_allocator]` and asserts the allocation counter does not move
+//! across steady-state batches.
+//!
+//! It must stay the **only** test in this file: a process-wide counting
+//! allocator cannot coexist with concurrently running unrelated tests.
+
+use fpsa_mapper::{AllocationPolicy, Mapper};
+use fpsa_nn::{seeds, zoo, GraphParameters, Operator};
+use fpsa_sim::{ExecArena, Executor, Precision};
+use fpsa_synthesis::{NeuralSynthesizer, SynthesisConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Forwards to the system allocator, counting every allocating call.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_batches_allocate_nothing() {
+    let graph = zoo::tiny_cnn();
+    let params = GraphParameters::seeded(&graph, 0xA110C);
+    let core = NeuralSynthesizer::new(SynthesisConfig::fpsa_default())
+        .synthesize(&graph)
+        .expect("tiny CNN synthesizes");
+    let mapping = Mapper::new(64, AllocationPolicy::DuplicationDegree(1)).map(&core);
+
+    let input_len = graph
+        .nodes()
+        .iter()
+        .find_map(|node| match node.op {
+            Operator::Input { shape } => Some(shape.elements()),
+            _ => None,
+        })
+        .expect("graph has an input");
+    let inputs: Vec<Vec<f32>> = (0..4)
+        .map(|i| {
+            let mut rng = StdRng::seed_from_u64(seeds::derive(5, seeds::STREAM_SAMPLES, i));
+            (0..input_len).map(|_| rng.gen_range(0.0f32..1.0)).collect()
+        })
+        .collect();
+
+    let plan = fpsa_nn::reference::QuantizationPlan::calibrate(&graph, &params, &inputs)
+        .expect("plan calibrates");
+    let precisions = [
+        Precision::Float,
+        Precision::Integer(plan),
+        Precision::Noisy {
+            scheme: fpsa_device::variation::WeightScheme::fpsa_add(),
+            variation: fpsa_device::variation::CellVariation::measured(),
+            seed: 7,
+        },
+    ];
+    for precision in precisions {
+        let exec =
+            Executor::bind(&graph, &params, &core, &mapping, &precision).expect("tiny CNN binds");
+        let mut arena = ExecArena::default();
+        let mut outputs: Vec<Vec<f32>> = Vec::new();
+
+        // Warm-up: the arena slabs grow to the lowered `val_len`/`part_len`
+        // and the output vectors to the logit width — the only allocations
+        // the executor is allowed.
+        exec.run_batch_into(&inputs, &mut arena, &mut outputs)
+            .expect("warm-up batch runs");
+        let warm = outputs.clone();
+
+        // Steady state: the counter must not move at all.
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        for _ in 0..5 {
+            exec.run_batch_into(&inputs, &mut arena, &mut outputs)
+                .expect("steady-state batch runs");
+        }
+        let after = ALLOCATIONS.load(Ordering::SeqCst);
+        assert_eq!(
+            after - before,
+            0,
+            "steady-state serving hit the allocator ({precision:?})"
+        );
+        assert_eq!(outputs, warm, "steady-state outputs drifted");
+    }
+}
