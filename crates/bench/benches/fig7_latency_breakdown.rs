@@ -16,6 +16,10 @@ fn bench(c: &mut Criterion) {
         "Figure 7 (instrumentation): where the VGG16 compile spent its time",
         &fig.compile.to_table(),
     );
+    print_experiment(
+        "Figure 7 compile cache: process-wide statistics",
+        &fpsa_core::CompileCache::global().stats().summary(),
+    );
     save_json("fig7", &fig);
     let mut group = c.benchmark_group("fig7");
     group.sample_size(10);

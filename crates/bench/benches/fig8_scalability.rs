@@ -3,11 +3,14 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use fpsa_bench::{print_experiment, save_json};
 use fpsa_core::experiments::fig8;
+use fpsa_core::CompileCache;
 
 fn bench(c: &mut Criterion) {
     // The full seven-model sweep is printed once; Criterion times the
-    // three-model variant so a bench run stays short.
-    let fig = fig8::run();
+    // three-model variant so a bench run stays short. The sweep compiles
+    // through a shared cache whose hit/miss statistics are printed below.
+    let cache = CompileCache::new(64);
+    let fig = fig8::run_with_cache(&cache);
     let (p4, a4) = fig.geomean_scaling(4);
     let (p16, a16) = fig.geomean_scaling(16);
     let (p64, a64) = fig.geomean_scaling(64);
@@ -20,6 +23,10 @@ fn bench(c: &mut Criterion) {
     print_experiment(
         "Figure 8 routing fabric: minimum channel width (mrVPR sweep)",
         &fig8::channel_width_table(&fig),
+    );
+    print_experiment(
+        "Figure 8 compile cache: sweep-wide hit/miss statistics",
+        &cache.stats().summary(),
     );
     save_json("fig8", &fig);
     let mut group = c.benchmark_group("fig8");

@@ -16,7 +16,7 @@ use fpsa_arch::{ArchitectureConfig, BlockKind, Fabric};
 use fpsa_bench::{print_experiment, save_json};
 use fpsa_mapper::{AllocationPolicy, Mapper, Netlist, NetlistBlock};
 use fpsa_nn::zoo::Benchmark;
-use fpsa_placeroute::{Placer, PlacerConfig, Router, RouterConfig};
+use fpsa_placeroute::{Placer, PlacerConfig, Router, RouterConfig, WarmStart};
 use fpsa_synthesis::{NeuralSynthesizer, SynthesisConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -200,6 +200,36 @@ fn bench(c: &mut Criterion) {
              seed moves ({seed_ns_per_move:.0} ns) on this run"
         );
     }
+
+    // Warm-start ablation: seeding the annealer from a donor placement (the
+    // compile cache's near-miss path) must reach equal-or-better HPWL than
+    // the cold anneal in at most half the move evaluations.
+    let warm_seed = WarmStart::from_placement(&netlist, &incremental);
+    let start = std::time::Instant::now();
+    let warm = Placer::new(quality_cfg).place_seeded(&netlist, &fabric, Some(&warm_seed));
+    let warm_wall = start.elapsed();
+    print_experiment(
+        "P&R ablation: warm-started anneal vs cold anneal (LeNet x4, quality preset)",
+        &format!(
+            "cold HPWL {:.0}  ({} moves, {} ms)\nwarm HPWL {:.0}  ({} moves, {} ms, {} blocks seeded)",
+            incremental.wirelength(),
+            incremental.quality().moves_evaluated,
+            incremental_wall.as_millis(),
+            warm.wirelength(),
+            warm.quality().moves_evaluated,
+            warm_wall.as_millis(),
+            warm.quality().seeded_blocks,
+        ),
+    );
+    assert!(warm.quality().warm_started);
+    assert!(
+        warm.wirelength() <= incremental.wirelength(),
+        "warm-started placement must not regress the donor's HPWL"
+    );
+    assert!(
+        warm.quality().moves_evaluated <= incremental.quality().moves_evaluated / 2,
+        "warm start must cut the move budget at least in half"
+    );
 
     let mut width_rows = Vec::new();
     for benchmark in [

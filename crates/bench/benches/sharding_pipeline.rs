@@ -14,6 +14,10 @@ fn bench(c: &mut Criterion) {
         "Multi-fabric sharding: pipeline stages vs the single fabric",
         &sharding::to_table(&reports),
     );
+    print_experiment(
+        "Sharding compile cache: process-wide statistics",
+        &fpsa_core::CompileCache::global().stats().summary(),
+    );
     save_json("BENCH_sharding", &reports);
 
     let mut group = c.benchmark_group("sharding");

@@ -1,0 +1,671 @@
+//! The content-addressed compile cache.
+//!
+//! Compilation dominates every experiment now that execution is cheap
+//! (ROADMAP item 5): P&R annealing is the long pole of sweeps, and identical
+//! (model, config) points used to be recompiled once per driver. This module
+//! makes compiled artifacts content-addressed and reusable:
+//!
+//! * [`CompileKey`] — a stable 128-bit structural hash of (graph +
+//!   `Compiler` configuration), optionally extended with every raw weight
+//!   bit ([`CompileKey::for_bind`]). Two bit-identical rebuilds of a model
+//!   hash equal; perturbing any weight, shape or config field hashes
+//!   different.
+//! * [`CompileCache`] — a bounded, thread-safe, single-flight store of
+//!   `CompileKey → Arc<CompiledModel>`. Concurrent requests for the same key
+//!   run exactly one compile (the rest block and share the artifact), which
+//!   is what lets the sweep-dedupe regression test count compiler
+//!   invocations exactly.
+//! * **Warm starts** (opt-in, [`CompileCache::with_warm_start`]) — on a
+//!   miss, a completed entry for the *same architecture and P&R config* but
+//!   a different (incrementally edited) graph donates its placement: blocks
+//!   shared with the donor keep their slots and the annealer runs a short
+//!   polish schedule instead of a cold anneal. Opt-in because the warm
+//!   result is legal but not bit-identical to a cold anneal.
+//! * **Disk seeds** (opt-in, [`CompileCache::with_disk_store`]) — misses
+//!   with a recorded placement-seed file under the store directory re-run
+//!   the cheap deterministic front half of the pipeline and skip annealing
+//!   entirely (the seed *is* the final placement; routing re-derives
+//!   deterministically). The vendored serde facade cannot deserialize full
+//!   artifacts, so the on-disk tier stores exactly what is expensive to
+//!   recompute: the final block positions (see DESIGN.md).
+//!
+//! Every outcome is recorded in [`CacheStats`] and stamped on the artifact's
+//! [`StageTrace`](fpsa_sim::StageTrace) as a [`CacheInfo`], so performance
+//! reports show amortized compile cost honestly.
+
+use crate::compiler::{CompileError, CompiledModel, Compiler};
+use fpsa_nn::{ComputationalGraph, GraphParameters};
+use fpsa_placeroute::WarmStart;
+use fpsa_sim::{CacheInfo, CacheOutcome, StageKind};
+use std::collections::HashMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Version tag mixed into every key: bump to invalidate all cached
+/// artifacts when the compile pipeline's semantics change.
+const KEY_SCHEMA: &[u8] = b"fpsa-compile-key-v1";
+
+/// Two-lane FNV-1a-style streaming hasher. Not cryptographic — the cache
+/// key only has to be stable across processes and overwhelmingly unlikely
+/// to collide within one workspace's model zoo.
+#[derive(Debug, Clone)]
+struct StableHasher {
+    a: u64,
+    b: u64,
+}
+
+impl StableHasher {
+    fn new() -> Self {
+        StableHasher {
+            a: 0xcbf2_9ce4_8422_2325,
+            b: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.a = (self.a ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01b3);
+            self.b = (self.b.rotate_left(23) ^ u64::from(byte)).wrapping_mul(0xc2b2_ae3d_27d4_eb4f);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+}
+
+/// A stable 128-bit content address for one compilation.
+///
+/// The hash covers the `Debug` rendering of the [`Compiler`] (architecture,
+/// duplication degree and the full [`PlaceRouteConfig`]
+/// (crate::PlaceRouteConfig), including placer seed and effort) and of the
+/// [`ComputationalGraph`] (name, operators, shapes, wiring). `Debug` is the
+/// same canonical encoding the vendored serde facade serializes through, and
+/// Rust renders floats shortest-roundtrip, so distinct values always render
+/// — and hash — distinct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CompileKey {
+    hi: u64,
+    lo: u64,
+}
+
+impl CompileKey {
+    /// The key of a structural compilation (no weights involved).
+    pub fn for_compile(compiler: &Compiler, graph: &ComputationalGraph) -> Self {
+        let mut h = StableHasher::new();
+        h.write(KEY_SCHEMA);
+        h.write(format!("{compiler:?}").as_bytes());
+        h.write(b"/graph/");
+        h.write(format!("{graph:?}").as_bytes());
+        CompileKey { hi: h.a, lo: h.b }
+    }
+
+    /// The key of a bind-level compilation: [`CompileKey::for_compile`]
+    /// extended with the raw bit pattern of every weight tensor, so
+    /// perturbing a single weight changes the key.
+    pub fn for_bind(
+        compiler: &Compiler,
+        graph: &ComputationalGraph,
+        params: &GraphParameters,
+    ) -> Self {
+        let base = Self::for_compile(compiler, graph);
+        let mut h = StableHasher::new();
+        h.write_u64(base.hi);
+        h.write_u64(base.lo);
+        h.write(b"/params/");
+        h.write_u64(params.len() as u64);
+        for node in 0..params.len() {
+            match params.weights(node) {
+                None => h.write(&[0u8]),
+                Some(weights) => {
+                    h.write(&[1u8]);
+                    h.write_u64(weights.len() as u64);
+                    for &w in weights {
+                        h.write(&w.to_bits().to_le_bytes());
+                    }
+                }
+            }
+        }
+        CompileKey { hi: h.a, lo: h.b }
+    }
+
+    /// A fingerprint of the compiler configuration alone (architecture,
+    /// duplication, P&R config) — the compatibility class for warm-start
+    /// donors: only entries compiled under the same fingerprint may donate
+    /// a placement.
+    pub fn arch_fingerprint(compiler: &Compiler) -> u64 {
+        let mut h = StableHasher::new();
+        h.write(KEY_SCHEMA);
+        h.write(format!("{compiler:?}").as_bytes());
+        h.a
+    }
+
+    /// Lowercase-hex rendering (32 digits), used as the on-disk file stem.
+    pub fn hex(&self) -> String {
+        format!("{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+impl fmt::Display for CompileKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.hex())
+    }
+}
+
+/// The cache's running counters. One of the four outcome counters is bumped
+/// per [`CompileCache::compile`] request; `saved_wall_ns` accumulates the
+/// wall-clock the cache avoided versus cold compiles.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CacheStats {
+    /// Requests satisfied by an existing in-memory artifact (no stage ran).
+    pub hits: u64,
+    /// Requests that ran a full cold compile.
+    pub misses: u64,
+    /// Requests that ran the pipeline with a donor-seeded short anneal.
+    pub warm_starts: u64,
+    /// Requests that ran the pipeline with annealing skipped via an on-disk
+    /// placement seed.
+    pub disk_seeds: u64,
+    /// Completed entries dropped by LRU eviction.
+    pub evictions: u64,
+    /// Total wall-clock saved versus cold compiles, in nanoseconds.
+    pub saved_wall_ns: f64,
+}
+
+impl CacheStats {
+    /// Total requests served.
+    pub fn requests(&self) -> u64 {
+        self.hits + self.misses + self.warm_starts + self.disk_seeds
+    }
+
+    /// Compiles that actually executed pipeline stages (everything but
+    /// in-memory hits).
+    pub fn compiles_executed(&self) -> u64 {
+        self.misses + self.warm_starts + self.disk_seeds
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} requests: {} hits, {} misses, {} warm-starts, {} disk-seeds ({:.1} ms saved)",
+            self.requests(),
+            self.hits,
+            self.misses,
+            self.warm_starts,
+            self.disk_seeds,
+            self.saved_wall_ns * 1e-6
+        )
+    }
+}
+
+type Slot = Arc<OnceLock<Result<Arc<CompiledModel>, CompileError>>>;
+
+struct Entry {
+    slot: Slot,
+    arch_fp: u64,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct State {
+    entries: HashMap<CompileKey, Entry>,
+    stats: CacheStats,
+    clock: u64,
+}
+
+/// A bounded, thread-safe, single-flight store of compiled models.
+///
+/// Shareable by reference across sweep workers (or as an `Arc` across
+/// drivers via [`CompileCache::global`]). See the module docs for the
+/// hit / warm-start / disk-seed semantics.
+pub struct CompileCache {
+    state: Mutex<State>,
+    capacity: usize,
+    warm_start: bool,
+    disk_dir: Option<PathBuf>,
+}
+
+impl fmt::Debug for CompileCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CompileCache")
+            .field("capacity", &self.capacity)
+            .field("warm_start", &self.warm_start)
+            .field("disk_dir", &self.disk_dir)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl CompileCache {
+    /// A cache retaining up to `capacity` completed artifacts (LRU beyond
+    /// that). Warm starts and the disk tier are off by default.
+    pub fn new(capacity: usize) -> Self {
+        CompileCache {
+            state: Mutex::default(),
+            capacity: capacity.max(1),
+            warm_start: false,
+            disk_dir: None,
+        }
+    }
+
+    /// Opt in to near-miss warm starts. The warm-started placement is legal
+    /// and routed deterministically, but it is *not* bit-identical to a cold
+    /// anneal of the same netlist — determinism suites comparing against
+    /// cold compiles must leave this off.
+    pub fn with_warm_start(mut self) -> Self {
+        self.warm_start = true;
+        self
+    }
+
+    /// Opt in to the on-disk placement-seed tier under `dir` (conventionally
+    /// `target/compile-cache/`). Misses whose key has a recorded seed file
+    /// skip annealing entirely; cold compiles with physical design record
+    /// their seed for future processes.
+    pub fn with_disk_store(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.disk_dir = Some(dir.into());
+        self
+    }
+
+    /// The process-wide shared cache used by the experiment drivers, so
+    /// repeated drivers (and repeated tests in one binary) stop recompiling
+    /// the same models. Exact-key reuse only: no warm starts, no disk tier.
+    pub fn global() -> Arc<CompileCache> {
+        static GLOBAL: OnceLock<Arc<CompileCache>> = OnceLock::new();
+        GLOBAL
+            .get_or_init(|| Arc::new(CompileCache::new(16)))
+            .clone()
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("cache lock").entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The running counters.
+    pub fn stats(&self) -> CacheStats {
+        self.state.lock().expect("cache lock").stats
+    }
+
+    /// Compile `graph` under `compiler`, reusing or seeding from cached
+    /// artifacts where possible.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CompileError`] from the underlying compile; errors are
+    /// cached too (negative caching), so a failing key fails fast on reuse.
+    pub fn compile(
+        &self,
+        compiler: &Compiler,
+        graph: &ComputationalGraph,
+    ) -> Result<Arc<CompiledModel>, CompileError> {
+        self.compile_with_info(compiler, graph).map(|(m, _)| m)
+    }
+
+    /// [`CompileCache::compile`], additionally reporting how the cache
+    /// satisfied this particular request (callers stamp it onto the trace
+    /// of their performance report).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CompileError`] from the underlying compile.
+    pub fn compile_with_info(
+        &self,
+        compiler: &Compiler,
+        graph: &ComputationalGraph,
+    ) -> Result<(Arc<CompiledModel>, CacheInfo), CompileError> {
+        let key = CompileKey::for_compile(compiler, graph);
+        let arch_fp = CompileKey::arch_fingerprint(compiler);
+
+        let (slot, donor) = {
+            let mut state = self.state.lock().expect("cache lock");
+            state.clock += 1;
+            let clock = state.clock;
+            if let Some(entry) = state.entries.get_mut(&key) {
+                entry.last_used = clock;
+                (entry.slot.clone(), None)
+            } else {
+                let donor = if self.warm_start {
+                    Self::find_donor(&state, arch_fp)
+                } else {
+                    None
+                };
+                let slot: Slot = Arc::new(OnceLock::new());
+                state.entries.insert(
+                    key,
+                    Entry {
+                        slot: slot.clone(),
+                        arch_fp,
+                        last_used: clock,
+                    },
+                );
+                self.evict_excess(&mut state);
+                (slot, donor)
+            }
+        };
+
+        // Single flight: exactly one thread initializes the slot; racers
+        // block inside `get_or_init` and share the artifact.
+        let mut ran: Option<CacheOutcome> = None;
+        let result = slot.get_or_init(|| {
+            let (model, outcome) = self.compile_slot(compiler, graph, &key, donor);
+            ran = Some(outcome);
+            model.map(Arc::new)
+        });
+
+        let info = match ran {
+            Some(outcome) => CacheInfo {
+                outcome,
+                key: key.hex(),
+                saved_wall_ns: result
+                    .as_ref()
+                    .ok()
+                    .map_or(0.0, |m| m.trace.cache_saved_wall_ns()),
+            },
+            None => CacheInfo {
+                outcome: CacheOutcome::Hit,
+                key: key.hex(),
+                // A hit saves this artifact's whole recorded compile time.
+                saved_wall_ns: result
+                    .as_ref()
+                    .ok()
+                    .map_or(0.0, |m| m.trace.total_wall_ns()),
+            },
+        };
+
+        {
+            let mut state = self.state.lock().expect("cache lock");
+            match info.outcome {
+                CacheOutcome::Hit => state.stats.hits += 1,
+                CacheOutcome::Miss => state.stats.misses += 1,
+                CacheOutcome::WarmStart => state.stats.warm_starts += 1,
+                CacheOutcome::DiskSeed => state.stats.disk_seeds += 1,
+            }
+            state.stats.saved_wall_ns += info.saved_wall_ns;
+        }
+
+        match result {
+            Ok(model) => Ok((model.clone(), info)),
+            Err(e) => Err(e.clone()),
+        }
+    }
+
+    /// The compile that fills one slot: disk seed if recorded, else donor
+    /// warm start, else cold. Stamps the outcome on the artifact's trace and
+    /// records the disk seed of fresh physical designs.
+    fn compile_slot(
+        &self,
+        compiler: &Compiler,
+        graph: &ComputationalGraph,
+        key: &CompileKey,
+        donor: Option<Arc<CompiledModel>>,
+    ) -> (Result<CompiledModel, CompileError>, CacheOutcome) {
+        let physical_design_possible = !compiler.place_route.skip;
+        let disk_seed = if physical_design_possible {
+            self.load_disk_seed(key)
+        } else {
+            None
+        };
+
+        let (result, outcome, donor_pr_ns) = if let Some((positions, cold_pr_ns)) = disk_seed {
+            let warm = WarmStart::exact_positions(positions);
+            (
+                compiler.compile_warm(graph, Some(warm)),
+                CacheOutcome::DiskSeed,
+                cold_pr_ns,
+            )
+        } else if let Some(donor) = donor.filter(|_| physical_design_possible) {
+            let physical = donor
+                .physical
+                .as_ref()
+                .expect("donors are selected with physical designs");
+            let warm = WarmStart::from_placement(&donor.mapping.netlist, &physical.placement);
+            (
+                compiler.compile_warm(graph, Some(warm)),
+                CacheOutcome::WarmStart,
+                donor.trace.wall_ns(StageKind::PlaceRoute).unwrap_or(0.0),
+            )
+        } else {
+            (compiler.compile(graph), CacheOutcome::Miss, 0.0)
+        };
+
+        let result = result.map(|mut model| {
+            let saved_wall_ns = match outcome {
+                CacheOutcome::Miss => 0.0,
+                // Seeded compiles save the donor's anneal-dominated P&R time
+                // minus the (short) P&R time they still paid.
+                _ => (donor_pr_ns - model.trace.wall_ns(StageKind::PlaceRoute).unwrap_or(0.0))
+                    .max(0.0),
+            };
+            model.trace.set_cache(CacheInfo {
+                outcome,
+                key: key.hex(),
+                saved_wall_ns,
+            });
+            if outcome != CacheOutcome::DiskSeed {
+                self.store_disk_seed(key, &model);
+            }
+            model
+        });
+        (result, outcome)
+    }
+
+    /// Most-recently-used completed entry compiled under the same compiler
+    /// fingerprint with a physical design — the best available donor.
+    fn find_donor(state: &State, arch_fp: u64) -> Option<Arc<CompiledModel>> {
+        state
+            .entries
+            .values()
+            .filter(|e| e.arch_fp == arch_fp)
+            .filter_map(|e| {
+                e.slot
+                    .get()
+                    .and_then(|r| r.as_ref().ok())
+                    .filter(|m| m.physical.is_some())
+                    .map(|m| (e.last_used, m.clone()))
+            })
+            .max_by_key(|(last_used, _)| *last_used)
+            .map(|(_, m)| m)
+    }
+
+    /// Drop least-recently-used *completed* entries beyond capacity.
+    /// In-flight entries are never dropped (a racer holds their slot).
+    fn evict_excess(&self, state: &mut State) {
+        while state.entries.len() > self.capacity {
+            let victim = state
+                .entries
+                .iter()
+                .filter(|(_, e)| e.slot.get().is_some())
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k);
+            match victim {
+                Some(k) => {
+                    state.entries.remove(&k);
+                    state.stats.evictions += 1;
+                }
+                None => break,
+            }
+        }
+    }
+
+    // --- on-disk placement-seed tier -----------------------------------
+
+    fn seed_path(&self, key: &CompileKey) -> Option<PathBuf> {
+        self.disk_dir
+            .as_ref()
+            .map(|d| d.join(format!("{}.seed", key.hex())))
+    }
+
+    /// Parse a recorded placement seed: `(positions, recorded cold P&R ns)`.
+    fn load_disk_seed(&self, key: &CompileKey) -> Option<(Vec<(usize, usize)>, f64)> {
+        let path = self.seed_path(key)?;
+        parse_seed_file(&std::fs::read_to_string(path).ok()?, &key.hex())
+    }
+
+    /// Record the final placement of a freshly compiled physical design.
+    /// Best-effort: IO failures only cost future processes the seed.
+    fn store_disk_seed(&self, key: &CompileKey, model: &CompiledModel) {
+        let (Some(path), Some(physical)) = (self.seed_path(key), model.physical.as_ref()) else {
+            return;
+        };
+        let Some(dir) = path.parent() else { return };
+        if std::fs::create_dir_all(dir).is_err() {
+            return;
+        }
+        let mut out = String::from("fpsa-compile-cache v1\n");
+        out.push_str(&format!("key {}\n", key.hex()));
+        out.push_str(&format!("model {}\n", model.core_graph.model));
+        out.push_str(&format!(
+            "pr_wall_ns {:.1}\n",
+            model.trace.wall_ns(StageKind::PlaceRoute).unwrap_or(0.0)
+        ));
+        let positions = physical.placement.positions();
+        out.push_str(&format!("blocks {}\n", positions.len()));
+        for &(r, c) in positions {
+            out.push_str(&format!("pos {r} {c}\n"));
+        }
+        let _ = std::fs::write(path, out);
+    }
+}
+
+/// Parse the line-based seed format written by `store_disk_seed`. Returns
+/// `None` on any malformed or mismatched content (the cache treats a bad
+/// seed as a plain miss).
+fn parse_seed_file(contents: &str, expected_key: &str) -> Option<(Vec<(usize, usize)>, f64)> {
+    let mut lines = contents.lines();
+    if lines.next()? != "fpsa-compile-cache v1" {
+        return None;
+    }
+    let key = lines.next()?.strip_prefix("key ")?;
+    if key != expected_key {
+        return None;
+    }
+    let _model = lines.next()?.strip_prefix("model ")?;
+    let pr_wall_ns: f64 = lines.next()?.strip_prefix("pr_wall_ns ")?.parse().ok()?;
+    let blocks: usize = lines.next()?.strip_prefix("blocks ")?.parse().ok()?;
+    let mut positions = Vec::with_capacity(blocks);
+    for _ in 0..blocks {
+        let mut parts = lines.next()?.strip_prefix("pos ")?.split(' ');
+        let r: usize = parts.next()?.parse().ok()?;
+        let c: usize = parts.next()?.parse().ok()?;
+        positions.push((r, c));
+    }
+    Some((positions, pr_wall_ns))
+}
+
+/// The conventional on-disk seed directory for a workspace: `<root>/target/
+/// compile-cache/`, discovered by walking up from `start` to the directory
+/// holding `Cargo.lock`. Falls back to `<start>/target/compile-cache`.
+pub fn default_disk_dir(start: impl AsRef<Path>) -> PathBuf {
+    let start = start.as_ref();
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        if d.join("Cargo.lock").is_file() {
+            return d.join("target").join("compile-cache");
+        }
+        dir = d.parent();
+    }
+    start.join("target").join("compile-cache")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpsa_nn::zoo;
+
+    #[test]
+    fn identical_requests_hit_and_share_the_artifact() {
+        let cache = CompileCache::new(4);
+        let compiler = Compiler::fpsa();
+        let graph = zoo::lenet();
+        let (a, ia) = cache.compile_with_info(&compiler, &graph).unwrap();
+        let (b, ib) = cache.compile_with_info(&compiler, &graph).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "hits share the artifact");
+        assert_eq!(ia.outcome, CacheOutcome::Miss);
+        assert_eq!(ib.outcome, CacheOutcome::Hit);
+        assert_eq!(ia.key, ib.key);
+        assert!(ib.saved_wall_ns > 0.0, "a hit saves the compile wall-clock");
+        let stats = cache.stats();
+        assert_eq!((stats.misses, stats.hits), (1, 1));
+    }
+
+    #[test]
+    fn different_configs_key_apart() {
+        let cache = CompileCache::new(8);
+        let graph = zoo::lenet();
+        cache.compile(&Compiler::fpsa(), &graph).unwrap();
+        cache
+            .compile(&Compiler::fpsa().with_duplication(4), &graph)
+            .unwrap();
+        let stats = cache.stats();
+        assert_eq!((stats.misses, stats.hits), (2, 0));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_used() {
+        let cache = CompileCache::new(1);
+        let compiler = Compiler::fpsa().without_place_and_route();
+        cache.compile(&compiler, &zoo::lenet()).unwrap();
+        cache.compile(&compiler, &zoo::mlp_500_100()).unwrap();
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().evictions, 1);
+        // The evicted model recompiles as a miss.
+        cache.compile(&compiler, &zoo::lenet()).unwrap();
+        assert_eq!(cache.stats().misses, 3);
+    }
+
+    #[test]
+    fn errors_are_cached_and_fail_fast() {
+        let cache = CompileCache::new(4);
+        let compiler = Compiler::fpsa();
+        // AlexNet exceeds the block limit -> CapacityExceeded, twice, but
+        // only one compile executes.
+        let a = cache.compile(&compiler, &zoo::alexnet()).unwrap_err();
+        let b = cache.compile(&compiler, &zoo::alexnet()).unwrap_err();
+        assert_eq!(a, b);
+        let stats = cache.stats();
+        assert_eq!((stats.misses, stats.hits), (1, 1));
+    }
+
+    #[test]
+    fn warm_start_seeds_a_near_miss_from_a_donor() {
+        let cache = CompileCache::new(4).with_warm_start();
+        let compiler = Compiler::fpsa();
+        let (donor, _) = cache.compile_with_info(&compiler, &zoo::lenet()).unwrap();
+        assert!(donor.physical.is_some());
+        // A different model under the same compiler warm-starts.
+        let (warmed, info) = cache
+            .compile_with_info(&compiler, &zoo::mlp_500_100())
+            .unwrap();
+        assert_eq!(info.outcome, CacheOutcome::WarmStart);
+        let physical = warmed.physical.as_ref().unwrap();
+        assert!(physical.placement.quality().warm_started);
+        assert_eq!(cache.stats().warm_starts, 1);
+        assert_eq!(
+            warmed.trace.cache().unwrap().outcome,
+            CacheOutcome::WarmStart
+        );
+    }
+
+    #[test]
+    fn seed_files_round_trip_through_the_parser() {
+        let key = CompileKey::for_compile(&Compiler::fpsa(), &zoo::lenet());
+        let contents = format!(
+            "fpsa-compile-cache v1\nkey {}\nmodel lenet\npr_wall_ns 1234.5\nblocks 2\npos 1 2\npos 3 4\n",
+            key.hex()
+        );
+        let (positions, ns) = parse_seed_file(&contents, &key.hex()).unwrap();
+        assert_eq!(positions, vec![(1, 2), (3, 4)]);
+        assert_eq!(ns, 1234.5);
+        // Wrong key, truncated body, bad header -> rejected.
+        assert!(parse_seed_file(&contents, "0000").is_none());
+        assert!(parse_seed_file("fpsa-compile-cache v1\n", &key.hex()).is_none());
+        assert!(parse_seed_file("junk", &key.hex()).is_none());
+    }
+}

@@ -164,15 +164,34 @@ impl Compiler {
     ///   back ([`Compiler::with_analytic_fallback`]) or to skip physical
     ///   design ([`Compiler::without_place_and_route`]).
     pub fn compile(&self, graph: &ComputationalGraph) -> Result<CompiledModel, CompileError> {
+        self.compile_warm(graph, None)
+    }
+
+    /// [`Compiler::compile`] with an optional warm start for the annealer:
+    /// a prior placement (a compile-cache near-miss donor, or an exact
+    /// on-disk seed) handed to the PlaceRoute stage, which seeds matching
+    /// blocks and runs a cut anneal schedule instead of a cold anneal. See
+    /// [`fpsa_placeroute::WarmStart`] and `crate::cache::CompileCache`.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Compiler::compile`]; a warm start never introduces new
+    /// failure modes (an inapplicable seed degrades to a cold start).
+    pub fn compile_warm(
+        &self,
+        graph: &ComputationalGraph,
+        warm: Option<fpsa_placeroute::WarmStart>,
+    ) -> Result<CompiledModel, CompileError> {
         let mut pipeline = InstrumentedPipeline::new();
         let core_graph =
             pipeline.run_stage(&SynthesizeStage::for_architecture(&self.arch), graph)?;
         let mapping =
             pipeline.run_stage(&MapStage::new(&self.arch, self.duplication), &core_graph)?;
-        let physical = pipeline.run_stage(
-            &PlaceRouteStage::new(self.arch.clone(), self.place_route),
-            &mapping,
-        )?;
+        let mut place_route_stage = PlaceRouteStage::new(self.arch.clone(), self.place_route);
+        if let Some(warm) = warm {
+            place_route_stage = place_route_stage.with_warm_start(warm);
+        }
+        let physical = pipeline.run_stage(&place_route_stage, &mapping)?;
         let communication = pipeline.run_stage(
             &EstimateStage::new(self.arch.clone()),
             (&mapping, physical.as_ref()),

@@ -8,11 +8,13 @@
 //! [`Evaluator::evaluate_many`] routes them through the unified
 //! [`crate::sweep::Sweep`] engine.
 
-use crate::compiler::Compiler;
+use crate::cache::CompileCache;
+use crate::compiler::{CompiledModel, Compiler};
 use fpsa_arch::ArchitectureConfig;
 use fpsa_nn::zoo::Benchmark;
 use fpsa_sim::PerformanceReport;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Everything measured for one (model, architecture, duplication) point.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -73,14 +75,48 @@ impl Evaluator {
 
     /// Evaluate one benchmark at one duplication degree.
     pub fn evaluate(&self, benchmark: Benchmark, duplication: u64) -> ModelEvaluation {
+        self.evaluate_with_cache(benchmark, duplication, None)
+    }
+
+    /// [`Evaluator::evaluate`], compiling through a [`CompileCache`] when
+    /// one is given: identical (model, config) points reuse the cached
+    /// artifact and the report's compile trace carries the cache outcome.
+    /// Results are equal to an uncached evaluation (trace equality ignores
+    /// cache provenance, like wall-clock).
+    pub fn evaluate_with_cache(
+        &self,
+        benchmark: Benchmark,
+        duplication: u64,
+        cache: Option<&CompileCache>,
+    ) -> ModelEvaluation {
         let graph = benchmark.build();
         let stats = graph.statistics();
-        let compiled = Compiler::for_architecture(self.arch.clone())
+        let compiler = Compiler::for_architecture(self.arch.clone())
             .with_duplication(duplication)
-            .without_place_and_route()
-            .compile(&graph)
-            .expect("zoo models are well formed");
-        let performance = compiled.performance();
+            .without_place_and_route();
+        let (compiled, info): (Arc<CompiledModel>, _) = match cache {
+            Some(cache) => {
+                let (model, info) = cache
+                    .compile_with_info(&compiler, &graph)
+                    .expect("zoo models are well formed");
+                (model, Some(info))
+            }
+            None => (
+                Arc::new(
+                    compiler
+                        .compile(&graph)
+                        .expect("zoo models are well formed"),
+                ),
+                None,
+            ),
+        };
+        let mut performance = compiled.performance();
+        // Stamp how the cache satisfied *this* request (the shared artifact
+        // records only how it was first produced). Excluded from equality,
+        // like wall-clock.
+        if let (Some(info), Some(trace)) = (info, performance.compile.as_mut()) {
+            trace.set_cache(info);
+        }
         let peak_ops = compiled.mapping.netlist.stats().pe_count as f64 * self.arch.pe.peak_ops();
         ModelEvaluation {
             model: benchmark.name().to_string(),

@@ -8,6 +8,7 @@
 //! found by the PathFinder search — the quantity the paper's mrVPR flow
 //! measures for the routing fabric.
 
+use crate::cache::CompileCache;
 use crate::compiler::{Compiler, PlaceRouteConfig};
 use crate::evaluator::ModelEvaluation;
 use crate::report::{engineering, format_table};
@@ -122,13 +123,23 @@ pub fn channel_width_search() -> Vec<ChannelWidthPoint> {
 /// duplication grid, evaluated in parallel by the unified sweep engine,
 /// plus the minimum-channel-width search.
 pub fn run() -> Figure8 {
+    run_with_cache(&CompileCache::new(
+        Benchmark::all().len() * DUPLICATION_DEGREES.len(),
+    ))
+}
+
+/// [`run`] against a caller-owned [`CompileCache`], so the bench driver can
+/// report the hit/miss statistics (and repeated regenerations share
+/// artifacts). The results are equal to an uncached run — trace equality
+/// ignores cache provenance.
+pub fn run_with_cache(cache: &CompileCache) -> Figure8 {
     Figure8 {
         evaluations: Sweep::cartesian(
             &Benchmark::all(),
             &[ArchitectureConfig::fpsa()],
             &DUPLICATION_DEGREES,
         )
-        .run(),
+        .run_with_cache(cache),
         channel_widths: channel_width_search(),
     }
 }

@@ -4,6 +4,10 @@
 //!
 //! * [`compiler`] — the end-to-end compilation flow that a user would run to
 //!   deploy a network on the FPSA fabric;
+//! * [`cache`] — the content-addressed compile cache: stable structural
+//!   keys over (graph + compiler config), single-flight artifact reuse
+//!   across sweep workers, opt-in warm-started annealing from near-miss
+//!   donors, and an opt-in on-disk placement-seed tier;
 //! * [`pipeline`] — the instrumented stage pipeline beneath the compiler
 //!   (`Synthesize → Map → PlaceRoute → Estimate`), each stage a typed
 //!   artifact transform whose wall-clock time and sizes land in a
@@ -34,6 +38,7 @@
 //! # Ok::<(), fpsa_core::compiler::CompileError>(())
 //! ```
 
+pub mod cache;
 pub mod compiler;
 pub mod evaluator;
 pub mod experiments;
@@ -42,6 +47,7 @@ pub mod report;
 pub mod sweep;
 pub mod validate;
 
+pub use cache::{CacheStats, CompileCache, CompileKey};
 pub use compiler::{CompileError, CompiledModel, Compiler};
 pub use evaluator::{Evaluator, ModelEvaluation};
 pub use sweep::{Sweep, SweepPoint};

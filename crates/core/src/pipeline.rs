@@ -18,7 +18,7 @@ use fpsa_arch::{ArchitectureConfig, FabricCapacity};
 use fpsa_mapper::{AllocationPolicy, Mapper, Mapping};
 use fpsa_nn::ComputationalGraph;
 use fpsa_placeroute::{
-    Placement, Placer, PlacerConfig, Router, RouterConfig, RoutingResult, TimingReport,
+    Placement, Placer, PlacerConfig, Router, RouterConfig, RoutingResult, TimingReport, WarmStart,
 };
 use fpsa_sim::{CommunicationEstimate, StageKind, StageQuality, StageRecord, StageTrace};
 use fpsa_synthesis::{CoreOpGraph, NeuralSynthesizer, SynthesisConfig};
@@ -255,12 +255,24 @@ impl Default for PlaceRouteConfig {
 pub struct PlaceRouteStage {
     arch: ArchitectureConfig,
     config: PlaceRouteConfig,
+    warm: Option<WarmStart>,
 }
 
 impl PlaceRouteStage {
     /// A physical-design stage for an architecture.
     pub fn new(arch: ArchitectureConfig, config: PlaceRouteConfig) -> Self {
-        PlaceRouteStage { arch, config }
+        PlaceRouteStage {
+            arch,
+            config,
+            warm: None,
+        }
+    }
+
+    /// Seed the annealer from a prior placement (a compile-cache near-miss
+    /// donor or an exact on-disk seed). See [`fpsa_placeroute::WarmStart`].
+    pub fn with_warm_start(mut self, warm: WarmStart) -> Self {
+        self.warm = Some(warm);
+        self
     }
 
     /// The stage's configuration.
@@ -304,7 +316,8 @@ impl CompileStage for PlaceRouteStage {
         }
         let netlist = &input.netlist;
         let fabric = fpsa_placeroute::fabric_for(netlist, &self.arch);
-        let placement = Placer::new(self.config.placer).place(netlist, &fabric);
+        let placement =
+            Placer::new(self.config.placer).place_seeded(netlist, &fabric, self.warm.as_ref());
         let router = Router::with_config(self.arch.routing, self.config.router);
         let routing = match self.config.channel_width {
             ChannelWidthMode::Architecture => router.route(netlist, &placement),
@@ -335,6 +348,8 @@ impl CompileStage for PlaceRouteStage {
         output.as_ref().map(|physical| StageQuality::PlaceRoute {
             placement_wirelength: physical.placement.quality().final_wirelength,
             placement_acceptance_rate: physical.placement.quality().acceptance_rate(),
+            placement_moves: physical.placement.quality().moves_evaluated,
+            warm_started: physical.placement.quality().warm_started,
             router_iterations: physical.routing.iterations,
             required_channel_width: physical.routing.required_channel_width(),
             critical_hops: physical.timing.critical_hops,

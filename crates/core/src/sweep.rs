@@ -16,6 +16,7 @@
 //! model and shares nothing, so the engine guarantees output order matches
 //! input order and nothing else.
 
+use crate::cache::CompileCache;
 use crate::evaluator::{Evaluator, ModelEvaluation};
 use fpsa_arch::ArchitectureConfig;
 use fpsa_nn::zoo::Benchmark;
@@ -132,9 +133,26 @@ impl Sweep {
     }
 
     /// Evaluate every point in parallel; results keep the point order.
+    ///
+    /// Compilation goes through a per-run [`CompileCache`]: grids whose
+    /// axes repeat a (model, architecture, duplication) combination compile
+    /// it once and share the artifact across workers (the single-flight
+    /// store ensures exactly one compile per distinct point even under
+    /// parallel racers).
     pub fn run(&self) -> Vec<ModelEvaluation> {
+        self.run_with_cache(&CompileCache::new(self.points.len().max(1)))
+    }
+
+    /// [`Sweep::run`] against a caller-owned cache, so several sweeps (or a
+    /// sweep plus direct [`Evaluator`] calls) can share compiled artifacts
+    /// and so drivers can report the hit/miss statistics afterwards.
+    pub fn run_with_cache(&self, cache: &CompileCache) -> Vec<ModelEvaluation> {
         parallel_map(&self.points, |point| {
-            Evaluator::new(point.architecture.clone()).evaluate(point.benchmark, point.duplication)
+            Evaluator::new(point.architecture.clone()).evaluate_with_cache(
+                point.benchmark,
+                point.duplication,
+                Some(cache),
+            )
         })
     }
 }
@@ -178,6 +196,56 @@ mod tests {
         assert_eq!(sweep.len(), 4);
         let dups: Vec<u64> = sweep.points().iter().map(|p| p.duplication).collect();
         assert_eq!(dups, vec![1, 4, 1, 4]);
+    }
+
+    #[test]
+    fn repeated_points_compile_exactly_once() {
+        use fpsa_sim::CacheOutcome;
+        // The same (model, arch, duplication) point three times, plus one
+        // distinct point: exactly two compiler invocations, two hits.
+        let arch = ArchitectureConfig::fpsa();
+        let sweep = Sweep::over_points(
+            &arch,
+            &[
+                (Benchmark::Mlp500x100, 1),
+                (Benchmark::Mlp500x100, 1),
+                (Benchmark::LeNet, 4),
+                (Benchmark::Mlp500x100, 1),
+            ],
+        );
+        let cache = CompileCache::new(sweep.len());
+        let results = sweep.run_with_cache(&cache);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 2, "one compile per distinct point");
+        assert_eq!(stats.hits, 2, "duplicates reuse the cached artifact");
+        assert!(stats.saved_wall_ns > 0.0);
+        // Duplicates are bit-identical evaluations, and each report's trace
+        // carries its own cache outcome.
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[1], results[3]);
+        let outcomes: Vec<CacheOutcome> = results
+            .iter()
+            .map(|r| {
+                r.performance
+                    .compile
+                    .as_ref()
+                    .unwrap()
+                    .cache()
+                    .unwrap()
+                    .outcome
+            })
+            .collect();
+        assert_eq!(
+            outcomes.iter().filter(|&&o| o == CacheOutcome::Hit).count(),
+            2
+        );
+        assert_eq!(
+            outcomes
+                .iter()
+                .filter(|&&o| o == CacheOutcome::Miss)
+                .count(),
+            2
+        );
     }
 
     #[test]

@@ -20,7 +20,7 @@ pub mod place;
 pub mod route;
 pub mod timing;
 
-pub use place::{AnnealStep, Placement, PlacementQuality, Placer, PlacerConfig};
+pub use place::{AnnealStep, Placement, PlacementQuality, Placer, PlacerConfig, WarmStart};
 pub use route::{Orientation, RouteEdge, Router, RouterConfig, RoutingResult, RoutingTree};
 pub use timing::TimingReport;
 

@@ -95,6 +95,11 @@ pub struct PlacementQuality {
     pub moves_evaluated: u64,
     /// Total moves accepted.
     pub moves_accepted: u64,
+    /// Whether the initial assignment was seeded from a prior placement
+    /// (see [`WarmStart`]) instead of the cold slot-order assignment.
+    pub warm_started: bool,
+    /// Number of blocks that took their seed position (0 for a cold start).
+    pub seeded_blocks: usize,
     /// Cost/acceptance trajectory, one entry per temperature step.
     pub steps: Vec<AnnealStep>,
 }
@@ -147,6 +152,62 @@ impl Placement {
     /// The annealing quality report.
     pub fn quality(&self) -> &PlacementQuality {
         &self.quality
+    }
+}
+
+/// A prior placement offered to the annealer as a starting point.
+///
+/// Two flavours exist:
+///
+/// * **Near-miss seed** ([`WarmStart::from_placement`]): positions are
+///   matched to the new netlist's blocks *by block identity*, so a donor
+///   placement of an incrementally edited model seeds every surviving block;
+///   new or moved blocks fall back to the cold assignment and a short,
+///   low-temperature anneal polishes the result.
+/// * **Exact seed** ([`WarmStart::exact_positions`]): positions are applied
+///   *by block index* — callers assert the netlist is identical to the
+///   donor's (same compile key) — and annealing is skipped entirely, so
+///   deterministic routing re-derives the donor's physical design.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WarmStart {
+    blocks: Vec<NetlistBlock>,
+    positions: Vec<(usize, usize)>,
+    exact: bool,
+}
+
+impl WarmStart {
+    /// Capture a donor placement for identity-matched warm starting.
+    pub fn from_placement(netlist: &Netlist, placement: &Placement) -> Self {
+        WarmStart {
+            blocks: netlist.blocks().to_vec(),
+            positions: placement.positions().to_vec(),
+            exact: false,
+        }
+    }
+
+    /// An exact seed: `positions[i]` is block `i`'s final slot. Only valid
+    /// when the netlist being placed is identical to the donor's.
+    pub fn exact_positions(positions: Vec<(usize, usize)>) -> Self {
+        WarmStart {
+            blocks: Vec::new(),
+            positions,
+            exact: true,
+        }
+    }
+
+    /// Whether this seed claims to be the donor's exact final placement.
+    pub fn is_exact(&self) -> bool {
+        self.exact
+    }
+
+    /// The seed positions, in donor block order.
+    pub fn positions(&self) -> &[(usize, usize)] {
+        &self.positions
+    }
+
+    /// The donor's blocks (empty for an exact positional seed).
+    pub fn blocks(&self) -> &[NetlistBlock] {
+        &self.blocks
     }
 }
 
@@ -328,13 +389,38 @@ impl Placer {
         Placer { config }
     }
 
-    /// Place a netlist onto a fabric.
+    /// Place a netlist onto a fabric from a cold start.
     ///
     /// # Panics
     ///
     /// Panics if the fabric has fewer slots of some kind than the netlist
     /// needs.
     pub fn place(&self, netlist: &Netlist, fabric: &Fabric) -> Placement {
+        self.place_seeded(netlist, fabric, None)
+    }
+
+    /// Place a netlist onto a fabric, optionally seeding the annealer from a
+    /// prior placement.
+    ///
+    /// With a near-miss [`WarmStart`], blocks present in the donor keep
+    /// their donor slots, the rest take the cold assignment, and a short
+    /// low-temperature anneal (1/8th of the cold step budget at 1/50th of
+    /// the cold starting temperature) plus the usual greedy quench polishes
+    /// the seams; the best placement seen is the one returned, so a warm
+    /// start never ends worse than its seed. With an exact seed covering
+    /// every block, annealing is skipped entirely and the seed *is* the
+    /// placement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fabric has fewer slots of some kind than the netlist
+    /// needs.
+    pub fn place_seeded(
+        &self,
+        netlist: &Netlist,
+        fabric: &Fabric,
+        warm: Option<&WarmStart>,
+    ) -> Placement {
         let dims = fabric.dims;
         let kind_of = |b: &NetlistBlock| match b {
             NetlistBlock::Pe { .. } => BlockKind::Pe,
@@ -342,15 +428,69 @@ impl Placer {
             NetlistBlock::Clb { .. } => BlockKind::Clb,
         };
 
-        // Initial assignment: blocks of each kind take the slots of that kind
-        // in index order; SMB/CLB overflow falls back to spare PE slots
-        // (physically those slots would be configured as the needed kind).
+        // Seed pass: adopt donor positions that are legal on this fabric
+        // (inside the grid, on a real slot, not claimed twice). Near-miss
+        // seeds match donor blocks to this netlist's blocks by identity;
+        // exact seeds apply positions by index.
+        const UNPLACED: (usize, usize) = (usize::MAX, usize::MAX);
+        let mut positions: Vec<(usize, usize)> = vec![UNPLACED; netlist.len()];
+        let mut taken: std::collections::HashSet<(usize, usize)> = Default::default();
+        let mut seeded_blocks = 0usize;
+        if let Some(warm) = warm {
+            let slot_coords: std::collections::HashSet<(usize, usize)> = BlockKind::all()
+                .iter()
+                .flat_map(|&k| fabric.slots_of(k))
+                .map(|s| dims.coord(s))
+                .collect();
+            let mut claim = |i: usize,
+                             pos: (usize, usize),
+                             positions: &mut Vec<(usize, usize)>,
+                             seeded: &mut usize| {
+                if slot_coords.contains(&pos) && taken.insert(pos) {
+                    positions[i] = pos;
+                    *seeded += 1;
+                }
+            };
+            if warm.exact && warm.blocks.is_empty() {
+                if warm.positions.len() == netlist.len() {
+                    for (i, &pos) in warm.positions.iter().enumerate() {
+                        claim(i, pos, &mut positions, &mut seeded_blocks);
+                    }
+                }
+            } else {
+                let donor: std::collections::HashMap<&NetlistBlock, (usize, usize)> = warm
+                    .blocks
+                    .iter()
+                    .zip(warm.positions.iter().copied())
+                    .collect();
+                for (i, block) in netlist.blocks().iter().enumerate() {
+                    if let Some(&pos) = donor.get(block) {
+                        claim(i, pos, &mut positions, &mut seeded_blocks);
+                    }
+                }
+            }
+        }
+
+        // Cold assignment for whatever the seed did not cover: blocks of
+        // each kind take the remaining slots of that kind in index order;
+        // SMB/CLB overflow falls back to spare PE slots (physically those
+        // slots would be configured as the needed kind).
         let mut free: std::collections::HashMap<BlockKind, Vec<usize>> = BlockKind::all()
             .iter()
-            .map(|&k| (k, fabric.slots_of(k).into_iter().rev().collect()))
+            .map(|&k| {
+                let slots: Vec<usize> = fabric
+                    .slots_of(k)
+                    .into_iter()
+                    .filter(|&s| !taken.contains(&dims.coord(s)))
+                    .rev()
+                    .collect();
+                (k, slots)
+            })
             .collect();
-        let mut positions: Vec<(usize, usize)> = Vec::with_capacity(netlist.len());
-        for block in netlist.blocks() {
+        for (i, block) in netlist.blocks().iter().enumerate() {
+            if positions[i] != UNPLACED {
+                continue;
+            }
             let kind = kind_of(block);
             let slot = free
                 .get_mut(&kind)
@@ -359,7 +499,7 @@ impl Placer {
                 .or_else(|| free.get_mut(&BlockKind::Smb).and_then(Vec::pop))
                 .or_else(|| free.get_mut(&BlockKind::Clb).and_then(Vec::pop))
                 .expect("fabric must have at least as many slots as the netlist has blocks");
-            positions.push(dims.coord(slot));
+            positions[i] = dims.coord(slot);
         }
 
         // The net→block incidence index drives incremental move evaluation.
@@ -404,12 +544,45 @@ impl Placer {
         }
         movable.sort_unstable();
 
+        // Warm-start schedule: an exact full seed needs no moves at all; a
+        // near-miss seed is already near the donor's optimum, so the anneal
+        // only has to polish the seams — 1/8th of the cold step budget at
+        // 1/50th of the cold starting temperature (hot enough to shake the
+        // re-assigned blocks loose, cold enough not to scramble the seed).
+        let warm_started = seeded_blocks > 0;
+        let exact_seed = warm_started
+            && warm.map(|w| w.exact).unwrap_or(false)
+            && seeded_blocks == netlist.len();
+        let (max_steps, temperature_fraction) = if exact_seed {
+            (0, 0.0)
+        } else if warm_started {
+            (
+                (self.config.max_temperature_steps / 8).max(2),
+                self.config.initial_temperature_fraction * 0.02,
+            )
+        } else {
+            (
+                self.config.max_temperature_steps,
+                self.config.initial_temperature_fraction,
+            )
+        };
+
         let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let mut temperature = (weighted_cost * self.config.initial_temperature_fraction).max(1.0);
+        let mut temperature = (weighted_cost * temperature_fraction).max(1.0);
         let mut quality = PlacementQuality {
             initial_wirelength,
+            warm_started,
+            seeded_blocks,
             ..Default::default()
         };
+
+        // A warm-started anneal must never hand back something worse than
+        // its seed: the low-temperature schedule still accepts uphill moves,
+        // so track the best placement seen per sweep (by unweighted HPWL)
+        // and restore it if the final state regressed. Cold anneals keep
+        // their exact historical behavior.
+        let mut best: Option<(f64, Vec<(usize, usize)>)> =
+            (warm_started && !exact_seed).then(|| (initial_wirelength, positions.clone()));
 
         let mut state = AnnealState {
             nets,
@@ -427,14 +600,21 @@ impl Placer {
             new_boxes: Vec::new(),
         };
 
-        if !movable.is_empty() && self.config.max_temperature_steps > 0 {
-            for _ in 0..self.config.max_temperature_steps {
+        if !movable.is_empty() && max_steps > 0 {
+            for _ in 0..max_steps {
                 let acceptance_rate = state.sweep(
                     temperature,
                     self.config.moves_per_temperature,
                     &mut rng,
                     &mut quality,
                 );
+                if let Some((best_len, best_pos)) = best.as_mut() {
+                    let len: f64 = state.boxes.iter().map(NetBox::hpwl).sum();
+                    if len < *best_len {
+                        *best_len = len;
+                        best_pos.clone_from(state.positions);
+                    }
+                }
 
                 // Adaptive cooling (VPR): cool slowly through the productive
                 // mid-range of acceptance rates, fast outside it.
@@ -464,12 +644,26 @@ impl Placer {
                 if *state.weighted_cost >= before - 1e-9 {
                     break;
                 }
+                if let Some((best_len, best_pos)) = best.as_mut() {
+                    let len: f64 = state.boxes.iter().map(NetBox::hpwl).sum();
+                    if len < *best_len {
+                        *best_len = len;
+                        best_pos.clone_from(state.positions);
+                    }
+                }
             }
         }
 
         // Report the exact final wirelength (unweighted, recomputed from
         // scratch so float drift from incremental updates cannot leak out).
-        let final_wirelength: f64 = nets.iter().map(|n| NetBox::of(&positions, n).hpwl()).sum();
+        let mut final_wirelength: f64 = nets.iter().map(|n| NetBox::of(&positions, n).hpwl()).sum();
+        if let Some((_, best_pos)) = best {
+            let best_len: f64 = nets.iter().map(|n| NetBox::of(&best_pos, n).hpwl()).sum();
+            if best_len < final_wirelength {
+                positions = best_pos;
+                final_wirelength = best_len;
+            }
+        }
         quality.final_wirelength = final_wirelength;
 
         Placement {
@@ -585,6 +779,73 @@ mod tests {
         );
         assert!(quality.moves_evaluated > 0);
         assert!((0.0..=1.0).contains(&quality.acceptance_rate()));
+    }
+
+    #[test]
+    fn exact_seed_reproduces_the_donor_placement_with_zero_moves() {
+        let netlist = lenet_netlist();
+        let fabric = Fabric::with_pe_count(ArchitectureConfig::fpsa(), netlist.len());
+        let placer = Placer::new(PlacerConfig::fast());
+        let donor = placer.place(&netlist, &fabric);
+        let seed = WarmStart::exact_positions(donor.positions().to_vec());
+        let seeded = placer.place_seeded(&netlist, &fabric, Some(&seed));
+        assert_eq!(seeded.positions(), donor.positions());
+        assert_eq!(seeded.wirelength(), donor.wirelength());
+        assert_eq!(seeded.quality().moves_evaluated, 0);
+        assert!(seeded.quality().warm_started);
+        assert_eq!(seeded.quality().seeded_blocks, netlist.len());
+    }
+
+    #[test]
+    fn warm_start_is_legal_and_cheaper_than_cold() {
+        let netlist = lenet_netlist();
+        let fabric = Fabric::with_pe_count(ArchitectureConfig::fpsa(), netlist.len());
+        let placer = Placer::new(PlacerConfig::fast());
+        let cold = placer.place(&netlist, &fabric);
+        let seed = WarmStart::from_placement(&netlist, &cold);
+        let warm = placer.place_seeded(&netlist, &fabric, Some(&seed));
+        // Legal: every block on a unique in-bounds slot.
+        let mut seen = warm.positions().to_vec();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), netlist.len());
+        for &(r, c) in warm.positions() {
+            assert!(r < warm.dims.rows && c < warm.dims.cols);
+        }
+        // Cheaper: the cut schedule evaluates at most half the cold moves,
+        // and the near-optimal seed cannot lose wirelength.
+        assert!(warm.quality().warm_started);
+        assert!(
+            warm.quality().moves_evaluated <= cold.quality().moves_evaluated / 2,
+            "warm {} vs cold {} moves",
+            warm.quality().moves_evaluated,
+            cold.quality().moves_evaluated
+        );
+        assert!(warm.wirelength() <= cold.wirelength());
+    }
+
+    #[test]
+    fn warm_start_from_an_edited_netlist_seeds_surviving_blocks() {
+        let netlist = lenet_netlist();
+        let fabric = Fabric::with_pe_count(ArchitectureConfig::fpsa(), netlist.len() + 4);
+        let placer = Placer::new(PlacerConfig::fast());
+        let donor = placer.place(&netlist, &fabric);
+        // "Edit" the model: append four fresh PE blocks the donor never saw.
+        let mut blocks = netlist.blocks().to_vec();
+        for i in 0..4 {
+            blocks.push(NetlistBlock::Pe {
+                group: 10_000 + i,
+                duplicate: 0,
+            });
+        }
+        let edited = Netlist::from_parts("edited", blocks, netlist.nets().to_vec());
+        let seed = WarmStart::from_placement(&netlist, &donor);
+        let warm = placer.place_seeded(&edited, &fabric, Some(&seed));
+        assert_eq!(warm.quality().seeded_blocks, netlist.len());
+        let mut seen = warm.positions().to_vec();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), edited.len(), "no slot is claimed twice");
     }
 
     #[test]

@@ -111,7 +111,13 @@ pub fn run_with(
 ) -> ShardingReport {
     let requests = requests.max(1);
     let params = GraphParameters::seeded(graph, SEED);
-    let sharder = ShardCompiler::fpsa(FabricBudget::with_pes(1)).with_link(ChipLink::default());
+    // Per-stage compilations go through the process-wide compile cache:
+    // stage subgraphs shared between stage counts (and repeated driver runs)
+    // reuse their artifacts. Outputs stay bit-identical — the cache returns
+    // exact-key artifacts only, and the assertions below would catch drift.
+    let sharder = ShardCompiler::fpsa(FabricBudget::with_pes(1))
+        .with_link(ChipLink::default())
+        .with_cache(fpsa_core::CompileCache::global());
 
     // The unsharded single-fabric compilation: the modeled baseline, the
     // measured serving baseline, and the bit-identity reference.

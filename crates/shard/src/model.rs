@@ -19,7 +19,8 @@ use crate::exec::ShardedExecutor;
 use crate::partition::{FabricBudget, PartitionPlan, Partitioner, StagePlan};
 use crate::ShardError;
 use fpsa_arch::FabricCapacity;
-use fpsa_core::{CompiledModel, Compiler};
+use fpsa_core::sweep::parallel_map;
+use fpsa_core::{CompileCache, CompiledModel, Compiler};
 use fpsa_mapper::AllocationPolicy;
 use fpsa_nn::reference::QuantizationPlan;
 use fpsa_nn::{ComputationalGraph, GraphParameters, NodeId};
@@ -314,7 +315,7 @@ impl ShardedModel {
 }
 
 /// Compiles models across multiple fabrics.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct ShardCompiler {
     /// The single-fabric compiler every stage runs through (architecture,
     /// duplication degree, physical-design configuration).
@@ -323,6 +324,22 @@ pub struct ShardCompiler {
     pub budget: FabricBudget,
     /// The chip-to-chip interconnect.
     pub link: ChipLink,
+    /// Whether stage subgraphs compile concurrently (the default; each
+    /// stage is an independent single-fabric compile with a fixed seed, so
+    /// results are bit-identical to a sequential loop).
+    parallel_stages: bool,
+    /// Optional shared compile cache for stage compiles.
+    cache: Option<std::sync::Arc<CompileCache>>,
+}
+
+impl PartialEq for ShardCompiler {
+    fn eq(&self, other: &Self) -> bool {
+        // The attached cache is a performance detail, not configuration.
+        self.compiler == other.compiler
+            && self.budget == other.budget
+            && self.link == other.link
+            && self.parallel_stages == other.parallel_stages
+    }
 }
 
 impl ShardCompiler {
@@ -332,6 +349,8 @@ impl ShardCompiler {
             compiler,
             budget,
             link: ChipLink::default(),
+            parallel_stages: true,
+            cache: None,
         }
     }
 
@@ -343,6 +362,23 @@ impl ShardCompiler {
     /// Use an explicit chip-to-chip link model.
     pub fn with_link(mut self, link: ChipLink) -> Self {
         self.link = link;
+        self
+    }
+
+    /// Compile stage subgraphs one at a time instead of concurrently. The
+    /// result is bit-identical either way (fixed per-stage seeds); this
+    /// exists for the determinism suite to prove exactly that, and as an
+    /// escape hatch on memory-tight machines.
+    pub fn with_sequential_stage_compile(mut self) -> Self {
+        self.parallel_stages = false;
+        self
+    }
+
+    /// Route every stage compile through a shared [`CompileCache`]:
+    /// repeated stage subgraphs (across sweep points, chip counts or
+    /// drivers) compile once and reuse the artifact.
+    pub fn with_cache(mut self, cache: std::sync::Arc<CompileCache>) -> Self {
+        self.cache = Some(cache);
         self
     }
 
@@ -454,11 +490,34 @@ impl ShardCompiler {
             offsets[s] = offsets[s - 1] + stage_group_count[s - 1];
         }
 
+        // Compile every stage subgraph — concurrently unless configured
+        // sequential. Stages are independent compiles with fixed per-stage
+        // seeds and `parallel_map` preserves order, so both modes produce
+        // bit-identical sharded models (the determinism suite asserts it).
+        // Errors keep sequential semantics: the lowest-index failure wins.
+        let compile_stage = |stage_graph: &ComputationalGraph| match &self.cache {
+            Some(cache) => cache
+                .compile(&self.compiler, stage_graph)
+                .map(|model| (*model).clone()),
+            None => self.compiler.compile(stage_graph),
+        };
+        let compiled_stages: Vec<Result<CompiledModel, fpsa_core::CompileError>> =
+            if self.parallel_stages {
+                parallel_map(&stage_plans, |p| compile_stage(&p.graph))
+            } else {
+                stage_plans
+                    .iter()
+                    .map(|p| compile_stage(&p.graph))
+                    .collect()
+            };
+
         let io_bits = self.compiler.arch.io_bits as usize;
         let mut stages = Vec::with_capacity(stage_plans.len());
         let mut transports = Vec::new();
         let last = stage_plans.len() - 1;
-        for (index, stage_plan) in stage_plans.into_iter().enumerate() {
+        for (index, (stage_plan, compiled)) in
+            stage_plans.into_iter().zip(compiled_stages).enumerate()
+        {
             let StagePlan {
                 nodes,
                 graph: stage_graph,
@@ -467,7 +526,7 @@ impl ShardCompiler {
                 boundary_elements,
                 pe_demand: _,
             } = stage_plan;
-            let compiled = self.compiler.compile(&stage_graph)?;
+            let compiled = compiled?;
             verify_stage_groups(
                 full_core,
                 &compiled.core_graph,

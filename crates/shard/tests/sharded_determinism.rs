@@ -143,6 +143,44 @@ fn sharded_serving_is_bit_identical_under_concurrent_client_streams() {
     }
 }
 
+/// Rayon-parallel per-stage compilation (the default) must produce a
+/// sharded model bit-identical to the sequential loop: same placements,
+/// routings, schedules and traces (equality ignores wall-clock only), and
+/// the same outputs through both executors — with and without a shared
+/// compile cache in the stage-compile path.
+#[test]
+fn parallel_stage_compilation_is_bit_identical_to_sequential() {
+    let graph = deep_mlp();
+    let params = GraphParameters::seeded(&graph, SEED);
+    let inputs = sample_inputs(&graph, 4, SEED);
+    for stages in 2..=4 {
+        let parallel = ShardCompiler::fpsa(FabricBudget::with_pes(1))
+            .compile_into_stages(&graph, stages)
+            .expect("parallel stage compile");
+        let sequential = ShardCompiler::fpsa(FabricBudget::with_pes(1))
+            .with_sequential_stage_compile()
+            .compile_into_stages(&graph, stages)
+            .expect("sequential stage compile");
+        assert_eq!(
+            parallel, sequential,
+            "{stages}-stage parallel compile diverged from sequential"
+        );
+        let cached = ShardCompiler::fpsa(FabricBudget::with_pes(1))
+            .with_cache(std::sync::Arc::new(fpsa_core::CompileCache::new(8)))
+            .compile_into_stages(&graph, stages)
+            .expect("cached stage compile");
+        assert_eq!(
+            cached, sequential,
+            "{stages}-stage cached compile diverged from sequential"
+        );
+        let a = parallel.executor(&params, &Precision::Float).unwrap();
+        let b = sequential.executor(&params, &Precision::Float).unwrap();
+        for x in &inputs {
+            assert_eq!(a.run(x).unwrap(), b.run(x).unwrap());
+        }
+    }
+}
+
 /// The PR's acceptance criterion, at debug-friendly scale: a model whose PE
 /// demand exceeds one fabric auto-partitions onto ≥ 2 fabrics and executes
 /// bit-identically to its single-large-fabric compilation.

@@ -39,4 +39,4 @@ pub use bytecode::LowerStats;
 pub use exec::{ExecArena, ExecError, Executor, Precision};
 pub use functional::{SpikingMlpRunner, VariationStudy};
 pub use perf::{CommunicationEstimate, PerformanceReport, PerformanceSimulator};
-pub use trace::{StageKind, StageQuality, StageRecord, StageTrace};
+pub use trace::{CacheInfo, CacheOutcome, StageKind, StageQuality, StageRecord, StageTrace};

@@ -57,6 +57,12 @@ pub enum StageQuality {
         placement_wirelength: f64,
         /// Overall annealing acceptance rate, 0..=1.
         placement_acceptance_rate: f64,
+        /// Annealing moves the placer evaluated (the budget a warm start
+        /// cuts — see [`CacheOutcome::WarmStart`]).
+        placement_moves: u64,
+        /// Whether the placement was seeded from a prior placement instead
+        /// of annealing from a cold initial assignment.
+        warm_started: bool,
         /// PathFinder negotiation iterations until convergence.
         router_iterations: usize,
         /// Minimum channel width the routed design needs.
@@ -64,6 +70,57 @@ pub enum StageQuality {
         /// Longest routed connection in block hops.
         critical_hops: usize,
     },
+}
+
+/// How the compile cache satisfied (or didn't satisfy) one compilation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CacheOutcome {
+    /// No cache was involved, or the key was absent: a full cold compile.
+    Miss,
+    /// The exact key was present in the in-memory store; the compiled
+    /// artifact was reused without running any pipeline stage.
+    Hit,
+    /// The exact key missed, but a near-miss entry (same architecture and
+    /// physical-design configuration, different graph) seeded the annealer
+    /// with its mapped-forward placement — the pipeline ran, with a cut
+    /// anneal budget.
+    WarmStart,
+    /// The exact key missed in memory but its on-disk placement seed was
+    /// found: the pipeline ran with annealing skipped entirely (the seed
+    /// *is* the final placement; routing re-derives deterministically).
+    DiskSeed,
+}
+
+impl CacheOutcome {
+    /// Human-readable outcome name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CacheOutcome::Miss => "miss",
+            CacheOutcome::Hit => "hit",
+            CacheOutcome::WarmStart => "warm-start",
+            CacheOutcome::DiskSeed => "disk-seed",
+        }
+    }
+}
+
+/// Cache provenance of one compilation, carried on its [`StageTrace`].
+///
+/// Like `wall_ns`, this is a *measurement of how the artifact was obtained*,
+/// not part of the artifact's structure: two compilations of the same model
+/// — one cold, one served from the cache — produce equal traces. It is
+/// therefore excluded from [`StageTrace`] equality.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheInfo {
+    /// How the cache satisfied the compilation.
+    pub outcome: CacheOutcome,
+    /// Hex rendering of the content-addressed compile key.
+    pub key: String,
+    /// Wall-clock the cache saved versus a cold compile, in nanoseconds:
+    /// the cached entry's full recorded compile time for a [`CacheOutcome::Hit`],
+    /// the donor's PlaceRoute time minus the warm-started PlaceRoute time
+    /// for a [`CacheOutcome::WarmStart`] / [`CacheOutcome::DiskSeed`]
+    /// (clamped at zero), and `0` for a miss.
+    pub saved_wall_ns: f64,
 }
 
 /// One stage's measurements.
@@ -99,9 +156,20 @@ impl PartialEq for StageRecord {
 }
 
 /// The ordered per-stage measurements of one compilation.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+///
+/// Equality compares the stage records only: cache provenance, like
+/// wall-clock, describes how this particular compilation went, not what it
+/// produced — a cache hit must compare equal to the cold compile it reused.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct StageTrace {
     records: Vec<StageRecord>,
+    cache: Option<CacheInfo>,
+}
+
+impl PartialEq for StageTrace {
+    fn eq(&self, other: &Self) -> bool {
+        self.records == other.records
+    }
 }
 
 impl StageTrace {
@@ -152,6 +220,21 @@ impl StageTrace {
         self.wall_ns(stage).map(|ns| ns / total)
     }
 
+    /// Record how the compile cache satisfied this compilation.
+    pub fn set_cache(&mut self, info: CacheInfo) {
+        self.cache = Some(info);
+    }
+
+    /// Cache provenance of this compilation, if a cache was consulted.
+    pub fn cache(&self) -> Option<&CacheInfo> {
+        self.cache.as_ref()
+    }
+
+    /// Wall-clock the compile cache saved versus a cold compile, in ns.
+    pub fn cache_saved_wall_ns(&self) -> f64 {
+        self.cache.as_ref().map_or(0.0, |c| c.saved_wall_ns)
+    }
+
     /// Render the trace as an aligned plain-text table.
     pub fn to_table(&self) -> String {
         let mut out = String::from("stage        | wall (ms) | share | items in -> out\n");
@@ -171,6 +254,14 @@ impl StageTrace {
             "total        | {:>9.3} |  100% |\n",
             self.total_wall_ns() * 1e-6
         ));
+        if let Some(cache) = &self.cache {
+            out.push_str(&format!(
+                "cache: {} (saved {:.3} ms, key {})\n",
+                cache.outcome.name(),
+                cache.saved_wall_ns * 1e-6,
+                cache.key
+            ));
+        }
         out
     }
 }
@@ -206,6 +297,8 @@ mod tests {
         let quality = StageQuality::PlaceRoute {
             placement_wirelength: 120.0,
             placement_acceptance_rate: 0.4,
+            placement_moves: 6_000,
+            warm_started: false,
             router_iterations: 3,
             required_channel_width: 9,
             critical_hops: 14,
@@ -217,6 +310,27 @@ mod tests {
         assert_eq!(a, b);
         b.quality = None;
         assert_ne!(a, b, "quality metrics are deterministic, so they compare");
+    }
+
+    #[test]
+    fn equality_ignores_cache_provenance() {
+        let mut cold = StageTrace::new();
+        let mut cached = StageTrace::new();
+        cold.push(record(StageKind::Synthesize, 1_000.0));
+        cached.push(record(StageKind::Synthesize, 12.0));
+        cached.set_cache(CacheInfo {
+            outcome: CacheOutcome::Hit,
+            key: "deadbeef".into(),
+            saved_wall_ns: 988.0,
+        });
+        assert_eq!(
+            cold, cached,
+            "cache provenance is a measurement, not structure"
+        );
+        assert_eq!(cached.cache().unwrap().outcome, CacheOutcome::Hit);
+        assert_eq!(cached.cache_saved_wall_ns(), 988.0);
+        assert_eq!(cold.cache_saved_wall_ns(), 0.0);
+        assert!(cached.to_table().contains("cache: hit"));
     }
 
     #[test]

@@ -1,0 +1,91 @@
+//! The content-addressed compile cache and warm-started annealing.
+//!
+//! ```text
+//! cargo run --release --example compile_cache
+//! ```
+//!
+//! Walks the three tiers of compile reuse:
+//!
+//! 1. **exact hit** — recompiling an identical (graph, compiler config)
+//!    returns the shared artifact in microseconds;
+//! 2. **warm start** — compiling a one-layer-resized model through a
+//!    warm-start-enabled cache seeds the annealer from the nearest donor's
+//!    placement, cutting the move budget while matching the cold HPWL;
+//! 3. **sweep dedup** — a repeated-config evaluation sweep compiles each
+//!    distinct point once and stamps every report's trace with its cache
+//!    outcome.
+
+use fpsa::core::{CompileCache, Compiler, Evaluator};
+use fpsa::nn::params::mlp_graph;
+use fpsa::nn::zoo::{self, Benchmark};
+use std::time::Instant;
+
+fn main() {
+    // 1. Exact hit: the second compile of MLP-500-100 is a lookup.
+    let cache = CompileCache::new(8);
+    let compiler = Compiler::fpsa();
+    let graph = zoo::mlp_500_100();
+    let start = Instant::now();
+    let (_, info) = cache.compile_with_info(&compiler, &graph).unwrap();
+    println!(
+        "cold compile:    {:?} ({}, key {})",
+        start.elapsed(),
+        info.outcome.name(),
+        info.key
+    );
+    let start = Instant::now();
+    let (_, info) = cache.compile_with_info(&compiler, &graph).unwrap();
+    println!(
+        "cached recompile: {:?} ({}, saved {:.1} ms)",
+        start.elapsed(),
+        info.outcome.name(),
+        info.saved_wall_ns / 1e6
+    );
+
+    // 2. Warm start: resize one hidden layer and recompile through a
+    //    warm-start-enabled cache — the donor's placement seeds the anneal.
+    let warm_cache = CompileCache::new(8).with_warm_start();
+    let donor = mlp_graph("edited-mlp", &[512, 384, 256, 10]);
+    let edited = mlp_graph("edited-mlp", &[512, 384, 288, 10]);
+    warm_cache.compile(&compiler, &donor).unwrap();
+    let (model, info) = warm_cache.compile_with_info(&compiler, &edited).unwrap();
+    let quality = model
+        .physical
+        .as_ref()
+        .expect("example models get full P&R")
+        .placement
+        .quality();
+    println!(
+        "\nresized-model compile: {} ({} of {} blocks seeded, {} anneal moves)",
+        info.outcome.name(),
+        quality.seeded_blocks,
+        model.mapping.netlist.len(),
+        quality.moves_evaluated,
+    );
+
+    // 3. Sweep dedup: six points, two distinct configs, two compiles.
+    let sweep_cache = CompileCache::new(8);
+    let evaluator = Evaluator::fpsa();
+    for (benchmark, duplication) in [
+        (Benchmark::Mlp500x100, 1),
+        (Benchmark::LeNet, 4),
+        (Benchmark::Mlp500x100, 1),
+        (Benchmark::LeNet, 4),
+        (Benchmark::Mlp500x100, 1),
+        (Benchmark::LeNet, 4),
+    ] {
+        let eval = evaluator.evaluate_with_cache(benchmark, duplication, Some(&sweep_cache));
+        let outcome = eval
+            .performance
+            .compile
+            .as_ref()
+            .and_then(|t| t.cache())
+            .map(|c| c.outcome.name())
+            .unwrap_or("-");
+        println!(
+            "{:>12} x{duplication}: {outcome:>5}  ({:.0} samples/s)",
+            eval.model, eval.performance.throughput_samples_per_s
+        );
+    }
+    println!("\n{}", sweep_cache.stats().summary());
+}
