@@ -25,7 +25,9 @@ fn experiment_dir() -> PathBuf {
 }
 
 /// The workspace root: the nearest ancestor of the CWD holding `Cargo.lock`.
-fn workspace_root() -> PathBuf {
+/// Public so bench binaries can locate checked-in inputs (e.g. the
+/// `scenarios/` directory) regardless of Cargo's per-package CWD.
+pub fn workspace_root() -> PathBuf {
     let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
     for _ in 0..4 {
         if dir.join("Cargo.lock").exists() {
@@ -57,6 +59,23 @@ pub fn save_json<T: serde::Serialize>(name: &str, value: &T) {
             }
         }
         Err(e) => eprintln!("note: could not serialize {name}: {e}"),
+    }
+}
+
+/// Persist a pre-rendered experiment artifact under
+/// `<root>/target/experiment-data/`. `relative` may contain subdirectories
+/// (`workload/steady.md`); parents are created as needed. Errors are
+/// reported but not fatal, like [`save_json`].
+pub fn save_text(relative: &str, contents: &str) {
+    let path = experiment_dir().join(relative);
+    if let Some(parent) = path.parent() {
+        if let Err(e) = std::fs::create_dir_all(parent) {
+            eprintln!("note: could not create {}: {e}", parent.display());
+            return;
+        }
+    }
+    if let Err(e) = std::fs::write(&path, contents) {
+        eprintln!("note: could not write {}: {e}", path.display());
     }
 }
 

@@ -21,11 +21,11 @@
 
 use crate::compiler::Compiler;
 use crate::report::{format_table, nearest_rank_percentile};
-use crate::validate::sample_inputs;
 use fpsa_nn::zoo::Benchmark;
 use fpsa_nn::GraphParameters;
-use fpsa_serve::{ServeConfig, Ticket};
+use fpsa_serve::ServeConfig;
 use fpsa_sim::Precision;
+use fpsa_workload::{Scenario, Trace, TraceRecorder, TraceReplayer};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -98,9 +98,19 @@ pub fn run() -> Vec<ServingReport> {
     )
 }
 
+/// The shared workload scenario every serving sweep replays: a recorded
+/// steady stream of `requests` events whose input vectors regenerate from
+/// the trace seed by index. Replacing the old hand-rolled "cycle a pool of
+/// samples" loop with a scenario means the serving and sharding drivers (and
+/// any future harness) replay the *same* workload definition instead of
+/// re-implementing arrival loops.
+fn sweep_scenario(model: &str, requests: usize) -> Scenario {
+    Scenario::steady(format!("serving-sweep-{model}"), model, SEED, requests)
+}
+
 /// Regenerate for arbitrary models, replica counts, `(max_batch,
-/// window_us)` policies and request count. Every engine point serves the
-/// same `requests`-long stream the direct path ran, and the leading
+/// window_us)` policies and request count. Every engine point replays the
+/// same recorded `requests`-long trace the direct path ran, and the leading
 /// [`CHECKED_OUTPUTS`] outputs are asserted bit-identical to it.
 pub fn run_with(
     benchmarks: &[Benchmark],
@@ -122,20 +132,20 @@ pub fn run_with(
                 .compile(&graph)
                 .expect("zoo benchmarks compile");
 
-            // One bounded pool of distinct samples, cycled into the stream.
-            let pool = sample_inputs(&graph, 16.min(requests), SEED);
-            let stream: Vec<&Vec<f32>> = (0..requests).map(|i| &pool[i % pool.len()]).collect();
+            let trace = TraceRecorder::new(&sweep_scenario(benchmark.name(), requests)).record();
+            let input_len = graph.input_elements();
 
             // Direct path: bind per request, run, one at a time.
             let mut direct_latencies = Vec::with_capacity(requests);
             let mut reference_outputs: Vec<Vec<f32>> = Vec::new();
             let direct_start = Instant::now();
-            for (i, x) in stream.iter().enumerate() {
+            for i in 0..requests {
+                let x = trace.input_for(i, input_len);
                 let t = Instant::now();
                 let exec = compiled
                     .executor(&graph, &params, &Precision::Float)
                     .expect("compiled benchmarks bind");
-                let out = exec.run(x).expect("direct execution succeeds");
+                let out = exec.run(&x).expect("direct execution succeeds");
                 direct_latencies.push(t.elapsed().as_micros() as f64);
                 if i < CHECKED_OUTPUTS {
                     reference_outputs.push(out);
@@ -154,7 +164,8 @@ pub fn run_with(
                         &graph,
                         &params,
                         benchmark.name(),
-                        &stream,
+                        &trace,
+                        input_len,
                         &reference_outputs,
                         direct_requests_per_s,
                         ServeConfig {
@@ -177,14 +188,18 @@ pub fn run_with(
         .collect()
 }
 
-/// Serve the stream through one engine configuration and measure it.
+/// Replay the recorded trace through one engine configuration and measure
+/// it. The arrival loop itself lives in [`fpsa_workload::TraceReplayer`] —
+/// shared with the sharding sweep and the workload bench, not re-rolled
+/// per driver.
 #[allow(clippy::too_many_arguments)]
 fn measure_engine_point(
     compiled: &crate::compiler::CompiledModel,
     graph: &fpsa_nn::ComputationalGraph,
     params: &GraphParameters,
     model: &str,
-    stream: &[&Vec<f32>],
+    trace: &Trace,
+    input_len: usize,
     reference_outputs: &[Vec<f32>],
     direct_requests_per_s: f64,
     config: ServeConfig,
@@ -198,26 +213,20 @@ fn measure_engine_point(
     // subtracts them from the coalescing metrics.
     for _ in 0..2 {
         engine
-            .infer(stream[0].clone())
+            .infer(trace.input_for(0, input_len))
             .expect("warm-up requests are served");
     }
     let warm = engine.stats();
 
-    let timed = Instant::now();
-    let tickets: Vec<Ticket> = stream.iter().map(|x| engine.submit((*x).clone())).collect();
-    let mut latencies = Vec::with_capacity(stream.len());
-    for (i, ticket) in tickets.into_iter().enumerate() {
-        let (out, latency_us) = ticket.wait_timed().expect("request is served");
-        latencies.push(latency_us as f64);
-        if let Some(want) = reference_outputs.get(i) {
-            assert_eq!(
-                &out, want,
-                "{model}: served output {i} diverged from the direct path"
-            );
-        }
+    let outcome = TraceReplayer::new(trace, input_len).replay(&engine);
+    for (i, (out, want)) in outcome.outputs.iter().zip(reference_outputs).enumerate() {
+        assert_eq!(
+            out, want,
+            "{model}: served output {i} diverged from the direct path"
+        );
     }
-    let elapsed = timed.elapsed().as_secs_f64();
     let stats = engine.shutdown();
+    let mut latencies: Vec<f64> = outcome.latencies_us.iter().map(|&l| l as f64).collect();
     latencies.sort_by(f64::total_cmp);
 
     // Coalescing metrics over the timed phase only (warm-up subtracted).
@@ -229,13 +238,13 @@ fn measure_engine_point(
         timed_completed as f64 / timed_batches as f64
     };
 
-    let requests_per_s = stream.len() as f64 / elapsed.max(1e-9);
+    let requests_per_s = outcome.throughput_rps();
     ServingPoint {
         model: model.to_string(),
         replicas: config.replicas,
         max_batch: config.max_batch,
         window_us: config.batch_window_us,
-        requests: stream.len(),
+        requests: trace.len(),
         requests_per_s,
         p50_latency_us: nearest_rank_percentile(&latencies, 0.50),
         p99_latency_us: nearest_rank_percentile(&latencies, 0.99),

@@ -96,14 +96,7 @@ impl ValidationReport {
 /// Deterministic validation inputs for a graph: uniform `[0, 1)` features,
 /// sample `i` drawn from `StdRng(seeds::derive(seed, STREAM_SAMPLES, i))`.
 pub fn sample_inputs(graph: &ComputationalGraph, n: usize, seed: u64) -> Vec<Vec<f32>> {
-    let len = graph
-        .nodes()
-        .iter()
-        .find_map(|node| match node.op {
-            fpsa_nn::Operator::Input { shape } => Some(shape.elements()),
-            _ => None,
-        })
-        .unwrap_or(0);
+    let len = graph.input_elements();
     (0..n)
         .map(|i| {
             let mut rng =

@@ -73,6 +73,18 @@ impl ComputationalGraph {
         &self.nodes
     }
 
+    /// Element count of the graph's first `Input` tensor — the feature
+    /// width a request vector must have — or 0 for input-less graphs.
+    pub fn input_elements(&self) -> usize {
+        self.nodes
+            .iter()
+            .find_map(|node| match node.op {
+                Operator::Input { shape } => Some(shape.elements()),
+                _ => None,
+            })
+            .unwrap_or(0)
+    }
+
     /// Number of nodes.
     pub fn len(&self) -> usize {
         self.nodes.len()

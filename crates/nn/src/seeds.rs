@@ -44,6 +44,25 @@ pub const STREAM_PE_NOISE: u64 = 0x0050_454E_4F49_5345; // "PENOISE"
 /// sample number.
 pub const STREAM_SAMPLES: u64 = 0x5341_4D50_4C45; // "SAMPLE"
 
+/// Stream tag: workload arrival-process draws (`fpsa_workload`); `index`
+/// names the sub-stream within the recorder (0 = inter-arrival, 1 =
+/// thinning/acceptance).
+pub const STREAM_ARRIVAL: u64 = 0x0041_5252_4956_4545; // "ARRIVEE"
+
+/// Stream tag: workload mix draws — tenant, model and client-batch-size
+/// selection (`fpsa_workload`); `index` names the mix (0 = tenant,
+/// 1 = model, 2 = batch size).
+pub const STREAM_MIX: u64 = 0x0057_4C4D_4958; // "WLMIX"
+
+/// Stream tag: per-request input features in trace replay
+/// (`fpsa_workload`); `index` is the request's position in the trace, so a
+/// replayer can regenerate any request without scanning the stream.
+pub const STREAM_REQUEST: u64 = 0x0052_4551_5545_5354; // "REQUEST"
+
+/// Stream tag: phase-clustering initialization (`fpsa_workload`); `index`
+/// is the k-means restart number.
+pub const STREAM_PHASE: u64 = 0x0050_4841_5345; // "PHASE"
+
 /// Derive the seed for `(base, stream, index)` per the convention above.
 pub fn derive(base: u64, stream: u64, index: u64) -> u64 {
     mix(mix(mix(base) ^ stream) ^ index)

@@ -148,8 +148,15 @@ fn bucket_upper(bucket: usize) -> u64 {
 }
 
 /// Nearest-rank percentile over a bucketed histogram: the upper bound of the
-/// first bucket whose cumulative count reaches rank `q`. Zero when empty.
-fn hist_percentile(hist: &[u64; STATS_BUCKETS], q: f64) -> u64 {
+/// first bucket whose cumulative count reaches rank `q`, capped at `max` —
+/// the largest value the histogram ever recorded. The cap is what keeps the
+/// accuracy contract honest in the saturated overflow bucket: bucket
+/// `STATS_BUCKETS - 1` holds every value from `2^30` µs (~18 min) to
+/// `u64::MAX`, so its power-of-two upper bound (`2^31 − 1` µs, ~36 min)
+/// would silently under-report a multi-hour outlier; reporting the tracked
+/// maximum instead is exact for the largest value and still an upper bound
+/// for everything else in the bucket. Zero when empty.
+fn hist_percentile(hist: &[u64; STATS_BUCKETS], max: u64, q: f64) -> u64 {
     let total: u64 = hist.iter().sum();
     if total == 0 {
         return 0;
@@ -159,10 +166,14 @@ fn hist_percentile(hist: &[u64; STATS_BUCKETS], q: f64) -> u64 {
     for (i, &count) in hist.iter().enumerate() {
         seen += count;
         if seen >= rank {
-            return bucket_upper(i);
+            return if i + 1 == STATS_BUCKETS {
+                max
+            } else {
+                bucket_upper(i).min(max)
+            };
         }
     }
-    bucket_upper(STATS_BUCKETS - 1)
+    max
 }
 
 /// Aggregate counters over an engine's lifetime.
@@ -170,7 +181,13 @@ fn hist_percentile(hist: &[u64; STATS_BUCKETS], q: f64) -> u64 {
 /// Besides the plain counters, the stats carry three power-of-two-bucketed
 /// histograms (executed batch sizes, queue depth observed at submission,
 /// request latency) whose percentiles are exact up to bucket granularity —
-/// an answer is never *under*-reported by more than one bucket (2×).
+/// an answer is never *under*-reported by more than one bucket (2×), at any
+/// magnitude: each histogram also tracks its true maximum
+/// ([`ServeStats::largest_batch`], [`ServeStats::max_queue_depth`],
+/// [`ServeStats::max_latency_us`]), percentile reads are capped at it, and
+/// the saturated overflow bucket reports it outright instead of its
+/// power-of-two upper bound (which tops out at `2^31 − 1` µs ≈ 36 min and
+/// would under-report a multi-hour latency without the cap).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ServeStats {
     /// Requests admitted into the queue.
@@ -194,6 +211,12 @@ pub struct ServeStats {
     /// Submit-to-completion latency of every completed request in
     /// microseconds, same bucketing.
     pub latency_hist: [u64; STATS_BUCKETS],
+    /// Deepest queue ever observed at a submission — the honest upper bound
+    /// for `queue_depth_hist`'s overflow bucket.
+    pub max_queue_depth: u64,
+    /// Largest latency ever recorded, in microseconds — the honest upper
+    /// bound for `latency_hist`'s overflow bucket.
+    pub max_latency_us: u64,
 }
 
 impl ServeStats {
@@ -207,9 +230,10 @@ impl ServeStats {
     }
 
     /// The `q`-quantile of completed-request latency in microseconds
-    /// (bucket upper bound; 0 when nothing completed).
+    /// (bucket upper bound capped at the tracked maximum; 0 when nothing
+    /// completed).
     pub fn latency_percentile_us(&self, q: f64) -> u64 {
-        hist_percentile(&self.latency_hist, q)
+        hist_percentile(&self.latency_hist, self.max_latency_us, q)
     }
 
     /// Median request latency in microseconds (see
@@ -225,17 +249,19 @@ impl ServeStats {
 
     /// The `q`-quantile of executed batch sizes.
     pub fn batch_size_percentile(&self, q: f64) -> u64 {
-        hist_percentile(&self.batch_hist, q)
+        hist_percentile(&self.batch_hist, self.largest_batch as u64, q)
     }
 
     /// The `q`-quantile of the queue depth observed at submission.
     pub fn queue_depth_percentile(&self, q: f64) -> u64 {
-        hist_percentile(&self.queue_depth_hist, q)
+        hist_percentile(&self.queue_depth_hist, self.max_queue_depth, q)
     }
 
     /// Count one executed batch (size, largest, histogram, and the member
-    /// requests as completed or failed).
-    pub(crate) fn record_batch(&mut self, size: usize, ok: bool) {
+    /// requests as completed or failed). Public so external measurement
+    /// substrates (the `fpsa_workload` virtual-time replay) can build
+    /// stats with the engine's exact bucketing contract.
+    pub fn record_batch(&mut self, size: usize, ok: bool) {
         self.batches += 1;
         self.largest_batch = self.largest_batch.max(size);
         self.batch_hist[stats_bucket(size as u64)] += 1;
@@ -247,12 +273,14 @@ impl ServeStats {
     }
 
     /// Record the queue depth a submission observed.
-    pub(crate) fn record_queue_depth(&mut self, depth: usize) {
+    pub fn record_queue_depth(&mut self, depth: usize) {
+        self.max_queue_depth = self.max_queue_depth.max(depth as u64);
         self.queue_depth_hist[stats_bucket(depth as u64)] += 1;
     }
 
     /// Record one completed request's latency.
-    pub(crate) fn record_latency(&mut self, us: u64) {
+    pub fn record_latency(&mut self, us: u64) {
+        self.max_latency_us = self.max_latency_us.max(us);
         self.latency_hist[stats_bucket(us)] += 1;
     }
 }
@@ -664,7 +692,7 @@ mod tests {
     }
 
     #[test]
-    fn histogram_percentiles_use_bucket_upper_bounds() {
+    fn histogram_percentiles_use_bucket_upper_bounds_capped_at_the_maximum() {
         let mut stats = ServeStats::default();
         // 99 fast requests at 3 us (bucket [2,3]), one straggler at 1000 us.
         for _ in 0..99 {
@@ -673,12 +701,47 @@ mod tests {
         stats.record_latency(1_000);
         assert_eq!(stats.p50_latency_us(), 3);
         assert_eq!(stats.p99_latency_us(), 3);
-        assert_eq!(stats.latency_percentile_us(1.0), 1_023);
+        // The top non-empty bucket's upper bound (1023) is capped at the
+        // tracked maximum: the p100 answer is exact.
+        assert_eq!(stats.latency_percentile_us(1.0), 1_000);
+        assert_eq!(stats.max_latency_us, 1_000);
         assert_eq!(ServeStats::default().p99_latency_us(), 0);
         // Zero values land in bucket zero.
         let mut zeros = ServeStats::default();
         zeros.record_queue_depth(0);
         assert_eq!(zeros.queue_depth_percentile(0.5), 0);
+    }
+
+    #[test]
+    fn overflow_bucket_reports_the_tracked_maximum_not_its_saturated_bound() {
+        // Regression: `stats_bucket` clamps to bucket 31, whose power-of-two
+        // upper bound is 2^31 − 1 µs (~36 min). A multi-hour latency used to
+        // be silently reported as ~36 min — a >5× under-report that broke
+        // the documented "never under-reported by more than one bucket (2×)"
+        // contract. The overflow bucket must answer with the true maximum.
+        let four_hours_us: u64 = 4 * 3_600 * 1_000_000;
+        assert!(four_hours_us > (1u64 << 31) - 1);
+        let mut stats = ServeStats::default();
+        stats.record_latency(four_hours_us);
+        assert_eq!(stats.latency_hist[STATS_BUCKETS - 1], 1);
+        assert_eq!(stats.p50_latency_us(), four_hours_us);
+        assert_eq!(stats.p99_latency_us(), four_hours_us);
+        assert_eq!(stats.latency_percentile_us(1.0), four_hours_us);
+
+        // Mixed with fast traffic, the tail percentile still reports the
+        // true maximum once its rank lands in the overflow bucket.
+        let mut mixed = ServeStats::default();
+        for _ in 0..9 {
+            mixed.record_latency(100);
+        }
+        mixed.record_latency(four_hours_us);
+        assert_eq!(mixed.p50_latency_us(), 127);
+        assert_eq!(mixed.latency_percentile_us(0.95), four_hours_us);
+
+        // The same contract holds for the queue-depth histogram.
+        let mut deep = ServeStats::default();
+        deep.record_queue_depth(usize::try_from(3u64 << 31).unwrap());
+        assert_eq!(deep.queue_depth_percentile(0.99), 3u64 << 31);
     }
 
     #[test]

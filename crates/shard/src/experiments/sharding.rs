@@ -23,14 +23,13 @@
 
 use crate::{ChipLink, FabricBudget, ShardCompiler};
 use fpsa_core::report::{format_table, nearest_rank_percentile};
-use fpsa_core::validate::sample_inputs;
 use fpsa_nn::params::mlp_graph;
 use fpsa_nn::zoo;
 use fpsa_nn::{ComputationalGraph, GraphParameters};
-use fpsa_serve::{ServeConfig, Ticket};
+use fpsa_serve::ServeConfig;
 use fpsa_sim::Precision;
+use fpsa_workload::{Scenario, TraceRecorder, TraceReplayer};
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
 
 /// Seed for parameters and the request stream.
 const SEED: u64 = 0x54A8D;
@@ -129,27 +128,33 @@ pub fn run_with(
         .executor(&params, &Precision::Float)
         .expect("sweep models bind");
 
-    let pool = sample_inputs(graph, 16.min(requests), SEED);
-    let stream: Vec<&Vec<f32>> = (0..requests).map(|i| &pool[i % pool.len()]).collect();
-    let reference_outputs: Vec<Vec<f32>> = stream
-        .iter()
-        .take(CHECKED_OUTPUTS)
-        .map(|x| direct.run(x).expect("direct execution succeeds"))
+    // The shared workload scenario this sweep replays — same record →
+    // replay pipeline as the serving driver, no per-driver arrival loop.
+    let scenario = Scenario::steady(
+        format!("sharding-sweep-{}", graph.name),
+        graph.name.clone(),
+        SEED,
+        requests,
+    );
+    let trace = TraceRecorder::new(&scenario).record();
+    let input_len = graph.input_elements();
+    let reference_outputs: Vec<Vec<f32>> = (0..CHECKED_OUTPUTS.min(requests))
+        .map(|i| {
+            direct
+                .run(&trace.input_for(i, input_len))
+                .expect("direct execution succeeds")
+        })
         .collect();
+    let replayer = TraceReplayer::new(&trace, input_len);
 
-    // Measured single-fabric serving on the same stream (default policy).
+    // Measured single-fabric serving on the same trace (default policy).
     let single_requests_per_s = {
         let engine = single
             .serve(&params, &Precision::Float, ServeConfig::default())
             .expect("single-fabric model serves");
-        let timed = Instant::now();
-        let tickets: Vec<Ticket> = stream.iter().map(|x| engine.submit((*x).clone())).collect();
-        for ticket in tickets {
-            ticket.wait().expect("request is served");
-        }
-        let elapsed = timed.elapsed().as_secs_f64();
+        let outcome = replayer.replay(&engine);
         drop(engine);
-        stream.len() as f64 / elapsed.max(1e-9)
+        outcome.throughput_rps()
     };
 
     let mut points = Vec::new();
@@ -173,30 +178,24 @@ pub fn run_with(
             let engine = sharded
                 .serve(&params, &Precision::Float, config)
                 .expect("sharded models serve");
-            let timed = Instant::now();
-            let tickets: Vec<Ticket> = stream.iter().map(|x| engine.submit((*x).clone())).collect();
-            let mut latencies = Vec::with_capacity(stream.len());
-            for (i, ticket) in tickets.into_iter().enumerate() {
-                let (out, latency_us) = ticket.wait_timed().expect("request is served");
-                latencies.push(latency_us as f64);
-                if let Some(want) = reference_outputs.get(i) {
-                    assert_eq!(
-                        &out, want,
-                        "{}: sharded output {i} diverged from the unsharded run",
-                        graph.name
-                    );
-                }
-            }
-            let elapsed = timed.elapsed().as_secs_f64();
+            let outcome = replayer.replay(&engine);
             drop(engine);
+            for (i, (out, want)) in outcome.outputs.iter().zip(&reference_outputs).enumerate() {
+                assert_eq!(
+                    out, want,
+                    "{}: sharded output {i} diverged from the unsharded run",
+                    graph.name
+                );
+            }
+            let mut latencies: Vec<f64> = outcome.latencies_us.iter().map(|&l| l as f64).collect();
             latencies.sort_by(f64::total_cmp);
             points.push(ShardingPoint {
                 model: graph.name.clone(),
                 stages: sharded.stage_count(),
                 max_batch,
                 window_us,
-                requests: stream.len(),
-                requests_per_s: stream.len() as f64 / elapsed.max(1e-9),
+                requests: trace.len(),
+                requests_per_s: outcome.throughput_rps(),
                 p50_latency_us: nearest_rank_percentile(&latencies, 0.50),
                 p99_latency_us: nearest_rank_percentile(&latencies, 0.99),
                 modeled_throughput_samples_per_s: perf.throughput_samples_per_s,

@@ -1,0 +1,189 @@
+//! Replaying a recorded trace against the *real* serving engines.
+//!
+//! This is the measured half of the workload story: the virtual clock in
+//! [`crate::sim`] answers "what do these arrivals deserve" deterministically,
+//! while [`TraceReplayer`] pushes the very same events through a live
+//! [`ServeEngine`]/[`ShardedEngine`] worker pool and reports what actually
+//! happened on the wall clock. Outputs are **bit-identical** across replays,
+//! replica counts and client thread counts — every request's input vector is
+//! regenerated from the trace seed by index ([`Trace::input_for`]) and the
+//! executors themselves are deterministic — so acceptance tests can pin
+//! `f32`-exact agreement while timing stays advisory.
+
+use crate::trace::Trace;
+use fpsa_serve::{ServeEngine, ServeStats, ShardedEngine, Ticket};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Anything a recorded trace can be replayed against: the two serving
+/// engines today, test doubles tomorrow. One request in, one ticket out,
+/// engine-contract counters on demand.
+pub trait ReplayTarget {
+    /// Enqueue one request; the ticket resolves when a worker finishes it.
+    fn submit(&self, input: Vec<f32>) -> Ticket;
+    /// A snapshot of the target's lifetime counters.
+    fn stats(&self) -> ServeStats;
+}
+
+impl ReplayTarget for ServeEngine {
+    fn submit(&self, input: Vec<f32>) -> Ticket {
+        ServeEngine::submit(self, input)
+    }
+    fn stats(&self) -> ServeStats {
+        ServeEngine::stats(self)
+    }
+}
+
+impl ReplayTarget for ShardedEngine {
+    fn submit(&self, input: Vec<f32>) -> Ticket {
+        ShardedEngine::submit(self, input)
+    }
+    fn stats(&self) -> ServeStats {
+        ShardedEngine::stats(self)
+    }
+}
+
+/// How the replayer spaces submissions on the wall clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Pacing {
+    /// Submit every event back-to-back: the throughput shape. This is the
+    /// old drivers' "burst" loop.
+    Burst,
+    /// Sleep until each event's recorded offset before submitting: the
+    /// latency shape. Generalises the old drivers' fixed-gap "dribble"
+    /// loop — the gaps now come from the scenario's arrival process.
+    Trace,
+}
+
+/// What one real-engine replay produced.
+#[derive(Debug, Clone)]
+pub struct ReplayOutcome {
+    /// Every request's logits, in trace order. Bit-identical across
+    /// replays of the same trace whatever the replica or client count.
+    pub outputs: Vec<Vec<f32>>,
+    /// Worker-stamped queue-to-completion latency per request, trace
+    /// order. Wall-clock: advisory, never pinned.
+    pub latencies_us: Vec<u64>,
+    /// Wall time from first submission to last completion, microseconds.
+    pub wall_us: u64,
+    /// The target's counters after the replay (includes any earlier use).
+    pub stats: ServeStats,
+}
+
+impl ReplayOutcome {
+    /// Requests per wall-clock second over the whole replay.
+    pub fn throughput_rps(&self) -> f64 {
+        self.outputs.len() as f64 / (self.wall_us.max(1) as f64 / 1_000_000.0)
+    }
+}
+
+/// Drives a recorded [`Trace`] through a [`ReplayTarget`], regenerating
+/// each request's input from the trace seed.
+pub struct TraceReplayer<'a> {
+    trace: &'a Trace,
+    input_len: usize,
+    pacing: Pacing,
+}
+
+impl<'a> TraceReplayer<'a> {
+    /// A replayer for `trace` whose requests carry `input_len` features
+    /// (pass the executor's bound input width). Defaults to [`Pacing::Burst`].
+    pub fn new(trace: &'a Trace, input_len: usize) -> TraceReplayer<'a> {
+        TraceReplayer {
+            trace,
+            input_len,
+            pacing: Pacing::Burst,
+        }
+    }
+
+    /// Select how submissions are spaced on the wall clock.
+    pub fn with_pacing(mut self, pacing: Pacing) -> TraceReplayer<'a> {
+        self.pacing = pacing;
+        self
+    }
+
+    /// Replay every event from one client thread, in trace order.
+    pub fn replay<T: ReplayTarget>(&self, target: &T) -> ReplayOutcome {
+        let start = Instant::now();
+        let mut tickets = Vec::with_capacity(self.trace.len());
+        let first_at = self.trace.events.first().map_or(0, |e| e.at_us);
+        for (index, event) in self.trace.events.iter().enumerate() {
+            if self.pacing == Pacing::Trace {
+                let offset_us = event.at_us - first_at;
+                let elapsed_us = start.elapsed().as_micros() as u64;
+                if offset_us > elapsed_us {
+                    std::thread::sleep(std::time::Duration::from_micros(offset_us - elapsed_us));
+                }
+            }
+            tickets.push(target.submit(self.trace.input_for(index, self.input_len)));
+        }
+        let mut outputs = Vec::with_capacity(tickets.len());
+        let mut latencies_us = Vec::with_capacity(tickets.len());
+        for (index, ticket) in tickets.into_iter().enumerate() {
+            let (logits, latency_us) = ticket
+                .wait_timed()
+                .unwrap_or_else(|e| panic!("replay request {index} failed: {e}"));
+            outputs.push(logits);
+            latencies_us.push(latency_us);
+        }
+        ReplayOutcome {
+            outputs,
+            latencies_us,
+            wall_us: start.elapsed().as_micros() as u64,
+            stats: target.stats(),
+        }
+    }
+
+    /// Replay through `clients` concurrent submitter threads (events dealt
+    /// round-robin, each client submitting its share in trace order), then
+    /// reassemble outputs back into trace order. Exercises the engines'
+    /// cross-thread admission path; outputs still match [`Self::replay`]
+    /// bit for bit. Burst-paced regardless of the configured pacing.
+    pub fn replay_concurrent<T: ReplayTarget + Sync>(
+        &self,
+        target: &T,
+        clients: usize,
+    ) -> ReplayOutcome {
+        let clients = clients.max(1);
+        let start = Instant::now();
+        let mut slots: Vec<Option<(Vec<f32>, u64)>> = vec![None; self.trace.len()];
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(clients);
+            for client in 0..clients {
+                handles.push(scope.spawn(move || {
+                    let mut resolved = Vec::new();
+                    let owned: Vec<usize> = (client..self.trace.len()).step_by(clients).collect();
+                    let tickets: Vec<Ticket> = owned
+                        .iter()
+                        .map(|&i| target.submit(self.trace.input_for(i, self.input_len)))
+                        .collect();
+                    for (&index, ticket) in owned.iter().zip(tickets) {
+                        let timed = ticket
+                            .wait_timed()
+                            .unwrap_or_else(|e| panic!("replay request {index} failed: {e}"));
+                        resolved.push((index, timed));
+                    }
+                    resolved
+                }));
+            }
+            for handle in handles {
+                for (index, timed) in handle.join().expect("replay client panicked") {
+                    slots[index] = Some(timed);
+                }
+            }
+        });
+        let mut outputs = Vec::with_capacity(slots.len());
+        let mut latencies_us = Vec::with_capacity(slots.len());
+        for slot in slots {
+            let (logits, latency_us) = slot.expect("every trace event replayed");
+            outputs.push(logits);
+            latencies_us.push(latency_us);
+        }
+        ReplayOutcome {
+            outputs,
+            latencies_us,
+            wall_us: start.elapsed().as_micros() as u64,
+            stats: target.stats(),
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Per-scenario report rendering.
+//!
+//! The workload bench writes one markdown and one JSON report per checked-in
+//! scenario; this module renders the *strings* and leaves filesystem
+//! placement to the caller (the bench harness knows where artifacts live,
+//! the library should not). The JSON is hand-rendered — the vendored serde
+//! facade pretty-prints Rust debug structs, which is fine for inspection but
+//! not for the CI job that parses `BENCH_workload.json` with a real JSON
+//! parser — so every emitter here produces strict JSON by construction.
+
+use crate::phases::{PhasePlan, PhasedReplay, THROUGHPUT_TOLERANCE};
+use crate::scenario::Scenario;
+use crate::sim::VirtualReplay;
+use crate::trace::Trace;
+
+/// One scenario's rendered artifacts.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// Human-readable summary table (`target/experiment-data/workload/<name>.md`).
+    pub markdown: String,
+    /// Strict JSON record (`target/experiment-data/workload/<name>.json`).
+    pub json: String,
+}
+
+/// Format an `f64` as a strict-JSON number (no `inf`/`NaN` leakage: the
+/// replay pipeline produces finite values by construction, but clamp anyway
+/// so a report can never poison the CI parser).
+pub fn json_f64(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value:.6}")
+    } else {
+        "0.0".to_string()
+    }
+}
+
+/// Escape a string for a JSON literal (names come from scenario files).
+pub fn json_str(value: &str) -> String {
+    let mut out = String::with_capacity(value.len() + 2);
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Render one scenario's full-trace vs phase-sampled comparison.
+pub fn scenario_report(
+    scenario: &Scenario,
+    trace: &Trace,
+    full: &VirtualReplay,
+    plan: &PhasePlan,
+    phased: &PhasedReplay,
+) -> ScenarioReport {
+    let full_p50 = full.stats.latency_percentile_us(0.5);
+    let full_p99 = full.stats.latency_percentile_us(0.99);
+    let phased_p50 = phased.latency_percentile_us(0.5);
+    let phased_p99 = phased.latency_percentile_us(0.99);
+    let rel_err =
+        (phased.throughput_rps - full.throughput_rps).abs() / full.throughput_rps.max(1e-9);
+
+    let mut markdown = String::new();
+    markdown.push_str(&format!("# Workload scenario `{}`\n\n", scenario.name));
+    markdown.push_str(&format!(
+        "{} requests, seed {}, arrival `{:?}`, trace fingerprint `{:016x}`.\n\n",
+        trace.len(),
+        scenario.seed,
+        scenario.arrival,
+        trace.fingerprint()
+    ));
+    markdown.push_str("| metric | full replay | phase-sampled | note |\n");
+    markdown.push_str("|---|---:|---:|---|\n");
+    markdown.push_str(&format!(
+        "| throughput (req/s) | {:.0} | {:.0} | rel err {:.1}% (tol {:.0}%) |\n",
+        full.throughput_rps,
+        phased.throughput_rps,
+        rel_err * 100.0,
+        THROUGHPUT_TOLERANCE * 100.0
+    ));
+    markdown.push_str(&format!(
+        "| p50 latency (µs) | {full_p50} | {phased_p50} | within one bucket |\n"
+    ));
+    markdown.push_str(&format!(
+        "| p99 latency (µs) | {full_p99} | {phased_p99} | within one bucket |\n"
+    ));
+    markdown.push_str(&format!(
+        "| events simulated | {} | {} | {:.1}% of trace |\n",
+        plan.total_events,
+        plan.sampled_events,
+        plan.sampled_fraction() * 100.0
+    ));
+    markdown.push_str(&format!(
+        "\n{} phases over {} windows of {} events:\n\n",
+        plan.phases.len(),
+        plan.windows,
+        plan.window_events
+    ));
+    markdown.push_str("| phase | representative events | windows | events covered | weight |\n");
+    markdown.push_str("|---:|---|---:|---:|---:|\n");
+    for (i, phase) in plan.phases.iter().enumerate() {
+        markdown.push_str(&format!(
+            "| {} | {}..{} | {} | {} | {:.2} |\n",
+            i,
+            phase.representative.start,
+            phase.representative.end,
+            phase.windows,
+            phase.events,
+            phase.weight
+        ));
+    }
+
+    let phases_json: Vec<String> = plan
+        .phases
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"representative_start\": {}, \"representative_end\": {}, \"windows\": {}, \"events\": {}, \"weight\": {}}}",
+                p.representative.start,
+                p.representative.end,
+                p.windows,
+                p.events,
+                json_f64(p.weight)
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"scenario\": {},\n  \"seed\": {},\n  \"requests\": {},\n  \"trace_fingerprint\": {},\n  \"trace_duration_us\": {},\n  \"full\": {{\"throughput_rps\": {}, \"p50_us\": {full_p50}, \"p99_us\": {full_p99}, \"max_latency_us\": {}, \"makespan_us\": {}, \"batches\": {}, \"largest_batch\": {}}},\n  \"phased\": {{\"throughput_rps\": {}, \"p50_us\": {phased_p50}, \"p99_us\": {phased_p99}, \"sampled_events\": {}, \"sampled_fraction\": {}, \"throughput_rel_err\": {}}},\n  \"phases\": [{}]\n}}\n",
+        json_str(&scenario.name),
+        scenario.seed,
+        trace.len(),
+        trace.fingerprint(),
+        trace.duration_us(),
+        json_f64(full.throughput_rps),
+        full.stats.max_latency_us,
+        full.makespan_us,
+        full.stats.batches,
+        full.stats.largest_batch,
+        json_f64(phased.throughput_rps),
+        phased.sampled_events,
+        json_f64(plan.sampled_fraction()),
+        json_f64(rel_err),
+        phases_json.join(", ")
+    );
+    ScenarioReport { markdown, json }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phases::{plan, simulate_phased, PhaseConfig};
+    use crate::sim::simulate;
+    use crate::trace::TraceRecorder;
+
+    fn report() -> ScenarioReport {
+        let scenario = Scenario::steady("report \"quoted\"", "m", 17, 3_000);
+        let trace = TraceRecorder::new(&scenario).record();
+        let full = simulate(&trace, scenario.policy, scenario.service);
+        let p = plan(
+            &trace,
+            PhaseConfig {
+                window_events: 512,
+                ..PhaseConfig::default()
+            },
+        );
+        let phased = simulate_phased(&trace, &p, scenario.policy, scenario.service);
+        scenario_report(&scenario, &trace, &full, &p, &phased)
+    }
+
+    #[test]
+    fn json_is_strictly_balanced_and_escaped() {
+        let r = report();
+        let mut depth: i64 = 0;
+        let mut in_string = false;
+        let mut escaped = false;
+        for c in r.json.chars() {
+            if in_string {
+                match (escaped, c) {
+                    (true, _) => escaped = false,
+                    (false, '\\') => escaped = true,
+                    (false, '"') => in_string = false,
+                    _ => {}
+                }
+                continue;
+            }
+            match c {
+                '"' => in_string = true,
+                '{' | '[' => depth += 1,
+                '}' | ']' => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0, "unbalanced json:\n{}", r.json);
+        }
+        assert_eq!(depth, 0, "unbalanced json:\n{}", r.json);
+        assert!(r.json.contains("\"report \\\"quoted\\\"\""));
+        assert!(r.json.contains("\"throughput_rps\""));
+        assert!(!r.json.contains("inf") && !r.json.contains("NaN"));
+    }
+
+    #[test]
+    fn markdown_carries_the_headline_numbers() {
+        let r = report();
+        assert!(r.markdown.contains("# Workload scenario"));
+        assert!(r.markdown.contains("| throughput (req/s) |"));
+        assert!(r.markdown.contains("| p99 latency (µs) |"));
+        assert!(r.markdown.contains("phases over"));
+    }
+
+    #[test]
+    fn json_f64_never_emits_non_finite_literals() {
+        assert_eq!(json_f64(f64::INFINITY), "0.0");
+        assert_eq!(json_f64(f64::NAN), "0.0");
+        assert_eq!(json_f64(1.5), "1.500000");
+    }
+}

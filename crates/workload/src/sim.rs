@@ -1,0 +1,214 @@
+//! The deterministic virtual-time replay clock.
+//!
+//! Wall-clock serving measurements depend on thread scheduling, CPU load
+//! and timer resolution — none of which belongs in a CI pin. Following the
+//! record → simulate → report methodology (measure against a model you can
+//! hold fixed, not an ad-hoc probe), [`simulate`] replays a recorded
+//! [`Trace`] through the *real* [`DynamicBatcher`] state machine — the same
+//! pure, clock-free admission discipline the serving engines run — under a
+//! discrete-event virtual clock: arrivals land at their trace timestamps,
+//! ready batches are claimed by the earliest-free of `replicas` virtual
+//! workers, and each batch occupies its worker for the scenario's
+//! [`ServiceModel`] cost. Everything is integer microseconds, the
+//! simulation is single-threaded, and ties break by index — so the
+//! resulting [`ServeStats`] (built through the engine's own recording
+//! methods, bucket for bucket) is **identical across runs, host thread
+//! counts and real-engine replica configurations**, which is exactly the
+//! property the phase-sampling tolerance pin and the determinism suite
+//! stand on.
+
+use crate::scenario::{ReplayPolicy, ServiceModel};
+use crate::trace::Trace;
+use fpsa_serve::{BatchPolicy, DynamicBatcher, ServeStats};
+use serde::{Deserialize, Serialize};
+
+/// The result of one virtual-time replay.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VirtualReplay {
+    /// Engine-contract statistics accumulated under the virtual clock
+    /// (deterministic: identical across runs and thread counts).
+    pub stats: ServeStats,
+    /// Virtual time from the first arrival to the last batch completion.
+    pub makespan_us: u64,
+    /// Requests per *virtual* second: `requests / makespan`.
+    pub throughput_rps: f64,
+}
+
+impl VirtualReplay {
+    fn empty() -> VirtualReplay {
+        VirtualReplay {
+            stats: ServeStats::default(),
+            makespan_us: 0,
+            throughput_rps: 0.0,
+        }
+    }
+}
+
+/// Replay `trace` under the virtual clock (see the module docs).
+pub fn simulate(trace: &Trace, policy: ReplayPolicy, service: ServiceModel) -> VirtualReplay {
+    if trace.is_empty() {
+        return VirtualReplay::empty();
+    }
+    let mut batcher: DynamicBatcher<usize> =
+        DynamicBatcher::new(BatchPolicy::new(policy.max_batch, policy.window_us));
+    let mut stats = ServeStats::default();
+    let mut free = vec![0u64; policy.replicas.max(1)];
+    let events = &trace.events;
+    let mut next = 0usize;
+    let mut last_finish = 0u64;
+    // The global simulation clock: monotone, so a replica that frees up
+    // early can never claim a batch "before" arrivals the simulation has
+    // already admitted (which would send a latency negative).
+    let mut clock = 0u64;
+
+    while next < events.len() || !batcher.is_empty() {
+        // The earliest-free virtual worker claims the next batch (ties by
+        // worker index) — the deterministic mirror of "whichever replica
+        // frees up first".
+        let (worker, worker_free) = free
+            .iter()
+            .copied()
+            .enumerate()
+            .min_by_key(|&(i, t)| (t, i))
+            .expect("replicas >= 1");
+        let mut now = worker_free.max(clock);
+        loop {
+            // Arrivals up to the candidate instant join the queue first, so
+            // simultaneity resolves identically on every run.
+            while next < events.len() && events[next].at_us <= now {
+                stats.submitted += 1;
+                batcher.push(next, events[next].at_us);
+                stats.record_queue_depth(batcher.len());
+                next += 1;
+            }
+            if batcher.ready(now) {
+                break;
+            }
+            // Advance to the next interesting instant: the oldest entry's
+            // deadline or the next arrival. Both are > now (arrivals <= now
+            // are already pushed; an expired deadline implies ready).
+            now = match (batcher.next_deadline_us(), events.get(next)) {
+                (Some(deadline), Some(event)) => deadline.min(event.at_us),
+                (Some(deadline), None) => deadline,
+                (None, Some(event)) => event.at_us,
+                (None, None) => return finishize(stats, events.len(), last_finish),
+            }
+            .max(now);
+        }
+        let batch = batcher.pop_ready(now).expect("checked ready");
+        clock = now;
+        let finish = now + service.batch_us(batch.len());
+        free[worker] = finish;
+        last_finish = last_finish.max(finish);
+        stats.record_batch(batch.len(), true);
+        for index in batch {
+            stats.record_latency(finish - events[index].at_us);
+        }
+    }
+    finishize(stats, events.len(), last_finish)
+}
+
+fn finishize(stats: ServeStats, requests: usize, last_finish: u64) -> VirtualReplay {
+    let makespan_us = last_finish;
+    VirtualReplay {
+        stats,
+        makespan_us,
+        throughput_rps: requests as f64 / (makespan_us.max(1) as f64 / 1_000_000.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{ArrivalProcess, Scenario};
+    use crate::trace::TraceRecorder;
+
+    fn replay(scenario: &Scenario) -> VirtualReplay {
+        let trace = TraceRecorder::new(scenario).record();
+        simulate(&trace, scenario.policy, scenario.service)
+    }
+
+    #[test]
+    fn every_request_completes_exactly_once() {
+        let scenario =
+            Scenario::steady("sim", "m", 3, 777).with_batch_mix(vec![(1, 1.0), (3, 1.0)]);
+        let result = replay(&scenario);
+        assert_eq!(result.stats.submitted, 777);
+        assert_eq!(result.stats.completed, 777);
+        assert_eq!(result.stats.failed + result.stats.rejected, 0);
+        assert_eq!(
+            result.stats.latency_hist.iter().sum::<u64>(),
+            777,
+            "one latency sample per request"
+        );
+        assert!(result.makespan_us > 0);
+        assert!(result.throughput_rps > 0.0);
+    }
+
+    #[test]
+    fn simulation_is_bit_deterministic() {
+        for arrival in [
+            ArrivalProcess::Poisson {
+                rate_per_s: 3_000.0,
+            },
+            ArrivalProcess::AdversarialClosedLoop {
+                clients: 8,
+                think_us: 25,
+                barrier_us: 400,
+            },
+        ] {
+            let scenario = Scenario::steady("det", "m", 5, 600).with_arrival(arrival);
+            assert_eq!(replay(&scenario), replay(&scenario));
+        }
+    }
+
+    #[test]
+    fn batches_respect_the_policy_and_windows_bound_latency() {
+        let mut scenario = Scenario::steady("bound", "m", 9, 400);
+        scenario.policy.max_batch = 4;
+        scenario.policy.window_us = 300;
+        let result = replay(&scenario);
+        assert!(result.stats.largest_batch <= 4);
+        // Under an uncongested open-loop load, no request waits much past
+        // its window plus one service round.
+        let worst =
+            scenario.policy.window_us + 4 * scenario.service.batch_us(scenario.policy.max_batch);
+        assert!(
+            result.stats.max_latency_us <= worst,
+            "max latency {} > bound {worst}",
+            result.stats.max_latency_us
+        );
+    }
+
+    #[test]
+    fn more_replicas_never_hurt_virtual_throughput() {
+        let mut slow = Scenario::steady("one", "m", 21, 800);
+        slow.service = crate::scenario::ServiceModel {
+            base_us: 200,
+            per_request_us: 50,
+        };
+        slow.policy.replicas = 1;
+        let mut fast = slow.clone();
+        fast.policy.replicas = 4;
+        let one = replay(&slow);
+        let four = replay(&fast);
+        assert!(
+            four.makespan_us <= one.makespan_us,
+            "4 replicas {} > 1 replica {}",
+            four.makespan_us,
+            one.makespan_us
+        );
+    }
+
+    #[test]
+    fn empty_traces_short_circuit() {
+        let trace = Trace {
+            scenario: "empty".into(),
+            seed: 0,
+            events: Vec::new(),
+        };
+        let scenario = Scenario::steady("empty", "m", 1, 1);
+        let result = simulate(&trace, scenario.policy, scenario.service);
+        assert_eq!(result, VirtualReplay::empty());
+    }
+}

@@ -1,0 +1,179 @@
+//! The workload replay determinism suite.
+//!
+//! Mirrors `crates/serve/tests/determinism.rs`, one level up the stack: the
+//! contract here is that replaying the *same seeded scenario* — not merely
+//! the same input list — yields bit-identical results everywhere it can.
+//!
+//! * Recording a scenario twice yields the identical trace (fingerprint and
+//!   all).
+//! * Replaying a trace against the real engine yields outputs bit-identical
+//!   to direct execution and to every other replay — across runs, replica
+//!   counts and concurrent client streams — in all three numeric regimes.
+//! * The virtual-clock replay yields an *identical* `ServeStats` on every
+//!   run: the statistics half of determinism, which wall-clock engines
+//!   cannot promise (thread scheduling decides batch boundaries) and the
+//!   virtual domain must.
+
+use fpsa_core::Compiler;
+use fpsa_device::variation::{CellVariation, WeightScheme};
+use fpsa_nn::reference::QuantizationPlan;
+use fpsa_nn::{zoo, ComputationalGraph, GraphParameters};
+use fpsa_serve::{ServeConfig, ServeEngine};
+use fpsa_sim::{Executor, Precision};
+use fpsa_workload::{simulate, Scenario, TraceRecorder, TraceReplayer};
+
+const REQUESTS: usize = 24;
+
+fn scenario(model: &str) -> Scenario {
+    Scenario::steady(format!("determinism-{model}"), model, 0xD0_0D, REQUESTS)
+}
+
+/// The three numeric regimes, calibrated on the trace's own inputs.
+fn precisions(
+    graph: &ComputationalGraph,
+    params: &GraphParameters,
+    inputs: &[Vec<f32>],
+) -> Vec<Precision> {
+    let plan = QuantizationPlan::calibrate(graph, params, inputs).expect("calibration succeeds");
+    vec![
+        Precision::Float,
+        Precision::Integer(plan),
+        Precision::Noisy {
+            scheme: WeightScheme::fpsa_add(),
+            variation: CellVariation::measured(),
+            seed: 0xD07,
+        },
+    ]
+}
+
+fn bind(
+    compiled: &fpsa_core::CompiledModel,
+    graph: &ComputationalGraph,
+    params: &GraphParameters,
+    precision: &Precision,
+) -> Executor {
+    compiled
+        .executor(graph, params, precision)
+        .expect("compiled zoo models bind")
+}
+
+#[test]
+fn recording_the_same_scenario_twice_yields_the_identical_trace() {
+    let a = TraceRecorder::new(&scenario("tiny_cnn")).record();
+    let b = TraceRecorder::new(&scenario("tiny_cnn")).record();
+    assert_eq!(a, b);
+    assert_eq!(a.fingerprint(), b.fingerprint());
+    // And the inputs regenerate identically per index.
+    for i in 0..a.len() {
+        assert_eq!(a.input_for(i, 12), b.input_for(i, 12));
+    }
+}
+
+#[test]
+fn replayed_outputs_are_bit_identical_across_runs_replicas_and_client_streams() {
+    let graph = zoo::tiny_cnn();
+    let params = GraphParameters::seeded(&graph, 0x5EED);
+    let compiled = Compiler::fpsa().compile(&graph).expect("tiny CNN compiles");
+    let scenario = scenario("tiny_cnn");
+    let trace = TraceRecorder::new(&scenario).record();
+    let input_len = graph.input_elements();
+    let replayer = TraceReplayer::new(&trace, input_len);
+    let calibration: Vec<Vec<f32>> = (0..trace.len())
+        .map(|i| trace.input_for(i, input_len))
+        .collect();
+
+    for precision in precisions(&graph, &params, &calibration) {
+        // Ground truth: direct single-threaded execution on the trace's
+        // regenerated inputs.
+        let direct_exec = bind(&compiled, &graph, &params, &precision);
+        let direct: Vec<Vec<f32>> = calibration
+            .iter()
+            .map(|x| direct_exec.run(x).expect("direct run succeeds"))
+            .collect();
+
+        for replicas in [1, 2, 4] {
+            let engine = ServeEngine::start(
+                bind(&compiled, &graph, &params, &precision),
+                ServeConfig {
+                    replicas,
+                    max_batch: 4,
+                    batch_window_us: 300,
+                },
+            );
+            // Run 1: single client. Run 2: same engine, same trace. Run 3:
+            // three concurrent client streams. All bit-identical to direct.
+            let first = replayer.replay(&engine);
+            let second = replayer.replay(&engine);
+            let concurrent = replayer.replay_concurrent(&engine, 3);
+            assert_eq!(
+                first.outputs, direct,
+                "replay diverged from direct ({precision:?}, {replicas} replicas)"
+            );
+            assert_eq!(first.outputs, second.outputs);
+            assert_eq!(first.outputs, concurrent.outputs);
+
+            let stats = engine.shutdown();
+            assert_eq!(stats.submitted, 3 * REQUESTS as u64);
+            assert_eq!(stats.completed, 3 * REQUESTS as u64);
+            assert_eq!(stats.failed + stats.rejected, 0);
+        }
+    }
+}
+
+#[test]
+fn virtual_stats_are_identical_across_runs_and_host_thread_counts() {
+    let scenario = scenario("tiny_cnn");
+    let trace = TraceRecorder::new(&scenario).record();
+    let baseline = simulate(&trace, scenario.policy, scenario.service);
+    assert_eq!(baseline.stats.completed, REQUESTS as u64);
+
+    // Re-running in this thread and in a pile of fresh threads must all
+    // produce the identical ServeStats — the virtual clock owes its
+    // determinism to nothing about the host.
+    assert_eq!(
+        baseline,
+        simulate(&trace, scenario.policy, scenario.service)
+    );
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let trace = &trace;
+                let s = &scenario;
+                scope.spawn(move || simulate(trace, s.policy, s.service))
+            })
+            .collect();
+        for handle in handles {
+            assert_eq!(baseline, handle.join().expect("sim thread"));
+        }
+    });
+}
+
+#[test]
+fn virtual_stats_do_not_depend_on_real_engine_replica_count() {
+    // The virtual replay is a function of (trace, policy, service) only —
+    // replaying the same trace against real engines of different replica
+    // counts must not perturb it (they are separate domains by design).
+    let scenario = scenario("tiny_mlp");
+    let trace = TraceRecorder::new(&scenario).record();
+    let before = simulate(&trace, scenario.policy, scenario.service);
+
+    let graph = zoo::tiny_mlp();
+    let params = GraphParameters::seeded(&graph, 0xC11E);
+    let compiled = Compiler::fpsa().compile(&graph).expect("tiny MLP compiles");
+    let replayer = TraceReplayer::new(&trace, graph.input_elements());
+    let mut engine_outputs = Vec::new();
+    for replicas in [1, 3] {
+        let engine = ServeEngine::start(
+            bind(&compiled, &graph, &params, &Precision::Float),
+            ServeConfig {
+                replicas,
+                max_batch: 4,
+                batch_window_us: 200,
+            },
+        );
+        engine_outputs.push(replayer.replay(&engine).outputs);
+        engine.shutdown();
+    }
+    assert_eq!(engine_outputs[0], engine_outputs[1]);
+    assert_eq!(before, simulate(&trace, scenario.policy, scenario.service));
+}

@@ -1,0 +1,78 @@
+//! Every checked-in `scenarios/*.scenario` file must parse, validate and
+//! round-trip through the canonical renderer — the CI `workload` job runs
+//! this suite so a config typo is caught at review time, not when a bench
+//! run silently skips the file.
+
+use fpsa_workload::{Scenario, TraceRecorder};
+use std::path::PathBuf;
+
+fn scenarios_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../scenarios")
+}
+
+fn checked_in_scenarios() -> Vec<(String, Scenario)> {
+    let mut found = Vec::new();
+    for entry in std::fs::read_dir(scenarios_dir()).expect("scenarios/ exists at the repo root") {
+        let path = entry.expect("readable dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("scenario") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("scenario file reads");
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let scenario =
+            Scenario::parse(&text).unwrap_or_else(|e| panic!("{name} does not parse: {e}"));
+        found.push((name, scenario));
+    }
+    found
+}
+
+#[test]
+fn every_checked_in_scenario_parses_and_round_trips() {
+    let scenarios = checked_in_scenarios();
+    assert!(
+        scenarios.len() >= 4,
+        "expected the four stock scenarios, found {}",
+        scenarios.len()
+    );
+    for (name, scenario) in &scenarios {
+        scenario
+            .validate()
+            .unwrap_or_else(|e| panic!("{name} does not validate: {e}"));
+        // Canonical render → parse reproduces the scenario exactly.
+        let rendered = scenario.to_config_string();
+        let reparsed = Scenario::parse(&rendered)
+            .unwrap_or_else(|e| panic!("{name} canonical form does not re-parse: {e}"));
+        assert_eq!(&reparsed, scenario, "{name} does not round-trip");
+        // File stem and scenario name agree, so reports land predictably.
+        assert_eq!(
+            name.trim_end_matches(".scenario"),
+            scenario.name,
+            "{name}: file stem and scenario name differ"
+        );
+    }
+}
+
+#[test]
+fn every_checked_in_scenario_records_a_well_formed_trace() {
+    for (name, scenario) in checked_in_scenarios() {
+        // Recording the full 30k–120k request trace per file is bench work;
+        // a 2k-request prefix exercises the same arrival machinery.
+        let mut small = scenario.clone();
+        small.requests = small.requests.min(2_000);
+        let trace = TraceRecorder::new(&small).record();
+        assert_eq!(trace.len(), small.requests, "{name}");
+        assert!(
+            trace.events.windows(2).all(|p| p[0].at_us <= p[1].at_us),
+            "{name}: arrivals not monotone"
+        );
+        let tenants = scenario.tenants.len() as u16;
+        let models = scenario.models.len() as u16;
+        assert!(
+            trace
+                .events
+                .iter()
+                .all(|e| e.tenant < tenants && e.model < models),
+            "{name}: mix index out of range"
+        );
+    }
+}

@@ -19,6 +19,8 @@
 //!   sharded engine)
 //! * [`shard`] — multi-fabric model parallelism: partition, compile and
 //!   pipeline-serve models across chips
+//! * [`workload`] — declarative workload scenarios, deterministic trace
+//!   record/replay and SimPoint-style phase-sampled benchmarking
 //!
 //! # Quick start
 //!
@@ -44,3 +46,4 @@ pub use fpsa_serve as serve;
 pub use fpsa_shard as shard;
 pub use fpsa_sim as sim;
 pub use fpsa_synthesis as synthesis;
+pub use fpsa_workload as workload;
