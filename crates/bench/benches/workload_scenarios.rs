@@ -59,7 +59,9 @@ fn load_scenarios() -> Vec<Scenario> {
 }
 
 fn measure(scenario: &Scenario) -> ScenarioRow {
-    let trace = TraceRecorder::new(scenario).record();
+    let trace = TraceRecorder::new(scenario)
+        .record()
+        .expect("scenario is valid");
     let full = simulate(&trace, scenario.policy, scenario.service);
     let phase_plan = plan(&trace, PhaseConfig::default());
     let phased = simulate_phased(&trace, &phase_plan, scenario.policy, scenario.service);
@@ -93,7 +95,9 @@ fn real_engine_smoke() -> (String, usize, f64) {
     let params = GraphParameters::seeded(&graph, 0xBE7C);
     let compiled = Compiler::fpsa().compile(&graph).expect("MLP compiles");
     let scenario = Scenario::steady("bench-smoke", "MLP-500-100", 0xBE7C, 256);
-    let trace = TraceRecorder::new(&scenario).record();
+    let trace = TraceRecorder::new(&scenario)
+        .record()
+        .expect("scenario is valid");
     let engine = ServeEngine::start(
         compiled
             .executor(&graph, &params, &Precision::Float)
@@ -196,7 +200,9 @@ fn bench(c: &mut Criterion) {
         .iter()
         .max_by_key(|s| s.requests)
         .expect("non-empty");
-    let trace = TraceRecorder::new(largest).record();
+    let trace = TraceRecorder::new(largest)
+        .record()
+        .expect("scenario is valid");
     let phase_plan = plan(&trace, PhaseConfig::default());
     let mut group = c.benchmark_group("workload_scenarios");
     group.sample_size(10);

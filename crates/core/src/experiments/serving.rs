@@ -132,7 +132,9 @@ pub fn run_with(
                 .compile(&graph)
                 .expect("zoo benchmarks compile");
 
-            let trace = TraceRecorder::new(&sweep_scenario(benchmark.name(), requests)).record();
+            let trace = TraceRecorder::new(&sweep_scenario(benchmark.name(), requests))
+                .record()
+                .expect("scenario is valid");
             let input_len = graph.input_elements();
 
             // Direct path: bind per request, run, one at a time.

@@ -1,0 +1,833 @@
+//! The fleet engine: one request front door over many co-located models.
+//!
+//! A [`FleetEngine`] owns a packed [`FleetPlacement`] and runs one worker
+//! pool per fabric, mirroring `fpsa_serve::ServeEngine`'s queue discipline
+//! one tier up:
+//!
+//! * **routing** — a request for model *m* goes to whichever fabric hosting
+//!   *m* has the shortest queue (ties to the lowest index), so replicated
+//!   models absorb load wherever there is room;
+//! * **weighted-fair admission** — each fabric queues requests in a
+//!   [`WeightedFairBatcher`], so tenants share a fabric by configured
+//!   weight instead of racing FIFO;
+//! * **bind-handle LRU** — executors are bound lazily per fabric and kept
+//!   in a small LRU cache, so a cold model pays one bind and hot models
+//!   never rebind;
+//! * **per-tenant SLOs** — every tenant gets its own latency histogram;
+//!   when a tenant's observed p99 exceeds its budget and its backlog is
+//!   above the shed threshold, new requests are shed with the typed
+//!   [`ServeError::Shed`] instead of deepening the violation.
+//!
+//! Throughput comes from placement and scheduling only — never from
+//! changed arithmetic: fleet outputs are bit-identical to direct
+//! `Executor::run` calls for every model, precision and interleaving
+//! (`tests/fleet_determinism.rs`).
+
+use std::fmt;
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use fpsa_serve::{BatchPolicy, Response, ServeError, ServeStats, Ticket, WeightedFairBatcher};
+use fpsa_sim::Executor;
+
+use crate::packer::FleetPlacement;
+use crate::registry::{ModelId, ModelRegistry};
+
+/// A tenant's service-level objective: shed new work once the observed p99
+/// latency exceeds `p99_budget_us` *and* the tenant's queued backlog is
+/// deeper than `shed_depth` (so a blown budget with an empty queue still
+/// admits — serving it cannot worsen the tail).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SloBudget {
+    /// The tenant's p99 latency budget in microseconds.
+    pub p99_budget_us: u64,
+    /// Queued requests the tenant may hold while violating before sheds
+    /// start.
+    pub shed_depth: usize,
+}
+
+/// Fleet-engine tuning knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetConfig {
+    /// Worker threads per fabric.
+    pub replicas_per_fabric: usize,
+    /// Largest batch a worker claims at once (per tenant lane).
+    pub max_batch: usize,
+    /// How long a lone request may wait for company, in microseconds.
+    pub batch_window_us: u64,
+    /// Bound-executor slots in each fabric's LRU cache (clamped ≥ 1).
+    pub bind_cache: usize,
+    /// Weighted-fair shares: `(tenant, weight)`; unlisted tenants weigh 1.
+    pub tenant_weights: Vec<(u16, u64)>,
+    /// Per-tenant SLO budgets; unlisted tenants are never shed.
+    pub slos: Vec<(u16, SloBudget)>,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            replicas_per_fabric: 2,
+            max_batch: 8,
+            batch_window_us: 200,
+            bind_cache: 4,
+            tenant_weights: Vec::new(),
+            slos: Vec::new(),
+        }
+    }
+}
+
+impl FleetConfig {
+    /// Set the worker count per fabric.
+    pub fn with_replicas(mut self, replicas: usize) -> Self {
+        self.replicas_per_fabric = replicas;
+        self
+    }
+
+    /// Set the batching policy.
+    pub fn with_batching(mut self, max_batch: usize, window_us: u64) -> Self {
+        self.max_batch = max_batch;
+        self.batch_window_us = window_us;
+        self
+    }
+
+    /// Set the per-fabric bind-handle cache capacity.
+    pub fn with_bind_cache(mut self, slots: usize) -> Self {
+        self.bind_cache = slots;
+        self
+    }
+
+    /// Give `tenant` a weighted-fair share.
+    pub fn with_tenant_weight(mut self, tenant: u16, weight: u64) -> Self {
+        self.tenant_weights.push((tenant, weight));
+        self
+    }
+
+    /// Give `tenant` an SLO budget.
+    pub fn with_slo(mut self, tenant: u16, slo: SloBudget) -> Self {
+        self.slos.push((tenant, slo));
+        self
+    }
+}
+
+/// Hit/miss/eviction counters for the bind-handle LRU caches (summed
+/// across fabrics in [`FleetStats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BindCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to bind.
+    pub misses: u64,
+    /// Bound executors dropped to make room.
+    pub evictions: u64,
+}
+
+/// One tenant's SLO standing, read out of [`FleetStats::slo_status`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantSloStatus {
+    /// The tenant.
+    pub tenant: u16,
+    /// Observed p99 latency in microseconds.
+    pub p99_latency_us: u64,
+    /// The configured budget, if any.
+    pub budget_us: Option<u64>,
+    /// Whether the observed p99 currently exceeds the budget.
+    pub violating: bool,
+    /// Requests shed so far under [`ServeError::Shed`].
+    pub shed: u64,
+}
+
+/// Lifetime fleet counters: an aggregate [`ServeStats`] plus one per
+/// tenant, shed counts, and the bind-cache totals.
+#[derive(Debug, Clone, Default)]
+pub struct FleetStats {
+    /// All tenants together.
+    pub aggregate: ServeStats,
+    /// Per-tenant counters, dense by tenant id.
+    pub tenants: Vec<ServeStats>,
+    /// Requests shed per tenant (subset of that tenant's `rejected`).
+    pub sheds: Vec<u64>,
+    /// Per-tenant p99 budgets (dense by tenant id; `None` = no SLO).
+    pub budgets: Vec<Option<u64>>,
+    /// Bind-handle LRU counters summed across fabrics.
+    pub bind_cache: BindCacheStats,
+}
+
+impl FleetStats {
+    /// Every tenant's SLO standing, dense by tenant id.
+    pub fn slo_status(&self) -> Vec<TenantSloStatus> {
+        (0..self.tenants.len())
+            .map(|t| {
+                let p99 = self.tenants[t].p99_latency_us();
+                let budget = self.budgets.get(t).copied().flatten();
+                TenantSloStatus {
+                    tenant: t as u16,
+                    p99_latency_us: p99,
+                    budget_us: budget,
+                    violating: budget.is_some_and(|b| p99 > b),
+                    shed: self.sheds.get(t).copied().unwrap_or(0),
+                }
+            })
+            .collect()
+    }
+}
+
+/// A queued fleet request (single tenant's lane holds mixed models).
+struct FleetRequest {
+    model: ModelId,
+    input: Vec<f32>,
+    submitted_us: u64,
+    tx: mpsc::Sender<Response>,
+}
+
+/// One fabric's queue behind its mutex.
+struct FabricQueue {
+    queue: WeightedFairBatcher<FleetRequest>,
+    shutdown: bool,
+}
+
+/// One fabric: its queue, wakeup and bind cache (which models it hosts is
+/// the placement's bookkeeping — the router consults `FleetPlacement`).
+struct FabricUnit {
+    state: Mutex<FabricQueue>,
+    work: Condvar,
+    binds: Mutex<BindCache>,
+}
+
+/// A tiny LRU over bound executors: `capacity` live binds per fabric.
+struct BindCache {
+    capacity: usize,
+    clock: u64,
+    entries: Vec<(ModelId, Arc<Executor>, u64)>,
+    stats: BindCacheStats,
+}
+
+impl BindCache {
+    fn new(capacity: usize) -> Self {
+        BindCache {
+            capacity: capacity.max(1),
+            clock: 0,
+            entries: Vec::new(),
+            stats: BindCacheStats::default(),
+        }
+    }
+
+    /// The bound executor for `model`, binding (and possibly evicting the
+    /// least-recently-used handle) on a miss.
+    fn get(
+        &mut self,
+        model: ModelId,
+        registry: &ModelRegistry,
+    ) -> Result<Arc<Executor>, ServeError> {
+        self.clock += 1;
+        let clock = self.clock;
+        if let Some(entry) = self.entries.iter_mut().find(|(id, _, _)| *id == model) {
+            entry.2 = clock;
+            self.stats.hits += 1;
+            return Ok(Arc::clone(&entry.1));
+        }
+        self.stats.misses += 1;
+        let spec = registry
+            .get(model)
+            .ok_or(ServeError::UnknownModel { model })?;
+        let executor = spec
+            .compiled
+            .executor(&spec.graph, &spec.params, &spec.precision)
+            .map_err(ServeError::Exec)?;
+        let executor = Arc::new(executor);
+        if self.entries.len() >= self.capacity {
+            let lru = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, _, used))| *used)
+                .map(|(i, _)| i)
+                .expect("cache non-empty at capacity");
+            self.entries.swap_remove(lru);
+            self.stats.evictions += 1;
+        }
+        self.entries.push((model, Arc::clone(&executor), clock));
+        Ok(executor)
+    }
+}
+
+/// Per-tenant counters behind the stats mutex.
+#[derive(Default)]
+struct TenantState {
+    stats: ServeStats,
+    shed: u64,
+    budget: Option<SloBudget>,
+}
+
+struct StatsState {
+    aggregate: ServeStats,
+    tenants: Vec<TenantState>,
+}
+
+impl StatsState {
+    fn tenant_mut(&mut self, tenant: u16) -> &mut TenantState {
+        let index = usize::from(tenant);
+        while self.tenants.len() <= index {
+            self.tenants.push(TenantState::default());
+        }
+        &mut self.tenants[index]
+    }
+}
+
+/// Everything the fleet's worker threads share.
+struct Shared {
+    registry: ModelRegistry,
+    fabrics: Vec<FabricUnit>,
+    stats: Mutex<StatsState>,
+    started: Instant,
+}
+
+impl Shared {
+    /// Microseconds since the fleet started (every queue's clock).
+    fn now_us(&self) -> u64 {
+        self.started.elapsed().as_micros() as u64
+    }
+}
+
+/// A multi-tenant, multi-model serving engine over a packed fleet of
+/// fabrics (see the module docs).
+pub struct FleetEngine {
+    shared: Arc<Shared>,
+    placement: FleetPlacement,
+    workers: Vec<thread::JoinHandle<()>>,
+    config: FleetConfig,
+}
+
+impl fmt::Debug for FleetEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FleetEngine")
+            .field("fabrics", &self.placement.fabrics())
+            .field("models", &self.shared.registry.len())
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl FleetEngine {
+    /// Start serving the fleet: `placement` must come from
+    /// [`FleetPlacement::pack`] over the same `registry`.
+    pub fn start(
+        registry: ModelRegistry,
+        placement: FleetPlacement,
+        config: FleetConfig,
+    ) -> FleetEngine {
+        let config = FleetConfig {
+            replicas_per_fabric: config.replicas_per_fabric.max(1),
+            max_batch: config.max_batch.max(1),
+            ..config
+        };
+        let policy = BatchPolicy::new(config.max_batch, config.batch_window_us);
+        let fabrics = (0..placement.fabrics())
+            .map(|_| {
+                let mut queue = WeightedFairBatcher::new(policy);
+                for &(tenant, weight) in &config.tenant_weights {
+                    queue.set_weight(tenant, weight);
+                }
+                FabricUnit {
+                    state: Mutex::new(FabricQueue {
+                        queue,
+                        shutdown: false,
+                    }),
+                    work: Condvar::new(),
+                    binds: Mutex::new(BindCache::new(config.bind_cache)),
+                }
+            })
+            .collect();
+        let mut stats = StatsState {
+            aggregate: ServeStats::default(),
+            tenants: Vec::new(),
+        };
+        for &(tenant, slo) in &config.slos {
+            stats.tenant_mut(tenant).budget = Some(slo);
+        }
+        let shared = Arc::new(Shared {
+            registry,
+            fabrics,
+            stats: Mutex::new(stats),
+            started: Instant::now(),
+        });
+        let mut workers = Vec::with_capacity(placement.fabrics() * config.replicas_per_fabric);
+        for fabric in 0..placement.fabrics() {
+            for replica in 0..config.replicas_per_fabric {
+                let shared = Arc::clone(&shared);
+                workers.push(
+                    thread::Builder::new()
+                        .name(format!("fpsa-fleet-{fabric}-{replica}"))
+                        .spawn(move || worker_loop(&shared, fabric))
+                        .expect("fleet worker threads spawn"),
+                );
+            }
+        }
+        FleetEngine {
+            shared,
+            placement,
+            workers,
+            config,
+        }
+    }
+
+    /// The (clamped) configuration the fleet runs with.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// The placement the fleet serves.
+    pub fn placement(&self) -> &FleetPlacement {
+        &self.placement
+    }
+
+    /// The registry the fleet serves.
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.shared.registry
+    }
+
+    /// Enqueue one request for `model` on behalf of `tenant`; never blocks
+    /// on the model. Invalid inputs, unknown models, SLO sheds and
+    /// post-shutdown submissions resolve the ticket immediately with the
+    /// typed error instead of poisoning a batch.
+    pub fn submit(&self, tenant: u16, model: ModelId, input: Vec<f32>) -> Ticket {
+        let Some(spec) = self.shared.registry.get(model) else {
+            return self.reject(tenant, ServeError::UnknownModel { model });
+        };
+        if let Some(want) = spec.input_len() {
+            if input.len() != want {
+                return self.reject(
+                    tenant,
+                    ServeError::InputLength {
+                        got: input.len(),
+                        want,
+                    },
+                );
+            }
+        }
+        let hosts = self.placement.hosts_of(model);
+        debug_assert!(!hosts.is_empty(), "packed placement hosts every model");
+
+        // SLO admission control: a tenant past its p99 budget with a deep
+        // enough backlog is shed before it can queue.
+        if let Some((budget, p99)) = self.blown_budget(tenant) {
+            let backlog: usize = hosts
+                .iter()
+                .map(|&f| {
+                    let state = self.shared.fabrics[f].state.lock().expect("fabric lock");
+                    state.queue.tenant_len(tenant)
+                })
+                .sum();
+            if backlog >= budget.shed_depth {
+                let err = ServeError::Shed {
+                    tenant,
+                    p99_us: p99,
+                    budget_us: budget.p99_budget_us,
+                };
+                let mut stats = self.shared.stats.lock().expect("stats lock");
+                stats.tenant_mut(tenant).shed += 1;
+                return Self::count_rejection(&mut stats, tenant, err);
+            }
+        }
+
+        // Route to the hosting fabric with the shortest queue (ties to the
+        // lowest index). The read is a heuristic — racing submitters may
+        // both pick the same fabric — but admission order per fabric is
+        // still serialized by its queue lock.
+        let fabric = hosts
+            .iter()
+            .copied()
+            .min_by_key(|&f| {
+                let state = self.shared.fabrics[f].state.lock().expect("fabric lock");
+                (state.queue.len(), f)
+            })
+            .expect("hosts non-empty");
+
+        let (tx, ticket) = Ticket::channel();
+        let unit = &self.shared.fabrics[fabric];
+        let depth;
+        {
+            let mut state = unit.state.lock().expect("fabric lock");
+            if state.shutdown {
+                drop(state);
+                let mut stats = self.shared.stats.lock().expect("stats lock");
+                return Self::count_rejection(&mut stats, tenant, ServeError::ShutDown);
+            }
+            // Stamped under the fabric lock, so each queue's timestamps are
+            // monotone and lanes stay FIFO.
+            let now = self.shared.now_us();
+            state.queue.push(
+                tenant,
+                FleetRequest {
+                    model,
+                    input,
+                    submitted_us: now,
+                    tx,
+                },
+                now,
+            );
+            depth = state.queue.len();
+        }
+        unit.work.notify_one();
+        {
+            let mut stats = self.shared.stats.lock().expect("stats lock");
+            stats.aggregate.submitted += 1;
+            stats.aggregate.record_queue_depth(depth);
+            let tenant_state = stats.tenant_mut(tenant);
+            tenant_state.stats.submitted += 1;
+            tenant_state.stats.record_queue_depth(depth);
+        }
+        ticket
+    }
+
+    /// Submit one request and block for its output.
+    ///
+    /// # Errors
+    ///
+    /// The request's [`ServeError`], if it failed.
+    pub fn infer(
+        &self,
+        tenant: u16,
+        model: ModelId,
+        input: Vec<f32>,
+    ) -> Result<Vec<f32>, ServeError> {
+        self.submit(tenant, model, input).wait()
+    }
+
+    /// A snapshot of the lifetime counters.
+    pub fn stats(&self) -> FleetStats {
+        let state = self.shared.stats.lock().expect("stats lock");
+        let mut bind_cache = BindCacheStats::default();
+        for unit in &self.shared.fabrics {
+            let cache = unit.binds.lock().expect("bind cache lock");
+            bind_cache.hits += cache.stats.hits;
+            bind_cache.misses += cache.stats.misses;
+            bind_cache.evictions += cache.stats.evictions;
+        }
+        FleetStats {
+            aggregate: state.aggregate,
+            tenants: state.tenants.iter().map(|t| t.stats).collect(),
+            sheds: state.tenants.iter().map(|t| t.shed).collect(),
+            budgets: state
+                .tenants
+                .iter()
+                .map(|t| t.budget.map(|b| b.p99_budget_us))
+                .collect(),
+            bind_cache,
+        }
+    }
+
+    /// Stop admitting requests, drain every queue, join the workers and
+    /// return the final counters.
+    pub fn shutdown(mut self) -> FleetStats {
+        self.shutdown_and_join();
+        self.stats()
+    }
+
+    fn shutdown_and_join(&mut self) {
+        for unit in &self.shared.fabrics {
+            let mut state = unit.state.lock().expect("fabric lock");
+            state.shutdown = true;
+        }
+        for unit in &self.shared.fabrics {
+            unit.work.notify_all();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+
+    /// The tenant's `(budget, observed p99)` if its p99 currently exceeds
+    /// the budget.
+    fn blown_budget(&self, tenant: u16) -> Option<(SloBudget, u64)> {
+        let stats = self.shared.stats.lock().expect("stats lock");
+        let state = stats.tenants.get(usize::from(tenant))?;
+        let budget = state.budget?;
+        let p99 = state.stats.p99_latency_us();
+        (p99 > budget.p99_budget_us).then_some((budget, p99))
+    }
+
+    /// Resolve a ticket with `err` without queueing, counting the
+    /// rejection for the tenant and the aggregate.
+    fn reject(&self, tenant: u16, err: ServeError) -> Ticket {
+        let mut stats = self.shared.stats.lock().expect("stats lock");
+        Self::count_rejection(&mut stats, tenant, err)
+    }
+
+    fn count_rejection(stats: &mut StatsState, tenant: u16, err: ServeError) -> Ticket {
+        stats.aggregate.rejected += 1;
+        stats.tenant_mut(tenant).stats.rejected += 1;
+        Ticket::resolved(Err(err))
+    }
+}
+
+impl Drop for FleetEngine {
+    fn drop(&mut self) {
+        self.shutdown_and_join();
+    }
+}
+
+impl fpsa_workload::RoutedReplayTarget for FleetEngine {
+    fn submit_routed(&self, tenant: u16, model: u16, input: Vec<f32>) -> Ticket {
+        FleetEngine::submit(self, tenant, model, input)
+    }
+    fn stats(&self) -> ServeStats {
+        FleetEngine::stats(self).aggregate
+    }
+}
+
+/// One fabric worker: claim per-tenant batches under weighted-fair order,
+/// split each into contiguous same-model runs, execute them outside the
+/// queue lock on this worker's arena, answer every ticket.
+fn worker_loop(shared: &Shared, fabric: usize) {
+    let mut arena = fpsa_sim::ExecArena::new();
+    let mut inputs: Vec<Vec<f32>> = Vec::new();
+    let mut outputs: Vec<Vec<f32>> = Vec::new();
+    while let Some((tenant, mut batch)) = next_batch(shared, fabric) {
+        let mut start = 0;
+        while start < batch.len() {
+            // A lane is FIFO across models; a run is the longest prefix of
+            // one model, executed as one executor batch.
+            let model = batch[start].model;
+            let end = start
+                + batch[start..]
+                    .iter()
+                    .take_while(|req| req.model == model)
+                    .count();
+            let run = &mut batch[start..end];
+            inputs.clear();
+            inputs.extend(run.iter_mut().map(|req| std::mem::take(&mut req.input)));
+            let result = {
+                let executor = shared.fabrics[fabric]
+                    .binds
+                    .lock()
+                    .expect("bind cache lock")
+                    .get(model, &shared.registry);
+                match executor {
+                    Ok(exec) => exec
+                        .run_batch_into(&inputs, &mut arena, &mut outputs)
+                        .map_err(ServeError::Exec),
+                    Err(e) => Err(e),
+                }
+            };
+            let done_us = shared.now_us();
+            {
+                // Count the run before answering its tickets, so a client
+                // that just received its output observes itself in the
+                // stats.
+                let mut stats = shared.stats.lock().expect("stats lock");
+                stats.aggregate.record_batch(run.len(), result.is_ok());
+                if result.is_ok() {
+                    for req in run.iter() {
+                        let latency = done_us.saturating_sub(req.submitted_us);
+                        stats.aggregate.record_latency(latency);
+                    }
+                }
+                let tenant_state = stats.tenant_mut(tenant);
+                tenant_state.stats.record_batch(run.len(), result.is_ok());
+                if result.is_ok() {
+                    for req in run.iter() {
+                        let latency = done_us.saturating_sub(req.submitted_us);
+                        tenant_state.stats.record_latency(latency);
+                    }
+                }
+            }
+            match &result {
+                Ok(()) => {
+                    for (req, out) in run.iter().zip(outputs.iter_mut()) {
+                        let latency = done_us.saturating_sub(req.submitted_us);
+                        let _ = req.tx.send(Ok((std::mem::take(out), latency)));
+                    }
+                }
+                Err(e) => {
+                    for req in run.iter() {
+                        let _ = req.tx.send(Err(e.clone()));
+                    }
+                }
+            }
+            start = end;
+        }
+    }
+}
+
+/// Block until this fabric has a batch (or drained out at shutdown),
+/// mirroring `fpsa_serve`'s `next_batch` over the weighted-fair queue.
+fn next_batch(shared: &Shared, fabric: usize) -> Option<(u16, Vec<FleetRequest>)> {
+    let unit = &shared.fabrics[fabric];
+    let mut state = unit.state.lock().expect("fabric lock");
+    loop {
+        let now = shared.now_us();
+        if let Some(popped) = state.queue.pop_ready(now) {
+            if !state.queue.is_empty() {
+                unit.work.notify_one();
+            }
+            return Some(popped);
+        }
+        if state.shutdown {
+            return state.queue.pop_now();
+        }
+        state = match state.queue.next_deadline_us() {
+            Some(deadline) => {
+                let wait = Duration::from_micros(deadline.saturating_sub(now).max(1));
+                unit.work.wait_timeout(state, wait).expect("fabric lock").0
+            }
+            None => unit.work.wait(state).expect("fabric lock"),
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpsa_arch::FabricCapacity;
+    use fpsa_core::{CompileCache, Compiler};
+    use fpsa_nn::{zoo, GraphParameters};
+    use fpsa_sim::Precision;
+
+    fn zoo_registry() -> ModelRegistry {
+        let cache = Arc::new(CompileCache::new(8));
+        let mut registry = ModelRegistry::with_cache(Compiler::fpsa(), cache);
+        for (name, graph, seed) in [("mlp", zoo::tiny_mlp(), 11), ("cnn", zoo::tiny_cnn(), 13)] {
+            let params = GraphParameters::seeded(&graph, seed);
+            registry
+                .register(name, graph, params, Precision::Float)
+                .unwrap();
+        }
+        registry
+    }
+
+    fn ample() -> FabricCapacity {
+        FabricCapacity::new(100_000, 20_000, 20_000)
+    }
+
+    fn sample(len: usize, seed: u64) -> Vec<f32> {
+        (0..len)
+            .map(|i| ((seed + i as u64) % 10) as f32 * 0.1)
+            .collect()
+    }
+
+    #[test]
+    fn fleet_outputs_match_direct_execution_across_models() {
+        let registry = zoo_registry();
+        let direct: Vec<Vec<f32>> = (0..8)
+            .map(|i| {
+                let spec = registry.get((i % 2) as ModelId).unwrap();
+                let exec = spec
+                    .compiled
+                    .executor(&spec.graph, &spec.params, &spec.precision)
+                    .unwrap();
+                exec.run(&sample(spec.input_len().unwrap(), i)).unwrap()
+            })
+            .collect();
+        let placement = FleetPlacement::pack(&registry, 2, ample()).unwrap();
+        let engine = FleetEngine::start(registry, placement, FleetConfig::default());
+        let tickets: Vec<Ticket> = (0..8)
+            .map(|i| {
+                let model = (i % 2) as ModelId;
+                let len = engine.registry().get(model).unwrap().input_len().unwrap();
+                engine.submit((i % 3) as u16, model, sample(len, i))
+            })
+            .collect();
+        let served: Vec<Vec<f32>> = tickets.into_iter().map(|t| t.wait().unwrap()).collect();
+        assert_eq!(served, direct);
+        let stats = engine.shutdown();
+        assert_eq!(stats.aggregate.submitted, 8);
+        assert_eq!(stats.aggregate.completed, 8);
+        assert_eq!(stats.aggregate.failed + stats.aggregate.rejected, 0);
+        assert_eq!(
+            stats.tenants.iter().map(|t| t.completed).sum::<u64>(),
+            8,
+            "per-tenant counters partition the aggregate"
+        );
+    }
+
+    #[test]
+    fn bad_inputs_and_unknown_models_resolve_typed_errors() {
+        let registry = zoo_registry();
+        let placement = FleetPlacement::pack(&registry, 1, ample()).unwrap();
+        let engine = FleetEngine::start(registry, placement, FleetConfig::default());
+        let err = engine.submit(0, 0, vec![0.0; 3]).wait().unwrap_err();
+        assert_eq!(err, ServeError::InputLength { got: 3, want: 16 });
+        let err = engine.submit(0, 99, vec![0.0; 16]).wait().unwrap_err();
+        assert_eq!(err, ServeError::UnknownModel { model: 99 });
+        let stats = engine.shutdown();
+        assert_eq!(stats.aggregate.rejected, 2);
+    }
+
+    #[test]
+    fn a_cold_bind_cache_rebinds_under_pressure() {
+        let registry = zoo_registry();
+        let placement = FleetPlacement::pack(&registry, 1, ample()).unwrap();
+        // One bind slot for two models forces an eviction per switch.
+        let engine = FleetEngine::start(
+            registry,
+            placement,
+            FleetConfig::default().with_replicas(1).with_bind_cache(1),
+        );
+        for i in 0..4u64 {
+            let model = (i % 2) as ModelId;
+            let len = engine.registry().get(model).unwrap().input_len().unwrap();
+            engine.infer(0, model, sample(len, i)).unwrap();
+        }
+        let stats = engine.shutdown();
+        assert_eq!(stats.aggregate.completed, 4);
+        assert!(
+            stats.bind_cache.misses >= 2,
+            "both models must cold-bind at least once"
+        );
+        assert!(
+            stats.bind_cache.evictions >= 1,
+            "a single slot must evict on model switches"
+        );
+    }
+
+    #[test]
+    fn blown_slo_budgets_shed_with_the_typed_error() {
+        let registry = zoo_registry();
+        let placement = FleetPlacement::pack(&registry, 1, ample()).unwrap();
+        let engine = FleetEngine::start(
+            registry,
+            placement,
+            FleetConfig::default().with_slo(
+                0,
+                SloBudget {
+                    p99_budget_us: 0,
+                    shed_depth: 0,
+                },
+            ),
+        );
+        // First request completes (no latency history yet, p99 = 0).
+        engine.infer(0, 0, sample(16, 1)).unwrap();
+        // Now p99 > 0 exceeds the 0us budget: the next submit sheds.
+        let err = engine.submit(0, 0, sample(16, 2)).wait().unwrap_err();
+        match err {
+            ServeError::Shed {
+                tenant, budget_us, ..
+            } => {
+                assert_eq!(tenant, 0);
+                assert_eq!(budget_us, 0);
+            }
+            other => panic!("expected Shed, got {other:?}"),
+        }
+        // Tenant 1 has no SLO and is untouched.
+        engine.infer(1, 0, sample(16, 3)).unwrap();
+        let stats = engine.shutdown();
+        assert_eq!(stats.sheds[0], 1);
+        assert_eq!(stats.tenants[0].rejected, 1);
+        assert_eq!(stats.tenants[1].rejected, 0);
+        let status = stats.slo_status();
+        assert!(status[0].violating);
+        assert_eq!(status[0].budget_us, Some(0));
+        assert_eq!(status[1].budget_us, None);
+    }
+
+    #[test]
+    fn shutdown_rejects_new_work_but_drains_queued_work() {
+        let registry = zoo_registry();
+        let placement = FleetPlacement::pack(&registry, 1, ample()).unwrap();
+        let engine = FleetEngine::start(registry, placement, FleetConfig::default());
+        engine.infer(0, 0, sample(16, 1)).unwrap();
+        let stats = engine.shutdown();
+        assert_eq!(stats.aggregate.completed, 1);
+    }
+}

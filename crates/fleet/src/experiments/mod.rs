@@ -1,0 +1,3 @@
+//! Fleet evaluation drivers (persisted by the `fleet_serving` bench).
+
+pub mod fleet;

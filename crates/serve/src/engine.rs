@@ -109,6 +109,22 @@ pub enum ServeError {
     Exec(ExecError),
     /// The serving thread disappeared before answering (engine panic).
     Canceled,
+    /// Admission control shed the request: the tenant's observed p99
+    /// latency exceeds its SLO budget and its backlog is above the shed
+    /// threshold, so serving it would only deepen the violation.
+    Shed {
+        /// The tenant whose SLO budget is blown.
+        tenant: u16,
+        /// Observed p99 latency in microseconds at shed time.
+        p99_us: u64,
+        /// The tenant's configured p99 budget in microseconds.
+        budget_us: u64,
+    },
+    /// The fleet tier knows no model registered under the submitted id.
+    UnknownModel {
+        /// The model id the request named.
+        model: u16,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -120,6 +136,17 @@ impl fmt::Display for ServeError {
             }
             ServeError::Exec(e) => write!(f, "execution failed: {e}"),
             ServeError::Canceled => write!(f, "request canceled before completion"),
+            ServeError::Shed {
+                tenant,
+                p99_us,
+                budget_us,
+            } => write!(
+                f,
+                "request shed: tenant {tenant} p99 {p99_us}us exceeds SLO budget {budget_us}us"
+            ),
+            ServeError::UnknownModel { model } => {
+                write!(f, "request names unknown model {model}")
+            }
         }
     }
 }
@@ -286,8 +313,10 @@ impl ServeStats {
 }
 
 /// One response: the logits plus the request's queue-to-completion latency
-/// in microseconds (stamped by the worker, not by the waiter).
-pub(crate) type Response = Result<(Vec<f32>, u64), ServeError>;
+/// in microseconds (stamped by the worker, not by the waiter). Public so
+/// out-of-crate engines (the fleet tier) can answer tickets minted via
+/// [`Ticket::channel`] under the same contract.
+pub type Response = Result<(Vec<f32>, u64), ServeError>;
 
 /// A pending request inside the queue.
 struct Request {
@@ -304,6 +333,25 @@ pub struct Ticket {
 }
 
 impl Ticket {
+    /// A fresh ticket plus the sender that resolves it. This is the hook
+    /// external engines (e.g. the fleet tier) use to answer requests under
+    /// the same exactly-once ticket contract as the in-crate engines: send
+    /// one [`Response`] on the returned sender, or drop it to cancel the
+    /// ticket ([`Ticket::wait`] then yields [`ServeError::Canceled`]).
+    pub fn channel() -> (mpsc::Sender<Response>, Ticket) {
+        let (tx, rx) = mpsc::channel();
+        (tx, Ticket { rx })
+    }
+
+    /// Resolve a ticket immediately with `response` — the rejection path
+    /// for engines that refuse a request at submit time (shed, shutdown,
+    /// bad input) without involving a worker.
+    pub fn resolved(response: Response) -> Ticket {
+        let (tx, ticket) = Ticket::channel();
+        let _ = tx.send(response);
+        ticket
+    }
+
     /// Block until the output is ready.
     ///
     /// # Errors

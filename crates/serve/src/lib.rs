@@ -45,7 +45,11 @@
 pub mod batcher;
 pub mod engine;
 pub mod sharded;
+pub mod wfq;
 
 pub use batcher::{BatchPolicy, DynamicBatcher};
-pub use engine::{ServeConfig, ServeEngine, ServeError, ServeStats, Ticket, STATS_BUCKETS};
+pub use engine::{
+    Response, ServeConfig, ServeEngine, ServeError, ServeStats, Ticket, STATS_BUCKETS,
+};
 pub use sharded::ShardedEngine;
+pub use wfq::WeightedFairBatcher;

@@ -136,7 +136,9 @@ pub fn run_with(
         SEED,
         requests,
     );
-    let trace = TraceRecorder::new(&scenario).record();
+    let trace = TraceRecorder::new(&scenario)
+        .record()
+        .expect("scenario is valid");
     let input_len = graph.input_elements();
     let reference_outputs: Vec<Vec<f32>> = (0..CHECKED_OUTPUTS.min(requests))
         .map(|i| {

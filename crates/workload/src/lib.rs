@@ -40,7 +40,7 @@
 //! use fpsa_workload::{simulate, Scenario, TraceRecorder};
 //!
 //! let scenario = Scenario::steady("quickstart", "tiny_mlp", 7, 2_000);
-//! let trace = TraceRecorder::new(&scenario).record();
+//! let trace = TraceRecorder::new(&scenario).record().expect("scenario is valid");
 //! let replay = simulate(&trace, scenario.policy, scenario.service);
 //! assert_eq!(replay.stats.completed, 2_000);
 //! // Same scenario, same seed: the virtual-clock stats are bit-identical.
@@ -59,10 +59,10 @@ pub use phases::{
     check_tolerance, plan, simulate_phased, Phase, PhaseConfig, PhasePlan, PhasedReplay,
     PERCENTILE_TOLERANCE_FACTOR, THROUGHPUT_TOLERANCE,
 };
-pub use replay::{Pacing, ReplayOutcome, ReplayTarget, TraceReplayer};
+pub use replay::{Pacing, ReplayOutcome, ReplayTarget, RoutedReplayTarget, TraceReplayer};
 pub use report::{scenario_report, ScenarioReport};
 pub use scenario::{
     ArrivalProcess, MixEntry, ReplayPolicy, Scenario, ScenarioParseError, ServiceModel,
 };
-pub use sim::{simulate, VirtualReplay};
+pub use sim::{simulate, simulate_fleet, FleetPolicy, FleetVirtualReplay, VirtualReplay};
 pub use trace::{Trace, TraceEvent, TraceRecorder};

@@ -410,7 +410,7 @@ mod tests {
 
     #[test]
     fn plans_are_deterministic_and_cover_every_window() {
-        let trace = TraceRecorder::new(&diurnal(8_000)).record();
+        let trace = TraceRecorder::new(&diurnal(8_000)).record().unwrap();
         let config = PhaseConfig {
             window_events: 512,
             ..PhaseConfig::default()
@@ -427,7 +427,7 @@ mod tests {
     #[test]
     fn phased_stats_track_the_full_replay_within_tolerance() {
         let scenario = diurnal(20_000);
-        let trace = TraceRecorder::new(&scenario).record();
+        let trace = TraceRecorder::new(&scenario).record().unwrap();
         let full = simulate(&trace, scenario.policy, scenario.service);
         let p = plan(&trace, PhaseConfig::default());
         let phased = simulate_phased(&trace, &p, scenario.policy, scenario.service);
@@ -470,7 +470,7 @@ mod tests {
                 weight: 1.0,
             },
         ];
-        let trace = TraceRecorder::new(&scenario).record();
+        let trace = TraceRecorder::new(&scenario).record().unwrap();
         let full = simulate(&trace, scenario.policy, scenario.service);
         let p = plan(&trace, PhaseConfig::default());
         let phased = simulate_phased(&trace, &p, scenario.policy, scenario.service);
@@ -479,7 +479,9 @@ mod tests {
 
     #[test]
     fn degenerate_traces_cluster_into_one_phase() {
-        let trace = TraceRecorder::new(&Scenario::steady("tiny", "m", 1, 64)).record();
+        let trace = TraceRecorder::new(&Scenario::steady("tiny", "m", 1, 64))
+            .record()
+            .unwrap();
         let p = plan(
             &trace,
             PhaseConfig {

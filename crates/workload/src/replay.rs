@@ -43,6 +43,17 @@ impl ReplayTarget for ShardedEngine {
     }
 }
 
+/// A replay target that routes by the trace's tenant and model columns —
+/// the fleet tier, where one front door serves a whole model zoo and
+/// requests carry their tenant for weighted-fair admission. Single-model
+/// targets are the degenerate case (`ReplayTarget` ignores both columns).
+pub trait RoutedReplayTarget {
+    /// Enqueue one request for `model` on behalf of `tenant`.
+    fn submit_routed(&self, tenant: u16, model: u16, input: Vec<f32>) -> Ticket;
+    /// A snapshot of the target's aggregate lifetime counters.
+    fn stats(&self) -> ServeStats;
+}
+
 /// How the replayer spaces submissions on the wall clock.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Pacing {
@@ -161,6 +172,123 @@ impl<'a> TraceReplayer<'a> {
                         let timed = ticket
                             .wait_timed()
                             .unwrap_or_else(|e| panic!("replay request {index} failed: {e}"));
+                        resolved.push((index, timed));
+                    }
+                    resolved
+                }));
+            }
+            for handle in handles {
+                for (index, timed) in handle.join().expect("replay client panicked") {
+                    slots[index] = Some(timed);
+                }
+            }
+        });
+        let mut outputs = Vec::with_capacity(slots.len());
+        let mut latencies_us = Vec::with_capacity(slots.len());
+        for slot in slots {
+            let (logits, latency_us) = slot.expect("every trace event replayed");
+            outputs.push(logits);
+            latencies_us.push(latency_us);
+        }
+        ReplayOutcome {
+            outputs,
+            latencies_us,
+            wall_us: start.elapsed().as_micros() as u64,
+            stats: target.stats(),
+        }
+    }
+
+    /// Replay every event through a routed target, honouring each event's
+    /// tenant and model columns. `input_lens[model]` gives each model's
+    /// input width (models index the trace's mix order, same as the
+    /// registry's dense ids). One client thread, trace order, paced like
+    /// [`Self::replay`].
+    ///
+    /// # Panics
+    ///
+    /// When an event's model has no entry in `input_lens` — the trace and
+    /// the fleet registry disagree, which is a harness bug, not a serving
+    /// condition.
+    pub fn replay_routed<T: RoutedReplayTarget>(
+        &self,
+        target: &T,
+        input_lens: &[usize],
+    ) -> ReplayOutcome {
+        let start = Instant::now();
+        let mut tickets = Vec::with_capacity(self.trace.len());
+        let first_at = self.trace.events.first().map_or(0, |e| e.at_us);
+        for (index, event) in self.trace.events.iter().enumerate() {
+            if self.pacing == Pacing::Trace {
+                let offset_us = event.at_us - first_at;
+                let elapsed_us = start.elapsed().as_micros() as u64;
+                if offset_us > elapsed_us {
+                    std::thread::sleep(std::time::Duration::from_micros(offset_us - elapsed_us));
+                }
+            }
+            let len = input_lens[usize::from(event.model)];
+            tickets.push(target.submit_routed(
+                event.tenant,
+                event.model,
+                self.trace.input_for(index, len),
+            ));
+        }
+        let mut outputs = Vec::with_capacity(tickets.len());
+        let mut latencies_us = Vec::with_capacity(tickets.len());
+        for (index, ticket) in tickets.into_iter().enumerate() {
+            let (logits, latency_us) = ticket
+                .wait_timed()
+                .unwrap_or_else(|e| panic!("routed replay request {index} failed: {e}"));
+            outputs.push(logits);
+            latencies_us.push(latency_us);
+        }
+        ReplayOutcome {
+            outputs,
+            latencies_us,
+            wall_us: start.elapsed().as_micros() as u64,
+            stats: target.stats(),
+        }
+    }
+
+    /// [`Self::replay_routed`] through `clients` concurrent submitter
+    /// threads (events dealt round-robin, reassembled into trace order),
+    /// exercising the routed target's cross-thread admission path. Outputs
+    /// still match the single-client replay bit for bit. Burst-paced
+    /// regardless of the configured pacing.
+    ///
+    /// # Panics
+    ///
+    /// As [`Self::replay_routed`], when a model is missing an input width.
+    pub fn replay_routed_concurrent<T: RoutedReplayTarget + Sync>(
+        &self,
+        target: &T,
+        input_lens: &[usize],
+        clients: usize,
+    ) -> ReplayOutcome {
+        let clients = clients.max(1);
+        let start = Instant::now();
+        let mut slots: Vec<Option<(Vec<f32>, u64)>> = vec![None; self.trace.len()];
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(clients);
+            for client in 0..clients {
+                handles.push(scope.spawn(move || {
+                    let mut resolved = Vec::new();
+                    let owned: Vec<usize> = (client..self.trace.len()).step_by(clients).collect();
+                    let tickets: Vec<Ticket> = owned
+                        .iter()
+                        .map(|&i| {
+                            let event = &self.trace.events[i];
+                            let len = input_lens[usize::from(event.model)];
+                            target.submit_routed(
+                                event.tenant,
+                                event.model,
+                                self.trace.input_for(i, len),
+                            )
+                        })
+                        .collect();
+                    for (&index, ticket) in owned.iter().zip(tickets) {
+                        let timed = ticket.wait_timed().unwrap_or_else(|e| {
+                            panic!("routed replay request {index} failed: {e}")
+                        });
                         resolved.push((index, timed));
                     }
                     resolved

@@ -160,7 +160,7 @@ mod tests {
 
     fn report() -> ScenarioReport {
         let scenario = Scenario::steady("report \"quoted\"", "m", 17, 3_000);
-        let trace = TraceRecorder::new(&scenario).record();
+        let trace = TraceRecorder::new(&scenario).record().unwrap();
         let full = simulate(&trace, scenario.policy, scenario.service);
         let p = plan(
             &trace,

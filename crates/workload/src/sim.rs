@@ -18,8 +18,8 @@
 //! stand on.
 
 use crate::scenario::{ReplayPolicy, ServiceModel};
-use crate::trace::Trace;
-use fpsa_serve::{BatchPolicy, DynamicBatcher, ServeStats};
+use crate::trace::{Trace, TraceEvent};
+use fpsa_serve::{BatchPolicy, DynamicBatcher, ServeStats, WeightedFairBatcher};
 use serde::{Deserialize, Serialize};
 
 /// The result of one virtual-time replay.
@@ -29,6 +29,8 @@ pub struct VirtualReplay {
     /// (deterministic: identical across runs and thread counts).
     pub stats: ServeStats,
     /// Virtual time from the first arrival to the last batch completion.
+    /// Measured from the first event's `at_us`, not virtual t=0, so a
+    /// non-rebased slice reports the same makespan as its rebased twin.
     pub makespan_us: u64,
     /// Requests per *virtual* second: `requests / makespan`.
     pub throughput_rps: f64,
@@ -91,7 +93,7 @@ pub fn simulate(trace: &Trace, policy: ReplayPolicy, service: ServiceModel) -> V
                 (Some(deadline), Some(event)) => deadline.min(event.at_us),
                 (Some(deadline), None) => deadline,
                 (None, Some(event)) => event.at_us,
-                (None, None) => return finishize(stats, events.len(), last_finish),
+                (None, None) => return finishize(stats, events, last_finish),
             }
             .max(now);
         }
@@ -105,15 +107,167 @@ pub fn simulate(trace: &Trace, policy: ReplayPolicy, service: ServiceModel) -> V
             stats.record_latency(finish - events[index].at_us);
         }
     }
-    finishize(stats, events.len(), last_finish)
+    finishize(stats, events, last_finish)
 }
 
-fn finishize(stats: ServeStats, requests: usize, last_finish: u64) -> VirtualReplay {
-    let makespan_us = last_finish;
+/// How a virtual *fleet* replays a trace: several fabrics, each running a
+/// per-fabric [`ReplayPolicy`] over a weighted-fair multi-tenant queue,
+/// with models pinned to the fabrics that host them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetPolicy {
+    /// Replicas and batching, per fabric.
+    pub per_fabric: ReplayPolicy,
+    /// Models hosted on each fabric (a `FleetPlacement::hosted` mirror).
+    pub hosted: Vec<Vec<u16>>,
+    /// Weighted-fair shares: `(tenant, weight)`; unlisted tenants weigh 1.
+    pub tenant_weights: Vec<(u16, u64)>,
+}
+
+/// The result of one virtual fleet replay: the aggregate [`VirtualReplay`]
+/// plus each tenant's own engine-contract counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetVirtualReplay {
+    /// All tenants together.
+    pub aggregate: VirtualReplay,
+    /// Per-tenant counters, dense by tenant id.
+    pub per_tenant: Vec<ServeStats>,
+}
+
+/// Replay `trace` through a virtual fleet (see [`FleetPolicy`]): arrivals
+/// route to the hosting fabric with the shortest queue (ties to the lowest
+/// index — the deterministic mirror of `FleetEngine`'s router), each
+/// fabric's earliest-free replica claims batches under weighted-fair
+/// order, and every batch costs the scenario's [`ServiceModel`] time.
+/// Single-threaded, integer microseconds, bit-deterministic. A model
+/// hosted nowhere falls back to routing across every fabric, so a stale
+/// placement degrades to a shared queue instead of dropping work.
+pub fn simulate_fleet(
+    trace: &Trace,
+    policy: &FleetPolicy,
+    service: ServiceModel,
+) -> FleetVirtualReplay {
+    if trace.is_empty() {
+        return FleetVirtualReplay {
+            aggregate: VirtualReplay::empty(),
+            per_tenant: Vec::new(),
+        };
+    }
+    let fabrics = policy.hosted.len().max(1);
+    let per_fabric = BatchPolicy::new(policy.per_fabric.max_batch, policy.per_fabric.window_us);
+    let mut queues: Vec<WeightedFairBatcher<usize>> = (0..fabrics)
+        .map(|_| {
+            let mut queue = WeightedFairBatcher::new(per_fabric);
+            for &(tenant, weight) in &policy.tenant_weights {
+                queue.set_weight(tenant, weight);
+            }
+            queue
+        })
+        .collect();
+    let mut free = vec![vec![0u64; policy.per_fabric.replicas.max(1)]; fabrics];
+    let mut stats = ServeStats::default();
+    let mut per_tenant: Vec<ServeStats> = Vec::new();
+    let events = &trace.events;
+    let mut next = 0usize;
+    let mut last_finish = 0u64;
+    // Global monotone clock, exactly as in [`simulate`].
+    let mut clock = 0u64;
+
+    fn tenant_mut(per_tenant: &mut Vec<ServeStats>, tenant: u16) -> &mut ServeStats {
+        let index = usize::from(tenant);
+        while per_tenant.len() <= index {
+            per_tenant.push(ServeStats::default());
+        }
+        &mut per_tenant[index]
+    }
+
+    loop {
+        // The earliest instant any fabric could pop a batch: its earliest
+        // free worker's time (clamped to the global clock), or the oldest
+        // lane's deadline if nothing is ready yet. Ties go to the lowest
+        // fabric index.
+        let mut action: Option<(u64, usize)> = None;
+        for (fabric, queue) in queues.iter().enumerate() {
+            let worker_free = *free[fabric].iter().min().expect("replicas >= 1");
+            let base = worker_free.max(clock);
+            let at = if queue.ready(base) {
+                Some(base)
+            } else {
+                queue.next_deadline_us().map(|d| d.max(base))
+            };
+            if let Some(at) = at {
+                if action.is_none_or(|(best, _)| at < best) {
+                    action = Some((at, fabric));
+                }
+            }
+        }
+
+        // Arrivals up to the action instant are admitted first (and one at
+        // a time, because each admission can enable an earlier action), so
+        // simultaneity resolves identically on every run.
+        let horizon = action.map_or(u64::MAX, |(at, _)| at);
+        if next < events.len() && events[next].at_us <= horizon {
+            let event = &events[next];
+            let fabric = (0..fabrics)
+                .filter(|&f| policy.hosted[f].contains(&event.model))
+                .min_by_key(|&f| (queues[f].len(), f))
+                .unwrap_or_else(|| {
+                    (0..fabrics)
+                        .min_by_key(|&f| (queues[f].len(), f))
+                        .expect("fabrics >= 1")
+                });
+            queues[fabric].push(event.tenant, next, event.at_us);
+            let depth = queues[fabric].len();
+            stats.submitted += 1;
+            stats.record_queue_depth(depth);
+            let tenant = tenant_mut(&mut per_tenant, event.tenant);
+            tenant.submitted += 1;
+            tenant.record_queue_depth(depth);
+            next += 1;
+            continue;
+        }
+
+        let Some((now, fabric)) = action else {
+            break; // no queued work and no arrivals left
+        };
+        let (worker, _) = free[fabric]
+            .iter()
+            .copied()
+            .enumerate()
+            .min_by_key(|&(i, t)| (t, i))
+            .expect("replicas >= 1");
+        let (tenant_id, batch) = queues[fabric]
+            .pop_ready(now)
+            .expect("a fabric's action instant has a ready batch");
+        clock = now;
+        let finish = now + service.batch_us(batch.len());
+        free[fabric][worker] = finish;
+        last_finish = last_finish.max(finish);
+        stats.record_batch(batch.len(), true);
+        let tenant = tenant_mut(&mut per_tenant, tenant_id);
+        tenant.record_batch(batch.len(), true);
+        for index in batch {
+            let latency = finish - events[index].at_us;
+            stats.record_latency(latency);
+            tenant_mut(&mut per_tenant, tenant_id).record_latency(latency);
+        }
+    }
+
+    FleetVirtualReplay {
+        aggregate: finishize(stats, events, last_finish),
+        per_tenant,
+    }
+}
+
+fn finishize(stats: ServeStats, events: &[TraceEvent], last_finish: u64) -> VirtualReplay {
+    // Makespan runs from the first *arrival*, not virtual t=0: a trace
+    // slice that was not rebased starts deep into virtual time, and
+    // counting that dead lead-in would deflate throughput_rps.
+    let first_at = events.first().map_or(0, |e| e.at_us);
+    let makespan_us = last_finish.saturating_sub(first_at);
     VirtualReplay {
         stats,
         makespan_us,
-        throughput_rps: requests as f64 / (makespan_us.max(1) as f64 / 1_000_000.0),
+        throughput_rps: events.len() as f64 / (makespan_us.max(1) as f64 / 1_000_000.0),
     }
 }
 
@@ -124,7 +278,7 @@ mod tests {
     use crate::trace::TraceRecorder;
 
     fn replay(scenario: &Scenario) -> VirtualReplay {
-        let trace = TraceRecorder::new(scenario).record();
+        let trace = TraceRecorder::new(scenario).record().unwrap();
         simulate(&trace, scenario.policy, scenario.service)
     }
 
@@ -198,6 +352,126 @@ mod tests {
             four.makespan_us,
             one.makespan_us
         );
+    }
+
+    #[test]
+    fn makespan_is_measured_from_the_first_arrival() {
+        let scenario = Scenario::steady("rebase", "m", 7, 300);
+        let trace = TraceRecorder::new(&scenario).record().unwrap();
+        let mid = trace.len() / 2;
+        // A non-rebased tail slice starts deep into virtual time; its
+        // rebased twin is the same workload shifted to t=0. Both must
+        // report the same makespan (and therefore the same throughput).
+        let tail = Trace {
+            scenario: trace.scenario.clone(),
+            seed: trace.seed,
+            events: trace.events[mid..].to_vec(),
+        };
+        assert!(tail.events[0].at_us > 0, "tail must not start at t=0");
+        let raw = simulate(&tail, scenario.policy, scenario.service);
+        let rebased = simulate(
+            &trace.slice_rebased(mid..trace.len()),
+            scenario.policy,
+            scenario.service,
+        );
+        assert_eq!(raw.makespan_us, rebased.makespan_us);
+        assert_eq!(raw.throughput_rps, rebased.throughput_rps);
+    }
+
+    fn zoo_scenario(requests: usize) -> Scenario {
+        let mut scenario = Scenario::steady("fleet-sim", "mlp", 9, requests);
+        scenario.models = vec![
+            crate::scenario::MixEntry {
+                name: "mlp".into(),
+                weight: 4.0,
+            },
+            crate::scenario::MixEntry {
+                name: "cnn".into(),
+                weight: 1.0,
+            },
+        ];
+        scenario.tenants = vec![
+            crate::scenario::MixEntry {
+                name: "free".into(),
+                weight: 1.0,
+            },
+            crate::scenario::MixEntry {
+                name: "pro".into(),
+                weight: 3.0,
+            },
+        ];
+        scenario
+    }
+
+    #[test]
+    fn fleet_replay_completes_every_request_exactly_once() {
+        let scenario = zoo_scenario(500);
+        let trace = TraceRecorder::new(&scenario).record().unwrap();
+        let policy = FleetPolicy {
+            per_fabric: scenario.policy,
+            hosted: vec![vec![0, 1], vec![0, 1]],
+            tenant_weights: vec![(1, 3)],
+        };
+        let replay = simulate_fleet(&trace, &policy, scenario.service);
+        assert_eq!(replay.aggregate.stats.submitted, 500);
+        assert_eq!(replay.aggregate.stats.completed, 500);
+        assert_eq!(
+            replay.per_tenant.iter().map(|t| t.completed).sum::<u64>(),
+            500,
+            "per-tenant counters partition the aggregate"
+        );
+        assert_eq!(replay.per_tenant.len(), 2);
+        assert!(replay.per_tenant.iter().all(|t| t.submitted > 0));
+        // Bit-deterministic, like the single-engine clock.
+        assert_eq!(replay, simulate_fleet(&trace, &policy, scenario.service));
+    }
+
+    #[test]
+    fn colocation_beats_dedicated_fabrics_on_a_skewed_mix() {
+        // Model 0 carries 4x model 1's load. Dedicated fabrics bottleneck
+        // on model 0's chip while model 1's sits mostly idle; a co-located
+        // fleet (every fabric serves every model, shortest-queue routing)
+        // spreads the hot model across both.
+        let mut scenario = zoo_scenario(800).with_arrival(ArrivalProcess::Poisson {
+            rate_per_s: 50_000.0,
+        });
+        scenario.service = crate::scenario::ServiceModel {
+            base_us: 150,
+            per_request_us: 40,
+        };
+        let trace = TraceRecorder::new(&scenario).record().unwrap();
+        let colocated = FleetPolicy {
+            per_fabric: scenario.policy,
+            hosted: vec![vec![0, 1], vec![0, 1]],
+            tenant_weights: Vec::new(),
+        };
+        let dedicated = FleetPolicy {
+            per_fabric: scenario.policy,
+            hosted: vec![vec![0], vec![1]],
+            tenant_weights: Vec::new(),
+        };
+        let fleet = simulate_fleet(&trace, &colocated, scenario.service);
+        let split = simulate_fleet(&trace, &dedicated, scenario.service);
+        assert!(
+            fleet.aggregate.makespan_us < split.aggregate.makespan_us,
+            "co-located {} >= dedicated {}",
+            fleet.aggregate.makespan_us,
+            split.aggregate.makespan_us
+        );
+    }
+
+    #[test]
+    fn unhosted_models_degrade_to_shared_routing_instead_of_dropping() {
+        let scenario = zoo_scenario(120);
+        let trace = TraceRecorder::new(&scenario).record().unwrap();
+        // Model 1 is hosted nowhere: it still routes (across all fabrics).
+        let policy = FleetPolicy {
+            per_fabric: scenario.policy,
+            hosted: vec![vec![0]],
+            tenant_weights: Vec::new(),
+        };
+        let replay = simulate_fleet(&trace, &policy, scenario.service);
+        assert_eq!(replay.aggregate.stats.completed, 120);
     }
 
     #[test]

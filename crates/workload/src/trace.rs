@@ -12,7 +12,7 @@
 //! index alone — no stream scanning, no cross-contamination when one
 //! component adds draws.
 
-use crate::scenario::{ArrivalProcess, Scenario};
+use crate::scenario::{ArrivalProcess, Scenario, ScenarioParseError};
 use fpsa_nn::seeds;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -96,8 +96,16 @@ impl Trace {
     }
 
     /// Clone the events in `range` rebased so the slice's first arrival is
-    /// at virtual time 0 — the unit the phase clusterer replays.
+    /// at virtual time 0 — the unit the phase clusterer replays. An empty
+    /// range yields an empty trace (same scenario and seed, no events).
     pub fn slice_rebased(&self, range: std::ops::Range<usize>) -> Trace {
+        if range.is_empty() {
+            return Trace {
+                scenario: self.scenario.clone(),
+                seed: self.seed,
+                events: Vec::new(),
+            };
+        }
         let base = self.events[range.start].at_us;
         Trace {
             scenario: self.scenario.clone(),
@@ -150,7 +158,15 @@ impl TraceRecorder {
     /// Record the scenario into an explicit trace of exactly
     /// `scenario.requests` events. Deterministic: same scenario + seed,
     /// same trace, bit for bit.
-    pub fn record(&self) -> Trace {
+    ///
+    /// # Errors
+    ///
+    /// [`Scenario::validate`]'s error when the scenario is degenerate.
+    /// Builder-constructed scenarios never went through the `parse` path,
+    /// so this is where e.g. an all-zero mix weight surfaces as a typed
+    /// error instead of a `gen_range(0.0..0.0)` panic deep in the sampler.
+    pub fn record(&self) -> Result<Trace, ScenarioParseError> {
+        self.scenario.validate()?;
         let s = &self.scenario;
         let mut mix_rng = [
             StdRng::seed_from_u64(seeds::derive(s.seed, seeds::STREAM_MIX, 0)),
@@ -178,11 +194,11 @@ impl TraceRecorder {
                 });
             }
         }
-        Trace {
+        Ok(Trace {
             scenario: s.name.clone(),
             seed: s.seed,
             events,
-        }
+        })
     }
 
     /// The (unbounded) arrival-time stream for the scenario's process, in
@@ -278,14 +294,14 @@ mod tests {
 
     #[test]
     fn recording_is_deterministic_and_exactly_sized() {
-        let a = TraceRecorder::new(&scenario()).record();
-        let b = TraceRecorder::new(&scenario()).record();
+        let a = TraceRecorder::new(&scenario()).record().unwrap();
+        let b = TraceRecorder::new(&scenario()).record().unwrap();
         assert_eq!(a, b);
         assert_eq!(a.fingerprint(), b.fingerprint());
         assert_eq!(a.len(), 500);
         let mut reseeded = scenario();
         reseeded.seed = 12;
-        let c = TraceRecorder::new(&reseeded).record();
+        let c = TraceRecorder::new(&reseeded).record().unwrap();
         assert_ne!(a.fingerprint(), c.fingerprint());
     }
 
@@ -310,7 +326,9 @@ mod tests {
                 barrier_us: 250,
             },
         ] {
-            let trace = TraceRecorder::new(&scenario().with_arrival(arrival.clone())).record();
+            let trace = TraceRecorder::new(&scenario().with_arrival(arrival.clone()))
+                .record()
+                .unwrap();
             assert_eq!(trace.len(), 500, "{arrival:?}");
             for pair in trace.events.windows(2) {
                 assert!(pair[0].at_us <= pair[1].at_us, "{arrival:?} not monotone");
@@ -325,7 +343,7 @@ mod tests {
 
     #[test]
     fn tenant_mix_weights_are_respected() {
-        let trace = TraceRecorder::new(&scenario()).record();
+        let trace = TraceRecorder::new(&scenario()).record().unwrap();
         let b_share =
             trace.events.iter().filter(|e| e.tenant == 1).count() as f64 / trace.len() as f64;
         assert!(
@@ -336,7 +354,7 @@ mod tests {
 
     #[test]
     fn inputs_are_regenerable_per_index() {
-        let trace = TraceRecorder::new(&scenario()).record();
+        let trace = TraceRecorder::new(&scenario()).record().unwrap();
         let x = trace.input_for(42, 16);
         assert_eq!(x.len(), 16);
         assert_eq!(x, trace.input_for(42, 16));
@@ -346,7 +364,7 @@ mod tests {
 
     #[test]
     fn rebased_slices_start_at_zero_and_preserve_gaps() {
-        let trace = TraceRecorder::new(&scenario()).record();
+        let trace = TraceRecorder::new(&scenario()).record().unwrap();
         let slice = trace.slice_rebased(100..200);
         assert_eq!(slice.len(), 100);
         assert_eq!(slice.events[0].at_us, 0);
@@ -359,6 +377,28 @@ mod tests {
     }
 
     #[test]
+    fn empty_slices_rebase_to_empty_traces() {
+        let trace = TraceRecorder::new(&scenario()).record().unwrap();
+        for range in [0..0, 250..250, trace.len()..trace.len()] {
+            let empty = trace.slice_rebased(range);
+            assert!(empty.is_empty());
+            assert_eq!(empty.scenario, trace.scenario);
+            assert_eq!(empty.seed, trace.seed);
+        }
+    }
+
+    #[test]
+    fn zero_weight_mixes_are_a_typed_error_not_a_panic() {
+        let mut degenerate = scenario();
+        for entry in &mut degenerate.tenants {
+            entry.weight = 0.0;
+        }
+        let err = TraceRecorder::new(&degenerate).record().unwrap_err();
+        assert!(err.message.contains("weights must be > 0"), "{err}");
+        assert_eq!(err.line, 0);
+    }
+
+    #[test]
     fn adversarial_closed_loop_resynchronizes_on_the_barrier() {
         let trace = TraceRecorder::new(&scenario().with_arrival(
             ArrivalProcess::AdversarialClosedLoop {
@@ -367,7 +407,8 @@ mod tests {
                 barrier_us: 500,
             },
         ))
-        .record();
+        .record()
+        .unwrap();
         // After the initial herd at t=0, every arrival lands on a barrier
         // multiple — the re-synchronized thundering pattern.
         assert!(trace.events.iter().all(|e| e.at_us % 500 == 0));

@@ -59,8 +59,8 @@ fn bind(
 
 #[test]
 fn recording_the_same_scenario_twice_yields_the_identical_trace() {
-    let a = TraceRecorder::new(&scenario("tiny_cnn")).record();
-    let b = TraceRecorder::new(&scenario("tiny_cnn")).record();
+    let a = TraceRecorder::new(&scenario("tiny_cnn")).record().unwrap();
+    let b = TraceRecorder::new(&scenario("tiny_cnn")).record().unwrap();
     assert_eq!(a, b);
     assert_eq!(a.fingerprint(), b.fingerprint());
     // And the inputs regenerate identically per index.
@@ -75,7 +75,7 @@ fn replayed_outputs_are_bit_identical_across_runs_replicas_and_client_streams() 
     let params = GraphParameters::seeded(&graph, 0x5EED);
     let compiled = Compiler::fpsa().compile(&graph).expect("tiny CNN compiles");
     let scenario = scenario("tiny_cnn");
-    let trace = TraceRecorder::new(&scenario).record();
+    let trace = TraceRecorder::new(&scenario).record().unwrap();
     let input_len = graph.input_elements();
     let replayer = TraceReplayer::new(&trace, input_len);
     let calibration: Vec<Vec<f32>> = (0..trace.len())
@@ -123,7 +123,7 @@ fn replayed_outputs_are_bit_identical_across_runs_replicas_and_client_streams() 
 #[test]
 fn virtual_stats_are_identical_across_runs_and_host_thread_counts() {
     let scenario = scenario("tiny_cnn");
-    let trace = TraceRecorder::new(&scenario).record();
+    let trace = TraceRecorder::new(&scenario).record().unwrap();
     let baseline = simulate(&trace, scenario.policy, scenario.service);
     assert_eq!(baseline.stats.completed, REQUESTS as u64);
 
@@ -154,7 +154,7 @@ fn virtual_stats_do_not_depend_on_real_engine_replica_count() {
     // replaying the same trace against real engines of different replica
     // counts must not perturb it (they are separate domains by design).
     let scenario = scenario("tiny_mlp");
-    let trace = TraceRecorder::new(&scenario).record();
+    let trace = TraceRecorder::new(&scenario).record().unwrap();
     let before = simulate(&trace, scenario.policy, scenario.service);
 
     let graph = zoo::tiny_mlp();

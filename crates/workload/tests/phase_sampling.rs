@@ -58,7 +58,7 @@ fn phase_sampling_tracks_the_full_replay_on_every_arrival_process() {
     ] {
         let scenario =
             Scenario::steady(format!("phase-{name}"), "m", 0xFA5E, 16_000).with_arrival(arrival);
-        let trace = TraceRecorder::new(&scenario).record();
+        let trace = TraceRecorder::new(&scenario).record().unwrap();
         let full = simulate(&trace, scenario.policy, scenario.service);
         let p = plan(&trace, PhaseConfig::default());
         let phased = simulate_phased(&trace, &p, scenario.policy, scenario.service);
@@ -70,7 +70,7 @@ fn phase_sampling_tracks_the_full_replay_on_every_arrival_process() {
 #[test]
 fn phased_estimates_are_deterministic() {
     let scenario = diurnal(12_000);
-    let trace = TraceRecorder::new(&scenario).record();
+    let trace = TraceRecorder::new(&scenario).record().unwrap();
     let a = plan(&trace, PhaseConfig::default());
     let b = plan(&trace, PhaseConfig::default());
     assert_eq!(a, b);
@@ -89,7 +89,7 @@ fn phase_sampled_replay_of_100k_requests_is_within_tolerance_at_a_tenth_the_cost
     use std::time::Instant;
 
     let scenario = diurnal(120_000);
-    let trace = TraceRecorder::new(&scenario).record();
+    let trace = TraceRecorder::new(&scenario).record().unwrap();
     assert!(trace.len() >= 100_000);
 
     let full_start = Instant::now();

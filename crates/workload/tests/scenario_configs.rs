@@ -3,7 +3,8 @@
 //! this suite so a config typo is caught at review time, not when a bench
 //! run silently skips the file.
 
-use fpsa_workload::{Scenario, TraceRecorder};
+use fpsa_workload::{MixEntry, Scenario, TraceRecorder};
+use proptest::prelude::*;
 use std::path::PathBuf;
 
 fn scenarios_dir() -> PathBuf {
@@ -52,6 +53,76 @@ fn every_checked_in_scenario_parses_and_round_trips() {
     }
 }
 
+/// The config format's safe alphabet (no `#`, no whitespace) — anything
+/// validation accepts must round-trip exactly. `:` is deliberately in the
+/// pool: `rsplit_once` keeps colon-bearing names parseable.
+const SAFE_ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_.:-";
+
+fn safe_name(indices: &[usize]) -> String {
+    indices
+        .iter()
+        .map(|&i| SAFE_ALPHABET[i % SAFE_ALPHABET.len()] as char)
+        .collect()
+}
+
+/// A positive decimal weight; Rust's shortest-round-trip float formatting
+/// guarantees render → parse reproduces the exact bits.
+fn weight(mantissa: u64, shift: u32) -> f64 {
+    mantissa as f64 / 10f64.powi(shift as i32)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn safe_names_round_trip_exactly(
+        names in collection::vec(collection::vec(0usize..66, 1..13), 5),
+        mantissas in collection::vec(1u64..1_000_000_000, 4),
+        shifts in collection::vec(0u32..6, 4),
+        split in 1usize..4,
+        seed in 0u64..1_000_000_000,
+    ) {
+        let entries: Vec<MixEntry> = names[1..]
+            .iter()
+            .zip(mantissas.iter().zip(&shifts))
+            .map(|(idx, (&m, &s))| MixEntry {
+                name: safe_name(idx),
+                weight: weight(m, s),
+            })
+            .collect();
+        let mut scenario = Scenario::steady(safe_name(&names[0]), "placeholder", seed, 128);
+        scenario.models = entries[..split].to_vec();
+        scenario.tenants = entries[split..].to_vec();
+        prop_assert!(scenario.validate().is_ok());
+        let reparsed = Scenario::parse(&scenario.to_config_string())
+            .expect("validated scenarios re-parse");
+        prop_assert_eq!(reparsed, scenario);
+    }
+
+    #[test]
+    fn hostile_names_fail_validation_before_they_can_corrupt_a_config(
+        prefix in collection::vec(0usize..66, 0..7),
+        suffix in collection::vec(0usize..66, 0..7),
+        hostile in 0usize..5,
+        slot in 0usize..3,
+    ) {
+        let poison = ["#", " ", "\t", "a#b", "a b"][hostile];
+        let name = format!("{}{poison}{}", safe_name(&prefix), safe_name(&suffix));
+        let mut scenario = Scenario::steady("hostile", "m", 1, 16);
+        match slot {
+            0 => scenario.models[0].name = name,
+            1 => scenario.tenants[0].name = name,
+            // The scenario name tolerates interior whitespace (it is the
+            // whole rest of the line) but never `#`.
+            _ => scenario.name = format!("{}#{}", safe_name(&prefix), safe_name(&suffix)),
+        }
+        prop_assert!(scenario.validate().is_err());
+        // And recording refuses too — the typed error, not a panic or a
+        // silently truncated mix.
+        prop_assert!(TraceRecorder::new(&scenario).record().is_err());
+    }
+}
+
 #[test]
 fn every_checked_in_scenario_records_a_well_formed_trace() {
     for (name, scenario) in checked_in_scenarios() {
@@ -59,7 +130,7 @@ fn every_checked_in_scenario_records_a_well_formed_trace() {
         // a 2k-request prefix exercises the same arrival machinery.
         let mut small = scenario.clone();
         small.requests = small.requests.min(2_000);
-        let trace = TraceRecorder::new(&small).record();
+        let trace = TraceRecorder::new(&small).record().unwrap();
         assert_eq!(trace.len(), small.requests, "{name}");
         assert!(
             trace.events.windows(2).all(|p| p[0].at_us <= p[1].at_us),

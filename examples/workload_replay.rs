@@ -26,7 +26,9 @@ fn main() {
             period_us: 1_000_000,
         })
         .with_batch_mix(vec![(1, 0.7), (4, 0.3)]);
-    let trace = TraceRecorder::new(&scenario).record();
+    let trace = TraceRecorder::new(&scenario)
+        .record()
+        .expect("scenario is valid");
     println!(
         "recorded `{}`: {} events over {:.2} virtual s, fingerprint {:016x}",
         scenario.name,
@@ -65,7 +67,9 @@ fn main() {
     let compiled = Compiler::fpsa().compile(&graph).expect("MLP compiles");
     let mut short = scenario.clone();
     short.requests = 64;
-    let short_trace = TraceRecorder::new(&short).record();
+    let short_trace = TraceRecorder::new(&short)
+        .record()
+        .expect("scenario is valid");
     let replayer = TraceReplayer::new(&short_trace, graph.input_elements());
 
     let engine = ServeEngine::start(

@@ -21,6 +21,8 @@
 //!   pipeline-serve models across chips
 //! * [`workload`] — declarative workload scenarios, deterministic trace
 //!   record/replay and SimPoint-style phase-sampled benchmarking
+//! * [`fleet`] — multi-tenant model-fleet serving: compile-once registry,
+//!   co-location packing, weighted-fair tenant queues, per-tenant SLOs
 //!
 //! # Quick start
 //!
@@ -38,6 +40,7 @@
 pub use fpsa_arch as arch;
 pub use fpsa_core as core;
 pub use fpsa_device as device;
+pub use fpsa_fleet as fleet;
 pub use fpsa_mapper as mapper;
 pub use fpsa_nn as nn;
 pub use fpsa_placeroute as placeroute;
