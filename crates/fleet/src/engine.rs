@@ -212,29 +212,33 @@ impl BindCache {
         }
     }
 
-    /// The bound executor for `model`, binding (and possibly evicting the
-    /// least-recently-used handle) on a miss.
-    fn get(
-        &mut self,
-        model: ModelId,
-        registry: &ModelRegistry,
-    ) -> Result<Arc<Executor>, ServeError> {
+    /// The cached executor for `model`, refreshing its recency on a hit.
+    /// A miss is counted here — the caller binds *outside* the cache lock
+    /// (so a slow cold bind never blocks a sibling replica's hit lookups)
+    /// and hands the result to [`BindCache::insert`].
+    fn lookup(&mut self, model: ModelId) -> Option<Arc<Executor>> {
         self.clock += 1;
         let clock = self.clock;
         if let Some(entry) = self.entries.iter_mut().find(|(id, _, _)| *id == model) {
             entry.2 = clock;
             self.stats.hits += 1;
-            return Ok(Arc::clone(&entry.1));
+            return Some(Arc::clone(&entry.1));
         }
         self.stats.misses += 1;
-        let spec = registry
-            .get(model)
-            .ok_or(ServeError::UnknownModel { model })?;
-        let executor = spec
-            .compiled
-            .executor(&spec.graph, &spec.params, &spec.precision)
-            .map_err(ServeError::Exec)?;
-        let executor = Arc::new(executor);
+        None
+    }
+
+    /// Install a freshly bound executor, evicting the least-recently-used
+    /// handle at capacity. If a racing worker bound `model` first, its
+    /// entry wins (recency refreshed) so the cache never holds duplicates;
+    /// the returned handle is the one the caller should run with.
+    fn insert(&mut self, model: ModelId, executor: Arc<Executor>) -> Arc<Executor> {
+        self.clock += 1;
+        let clock = self.clock;
+        if let Some(entry) = self.entries.iter_mut().find(|(id, _, _)| *id == model) {
+            entry.2 = clock;
+            return Arc::clone(&entry.1);
+        }
         if self.entries.len() >= self.capacity {
             let lru = self
                 .entries
@@ -247,8 +251,20 @@ impl BindCache {
             self.stats.evictions += 1;
         }
         self.entries.push((model, Arc::clone(&executor), clock));
-        Ok(executor)
+        executor
     }
+}
+
+/// Bind `model`'s executor from the registry — the cold half of the bind
+/// cache, run without any fabric lock held.
+fn bind_executor(registry: &ModelRegistry, model: ModelId) -> Result<Arc<Executor>, ServeError> {
+    let spec = registry
+        .get(model)
+        .ok_or(ServeError::UnknownModel { model })?;
+    spec.compiled
+        .executor(&spec.graph, &spec.params, &spec.precision)
+        .map(Arc::new)
+        .map_err(ServeError::Exec)
 }
 
 /// Per-tenant counters behind the stats mutex.
@@ -445,7 +461,6 @@ impl FleetEngine {
 
         let (tx, ticket) = Ticket::channel();
         let unit = &self.shared.fabrics[fabric];
-        let depth;
         {
             let mut state = unit.state.lock().expect("fabric lock");
             if state.shutdown {
@@ -466,10 +481,10 @@ impl FleetEngine {
                 },
                 now,
             );
-            depth = state.queue.len();
-        }
-        unit.work.notify_one();
-        {
+            let depth = state.queue.len();
+            // Counted while the fabric lock is still held: a worker cannot
+            // pop (let alone complete) this request before the lock drops,
+            // so `completed <= submitted` holds in every stats() snapshot.
             let mut stats = self.shared.stats.lock().expect("stats lock");
             stats.aggregate.submitted += 1;
             stats.aggregate.record_queue_depth(depth);
@@ -477,6 +492,7 @@ impl FleetEngine {
             tenant_state.stats.submitted += 1;
             tenant_state.stats.record_queue_depth(depth);
         }
+        unit.work.notify_one();
         ticket
     }
 
@@ -597,18 +613,29 @@ fn worker_loop(shared: &Shared, fabric: usize) {
             let run = &mut batch[start..end];
             inputs.clear();
             inputs.extend(run.iter_mut().map(|req| std::mem::take(&mut req.input)));
-            let result = {
-                let executor = shared.fabrics[fabric]
-                    .binds
-                    .lock()
-                    .expect("bind cache lock")
-                    .get(model, &shared.registry);
-                match executor {
-                    Ok(exec) => exec
-                        .run_batch_into(&inputs, &mut arena, &mut outputs)
-                        .map_err(ServeError::Exec),
-                    Err(e) => Err(e),
-                }
+            // Cache lookup and insert each hold the bind mutex briefly;
+            // the bind itself runs unlocked, so a slow cold bind never
+            // stalls a sibling replica's cache hits on the same fabric.
+            let cached = shared.fabrics[fabric]
+                .binds
+                .lock()
+                .expect("bind cache lock")
+                .lookup(model);
+            let executor = match cached {
+                Some(exec) => Ok(exec),
+                None => bind_executor(&shared.registry, model).map(|exec| {
+                    shared.fabrics[fabric]
+                        .binds
+                        .lock()
+                        .expect("bind cache lock")
+                        .insert(model, exec)
+                }),
+            };
+            let result = match executor {
+                Ok(exec) => exec
+                    .run_batch_into(&inputs, &mut arena, &mut outputs)
+                    .map_err(ServeError::Exec),
+                Err(e) => Err(e),
             };
             let done_us = shared.now_us();
             {

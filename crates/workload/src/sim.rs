@@ -216,6 +216,13 @@ pub fn simulate_fleet(
                         .expect("fabrics >= 1")
                 });
             queues[fabric].push(event.tenant, next, event.at_us);
+            // Admission advances the global clock to the arrival instant
+            // (the fleet mirror of `simulate`'s `.max(now)` on event
+            // times). Without this, a count-full queue is "ready" at the
+            // stale clock and a batch can be popped *before* its items
+            // arrived, underflowing `finish - at_us`. Safe to advance:
+            // `at_us <= horizon` means no fabric had an earlier action.
+            clock = clock.max(event.at_us);
             let depth = queues[fabric].len();
             stats.submitted += 1;
             stats.record_queue_depth(depth);
@@ -457,6 +464,53 @@ mod tests {
             "co-located {} >= dedicated {}",
             fleet.aggregate.makespan_us,
             split.aggregate.makespan_us
+        );
+    }
+
+    #[test]
+    fn sparse_arrivals_never_start_service_before_they_arrive() {
+        // max_batch = 1 makes a single queued request count-full, so a
+        // fabric is "ready" at any instant once something is admitted.
+        // Sparse arrivals leave the workers free long before each event:
+        // before admission advanced the global clock, the pop happened at
+        // the stale clock, service started before the arrival, and
+        // `finish - at_us` underflowed (a debug panic; wrapped, huge
+        // latencies in release).
+        let trace = Trace {
+            scenario: "sparse".into(),
+            seed: 0,
+            events: (0..10u64)
+                .map(|i| TraceEvent {
+                    at_us: 10_000 * (i + 1),
+                    tenant: (i % 2) as u16,
+                    model: 0,
+                    group: i as u32,
+                })
+                .collect(),
+        };
+        let mut per_fabric = Scenario::steady("sparse", "m", 1, 1).policy;
+        per_fabric.max_batch = 1;
+        let policy = FleetPolicy {
+            per_fabric,
+            hosted: vec![vec![0]],
+            tenant_weights: Vec::new(),
+        };
+        let service = crate::scenario::ServiceModel {
+            base_us: 50,
+            per_request_us: 10,
+        };
+        let replay = simulate_fleet(&trace, &policy, service);
+        assert_eq!(replay.aggregate.stats.completed, 10);
+        // Each request is served alone the moment it arrives, so every
+        // latency is exactly one single-request service time — nothing
+        // negative, nothing wrapped.
+        assert_eq!(replay.aggregate.stats.max_latency_us, service.batch_us(1));
+        // Makespan runs from the first arrival (10ms) to the last finish
+        // (100ms + one service), never from the stale virtual t=0.
+        assert_eq!(
+            replay.aggregate.makespan_us,
+            90_000 + service.batch_us(1),
+            "service must not start before the arrival clock"
         );
     }
 
