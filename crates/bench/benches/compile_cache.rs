@@ -15,7 +15,7 @@
 //!   equal-or-better HPWL).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use fpsa_bench::{print_experiment, save_text_at_root};
+use fpsa_bench::{print_experiment, save_bench_artifact};
 use fpsa_core::compiler::PlaceRouteConfig;
 use fpsa_core::{CompileCache, Compiler, Evaluator};
 use fpsa_nn::params::mlp_graph;
@@ -171,7 +171,7 @@ fn bench(c: &mut Criterion) {
         "Compile cache: cold vs cached vs warm-started compilation",
         &to_table(&report),
     );
-    save_text_at_root("BENCH_compile.json", &to_json(&report));
+    save_bench_artifact("BENCH_compile.json", &to_json(&report));
 
     let mut group = c.benchmark_group("compile_cache");
     group.sample_size(10);

@@ -15,7 +15,7 @@
 //! execution datapoint.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use fpsa_bench::{print_experiment, save_text_at_root};
+use fpsa_bench::{print_experiment, save_bench_artifact};
 use fpsa_core::validate::sample_inputs;
 use fpsa_core::Compiler;
 use fpsa_nn::{zoo, ComputationalGraph, GraphParameters};
@@ -156,7 +156,7 @@ fn bench(c: &mut Criterion) {
         &to_table(&rows),
     );
     let min_speedup = rows.iter().map(|r| r.speedup).fold(f64::INFINITY, f64::min);
-    save_text_at_root("BENCH_exec.json", &to_json(&rows, min_speedup));
+    save_bench_artifact("BENCH_exec.json", &to_json(&rows, min_speedup));
 
     let mut group = c.benchmark_group("exec_forward");
     group.sample_size(10);

@@ -12,7 +12,7 @@
 //! recorded as advisory context, never pinned.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use fpsa_bench::{print_experiment, save_text_at_root};
+use fpsa_bench::{print_experiment, save_bench_artifact};
 use fpsa_fleet::experiments::fleet::{checked_in_zoo, measure_dedicated, run, FleetComparison};
 use fpsa_workload::{simulate_fleet, FleetPolicy, TraceRecorder};
 use std::fmt::Write as _;
@@ -114,7 +114,7 @@ fn bench(c: &mut Criterion) {
         "Fleet serving: co-located zoo vs dedicated single-model fabrics",
         &to_table(&comparison, dedicated_measured_rps),
     );
-    save_text_at_root(
+    save_bench_artifact(
         "BENCH_fleet.json",
         &to_json(&comparison, dedicated_measured_rps),
     );

@@ -15,7 +15,7 @@
 //! advisory context, never pinned.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use fpsa_bench::{print_experiment, save_text, save_text_at_root, workspace_root};
+use fpsa_bench::{print_experiment, save_bench_artifact, save_text, workspace_root};
 use fpsa_core::Compiler;
 use fpsa_nn::{zoo, GraphParameters};
 use fpsa_serve::{ServeConfig, ServeEngine};
@@ -191,7 +191,7 @@ fn bench(c: &mut Criterion) {
         "Workload scenarios: full-trace vs phase-sampled virtual replay",
         &to_table(&rows),
     );
-    save_text_at_root("BENCH_workload.json", &to_json(&rows, &smoke));
+    save_bench_artifact("BENCH_workload.json", &to_json(&rows, &smoke));
 
     // Criterion timing: the full virtual replay of the largest scenario vs
     // the phased replay of its precomputed plan — the speedup the sampling

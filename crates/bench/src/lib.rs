@@ -92,6 +92,54 @@ pub fn save_text_at_root(file_name: &str, contents: &str) {
     }
 }
 
+/// The envelope schema every root `BENCH_*.json` artifact declares. Bump
+/// when the envelope shape (not a bench's payload) changes.
+pub const BENCH_SCHEMA: &str = "fpsa-bench-v1";
+
+/// A deterministic run identifier that needs no `git describe` (bench
+/// runs happen in detached worktrees and tarballs where describe output
+/// is unavailable or unstable): the FNV-1a hash of the payload itself.
+/// The same results always carry the same id, so regenerated artifacts
+/// diff clean when nothing moved.
+pub fn run_id(payload: &str) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in payload.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    format!("fnv1a-{hash:016x}")
+}
+
+/// Wrap a pre-rendered JSON payload in the common versioned envelope
+/// (`{schema, git_describe_free_run_id, payload}`) the CI well-formedness
+/// checks validate on every root artifact.
+pub fn bench_envelope(payload: &str) -> String {
+    let payload = payload.trim_end();
+    // Indent the payload body so the envelope stays readable; the first
+    // line rides on the `"payload":` key itself.
+    let mut indented = String::with_capacity(payload.len() + 64);
+    for (i, line) in payload.lines().enumerate() {
+        if i > 0 {
+            indented.push_str("\n  ");
+        }
+        indented.push_str(line);
+    }
+    format!(
+        "{{\n  \"schema\": \"{}\",\n  \"git_describe_free_run_id\": \"{}\",\n  \"payload\": {}\n}}\n",
+        BENCH_SCHEMA,
+        run_id(payload),
+        indented
+    )
+}
+
+/// Persist a root `BENCH_*.json` artifact wrapped in the versioned
+/// envelope. All four CI-pinned artifacts go through here so the envelope
+/// cannot drift per bench. Errors are reported but not fatal, like
+/// [`save_json`].
+pub fn save_bench_artifact(file_name: &str, payload_json: &str) {
+    save_text_at_root(file_name, &bench_envelope(payload_json));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -104,6 +152,25 @@ mod tests {
     #[test]
     fn save_json_accepts_serializable_values() {
         save_json("bench-selftest", &vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn the_bench_envelope_is_versioned_and_content_addressed() {
+        let payload = "{\n  \"speedup\": 3.5\n}\n";
+        let envelope = bench_envelope(payload);
+        assert!(envelope.starts_with("{\n  \"schema\": \"fpsa-bench-v1\",\n"));
+        assert!(envelope.contains(&format!(
+            "\"git_describe_free_run_id\": \"{}\"",
+            run_id(payload.trim_end())
+        )));
+        assert!(envelope.contains("\"payload\": {\n    \"speedup\": 3.5\n  }"));
+        // Same payload, same id; different payload, different id.
+        assert_eq!(bench_envelope(payload), envelope);
+        assert_ne!(run_id("{}"), run_id("{ }"));
+        // Balanced braces: the envelope splices, never re-serializes.
+        let opens = envelope.matches('{').count();
+        assert_eq!(opens, envelope.matches('}').count());
+        assert_eq!(opens, 2, "the envelope object plus the payload object");
     }
 
     #[test]

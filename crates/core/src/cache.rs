@@ -388,6 +388,17 @@ impl CompileCache {
             }
             state.stats.saved_wall_ns += info.saved_wall_ns;
         }
+        // Mirror the outcome into the process-wide metrics registry so a
+        // run summary shows cache effectiveness next to the serving
+        // counters. Compiles are rare events; the name lookup is fine here.
+        let registry = fpsa_obs::Registry::global();
+        let metric = registry.counter(match info.outcome {
+            CacheOutcome::Hit => "compile.cache.hits",
+            CacheOutcome::Miss => "compile.cache.misses",
+            CacheOutcome::WarmStart => "compile.cache.warm_starts",
+            CacheOutcome::DiskSeed => "compile.cache.disk_seeds",
+        });
+        registry.inc(metric);
 
         match result {
             Ok(model) => Ok((model.clone(), info)),

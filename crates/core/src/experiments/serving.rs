@@ -251,7 +251,7 @@ fn measure_engine_point(
         p50_latency_us: nearest_rank_percentile(&latencies, 0.50),
         p99_latency_us: nearest_rank_percentile(&latencies, 0.99),
         mean_batch,
-        largest_batch: stats.largest_batch,
+        largest_batch: stats.largest_batch(),
         engine_p50_us: stats.p50_latency_us(),
         engine_p99_us: stats.p99_latency_us(),
         queue_depth_p99: stats.queue_depth_percentile(0.99),

@@ -302,6 +302,15 @@ impl CompileStage for PlaceRouteStage {
                 && self.config.over_limit == OverLimitPolicy::Error
             {
                 let (pes, smbs, clbs) = input.block_demand();
+                // The typed-error telemetry hook: persist the flight
+                // recorder's last moments alongside the capacity failure.
+                fpsa_obs::flight_dump_on_error(
+                    "compile.capacity_exceeded",
+                    &[
+                        ("blocks", blocks as i64),
+                        ("block_limit", self.config.block_limit as i64),
+                    ],
+                );
                 return Err(CompileError::CapacityExceeded {
                     required: FabricCapacity::new(pes, smbs, clbs),
                     available: FabricCapacity::within_block_budget(
@@ -425,9 +434,40 @@ impl InstrumentedPipeline {
         input: S::Input<'a>,
     ) -> Result<S::Output, CompileError> {
         let items_in = S::items_in(&input);
+        // Compile-stage spans ride the global tracer (wall clock); the
+        // StageTrace keeps its own wall_ns so compile benchmarks need no
+        // tracing enabled.
+        let tracer = fpsa_obs::Tracer::global();
+        let span = if tracer.enabled() {
+            tracer.enter_with(
+                stage.kind().name(),
+                "compile",
+                tracer.now_us(),
+                fpsa_obs::SpanId::NONE,
+                &[("items_in", items_in as i64)],
+            )
+        } else {
+            fpsa_obs::Span::DISABLED
+        };
         let start = Instant::now();
-        let output = stage.run(input)?;
+        let output = match stage.run(input) {
+            Ok(output) => output,
+            Err(e) => {
+                // The span still closes on the error path, marked failed.
+                if !span.id.is_none() {
+                    let ts = tracer.now_us();
+                    tracer.record(&span, "failed", 1, ts);
+                    tracer.exit(&span, ts);
+                }
+                return Err(e);
+            }
+        };
         let wall_ns = start.elapsed().as_secs_f64() * 1e9;
+        if !span.id.is_none() {
+            let ts = tracer.now_us();
+            tracer.record(&span, "items_out", S::items_out(&output) as i64, ts);
+            tracer.exit(&span, ts);
+        }
         self.trace.push(StageRecord {
             stage: stage.kind(),
             wall_ns,

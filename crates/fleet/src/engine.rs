@@ -28,6 +28,7 @@ use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
+use fpsa_obs::{Span, SpanId, Tracer};
 use fpsa_serve::{BatchPolicy, Response, ServeError, ServeStats, Ticket, WeightedFairBatcher};
 use fpsa_sim::Executor;
 
@@ -178,6 +179,11 @@ struct FleetRequest {
     input: Vec<f32>,
     submitted_us: u64,
     tx: mpsc::Sender<Response>,
+    /// The request's root trace span ([`Span::DISABLED`] when the global
+    /// tracer is off — every later tracing call on it is then a no-op).
+    span: Span,
+    /// The open `queue` child span, closed when a worker claims the batch.
+    queue_span: Span,
 }
 
 /// One fabric's queue behind its mutex.
@@ -296,6 +302,10 @@ struct Shared {
     fabrics: Vec<FabricUnit>,
     stats: Mutex<StatsState>,
     started: Instant,
+    /// Cached global-registry handles (`fleet.submitted` …) plus the
+    /// fleet-specific shed counter.
+    counters: fpsa_serve::EngineCounters,
+    shed_counter: fpsa_obs::Counter,
 }
 
 impl Shared {
@@ -366,6 +376,8 @@ impl FleetEngine {
             fabrics,
             stats: Mutex::new(stats),
             started: Instant::now(),
+            counters: fpsa_serve::EngineCounters::for_tier("fleet"),
+            shed_counter: fpsa_obs::Registry::global().counter("fleet.shed"),
         });
         let mut workers = Vec::with_capacity(placement.fabrics() * config.replicas_per_fabric);
         for fabric in 0..placement.fabrics() {
@@ -440,9 +452,31 @@ impl FleetEngine {
                     p99_us: p99,
                     budget_us: budget.p99_budget_us,
                 };
+                // The typed-error telemetry hook: mark the decision on the
+                // timeline and persist the flight-recorder postmortem (the
+                // last queue-depth samples and spans before the shed).
+                let tracer = Tracer::global();
+                if tracer.enabled() {
+                    tracer.instant(
+                        "shed",
+                        "fleet",
+                        self.shared.now_us(),
+                        &[("tenant", i64::from(tenant)), ("backlog", backlog as i64)],
+                    );
+                    fpsa_obs::flight_dump_on_error(
+                        "fleet.shed",
+                        &[
+                            ("tenant", i64::from(tenant)),
+                            ("p99_us", p99 as i64),
+                            ("budget_us", budget.p99_budget_us as i64),
+                            ("backlog", backlog as i64),
+                        ],
+                    );
+                }
                 let mut stats = self.shared.stats.lock().expect("stats lock");
                 stats.tenant_mut(tenant).shed += 1;
-                return Self::count_rejection(&mut stats, tenant, err);
+                fpsa_obs::Registry::global().inc(self.shared.shed_counter);
+                return Self::count_rejection(&self.shared, &mut stats, tenant, err);
             }
         }
 
@@ -459,14 +493,43 @@ impl FleetEngine {
             })
             .expect("hosts non-empty");
 
+        // One relaxed load when tracing is off; the routing decision and
+        // the request's queue span open outside the fabric lock.
+        let tracer = Tracer::global();
+        let (span, queue_span) = if tracer.enabled() {
+            let ts = tracer.now_us();
+            let span = tracer.enter_with(
+                "request",
+                "fleet",
+                ts,
+                SpanId::NONE,
+                &[("tenant", i64::from(tenant)), ("model", i64::from(model))],
+            );
+            tracer.record(&span, "fabric", fabric as i64, ts);
+            let queue_span = tracer.enter("queue", "fleet", ts, span.id);
+            (span, queue_span)
+        } else {
+            (Span::DISABLED, Span::DISABLED)
+        };
         let (tx, ticket) = Ticket::channel();
         let unit = &self.shared.fabrics[fabric];
         {
             let mut state = unit.state.lock().expect("fabric lock");
             if state.shutdown {
                 drop(state);
+                if !span.id.is_none() {
+                    let ts = tracer.now_us();
+                    tracer.record(&span, "shutdown", 1, ts);
+                    tracer.exit(&queue_span, ts);
+                    tracer.exit(&span, ts);
+                }
                 let mut stats = self.shared.stats.lock().expect("stats lock");
-                return Self::count_rejection(&mut stats, tenant, ServeError::ShutDown);
+                return Self::count_rejection(
+                    &self.shared,
+                    &mut stats,
+                    tenant,
+                    ServeError::ShutDown,
+                );
             }
             // Stamped under the fabric lock, so each queue's timestamps are
             // monotone and lanes stay FIFO.
@@ -478,15 +541,19 @@ impl FleetEngine {
                     input,
                     submitted_us: now,
                     tx,
+                    span,
+                    queue_span,
                 },
                 now,
             );
             let depth = state.queue.len();
+            tracer.counter("fleet.queue_depth", "fleet", now, depth as i64);
             // Counted while the fabric lock is still held: a worker cannot
             // pop (let alone complete) this request before the lock drops,
             // so `completed <= submitted` holds in every stats() snapshot.
             let mut stats = self.shared.stats.lock().expect("stats lock");
             stats.aggregate.submitted += 1;
+            self.shared.counters.submitted();
             stats.aggregate.record_queue_depth(depth);
             let tenant_state = stats.tenant_mut(tenant);
             tenant_state.stats.submitted += 1;
@@ -567,12 +634,18 @@ impl FleetEngine {
     /// rejection for the tenant and the aggregate.
     fn reject(&self, tenant: u16, err: ServeError) -> Ticket {
         let mut stats = self.shared.stats.lock().expect("stats lock");
-        Self::count_rejection(&mut stats, tenant, err)
+        Self::count_rejection(&self.shared, &mut stats, tenant, err)
     }
 
-    fn count_rejection(stats: &mut StatsState, tenant: u16, err: ServeError) -> Ticket {
+    fn count_rejection(
+        shared: &Shared,
+        stats: &mut StatsState,
+        tenant: u16,
+        err: ServeError,
+    ) -> Ticket {
         stats.aggregate.rejected += 1;
         stats.tenant_mut(tenant).stats.rejected += 1;
+        shared.counters.rejected();
         Ticket::resolved(Err(err))
     }
 }
@@ -596,10 +669,18 @@ impl fpsa_workload::RoutedReplayTarget for FleetEngine {
 /// split each into contiguous same-model runs, execute them outside the
 /// queue lock on this worker's arena, answer every ticket.
 fn worker_loop(shared: &Shared, fabric: usize) {
+    let tracer = Tracer::global();
     let mut arena = fpsa_sim::ExecArena::new();
     let mut inputs: Vec<Vec<f32>> = Vec::new();
     let mut outputs: Vec<Vec<f32>> = Vec::new();
+    let mut exec_spans: Vec<Span> = Vec::new();
     while let Some((tenant, mut batch)) = next_batch(shared, fabric) {
+        if tracer.enabled() {
+            let ts = tracer.now_us();
+            for req in &batch {
+                tracer.exit(&req.queue_span, ts);
+            }
+        }
         let mut start = 0;
         while start < batch.len() {
             // A lane is FIFO across models; a run is the longest prefix of
@@ -613,6 +694,19 @@ fn worker_loop(shared: &Shared, fabric: usize) {
             let run = &mut batch[start..end];
             inputs.clear();
             inputs.extend(run.iter_mut().map(|req| std::mem::take(&mut req.input)));
+            exec_spans.clear();
+            if tracer.enabled() {
+                let ts = tracer.now_us();
+                exec_spans.extend(run.iter().map(|req| {
+                    tracer.enter_with(
+                        "execute",
+                        "fleet",
+                        ts,
+                        req.span.id,
+                        &[("fabric", fabric as i64), ("run", run.len() as i64)],
+                    )
+                }));
+            }
             // Cache lookup and insert each hold the bind mutex briefly;
             // the bind itself runs unlocked, so a slow cold bind never
             // stalls a sibling replica's cache hits on the same fabric.
@@ -638,12 +732,19 @@ fn worker_loop(shared: &Shared, fabric: usize) {
                 Err(e) => Err(e),
             };
             let done_us = shared.now_us();
+            if !exec_spans.is_empty() {
+                let ts = tracer.now_us();
+                for span in &exec_spans {
+                    tracer.exit(span, ts);
+                }
+            }
             {
                 // Count the run before answering its tickets, so a client
                 // that just received its output observes itself in the
                 // stats.
                 let mut stats = shared.stats.lock().expect("stats lock");
                 stats.aggregate.record_batch(run.len(), result.is_ok());
+                shared.counters.batch_done(run.len(), result.is_ok());
                 if result.is_ok() {
                     for req in run.iter() {
                         let latency = done_us.saturating_sub(req.submitted_us);
@@ -663,12 +764,27 @@ fn worker_loop(shared: &Shared, fabric: usize) {
                 Ok(()) => {
                     for (req, out) in run.iter().zip(outputs.iter_mut()) {
                         let latency = done_us.saturating_sub(req.submitted_us);
-                        let _ = req.tx.send(Ok((std::mem::take(out), latency)));
+                        if req.span.id.is_none() {
+                            let _ = req.tx.send(Ok((std::mem::take(out), latency)));
+                        } else {
+                            let respond =
+                                tracer.enter("respond", "fleet", tracer.now_us(), req.span.id);
+                            let _ = req.tx.send(Ok((std::mem::take(out), latency)));
+                            let ts = tracer.now_us();
+                            tracer.record(&req.span, "latency_us", latency as i64, ts);
+                            tracer.exit(&respond, ts);
+                            tracer.exit(&req.span, ts);
+                        }
                     }
                 }
                 Err(e) => {
                     for req in run.iter() {
                         let _ = req.tx.send(Err(e.clone()));
+                        if !req.span.id.is_none() {
+                            let ts = tracer.now_us();
+                            tracer.record(&req.span, "exec_error", 1, ts);
+                            tracer.exit(&req.span, ts);
+                        }
                     }
                 }
             }

@@ -1,0 +1,90 @@
+//! S3 pin: a fleet SLO shed dumps the flight recorder.
+//!
+//! The `ServeError::Shed` construction site in `FleetEngine::submit` is a
+//! typed-error telemetry hook: with the global tracer in
+//! [`Mode::FlightRecorder`], constructing the error must capture a
+//! postmortem — the shedding tenant in the trigger args and the last
+//! queue-depth samples in the ring — retrievable via
+//! [`Tracer::last_dump`]. This lives in its own test binary because the
+//! global tracer is process-wide state.
+
+use fpsa_core::Compiler;
+use fpsa_fleet::{FleetConfig, FleetEngine, FleetPlacement, ModelRegistry, SloBudget};
+use fpsa_nn::{zoo, GraphParameters};
+use fpsa_obs::{Mode, Phase, Tracer};
+use fpsa_sim::Precision;
+
+#[test]
+fn a_shed_dumps_the_flight_recorder_with_tenant_and_queue_context() {
+    let tracer = Tracer::global();
+    tracer.clear();
+    tracer.set_mode(Mode::FlightRecorder);
+
+    let mut registry = ModelRegistry::new(Compiler::fpsa());
+    let graph = zoo::tiny_mlp();
+    let params = GraphParameters::seeded(&graph, 11);
+    let model = registry
+        .register("tiny_mlp", graph, params, Precision::Float)
+        .expect("tiny_mlp compiles");
+    let capacity = fpsa_arch::FabricCapacity::new(100_000, 20_000, 20_000);
+    let placement = FleetPlacement::pack(&registry, 1, capacity).expect("mlp fits");
+    let engine = FleetEngine::start(
+        registry,
+        placement,
+        FleetConfig::default().with_slo(
+            0,
+            SloBudget {
+                p99_budget_us: 0,
+                shed_depth: 0,
+            },
+        ),
+    );
+
+    // First request completes (no latency history yet, p99 = 0); it leaves
+    // behind spans and a `fleet.queue_depth` counter sample in the ring.
+    engine
+        .infer(0, model, vec![0.25; 16])
+        .expect("first request served");
+    // Now p99 > 0 blows the zero budget: the submit sheds — and the shed
+    // must have dumped the recorder.
+    let err = engine.submit(0, model, vec![0.5; 16]).wait().unwrap_err();
+    assert!(
+        matches!(err, fpsa_serve::ServeError::Shed { tenant: 0, .. }),
+        "expected Shed, got {err:?}"
+    );
+    engine.shutdown();
+
+    let dump = tracer
+        .last_dump()
+        .expect("constructing ServeError::Shed captures a postmortem");
+    assert_eq!(dump.reason, "fleet.shed");
+    assert!(
+        dump.args.contains(&("tenant", 0)),
+        "dump args name the shedding tenant: {:?}",
+        dump.args
+    );
+    assert!(
+        dump.args.iter().any(|&(k, _)| k == "budget_us"),
+        "dump args carry the blown budget: {:?}",
+        dump.args
+    );
+    // The ring holds the request telemetry that led up to the shed: the
+    // last queue-depth samples and the shed instant itself.
+    assert!(
+        dump.events
+            .iter()
+            .any(|e| e.phase == Phase::Counter && e.name == "fleet.queue_depth"),
+        "ring retains queue-depth samples"
+    );
+    assert!(
+        dump.events
+            .iter()
+            .any(|e| e.phase == Phase::Instant && e.name == "shed"),
+        "ring retains the shed instant"
+    );
+    assert!(dump.total_recorded >= dump.events.len() as u64);
+
+    // The global tracer outlives this test: leave it as we found it.
+    tracer.set_mode(Mode::Off);
+    tracer.clear();
+}

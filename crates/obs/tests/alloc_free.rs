@@ -1,0 +1,72 @@
+//! The hot-path contract, pinned literally: with tracing [`Mode::Off`],
+//! every recording call is allocation-free. A counting global allocator
+//! wraps the system one; the single test in this binary (it must stay
+//! alone — a second parallel test would pollute the counter) drives the
+//! whole recording surface against a disabled tracer and demands zero
+//! allocations.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use fpsa_obs::{Mode, Span, SpanId, Tracer};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+#[test]
+fn disabled_recording_calls_never_allocate() {
+    let tracer = Tracer::new();
+    assert_eq!(tracer.mode(), Mode::Off);
+    // Warm anything lazy (the monotonic clock needs no warmup, but a
+    // first call is free insurance) before the counter window opens.
+    let _ = tracer.now_us();
+    // The allocator counter is process-wide, and libtest's main thread
+    // lazily allocates its completion-channel context the first time it
+    // blocks in recv — a sleep here hands it the CPU so that one-time
+    // init lands before the window opens instead of racing into it.
+    std::thread::sleep(std::time::Duration::from_millis(50));
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let mut sink = 0u64;
+    for i in 0..10_000u64 {
+        let span = tracer.enter("span", "test", i, SpanId::NONE);
+        let child = tracer.enter_with("child", "test", i, span.id, &[("i", i as i64)]);
+        tracer.record(&span, "mark", i as i64, i);
+        tracer.instant("instant", "test", i, &[("i", i as i64)]);
+        tracer.counter("depth", "test", i, i as i64);
+        tracer.exit(&child, i);
+        tracer.exit(&span, i);
+        // Keep the disabled handles observable so the loop can't be
+        // optimized into nothing.
+        sink = sink.wrapping_add(span.id.0).wrapping_add(child.id.0);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+
+    assert_eq!(sink, 0, "disabled spans are all Span::DISABLED");
+    assert_eq!(
+        after - before,
+        0,
+        "Mode::Off recording calls must not allocate"
+    );
+
+    // The disabled handles themselves are inert everywhere.
+    let disabled = Span::DISABLED;
+    assert!(disabled.id.is_none());
+    tracer.exit(&disabled, 0);
+    assert!(tracer.events().is_empty());
+}

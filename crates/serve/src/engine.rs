@@ -33,6 +33,7 @@
 //! (`tests/determinism.rs`) pins this across all three precisions.
 
 use crate::batcher::{BatchPolicy, DynamicBatcher};
+use fpsa_obs::{Counter, Histogram, Registry, Span, SpanId, Tracer};
 use fpsa_sim::exec::{ExecError, Executor};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -154,62 +155,18 @@ impl fmt::Display for ServeError {
 impl std::error::Error for ServeError {}
 
 /// Number of power-of-two buckets in each [`ServeStats`] histogram.
-pub const STATS_BUCKETS: usize = 32;
-
-/// The histogram bucket a value lands in: bucket 0 holds zeros, bucket `i`
-/// (`i ≥ 1`) holds values in `[2^(i-1), 2^i)`. Log-spaced buckets keep the
-/// stats O(1) per request while spanning nanosecond batches to multi-second
-/// tail latencies.
-fn stats_bucket(value: u64) -> usize {
-    ((u64::BITS - value.leading_zeros()) as usize).min(STATS_BUCKETS - 1)
-}
-
-/// The inclusive upper bound of a histogram bucket (`2^i - 1`), used as the
-/// conservative representative when reading percentiles back out.
-fn bucket_upper(bucket: usize) -> u64 {
-    if bucket >= 63 {
-        u64::MAX
-    } else {
-        (1u64 << bucket) - 1
-    }
-}
-
-/// Nearest-rank percentile over a bucketed histogram: the upper bound of the
-/// first bucket whose cumulative count reaches rank `q`, capped at `max` —
-/// the largest value the histogram ever recorded. The cap is what keeps the
-/// accuracy contract honest in the saturated overflow bucket: bucket
-/// `STATS_BUCKETS - 1` holds every value from `2^30` µs (~18 min) to
-/// `u64::MAX`, so its power-of-two upper bound (`2^31 − 1` µs, ~36 min)
-/// would silently under-report a multi-hour outlier; reporting the tracked
-/// maximum instead is exact for the largest value and still an upper bound
-/// for everything else in the bucket. Zero when empty.
-fn hist_percentile(hist: &[u64; STATS_BUCKETS], max: u64, q: f64) -> u64 {
-    let total: u64 = hist.iter().sum();
-    if total == 0 {
-        return 0;
-    }
-    let rank = ((total as f64 * q).ceil() as u64).clamp(1, total);
-    let mut seen = 0u64;
-    for (i, &count) in hist.iter().enumerate() {
-        seen += count;
-        if seen >= rank {
-            return if i + 1 == STATS_BUCKETS {
-                max
-            } else {
-                bucket_upper(i).min(max)
-            };
-        }
-    }
-    max
-}
+/// An alias of [`fpsa_obs::HIST_BUCKETS`]: the serving stats were the
+/// original home of the bucketed-percentile machinery, which now lives in
+/// the shared [`fpsa_obs::Histogram`] every layer uses.
+pub const STATS_BUCKETS: usize = fpsa_obs::HIST_BUCKETS;
 
 /// Aggregate counters over an engine's lifetime.
 ///
 /// Besides the plain counters, the stats carry three power-of-two-bucketed
-/// histograms (executed batch sizes, queue depth observed at submission,
-/// request latency) whose percentiles are exact up to bucket granularity —
-/// an answer is never *under*-reported by more than one bucket (2×), at any
-/// magnitude: each histogram also tracks its true maximum
+/// [`Histogram`]s (executed batch sizes, queue depth observed at
+/// submission, request latency) whose percentiles are exact up to bucket
+/// granularity — an answer is never *under*-reported by more than one
+/// bucket (2×), at any magnitude: each histogram tracks its true maximum
 /// ([`ServeStats::largest_batch`], [`ServeStats::max_queue_depth`],
 /// [`ServeStats::max_latency_us`]), percentile reads are capped at it, and
 /// the saturated overflow bucket reports it outright instead of its
@@ -227,23 +184,15 @@ pub struct ServeStats {
     pub rejected: u64,
     /// Batches executed.
     pub batches: u64,
-    /// Largest batch observed.
-    pub largest_batch: usize,
     /// Executed batch sizes: bucket `i ≥ 1` counts batches of size in
     /// `[2^(i-1), 2^i)`.
-    pub batch_hist: [u64; STATS_BUCKETS],
-    /// Queue depth seen at each submission (after the request joined), same
-    /// bucketing.
-    pub queue_depth_hist: [u64; STATS_BUCKETS],
+    pub batch_sizes: Histogram,
+    /// Queue depth seen at each submission (after the request joined),
+    /// same bucketing.
+    pub queue_depth: Histogram,
     /// Submit-to-completion latency of every completed request in
     /// microseconds, same bucketing.
-    pub latency_hist: [u64; STATS_BUCKETS],
-    /// Deepest queue ever observed at a submission — the honest upper bound
-    /// for `queue_depth_hist`'s overflow bucket.
-    pub max_queue_depth: u64,
-    /// Largest latency ever recorded, in microseconds — the honest upper
-    /// bound for `latency_hist`'s overflow bucket.
-    pub max_latency_us: u64,
+    pub latency_us: Histogram,
 }
 
 impl ServeStats {
@@ -256,11 +205,26 @@ impl ServeStats {
         }
     }
 
+    /// Largest batch observed.
+    pub fn largest_batch(&self) -> usize {
+        self.batch_sizes.max() as usize
+    }
+
+    /// Deepest queue ever observed at a submission.
+    pub fn max_queue_depth(&self) -> u64 {
+        self.queue_depth.max()
+    }
+
+    /// Largest latency ever recorded, in microseconds.
+    pub fn max_latency_us(&self) -> u64 {
+        self.latency_us.max()
+    }
+
     /// The `q`-quantile of completed-request latency in microseconds
     /// (bucket upper bound capped at the tracked maximum; 0 when nothing
     /// completed).
     pub fn latency_percentile_us(&self, q: f64) -> u64 {
-        hist_percentile(&self.latency_hist, self.max_latency_us, q)
+        self.latency_us.percentile(q)
     }
 
     /// Median request latency in microseconds (see
@@ -276,22 +240,21 @@ impl ServeStats {
 
     /// The `q`-quantile of executed batch sizes.
     pub fn batch_size_percentile(&self, q: f64) -> u64 {
-        hist_percentile(&self.batch_hist, self.largest_batch as u64, q)
+        self.batch_sizes.percentile(q)
     }
 
     /// The `q`-quantile of the queue depth observed at submission.
     pub fn queue_depth_percentile(&self, q: f64) -> u64 {
-        hist_percentile(&self.queue_depth_hist, self.max_queue_depth, q)
+        self.queue_depth.percentile(q)
     }
 
-    /// Count one executed batch (size, largest, histogram, and the member
-    /// requests as completed or failed). Public so external measurement
-    /// substrates (the `fpsa_workload` virtual-time replay) can build
-    /// stats with the engine's exact bucketing contract.
+    /// Count one executed batch (size, histogram, and the member requests
+    /// as completed or failed). Public so external measurement substrates
+    /// (the `fpsa_workload` virtual-time replay) can build stats with the
+    /// engine's exact bucketing contract.
     pub fn record_batch(&mut self, size: usize, ok: bool) {
         self.batches += 1;
-        self.largest_batch = self.largest_batch.max(size);
-        self.batch_hist[stats_bucket(size as u64)] += 1;
+        self.batch_sizes.record(size as u64);
         if ok {
             self.completed += size as u64;
         } else {
@@ -301,14 +264,12 @@ impl ServeStats {
 
     /// Record the queue depth a submission observed.
     pub fn record_queue_depth(&mut self, depth: usize) {
-        self.max_queue_depth = self.max_queue_depth.max(depth as u64);
-        self.queue_depth_hist[stats_bucket(depth as u64)] += 1;
+        self.queue_depth.record(depth as u64);
     }
 
     /// Record one completed request's latency.
     pub fn record_latency(&mut self, us: u64) {
-        self.max_latency_us = self.max_latency_us.max(us);
-        self.latency_hist[stats_bucket(us)] += 1;
+        self.latency_us.record(us);
     }
 }
 
@@ -323,6 +284,11 @@ struct Request {
     input: Vec<f32>,
     submitted_us: u64,
     tx: mpsc::Sender<Response>,
+    /// The request's root trace span ([`Span::DISABLED`] when the global
+    /// tracer is off — every later tracing call on it is then a no-op).
+    span: Span,
+    /// The open `queue` child span, closed when a worker claims the batch.
+    queue_span: Span,
 }
 
 /// The handle [`ServeEngine::submit`] returns: redeem it for the output.
@@ -379,6 +345,46 @@ struct QueueState {
     stats: ServeStats,
 }
 
+/// Global-registry counter handles, registered once at engine start and
+/// cached so the hot path pays one relaxed RMW per event — never the
+/// registry's name-table lock.
+pub struct EngineCounters {
+    submitted: Counter,
+    completed: Counter,
+    failed: Counter,
+    rejected: Counter,
+}
+
+impl EngineCounters {
+    /// Register (idempotently) the four lifecycle counters under `tier`
+    /// (e.g. `serve` → `serve.submitted` …).
+    pub fn for_tier(tier: &str) -> EngineCounters {
+        let registry = Registry::global();
+        EngineCounters {
+            submitted: registry.counter(&format!("{tier}.submitted")),
+            completed: registry.counter(&format!("{tier}.completed")),
+            failed: registry.counter(&format!("{tier}.failed")),
+            rejected: registry.counter(&format!("{tier}.rejected")),
+        }
+    }
+
+    /// Count one admitted request.
+    pub fn submitted(&self) {
+        Registry::global().inc(self.submitted);
+    }
+
+    /// Count one rejected request.
+    pub fn rejected(&self) {
+        Registry::global().inc(self.rejected);
+    }
+
+    /// Count one executed batch: `n` completions or `n` failures.
+    pub fn batch_done(&self, n: usize, ok: bool) {
+        let counter = if ok { self.completed } else { self.failed };
+        Registry::global().add(counter, n as u64);
+    }
+}
+
 /// Everything the worker threads share (itself behind one `Arc`).
 struct Shared {
     exec: Executor,
@@ -386,6 +392,7 @@ struct Shared {
     state: Mutex<QueueState>,
     work: Condvar,
     started: Instant,
+    counters: EngineCounters,
 }
 
 impl Shared {
@@ -434,6 +441,7 @@ impl ServeEngine {
             }),
             work: Condvar::new(),
             started: Instant::now(),
+            counters: EngineCounters::for_tier("serve"),
         });
         let workers = (0..config.replicas)
             .map(|replica| {
@@ -469,32 +477,63 @@ impl ServeEngine {
             }),
             _ => None,
         };
+        // One relaxed load when tracing is off; spans open outside the
+        // queue lock so tracing never extends the critical section.
+        let tracer = Tracer::global();
+        let (span, queue_span) = if tracer.enabled() {
+            let ts = tracer.now_us();
+            let span = tracer.enter("request", "serve", ts, SpanId::NONE);
+            let queue_span = tracer.enter("queue", "serve", ts, span.id);
+            (span, queue_span)
+        } else {
+            (Span::DISABLED, Span::DISABLED)
+        };
         {
             let mut state = self.shared.state.lock().expect("queue lock");
             if let Some(err) = rejection {
                 state.stats.rejected += 1;
+                self.shared.counters.rejected();
                 let _ = tx.send(Err(err));
+                drop(state);
+                if !span.id.is_none() {
+                    let ts = tracer.now_us();
+                    tracer.record(&span, "rejected", 1, ts);
+                    tracer.exit(&queue_span, ts);
+                    tracer.exit(&span, ts);
+                }
                 return ticket;
             }
             if state.shutdown {
                 state.stats.rejected += 1;
+                self.shared.counters.rejected();
                 let _ = tx.send(Err(ServeError::ShutDown));
+                drop(state);
+                if !span.id.is_none() {
+                    let ts = tracer.now_us();
+                    tracer.record(&span, "shutdown", 1, ts);
+                    tracer.exit(&queue_span, ts);
+                    tracer.exit(&span, ts);
+                }
                 return ticket;
             }
             // Stamped under the lock, so batcher timestamps are monotone
             // and the oldest entry is always the queue front.
             let now = self.shared.now_us();
             state.stats.submitted += 1;
+            self.shared.counters.submitted();
             state.batcher.push(
                 Request {
                     input,
                     submitted_us: now,
                     tx,
+                    span,
+                    queue_span,
                 },
                 now,
             );
             let depth = state.batcher.len();
             state.stats.record_queue_depth(depth);
+            tracer.counter("serve.queue_depth", "serve", now, depth as i64);
         }
         self.shared.work.notify_one();
         ticket
@@ -552,21 +591,49 @@ impl Drop for ServeEngine {
 /// One replica: claim ready batches FIFO, execute them outside the lock on
 /// this replica's arena, answer every ticket, repeat until drained shutdown.
 fn worker_loop(shared: &Shared) {
+    let tracer = Tracer::global();
     let mut arena = shared.exec.arena();
     let mut inputs: Vec<Vec<f32>> = Vec::new();
     let mut outputs: Vec<Vec<f32>> = Vec::new();
+    let mut exec_spans: Vec<Span> = Vec::new();
     while let Some(mut batch) = next_batch(shared) {
         inputs.clear();
         inputs.extend(batch.iter_mut().map(|req| std::mem::take(&mut req.input)));
+        exec_spans.clear();
+        if tracer.enabled() {
+            // The claim instant closes every member's queue span and opens
+            // its execute span (sharing the request's correlation id, so
+            // the chain nests in the exported trace).
+            let ts = tracer.now_us();
+            for req in &batch {
+                tracer.exit(&req.queue_span, ts);
+            }
+            exec_spans.extend(batch.iter().map(|req| {
+                tracer.enter_with(
+                    "execute",
+                    "serve",
+                    ts,
+                    req.span.id,
+                    &[("batch", batch.len() as i64)],
+                )
+            }));
+        }
         let result = shared
             .exec
             .run_batch_into(&inputs, &mut arena, &mut outputs);
         let done_us = shared.now_us();
+        if !exec_spans.is_empty() {
+            let ts = tracer.now_us();
+            for span in &exec_spans {
+                tracer.exit(span, ts);
+            }
+        }
         {
             // Count the batch before answering its tickets, so a client that
             // just received its output always observes itself in the stats.
             let mut state = shared.state.lock().expect("queue lock");
             state.stats.record_batch(batch.len(), result.is_ok());
+            shared.counters.batch_done(batch.len(), result.is_ok());
             if result.is_ok() {
                 for req in &batch {
                     state
@@ -579,7 +646,17 @@ fn worker_loop(shared: &Shared) {
             Ok(()) => {
                 for (req, out) in batch.iter().zip(outputs.iter_mut()) {
                     let latency = done_us.saturating_sub(req.submitted_us);
-                    let _ = req.tx.send(Ok((std::mem::take(out), latency)));
+                    if req.span.id.is_none() {
+                        let _ = req.tx.send(Ok((std::mem::take(out), latency)));
+                    } else {
+                        let respond =
+                            tracer.enter("respond", "serve", tracer.now_us(), req.span.id);
+                        let _ = req.tx.send(Ok((std::mem::take(out), latency)));
+                        let ts = tracer.now_us();
+                        tracer.record(&req.span, "latency_us", latency as i64, ts);
+                        tracer.exit(&respond, ts);
+                        tracer.exit(&req.span, ts);
+                    }
                 }
             }
             Err(e) => {
@@ -587,6 +664,11 @@ fn worker_loop(shared: &Shared) {
                 // failure; every member of the batch learns about it.
                 for req in &batch {
                     let _ = req.tx.send(Err(ServeError::Exec(e.clone())));
+                    if !req.span.id.is_none() {
+                        let ts = tracer.now_us();
+                        tracer.record(&req.span, "exec_error", 1, ts);
+                        tracer.exit(&req.span, ts);
+                    }
                 }
             }
         }
@@ -683,7 +765,7 @@ mod tests {
         }
         let stats = engine.shutdown();
         assert_eq!(stats.batches, 1, "four submissions must coalesce");
-        assert_eq!(stats.largest_batch, 4);
+        assert_eq!(stats.largest_batch(), 4);
     }
 
     #[test]
@@ -725,10 +807,10 @@ mod tests {
             engine.infer(sample(i)).unwrap();
         }
         let stats = engine.shutdown();
-        assert_eq!(stats.batch_hist.iter().sum::<u64>(), stats.batches);
-        assert_eq!(stats.latency_hist.iter().sum::<u64>(), stats.completed);
+        assert_eq!(stats.batch_sizes.count(), stats.batches);
+        assert_eq!(stats.latency_us.count(), stats.completed);
         assert_eq!(
-            stats.queue_depth_hist.iter().sum::<u64>(),
+            stats.queue_depth.count(),
             stats.submitted,
             "every admitted request records the depth it observed"
         );
@@ -752,7 +834,7 @@ mod tests {
         // The top non-empty bucket's upper bound (1023) is capped at the
         // tracked maximum: the p100 answer is exact.
         assert_eq!(stats.latency_percentile_us(1.0), 1_000);
-        assert_eq!(stats.max_latency_us, 1_000);
+        assert_eq!(stats.max_latency_us(), 1_000);
         assert_eq!(ServeStats::default().p99_latency_us(), 0);
         // Zero values land in bucket zero.
         let mut zeros = ServeStats::default();
@@ -771,7 +853,7 @@ mod tests {
         assert!(four_hours_us > (1u64 << 31) - 1);
         let mut stats = ServeStats::default();
         stats.record_latency(four_hours_us);
-        assert_eq!(stats.latency_hist[STATS_BUCKETS - 1], 1);
+        assert_eq!(stats.latency_us.buckets()[STATS_BUCKETS - 1], 1);
         assert_eq!(stats.p50_latency_us(), four_hours_us);
         assert_eq!(stats.p99_latency_us(), four_hours_us);
         assert_eq!(stats.latency_percentile_us(1.0), four_hours_us);

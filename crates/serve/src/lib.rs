@@ -49,7 +49,8 @@ pub mod wfq;
 
 pub use batcher::{BatchPolicy, DynamicBatcher};
 pub use engine::{
-    Response, ServeConfig, ServeEngine, ServeError, ServeStats, Ticket, STATS_BUCKETS,
+    EngineCounters, Response, ServeConfig, ServeEngine, ServeError, ServeStats, Ticket,
+    STATS_BUCKETS,
 };
 pub use sharded::ShardedEngine;
 pub use wfq::WeightedFairBatcher;

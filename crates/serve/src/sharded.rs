@@ -42,6 +42,7 @@
 
 use crate::batcher::{BatchPolicy, DynamicBatcher};
 use crate::engine::{Response, ServeConfig, ServeError, ServeStats, Ticket};
+use fpsa_obs::{Span, SpanId, Tracer};
 use fpsa_sim::exec::Executor;
 use std::collections::VecDeque;
 use std::fmt;
@@ -55,6 +56,9 @@ struct InFlight {
     payload: Vec<f32>,
     submitted_us: u64,
     tx: mpsc::Sender<Response>,
+    /// Root telemetry span of the request ([`Span::DISABLED`] when tracing
+    /// was off at submission). Each stage hop opens a child under it.
+    span: Span,
 }
 
 /// Stage 0's queue: the dynamic batcher plus the admission flag.
@@ -215,12 +219,19 @@ impl ShardedEngine {
                 let _ = tx.send(Err(err));
                 return ticket;
             }
+            let tracer = Tracer::global();
+            let span = if tracer.enabled() {
+                tracer.enter("request", "shard", tracer.now_us(), SpanId::NONE)
+            } else {
+                Span::DISABLED
+            };
             let now = self.shared.now_us();
             q.batcher.push(
                 InFlight {
                     payload: input,
                     submitted_us: now,
                     tx,
+                    span,
                 },
                 now,
             );
@@ -298,14 +309,35 @@ impl Drop for ShardedEngine {
 fn stage_worker(shared: &PipeShared, stage: usize) {
     let state = &shared.stages[stage];
     let exit = stage + 1 == shared.stages.len();
+    let tracer = Tracer::global();
     let mut arena = state.exec.arena();
     let mut inputs: Vec<Vec<f32>> = Vec::new();
     let mut outputs: Vec<Vec<f32>> = Vec::new();
     let mut latencies: Vec<u64> = Vec::new();
+    let mut hop_spans: Vec<Span> = Vec::new();
     while let Some(mut batch) = next_stage_batch(shared, stage) {
         inputs.clear();
         inputs.extend(batch.iter_mut().map(|req| std::mem::take(&mut req.payload)));
+        hop_spans.clear();
+        if tracer.enabled() {
+            let ts = tracer.now_us();
+            hop_spans.extend(batch.iter().map(|req| {
+                tracer.enter_with(
+                    "stage",
+                    "shard",
+                    ts,
+                    req.span.id,
+                    &[("stage", stage as i64), ("batch", batch.len() as i64)],
+                )
+            }));
+        }
         let result = state.exec.run_batch_into(&inputs, &mut arena, &mut outputs);
+        if !hop_spans.is_empty() {
+            let ts = tracer.now_us();
+            for span in &hop_spans {
+                tracer.exit(span, ts);
+            }
+        }
         match &result {
             Ok(()) if !exit => {
                 // Rewrite payloads to this stage's outputs and relay the
@@ -344,6 +376,11 @@ fn stage_worker(shared: &PipeShared, stage: usize) {
                     batch.iter().zip(outputs.iter_mut()).zip(latencies.iter())
                 {
                     let _ = req.tx.send(Ok((std::mem::take(out), latency)));
+                    if !req.span.id.is_none() {
+                        let ts = tracer.now_us();
+                        tracer.record(&req.span, "latency_us", latency as i64, ts);
+                        tracer.exit(&req.span, ts);
+                    }
                 }
             }
             Err(e) => {
@@ -356,6 +393,11 @@ fn stage_worker(shared: &PipeShared, stage: usize) {
                     .record_batch(batch.len(), false);
                 for req in &batch {
                     let _ = req.tx.send(Err(ServeError::Exec(e.clone())));
+                    if !req.span.id.is_none() {
+                        let ts = tracer.now_us();
+                        tracer.record(&req.span, "exec_error", 1, ts);
+                        tracer.exit(&req.span, ts);
+                    }
                 }
             }
         }
@@ -458,7 +500,7 @@ mod tests {
         assert_eq!(stats.submitted, 6);
         assert_eq!(stats.completed, 6);
         assert_eq!(stats.failed + stats.rejected, 0);
-        assert_eq!(stats.latency_hist.iter().sum::<u64>(), 6);
+        assert_eq!(stats.latency_us.count(), 6);
     }
 
     #[test]
@@ -505,7 +547,7 @@ mod tests {
         // Counted at the exit stage: the four requests crossed the pipeline
         // as a single batch.
         assert_eq!(stats.batches, 1);
-        assert_eq!(stats.largest_batch, 4);
+        assert_eq!(stats.largest_batch(), 4);
         // Bucket [4,7]'s upper bound, capped at the tracked maximum (4).
         assert_eq!(stats.batch_size_percentile(0.5), 4);
     }

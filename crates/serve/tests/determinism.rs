@@ -187,7 +187,7 @@ fn concurrent_client_streams_each_see_their_own_outputs_in_order() {
 
     let stats = engine.shutdown();
     assert_eq!(stats.completed, (clients * per_client) as u64);
-    assert!(stats.largest_batch <= 4, "configured max batch exceeded");
+    assert!(stats.largest_batch() <= 4, "configured max batch exceeded");
 }
 
 #[test]

@@ -1,0 +1,123 @@
+//! S1 regression pin: `ServeStats` moved its bucketing onto the shared
+//! `fpsa_obs::Histogram`, and the percentile surface (p50/p99, batch-size
+//! and queue-depth percentiles) must be value-identical to the retired
+//! private implementation. The reference below is a verbatim copy of the
+//! old `stats_bucket` / `bucket_upper` / `hist_percentile` trio.
+
+use fpsa_serve::{ServeStats, STATS_BUCKETS};
+
+fn old_stats_bucket(value: u64) -> usize {
+    ((u64::BITS - value.leading_zeros()) as usize).min(STATS_BUCKETS - 1)
+}
+
+fn old_bucket_upper(bucket: usize) -> u64 {
+    if bucket >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << bucket) - 1
+    }
+}
+
+/// The retired nearest-rank percentile over a raw bucket array + tracked max.
+fn old_hist_percentile(hist: &[u64; STATS_BUCKETS], max: u64, q: f64) -> u64 {
+    let total: u64 = hist.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut seen = 0u64;
+    for (i, &count) in hist.iter().enumerate() {
+        seen += count;
+        if seen >= rank {
+            if i + 1 == STATS_BUCKETS {
+                return max;
+            }
+            return old_bucket_upper(i).min(max);
+        }
+    }
+    max
+}
+
+/// A deterministic, broad-spectrum sample sequence: exact powers of two,
+/// off-by-ones around bucket boundaries, zeros, and a pseudo-random spray.
+fn samples() -> Vec<u64> {
+    let mut v: Vec<u64> = vec![0, 0, 1, 1, 2, 3, 4, 7, 8, 15, 16, 31, 1024, 65_535, 1 << 40];
+    let mut x = 0x2545_F491_4F6C_DD1Du64;
+    for _ in 0..500 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        v.push(x % 5_000_000);
+    }
+    v
+}
+
+#[test]
+fn latency_percentiles_match_the_retired_implementation() {
+    let mut stats = ServeStats::default();
+    let mut reference = [0u64; STATS_BUCKETS];
+    let mut max = 0u64;
+    for s in samples() {
+        stats.record_latency(s);
+        reference[old_stats_bucket(s)] += 1;
+        max = max.max(s);
+    }
+    for q in [0.0, 0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+        assert_eq!(
+            stats.latency_percentile_us(q),
+            old_hist_percentile(&reference, max, q),
+            "latency percentile diverged at q={q}"
+        );
+    }
+    assert_eq!(
+        stats.p50_latency_us(),
+        old_hist_percentile(&reference, max, 0.5)
+    );
+    assert_eq!(
+        stats.p99_latency_us(),
+        old_hist_percentile(&reference, max, 0.99)
+    );
+    assert_eq!(stats.max_latency_us(), max);
+}
+
+#[test]
+fn batch_and_queue_percentiles_match_the_retired_implementation() {
+    let mut stats = ServeStats::default();
+    let mut batches = [0u64; STATS_BUCKETS];
+    let mut depths = [0u64; STATS_BUCKETS];
+    let (mut bmax, mut dmax) = (0u64, 0u64);
+    for (i, s) in samples().into_iter().enumerate() {
+        let batch = (s % 63) as usize + 1;
+        let depth = (s % 200) as usize;
+        stats.record_batch(batch, i % 7 != 0);
+        stats.record_queue_depth(depth);
+        batches[old_stats_bucket(batch as u64)] += 1;
+        bmax = bmax.max(batch as u64);
+        depths[old_stats_bucket(depth as u64)] += 1;
+        dmax = dmax.max(depth as u64);
+    }
+    for q in [0.5, 0.9, 0.99] {
+        assert_eq!(
+            stats.batch_size_percentile(q),
+            old_hist_percentile(&batches, bmax, q),
+            "batch-size percentile diverged at q={q}"
+        );
+        assert_eq!(
+            stats.queue_depth_percentile(q),
+            old_hist_percentile(&depths, dmax, q),
+            "queue-depth percentile diverged at q={q}"
+        );
+    }
+    assert_eq!(stats.largest_batch() as u64, bmax);
+    assert_eq!(stats.max_queue_depth(), dmax);
+}
+
+#[test]
+fn empty_histograms_report_zero_everywhere() {
+    let stats = ServeStats::default();
+    assert_eq!(stats.latency_percentile_us(0.99), 0);
+    assert_eq!(stats.batch_size_percentile(0.5), 0);
+    assert_eq!(stats.queue_depth_percentile(0.5), 0);
+    assert_eq!(stats.max_latency_us(), 0);
+    assert_eq!(stats.largest_batch(), 0);
+}

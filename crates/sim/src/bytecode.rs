@@ -45,6 +45,7 @@
 //! from memory once per batch instead of once per sample.
 
 use crate::kernels::{self, RowF, RowI, Simd};
+use crate::profile::{self, SkipTally};
 use fpsa_nn::quant::{quantize_code, rescale_code};
 use fpsa_nn::reference::requantize_mac;
 use serde::{Deserialize, Serialize};
@@ -343,6 +344,33 @@ pub(crate) enum Inst {
     },
 }
 
+impl Inst {
+    /// Stable opcode index, aligned with [`profile::OPCODE_NAMES`].
+    pub(crate) fn opcode(&self) -> usize {
+        match self {
+            Inst::CopyF { .. } => 0,
+            Inst::RescaleI { .. } => 1,
+            Inst::RescaleI2 { .. } => 2,
+            Inst::DenseF { .. } => 3,
+            Inst::DenseI { .. } => 4,
+            Inst::ConvF { .. } => 5,
+            Inst::ConvI { .. } => 6,
+            Inst::ReduceF { .. } => 7,
+            Inst::ReduceI { .. } => 8,
+            Inst::AvgPoolF { .. } => 9,
+            Inst::AvgPoolI { .. } => 10,
+            Inst::GapF { .. } => 11,
+            Inst::GapI { .. } => 12,
+            Inst::MaxPoolF { .. } => 13,
+            Inst::MaxPoolI { .. } => 14,
+            Inst::MaxFwdF { .. } => 15,
+            Inst::MaxFwdI { .. } => 16,
+            Inst::EltwiseF { .. } => 17,
+            Inst::EltwiseI { .. } => 18,
+        }
+    }
+}
+
 /// What lowering did to a bound model — the observability hook for the
 /// sparsity regression tests and the `BENCH_exec` lowering columns.
 #[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
@@ -438,6 +466,7 @@ impl Lowered {
                     cols,
                     store,
                 } => {
+                    profile::retire(inst.opcode(), batch as u64);
                     self.dense_f_batch(runs, w, cols as usize, store, vals, parts, batch, mac);
                 }
                 Inst::ConvF {
@@ -449,6 +478,7 @@ impl Lowered {
                     positions,
                     store,
                 } => {
+                    profile::retire(inst.opcode(), batch as u64);
                     self.conv_f_batch(
                         runs,
                         wins,
@@ -477,6 +507,7 @@ impl Lowered {
     /// Gather one sample group's activations for a MAC row: push `sb`
     /// activations (as f64) and keep the row only if any is non-zero.
     #[inline(always)]
+    #[allow(clippy::too_many_arguments)]
     fn gather_group_row(
         &self,
         vals: &[f32],
@@ -485,6 +516,7 @@ impl Lowered {
         x: usize,
         woff: u32,
         mac: &mut MacScratch,
+        skips: &mut SkipTally,
     ) {
         let base = mac.xb.len();
         let mut any = false;
@@ -497,6 +529,7 @@ impl Lowered {
             mac.woffs.push(woff);
         } else {
             mac.xb.truncate(base);
+            skips.hit();
         }
     }
 
@@ -541,6 +574,7 @@ impl Lowered {
         mac: &mut MacScratch,
     ) {
         let runs = &self.dense_runs[runs.0 as usize..(runs.0 + runs.1) as usize];
+        let mut skips = SkipTally::new();
         let mut s0 = 0usize;
         while s0 < batch {
             let sb = (batch - s0).min(8);
@@ -549,7 +583,7 @@ impl Lowered {
             for run in runs {
                 let mut woff = w + run.r * cols as u32;
                 for x in run.x..run.x + run.n {
-                    self.gather_group_row(vals, s0, sb, x as usize, woff, mac);
+                    self.gather_group_row(vals, s0, sb, x as usize, woff, mac, &mut skips);
                     woff += cols as u32;
                 }
             }
@@ -558,6 +592,7 @@ impl Lowered {
             self.store_group(vals, parts, store, cols, 1, 0, s0, sb, mac);
             s0 += sb;
         }
+        skips.flush(profile::OP_DENSE_F);
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -579,6 +614,7 @@ impl Lowered {
         let wins = &self.wins[wins.0 as usize..(wins.0 + wins.1) as usize];
         let bases = &self.dup_bases[wsel.0 as usize..(wsel.0 + wsel.1) as usize];
         let dups = wsel.2 as usize;
+        let mut skips = SkipTally::new();
         for (p, win) in wins.iter().enumerate().take(positions as usize) {
             let wbase = bases[(p % dups) % bases.len()];
             let xbase = i64::from(x0) + i64::from(win.base);
@@ -601,7 +637,7 @@ impl Lowered {
                     let mut woff = wbase + r * cols as u32;
                     for kx in lo..hi {
                         let x = (xrun + i64::from(kx)) as usize;
-                        self.gather_group_row(vals, s0, sb, x, woff, mac);
+                        self.gather_group_row(vals, s0, sb, x, woff, mac, &mut skips);
                         woff += cols as u32;
                     }
                 }
@@ -611,6 +647,7 @@ impl Lowered {
                 s0 += sb;
             }
         }
+        skips.flush(profile::OP_CONV_F);
     }
 
     fn exec_float_inst(
@@ -620,6 +657,7 @@ impl Lowered {
         parts: &mut [f64],
         mac: &mut MacScratch,
     ) {
+        profile::retire(inst.opcode(), 1);
         {
             match *inst {
                 Inst::CopyF { src, dst, len } => {
@@ -633,6 +671,7 @@ impl Lowered {
                 } => {
                     let runs = &self.dense_runs[runs.0 as usize..(runs.0 + runs.1) as usize];
                     let cols = cols as usize;
+                    let mut skips = SkipTally::new();
                     mac.rows_f.clear();
                     for run in runs {
                         let mut woff = w + run.r * cols as u32;
@@ -640,10 +679,13 @@ impl Lowered {
                             let xv = vals[x as usize];
                             if xv != 0.0 {
                                 mac.rows_f.push((woff, f64::from(xv)));
+                            } else {
+                                skips.hit();
                             }
                             woff += cols as u32;
                         }
                     }
+                    skips.flush(profile::OP_DENSE_F);
                     if store.output {
                         let acc = grow(&mut mac.acc_f, cols);
                         kernels::mac_f(self.simd, &self.wslab_f, cols, &mac.rows_f, acc);
@@ -676,6 +718,7 @@ impl Lowered {
                     let bases = &self.dup_bases[wsel.0 as usize..(wsel.0 + wsel.1) as usize];
                     let dups = wsel.2 as usize;
                     let cols = cols as usize;
+                    let mut skips = SkipTally::new();
                     for (p, win) in wins.iter().enumerate().take(positions as usize) {
                         let wbase = bases[(p % dups) % bases.len()];
                         let xbase = i64::from(x0) + i64::from(win.base);
@@ -701,6 +744,8 @@ impl Lowered {
                                 let xv = vals[(xrun + i64::from(kx)) as usize];
                                 if xv != 0.0 {
                                     mac.rows_f.push((woff, f64::from(xv)));
+                                } else {
+                                    skips.hit();
                                 }
                                 woff += cols as u32;
                             }
@@ -720,6 +765,7 @@ impl Lowered {
                             );
                         }
                     }
+                    skips.flush(profile::OP_CONV_F);
                 }
                 Inst::ReduceF {
                     srcs,
@@ -886,6 +932,7 @@ impl Lowered {
         alevels: i64,
         mac: &mut MacScratch,
     ) {
+        profile::retire(inst.opcode(), 1);
         {
             match *inst {
                 Inst::RescaleI {
@@ -922,6 +969,7 @@ impl Lowered {
                 } => {
                     let runs = &self.dense_runs[runs.0 as usize..(runs.0 + runs.1) as usize];
                     let cols = cols as usize;
+                    let mut skips = SkipTally::new();
                     mac.rows_i.clear();
                     for run in runs {
                         let mut woff = w + run.r * cols as u32;
@@ -929,10 +977,13 @@ impl Lowered {
                             let xv = vals[x as usize];
                             if xv != 0 {
                                 mac.rows_i.push((woff, xv));
+                            } else {
+                                skips.hit();
                             }
                             woff += cols as u32;
                         }
                     }
+                    skips.flush(profile::OP_DENSE_I);
                     if store.output {
                         let acc = grow(&mut mac.acc_i, cols);
                         kernels::mac_i(&self.wslab_q, cols, &mac.rows_i, acc);
@@ -960,6 +1011,7 @@ impl Lowered {
                     let runs = &self.conv_runs[runs.0 as usize..(runs.0 + runs.1) as usize];
                     let wins = &self.wins[wins.0 as usize..(wins.0 + wins.1) as usize];
                     let cols = cols as usize;
+                    let mut skips = SkipTally::new();
                     for (p, win) in wins.iter().enumerate().take(positions as usize) {
                         let xbase = i64::from(x0) + i64::from(win.base);
                         mac.rows_i.clear();
@@ -979,6 +1031,8 @@ impl Lowered {
                                 let xv = vals[(xrun + i64::from(kx)) as usize];
                                 if xv != 0 {
                                     mac.rows_i.push((woff, xv));
+                                } else {
+                                    skips.hit();
                                 }
                                 woff += cols as u32;
                             }
@@ -1005,6 +1059,7 @@ impl Lowered {
                             );
                         }
                     }
+                    skips.flush(profile::OP_CONV_I);
                 }
                 Inst::ReduceI {
                     srcs,

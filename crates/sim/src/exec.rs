@@ -73,6 +73,7 @@ use fpsa_nn::reference::{self, InputView, QuantizationPlan};
 use fpsa_nn::reference::{pooled_window_real, requantize_mac};
 use fpsa_nn::seeds;
 use fpsa_nn::{ComputationalGraph, GraphParameters, NnError, NodeId, Operator, TensorShape};
+use fpsa_obs::{SpanId, Tracer};
 use fpsa_synthesis::{weights, CoreOpGraph, CoreOpKind, GroupId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -445,6 +446,38 @@ impl Executor {
     ///
     /// Mirrors [`Executor::bind`].
     pub fn bind_with_noise_offset(
+        graph: &ComputationalGraph,
+        params: &GraphParameters,
+        core: &CoreOpGraph,
+        mapping: &Mapping,
+        precision: &Precision,
+        noise_group_offset: usize,
+    ) -> Result<Executor, ExecError> {
+        let tracer = Tracer::global();
+        let span = if tracer.enabled() {
+            tracer.enter_with(
+                "bind",
+                "exec",
+                tracer.now_us(),
+                SpanId::NONE,
+                &[("groups", core.len() as i64)],
+            )
+        } else {
+            fpsa_obs::Span::DISABLED
+        };
+        let result = Self::bind_inner(graph, params, core, mapping, precision, noise_group_offset);
+        if !span.id.is_none() {
+            let ts = tracer.now_us();
+            if result.is_err() {
+                tracer.record(&span, "failed", 1, ts);
+            }
+            tracer.exit(&span, ts);
+        }
+        result
+    }
+
+    /// The untraced body of [`Executor::bind_with_noise_offset`].
+    fn bind_inner(
         graph: &ComputationalGraph,
         params: &GraphParameters,
         core: &CoreOpGraph,
@@ -933,10 +966,23 @@ impl Executor {
     ///
     /// Returns [`ExecError::ModelMismatch`] when the input length is wrong.
     pub fn run(&self, input: &[f32]) -> Result<Vec<f32>, ExecError> {
+        let tracer = Tracer::global();
+        let span = if tracer.enabled() {
+            tracer.enter("exec.run", "exec", tracer.now_us(), SpanId::NONE)
+        } else {
+            fpsa_obs::Span::DISABLED
+        };
         let mut arena = ExecArena::new();
         let mut out = Vec::new();
-        self.run_into(input, &mut arena, &mut out)?;
-        Ok(out)
+        let result = self.run_into(input, &mut arena, &mut out);
+        if !span.id.is_none() {
+            let ts = tracer.now_us();
+            if result.is_err() {
+                tracer.record(&span, "failed", 1, ts);
+            }
+            tracer.exit(&span, ts);
+        }
+        result.map(|()| out)
     }
 
     /// Execute one sample into `out`, reusing `arena` for all scratch.
@@ -1038,6 +1084,36 @@ impl Executor {
     /// the samples that completed, so it can never expose stale results
     /// from a previous batch.
     pub fn run_batch_into(
+        &self,
+        inputs: &[Vec<f32>],
+        arena: &mut ExecArena,
+        outputs: &mut Vec<Vec<f32>>,
+    ) -> Result<(), ExecError> {
+        let tracer = Tracer::global();
+        if !tracer.enabled() {
+            return self.run_batch_into_untraced(inputs, arena, outputs);
+        }
+        let span = tracer.enter_with(
+            "exec.batch",
+            "exec",
+            tracer.now_us(),
+            SpanId::NONE,
+            &[("batch", inputs.len() as i64)],
+        );
+        let result = self.run_batch_into_untraced(inputs, arena, outputs);
+        let ts = tracer.now_us();
+        if result.is_err() {
+            tracer.record(&span, "failed", 1, ts);
+        }
+        tracer.exit(&span, ts);
+        result
+    }
+
+    /// [`Executor::run_batch_into`] minus the span bracket: the telemetry
+    /// A/B baseline the obs overhead bench compares against. Not part of
+    /// the public API contract.
+    #[doc(hidden)]
+    pub fn run_batch_into_untraced(
         &self,
         inputs: &[Vec<f32>],
         arena: &mut ExecArena,

@@ -33,10 +33,12 @@ pub mod functional;
 mod kernels;
 mod lower;
 pub mod perf;
+pub mod profile;
 pub mod trace;
 
 pub use bytecode::LowerStats;
 pub use exec::{ExecArena, ExecError, Executor, Precision};
 pub use functional::{SpikingMlpRunner, VariationStudy};
 pub use perf::{CommunicationEstimate, PerformanceReport, PerformanceSimulator};
+pub use profile::{ProfileSnapshot, NUM_OPCODES, OPCODE_NAMES};
 pub use trace::{CacheInfo, CacheOutcome, StageKind, StageQuality, StageRecord, StageTrace};

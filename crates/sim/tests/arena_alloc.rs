@@ -91,6 +91,13 @@ fn steady_state_batches_allocate_nothing() {
             .expect("warm-up batch runs");
         let warm = outputs.clone();
 
+        // The counter is process-wide, and libtest's main thread lazily
+        // allocates its completion-channel context the first time it
+        // blocks in recv — a sleep hands it the CPU so that one-time init
+        // lands here instead of racing into the measured window (a ~50%
+        // flake on a single-core host before this guard).
+        std::thread::sleep(std::time::Duration::from_millis(50));
+
         // Steady state: the counter must not move at all.
         let before = ALLOCATIONS.load(Ordering::SeqCst);
         for _ in 0..5 {

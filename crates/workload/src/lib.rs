@@ -64,5 +64,8 @@ pub use report::{scenario_report, ScenarioReport};
 pub use scenario::{
     ArrivalProcess, MixEntry, ReplayPolicy, Scenario, ScenarioParseError, ServiceModel,
 };
-pub use sim::{simulate, simulate_fleet, FleetPolicy, FleetVirtualReplay, VirtualReplay};
+pub use sim::{
+    simulate, simulate_fleet, simulate_fleet_traced, simulate_traced, FleetPolicy,
+    FleetVirtualReplay, VirtualReplay,
+};
 pub use trace::{Trace, TraceEvent, TraceRecorder};

@@ -350,11 +350,14 @@ pub fn simulate_phased(
     for phase in &plan.phases {
         let slice = trace.slice_rebased(phase.representative.clone());
         let replay = simulate(&slice, policy, service);
-        for (slot, &count) in latency_hist.iter_mut().zip(&replay.stats.latency_hist) {
+        for (slot, &count) in latency_hist
+            .iter_mut()
+            .zip(replay.stats.latency_us.buckets())
+        {
             *slot += phase.weight * count as f64;
         }
         weighted_makespan_us += phase.weight * replay.makespan_us as f64;
-        max_latency_us = max_latency_us.max(replay.stats.max_latency_us);
+        max_latency_us = max_latency_us.max(replay.stats.max_latency_us());
     }
     PhasedReplay {
         throughput_rps: plan.total_events as f64 / (weighted_makespan_us.max(1.0) / 1_000_000.0),

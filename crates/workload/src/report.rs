@@ -138,10 +138,10 @@ pub fn scenario_report(
         trace.fingerprint(),
         trace.duration_us(),
         json_f64(full.throughput_rps),
-        full.stats.max_latency_us,
+        full.stats.max_latency_us(),
         full.makespan_us,
         full.stats.batches,
-        full.stats.largest_batch,
+        full.stats.largest_batch(),
         json_f64(phased.throughput_rps),
         phased.sampled_events,
         json_f64(plan.sampled_fraction()),

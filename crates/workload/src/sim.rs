@@ -19,6 +19,7 @@
 
 use crate::scenario::{ReplayPolicy, ServiceModel};
 use crate::trace::{Trace, TraceEvent};
+use fpsa_obs::{Span, SpanId, Tracer};
 use fpsa_serve::{BatchPolicy, DynamicBatcher, ServeStats, WeightedFairBatcher};
 use serde::{Deserialize, Serialize};
 
@@ -48,9 +49,40 @@ impl VirtualReplay {
 
 /// Replay `trace` under the virtual clock (see the module docs).
 pub fn simulate(trace: &Trace, policy: ReplayPolicy, service: ServiceModel) -> VirtualReplay {
+    simulate_inner(trace, policy, service, None)
+}
+
+/// [`simulate`], recording every request's `request → queue → execute →
+/// respond` span chain into `tracer` — with **virtual** timestamps.
+///
+/// The replay is single-threaded and deterministic, and the tracer never
+/// reads a clock, so on a *fresh* [`Tracer`] (sequential span ids) the
+/// recorded event stream — and therefore the exported Chrome-trace JSON —
+/// is a pure function of `(trace, policy, service)`: bit-identical across
+/// runs, which is what lets CI pin the exported bytes. Pass a tracer in
+/// [`fpsa_obs::Mode::Full`]; tracing only observes the replay, so the
+/// returned [`VirtualReplay`] is identical to the untraced one.
+pub fn simulate_traced(
+    trace: &Trace,
+    policy: ReplayPolicy,
+    service: ServiceModel,
+    tracer: &Tracer,
+) -> VirtualReplay {
+    simulate_inner(trace, policy, service, Some(tracer))
+}
+
+fn simulate_inner(
+    trace: &Trace,
+    policy: ReplayPolicy,
+    service: ServiceModel,
+    tracer: Option<&Tracer>,
+) -> VirtualReplay {
     if trace.is_empty() {
         return VirtualReplay::empty();
     }
+    // Request/queue span handles, indexed by trace-event index (admissions
+    // happen strictly in index order).
+    let mut spans: Vec<(Span, Span)> = Vec::new();
     let mut batcher: DynamicBatcher<usize> =
         DynamicBatcher::new(BatchPolicy::new(policy.max_batch, policy.window_us));
     let mut stats = ServeStats::default();
@@ -78,9 +110,25 @@ pub fn simulate(trace: &Trace, policy: ReplayPolicy, service: ServiceModel) -> V
             // Arrivals up to the candidate instant join the queue first, so
             // simultaneity resolves identically on every run.
             while next < events.len() && events[next].at_us <= now {
+                let at = events[next].at_us;
                 stats.submitted += 1;
-                batcher.push(next, events[next].at_us);
+                batcher.push(next, at);
                 stats.record_queue_depth(batcher.len());
+                if let Some(t) = tracer {
+                    let root = t.enter_with(
+                        "request",
+                        "replay",
+                        at,
+                        SpanId::NONE,
+                        &[
+                            ("tenant", i64::from(events[next].tenant)),
+                            ("model", i64::from(events[next].model)),
+                        ],
+                    );
+                    let queue = t.enter("queue", "replay", at, root.id);
+                    spans.push((root, queue));
+                    t.counter("replay.queue_depth", "replay", at, batcher.len() as i64);
+                }
                 next += 1;
             }
             if batcher.ready(now) {
@@ -99,12 +147,25 @@ pub fn simulate(trace: &Trace, policy: ReplayPolicy, service: ServiceModel) -> V
         }
         let batch = batcher.pop_ready(now).expect("checked ready");
         clock = now;
-        let finish = now + service.batch_us(batch.len());
+        let blen = batch.len();
+        let finish = now + service.batch_us(blen);
         free[worker] = finish;
         last_finish = last_finish.max(finish);
-        stats.record_batch(batch.len(), true);
+        stats.record_batch(blen, true);
         for index in batch {
-            stats.record_latency(finish - events[index].at_us);
+            let latency = finish - events[index].at_us;
+            stats.record_latency(latency);
+            if let Some(t) = tracer {
+                let (root, queue) = spans[index];
+                t.exit(&queue, now);
+                let exec =
+                    t.enter_with("execute", "replay", now, root.id, &[("batch", blen as i64)]);
+                t.exit(&exec, finish);
+                let respond = t.enter("respond", "replay", finish, root.id);
+                t.exit(&respond, finish);
+                t.record(&root, "latency_us", latency as i64, finish);
+                t.exit(&root, finish);
+            }
         }
     }
     finishize(stats, events, last_finish)
@@ -146,6 +207,27 @@ pub fn simulate_fleet(
     policy: &FleetPolicy,
     service: ServiceModel,
 ) -> FleetVirtualReplay {
+    simulate_fleet_inner(trace, policy, service, None)
+}
+
+/// [`simulate_fleet`] with the same per-request span recording contract as
+/// [`simulate_traced`]: virtual timestamps, bit-identical exports on a
+/// fresh [`Tracer`], identical replay results.
+pub fn simulate_fleet_traced(
+    trace: &Trace,
+    policy: &FleetPolicy,
+    service: ServiceModel,
+    tracer: &Tracer,
+) -> FleetVirtualReplay {
+    simulate_fleet_inner(trace, policy, service, Some(tracer))
+}
+
+fn simulate_fleet_inner(
+    trace: &Trace,
+    policy: &FleetPolicy,
+    service: ServiceModel,
+    tracer: Option<&Tracer>,
+) -> FleetVirtualReplay {
     if trace.is_empty() {
         return FleetVirtualReplay {
             aggregate: VirtualReplay::empty(),
@@ -166,6 +248,9 @@ pub fn simulate_fleet(
     let mut free = vec![vec![0u64; policy.per_fabric.replicas.max(1)]; fabrics];
     let mut stats = ServeStats::default();
     let mut per_tenant: Vec<ServeStats> = Vec::new();
+    // Request/queue span handles, indexed by trace-event index (admissions
+    // happen strictly in index order).
+    let mut spans: Vec<(Span, Span)> = Vec::new();
     let events = &trace.events;
     let mut next = 0usize;
     let mut last_finish = 0u64;
@@ -229,6 +314,27 @@ pub fn simulate_fleet(
             let tenant = tenant_mut(&mut per_tenant, event.tenant);
             tenant.submitted += 1;
             tenant.record_queue_depth(depth);
+            if let Some(t) = tracer {
+                let root = t.enter_with(
+                    "request",
+                    "replay",
+                    event.at_us,
+                    SpanId::NONE,
+                    &[
+                        ("tenant", i64::from(event.tenant)),
+                        ("model", i64::from(event.model)),
+                    ],
+                );
+                let queue = t.enter_with(
+                    "queue",
+                    "replay",
+                    event.at_us,
+                    root.id,
+                    &[("fabric", fabric as i64)],
+                );
+                spans.push((root, queue));
+                t.counter("replay.queue_depth", "replay", event.at_us, depth as i64);
+            }
             next += 1;
             continue;
         }
@@ -246,16 +352,33 @@ pub fn simulate_fleet(
             .pop_ready(now)
             .expect("a fabric's action instant has a ready batch");
         clock = now;
-        let finish = now + service.batch_us(batch.len());
+        let blen = batch.len();
+        let finish = now + service.batch_us(blen);
         free[fabric][worker] = finish;
         last_finish = last_finish.max(finish);
-        stats.record_batch(batch.len(), true);
+        stats.record_batch(blen, true);
         let tenant = tenant_mut(&mut per_tenant, tenant_id);
-        tenant.record_batch(batch.len(), true);
+        tenant.record_batch(blen, true);
         for index in batch {
             let latency = finish - events[index].at_us;
             stats.record_latency(latency);
             tenant_mut(&mut per_tenant, tenant_id).record_latency(latency);
+            if let Some(t) = tracer {
+                let (root, queue) = spans[index];
+                t.exit(&queue, now);
+                let exec = t.enter_with(
+                    "execute",
+                    "replay",
+                    now,
+                    root.id,
+                    &[("fabric", fabric as i64), ("batch", blen as i64)],
+                );
+                t.exit(&exec, finish);
+                let respond = t.enter("respond", "replay", finish, root.id);
+                t.exit(&respond, finish);
+                t.record(&root, "latency_us", latency as i64, finish);
+                t.exit(&root, finish);
+            }
         }
     }
 
@@ -298,7 +421,7 @@ mod tests {
         assert_eq!(result.stats.completed, 777);
         assert_eq!(result.stats.failed + result.stats.rejected, 0);
         assert_eq!(
-            result.stats.latency_hist.iter().sum::<u64>(),
+            result.stats.latency_us.count(),
             777,
             "one latency sample per request"
         );
@@ -329,15 +452,15 @@ mod tests {
         scenario.policy.max_batch = 4;
         scenario.policy.window_us = 300;
         let result = replay(&scenario);
-        assert!(result.stats.largest_batch <= 4);
+        assert!(result.stats.largest_batch() <= 4);
         // Under an uncongested open-loop load, no request waits much past
         // its window plus one service round.
         let worst =
             scenario.policy.window_us + 4 * scenario.service.batch_us(scenario.policy.max_batch);
         assert!(
-            result.stats.max_latency_us <= worst,
+            result.stats.max_latency_us() <= worst,
             "max latency {} > bound {worst}",
-            result.stats.max_latency_us
+            result.stats.max_latency_us()
         );
     }
 
@@ -504,7 +627,7 @@ mod tests {
         // Each request is served alone the moment it arrives, so every
         // latency is exactly one single-request service time — nothing
         // negative, nothing wrapped.
-        assert_eq!(replay.aggregate.stats.max_latency_us, service.batch_us(1));
+        assert_eq!(replay.aggregate.stats.max_latency_us(), service.batch_us(1));
         // Makespan runs from the first arrival (10ms) to the last finish
         // (100ms + one service), never from the stale virtual t=0.
         assert_eq!(
@@ -526,6 +649,63 @@ mod tests {
         };
         let replay = simulate_fleet(&trace, &policy, scenario.service);
         assert_eq!(replay.aggregate.stats.completed, 120);
+    }
+
+    #[test]
+    fn traced_replay_exports_are_byte_identical_and_results_unperturbed() {
+        let scenario = Scenario::steady("traced", "m", 11, 300).with_batch_mix(vec![(2, 1.0)]);
+        let trace = TraceRecorder::new(&scenario).record().unwrap();
+
+        let run = || {
+            let tracer = fpsa_obs::Tracer::new();
+            tracer.set_mode(fpsa_obs::Mode::Full);
+            let replay = simulate_traced(&trace, scenario.policy, scenario.service, &tracer);
+            (
+                replay,
+                fpsa_obs::export::chrome_trace_json(&tracer.events()),
+            )
+        };
+        let (first, json_a) = run();
+        let (second, json_b) = run();
+        // Tracing only observes: the replay matches the untraced run.
+        assert_eq!(first, simulate(&trace, scenario.policy, scenario.service));
+        assert_eq!(first, second);
+        // Virtual clock + fresh tracer → the export is a pure function of
+        // the trace: identical bytes on every run.
+        assert_eq!(json_a, json_b);
+        assert!(json_a.contains("\"name\":\"execute\""));
+        assert!(json_a.contains("\"name\":\"respond\""));
+        // Every request opens and closes: begins balance ends.
+        assert_eq!(
+            json_a.matches("\"ph\":\"b\"").count(),
+            json_a.matches("\"ph\":\"e\"").count()
+        );
+    }
+
+    #[test]
+    fn traced_fleet_replay_exports_are_byte_identical() {
+        let scenario = zoo_scenario(200);
+        let trace = TraceRecorder::new(&scenario).record().unwrap();
+        let policy = FleetPolicy {
+            per_fabric: scenario.policy,
+            hosted: vec![vec![0, 1], vec![0, 1]],
+            tenant_weights: vec![(1, 3)],
+        };
+        let run = || {
+            let tracer = fpsa_obs::Tracer::new();
+            tracer.set_mode(fpsa_obs::Mode::Full);
+            let replay = simulate_fleet_traced(&trace, &policy, scenario.service, &tracer);
+            (
+                replay,
+                fpsa_obs::export::chrome_trace_json(&tracer.events()),
+            )
+        };
+        let (first, json_a) = run();
+        let (second, json_b) = run();
+        assert_eq!(first, simulate_fleet(&trace, &policy, scenario.service));
+        assert_eq!(first, second);
+        assert_eq!(json_a, json_b);
+        assert!(json_a.contains("\"fabric\""));
     }
 
     #[test]

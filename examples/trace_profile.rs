@@ -1,0 +1,97 @@
+//! One traced run end to end: compile a zoo model and serve a batch with
+//! the global tracer in full mode, export the span chain as Chrome
+//! trace-event JSON (open `target/experiment-data/traces/trace-profile.json`
+//! in <https://ui.perfetto.dev> or `chrome://tracing`), tabulate the
+//! process-wide metrics registry as markdown, and — when the profiling
+//! hooks are compiled in — break the executor's work down per opcode.
+//!
+//! ```sh
+//! cargo run --release --example trace_profile
+//! # with the per-opcode executor profile:
+//! cargo run --release --example trace_profile --features fpsa-sim/obs-profile
+//! ```
+
+use fpsa::core::Compiler;
+use fpsa::nn::{zoo, GraphParameters};
+use fpsa::obs::{export, Mode, Phase, Registry, Tracer};
+use fpsa::serve::{ServeConfig, ServeEngine};
+use fpsa::sim::{profile, Precision};
+
+fn main() {
+    // --- 1. Turn tracing on. Everything below records into the same ----
+    // global tracer: the compile pipeline stages, the serving engine's
+    // request→queue→execute→respond chain, and the queue-depth counter.
+    let tracer = Tracer::global();
+    tracer.set_mode(Mode::Full);
+
+    // --- 2. Compile and bind under tracing (spans: synthesize, map, -----
+    // place&route, estimate — one per pipeline stage).
+    let graph = zoo::tiny_mlp();
+    let params = GraphParameters::seeded(&graph, 7);
+    let compiled = Compiler::fpsa().compile(&graph).expect("tiny_mlp compiles");
+    let executor = compiled
+        .executor(&graph, &params, &Precision::Float)
+        .expect("tiny_mlp binds");
+
+    // --- 3. Serve a small batch; sample the executor profile while the --
+    // requests run. Without `--features fpsa-sim/obs-profile` the hooks
+    // are compiled out and the snapshot stays empty.
+    profile::reset();
+    profile::set_sampling(true);
+    let engine = ServeEngine::start(executor, ServeConfig::default().with_replicas(2));
+    let inputs: Vec<Vec<f32>> = (0..8)
+        .map(|i| (0..16).map(|j| ((i + j) % 10) as f32 * 0.1).collect())
+        .collect();
+    let outputs = engine.serve_batch(&inputs).expect("batch is served");
+    engine.shutdown();
+    profile::set_sampling(false);
+    println!(
+        "served {} requests, {} outputs each",
+        outputs.len(),
+        outputs[0].len()
+    );
+
+    // --- 4. Export the trace. The same exporter renders virtual-clock ---
+    // traces from `fpsa::workload`'s deterministic replay byte-identically
+    // across runs; this one carries live wall-clock timestamps.
+    let events = tracer.events();
+    tracer.set_mode(Mode::Off);
+    tracer.clear();
+    let spans = events
+        .iter()
+        .filter(|e| e.phase == Phase::SpanBegin)
+        .count();
+    let trace_path = export::write_chrome_trace("trace-profile", &events).expect("trace writes");
+    println!(
+        "wrote {} events ({spans} spans) to {}",
+        events.len(),
+        trace_path.display()
+    );
+    println!("  open it in https://ui.perfetto.dev or chrome://tracing");
+
+    // --- 5. The metrics registry accumulated alongside the spans. -------
+    let snapshot = Registry::global().snapshot();
+    let summary_path = export::write_markdown_summary("trace-profile", "Traced run", &snapshot)
+        .expect("summary writes");
+    println!("wrote metrics summary to {}", summary_path.display());
+    for (name, value) in &snapshot.counters {
+        println!("  {name}: {value}");
+    }
+
+    // --- 6. Per-opcode executor profile (needs `fpsa-sim/obs-profile`). -
+    let prof = profile::snapshot();
+    if profile::compiled_in() {
+        println!(
+            "executor profile: {} retired, {} sparsity-skipped rows",
+            prof.total_retired(),
+            prof.total_skipped()
+        );
+        for (name, retired, skipped) in prof.rows() {
+            println!("  {name:10} retired {retired:6}  skipped {skipped:6}");
+        }
+    } else {
+        println!(
+            "executor profile: hooks compiled out (rebuild with --features fpsa-sim/obs-profile)"
+        );
+    }
+}

@@ -23,6 +23,9 @@
 //!   record/replay and SimPoint-style phase-sampled benchmarking
 //! * [`fleet`] — multi-tenant model-fleet serving: compile-once registry,
 //!   co-location packing, weighted-fair tenant queues, per-tenant SLOs
+//! * [`obs`] — unified telemetry: structured spans over wall or virtual
+//!   clocks, the process-wide metrics registry, executor profiling hooks,
+//!   Chrome-trace/flight-recorder export
 //!
 //! # Quick start
 //!
@@ -43,6 +46,7 @@ pub use fpsa_device as device;
 pub use fpsa_fleet as fleet;
 pub use fpsa_mapper as mapper;
 pub use fpsa_nn as nn;
+pub use fpsa_obs as obs;
 pub use fpsa_placeroute as placeroute;
 pub use fpsa_prime as prime;
 pub use fpsa_serve as serve;
